@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation bench for the design choices DESIGN.md calls out:
+ * offset elimination, canonicalizing optimization, name normalization
+ * (which subsumes register folding), and the back-and-forth game itself.
+ *
+ * Each knob is disabled in isolation and the controlled experiment of
+ * section 5.3 re-run; the drop against the full configuration quantifies
+ * the knob's contribution (the paper reports the game ablation
+ * explicitly: 90.11% -> 67.3%).
+ */
+#include <cstdio>
+
+#include "eval/experiments.h"
+#include "eval/report.h"
+
+namespace {
+
+using namespace firmup;
+
+eval::Tally
+run_config(const firmware::Corpus &corpus, const char *label,
+           void (*tweak)(eval::SearchOptions &))
+{
+    eval::SearchOptions options;
+    tweak(options);
+    eval::Driver driver(options);
+    eval::LabeledOptions labeled;
+    const eval::LabeledResult result =
+        eval::run_labeled(driver, corpus, labeled);
+    const eval::Tally tally = result.firmup_total();
+    std::printf("%-28s P=%-4d FN=%-4d FP=%-4d precision=%s\n", label,
+                tally.p, tally.fn, tally.fp,
+                eval::percent(tally.precision()).c_str());
+    return tally;
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace firmup;
+
+    std::printf("== Ablations: strand canonicalization & game ==\n\n");
+    const firmware::Corpus corpus = firmware::build_corpus();
+
+    run_config(corpus, "full configuration",
+               [](eval::SearchOptions &) {});
+    run_config(corpus, "no offset elimination",
+               [](eval::SearchOptions &o) {
+                   o.canon.eliminate_offsets = false;
+               });
+    run_config(corpus, "no re-optimization",
+               [](eval::SearchOptions &o) { o.canon.optimize = false; });
+    run_config(corpus, "no name normalization",
+               [](eval::SearchOptions &o) {
+                   o.canon.normalize_names = false;
+               });
+    run_config(corpus, "no game (top-1)",
+               [](eval::SearchOptions &o) { o.use_game = false; });
+
+    std::printf("\npaper reference: each canonicalization stage is "
+                "motivated in section 3.2.1; removing the\ngame drops "
+                "precision 90.11%% -> 67.3%% (section 5.3). Shape to "
+                "check: every ablation is at\nor below the full "
+                "configuration, with offset elimination and "
+                "re-optimization mattering most\nacross toolchains.\n");
+    return 0;
+}

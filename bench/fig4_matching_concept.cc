@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fig. 4 — procedure-centric vs executable-centric matching on the
+ * paper's conceptual example: strands {s1..s5} spread over procedures
+ * q1{s1,s2,s3}, q2{s1,s3,s4,s5} and t1{s1,s2,s3,s4,s5}, t2{s2,s3}.
+ *
+ * Procedure-centric matching pairs q1 with t1 (Sim=3), which is wrong in
+ * the global view; the game discovers q2↔t1 (Sim=4) and settles q1↔t2.
+ */
+#include <cstdio>
+
+#include "baseline/gitz_like.h"
+#include "game/game.h"
+
+namespace {
+
+using namespace firmup;
+
+sim::ExecutableIndex
+make_index(const char *name,
+           std::vector<std::pair<const char *,
+                                 std::vector<std::uint64_t>>> procs)
+{
+    sim::ExecutableIndex index;
+    index.name = name;
+    std::uint64_t entry = 0x1000;
+    for (auto &[proc_name, strands] : procs) {
+        sim::ProcEntry pe;
+        pe.entry = entry;
+        entry += 0x100;
+        pe.name = proc_name;
+        pe.repr.hashes.insert(strands.begin(), strands.end());
+        index.procs.push_back(std::move(pe));
+    }
+    return index;
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace firmup;
+
+    std::printf("== Fig. 4: procedure-centric vs executable-centric ==\n\n");
+    const auto Q = make_index("Q", {{"q1", {1, 2, 3}},
+                                    {"q2", {1, 3, 4, 5}}});
+    const auto T = make_index("T", {{"t1", {1, 2, 3, 4, 5}},
+                                    {"t2", {2, 3}}});
+
+    const int naive = baseline::gitz_top1(Q, 0, T, nullptr);
+    std::printf("procedure-centric: q1 -> %s (Sim=%d)\n",
+                T.procs[static_cast<std::size_t>(naive)].name.c_str(),
+                sim::sim_score(Q.procs[0].repr,
+                               T.procs[static_cast<std::size_t>(
+                                   naive)].repr));
+
+    game::GameOptions options;
+    options.record_trace = true;
+    const auto result = game::match_query(Q, 0, T, options);
+    for (const std::string &line : result.trace) {
+        std::printf("  %s\n", line.c_str());
+    }
+    std::printf("executable-centric: q1 -> %s (Sim=%d) after %d steps\n",
+                result.matched
+                    ? T.procs[static_cast<std::size_t>(
+                          result.target_index)].name.c_str()
+                    : "<none>",
+                result.sim, result.steps);
+    std::printf("\npaper reference: the procedure-centric approach picks "
+                "t1 for q1 (local maximum);\nthe game frees t1 for q2 and "
+                "settles q1 on t2. Shape to check: naive=t1, game=t2.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 6 — "Labeled experiment comparing BinDiff with FirmUp".
+ *
+ * Controlled experiment over labeled targets (paper section 5.3, group 1:
+ * fully stripped copies so neither tool can use names). The five queries
+ * are the ones in the figure. BinDiff's accounting follows the paper: an
+ * unmatched query procedure counts as a false positive, because the
+ * ground truth says it is present.
+ *
+ * Shape expected from the paper: BinDiff ~69% false results overall vs
+ * ~6% for FirmUp; FirmUp wins every row.
+ */
+#include <cstdio>
+
+#include "eval/experiments.h"
+#include "eval/report.h"
+
+int
+main()
+{
+    using namespace firmup;
+
+    std::printf("== Fig. 6: FirmUp vs BinDiff (labeled, stripped) ==\n\n");
+    const firmware::Corpus corpus = firmware::build_corpus();
+    eval::Driver driver;
+
+    eval::LabeledOptions options;
+    options.cve_ids = {"CVE-2013-1944", "CVE-2013-2168", "CVE-2016-8618",
+                       "CVE-2011-0762", "CVE-2014-4877"};
+    options.run_bindiff = true;
+    options.strip_all_names = true;
+    const eval::LabeledResult result =
+        eval::run_labeled(driver, corpus, options);
+
+    eval::Table table({"Query", "Targets", "FirmUp P", "FirmUp FN",
+                       "FirmUp FP", "BinDiff P", "BinDiff FN",
+                       "BinDiff FP"});
+    for (const auto &row : result.rows) {
+        table.add_row({row.query, std::to_string(row.targets),
+                       std::to_string(row.firmup.p),
+                       std::to_string(row.firmup.fn),
+                       std::to_string(row.firmup.fp),
+                       std::to_string(row.bindiff.p),
+                       std::to_string(row.bindiff.fn),
+                       std::to_string(row.bindiff.fp)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    const eval::Tally fu = result.firmup_total();
+    const eval::Tally bd = result.bindiff_total();
+    std::printf("FirmUp : %d/%d positive (%s), false results %s\n", fu.p,
+                fu.total(), eval::percent(fu.precision()).c_str(),
+                eval::percent(1.0 - fu.precision()).c_str());
+    std::printf("BinDiff: %d/%d positive (%s), false results %s\n", bd.p,
+                bd.total(), eval::percent(bd.precision()).c_str(),
+                eval::percent(1.0 - bd.precision()).c_str());
+    std::printf("\npaper reference: BinDiff 69.3%% false results overall "
+                "vs 6%% for FirmUp (96%% positive);\nshape to check: "
+                "FirmUp positive rate far above BinDiff on every row.\n");
+    return 0;
+}

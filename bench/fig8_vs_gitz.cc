@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig. 8 — "Labeled experiment comparing GitZ with FirmUp".
+ *
+ * Nine queries (the Fig. 6 five plus the exported-procedure group:
+ * snmp_pdu_parse, bftpdutmp_log, exif_entry_get_value,
+ * curl_easy_unescape). GitZ is procedure-centric: it ranks all target
+ * procedures by globally-weighted strand similarity and its top-1 either
+ * hits the labeled procedure or counts as a false positive (the paper
+ * folds FN into FP for this figure; we report FirmUp the same way).
+ *
+ * Shape expected from the paper: GitZ ~34% false positives overall vs
+ * ~9.88% for FirmUp.
+ */
+#include <cstdio>
+
+#include "eval/experiments.h"
+#include "eval/report.h"
+
+int
+main()
+{
+    using namespace firmup;
+
+    std::printf("== Fig. 8: FirmUp vs GitZ (labeled) ==\n\n");
+    const firmware::Corpus corpus = firmware::build_corpus();
+    eval::Driver driver;
+
+    eval::LabeledOptions options;
+    options.cve_ids = {"CVE-2013-1944", "CVE-2013-2168", "CVE-2016-8618",
+                       "CVE-2011-0762", "CVE-2014-4877", "CVE-2015-5621",
+                       "CVE-2009-4593", "CVE-2012-2841", "CVE-2012-0036"};
+    options.run_gitz = true;
+    const eval::LabeledResult result =
+        eval::run_labeled(driver, corpus, options);
+
+    eval::Table table({"Query", "Targets", "FirmUp P", "FirmUp FP+FN",
+                       "GitZ P", "GitZ FP"});
+    for (const auto &row : result.rows) {
+        table.add_row({row.query, std::to_string(row.targets),
+                       std::to_string(row.firmup.p),
+                       std::to_string(row.firmup.fp + row.firmup.fn),
+                       std::to_string(row.gitz.p),
+                       std::to_string(row.gitz.fp)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    const eval::Tally fu = result.firmup_total();
+    const eval::Tally gz = result.gitz_total();
+    std::printf("FirmUp: %d/%d positive, %s false\n", fu.p, fu.total(),
+                eval::percent(1.0 - fu.precision()).c_str());
+    std::printf("GitZ  : %d/%d positive, %s false\n", gz.p, gz.total(),
+                eval::percent(1.0 - gz.precision()).c_str());
+    // The paper's top-k remark (Fig. 9 discussion): top-2 recovers about
+    // half of GitZ's misses.
+    const std::vector<int> topk = eval::gitz_topk_hits(driver, corpus, 4);
+    std::printf("\nGitZ top-k accuracy: ");
+    for (std::size_t k = 0; k < topk.size(); ++k) {
+        std::printf("top-%zu=%d  ", k + 1, topk[k]);
+    }
+    std::printf("\n");
+
+    std::printf("\npaper reference: GitZ 34%% false positives overall vs "
+                "9.88%% for FirmUp;\nshape to check: FirmUp ahead "
+                "overall, and GitZ's top-2 recovering roughly half of "
+                "its top-1 misses.\n");
+    return 0;
+}

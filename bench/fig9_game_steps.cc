@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 9 — "Number of procedures correctly matched as a factor of the
+ * number of steps in the back-and-forth game", plus the section 5.3
+ * iteration ablation ("Without this iterative matching process, the
+ * overall precision drops from 90.11% to 67.3%").
+ *
+ * Shape expected from the paper: a large majority of correct matches in
+ * one game step, a long tail out to ~32 steps, and a precision collapse
+ * when the game is replaced by single-shot procedure-centric matching.
+ */
+#include <cstdio>
+
+#include "eval/experiments.h"
+#include "eval/report.h"
+
+int
+main()
+{
+    using namespace firmup;
+
+    std::printf("== Fig. 9: correct matches vs game steps ==\n\n");
+    const firmware::Corpus corpus = firmware::build_corpus();
+
+    eval::LabeledOptions options;  // all catalog CVEs as queries
+    eval::Driver driver;
+    const eval::LabeledResult with_game =
+        eval::run_labeled(driver, corpus, options);
+
+    eval::Table table({"# game steps needed", "# correct matches"});
+    for (const auto &[bucket, count] :
+         eval::step_histogram(with_game.game_steps)) {
+        table.add_row({bucket, std::to_string(count)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    int multi_step = 0;
+    for (int s : with_game.game_steps) {
+        multi_step += s > 1 ? 1 : 0;
+    }
+    std::printf("%zu correct matches; %d required more than one step\n\n",
+                with_game.game_steps.size(), multi_step);
+
+    // Ablation: disable the game (procedure-centric top-1 instead).
+    eval::Driver no_game_driver;
+    no_game_driver.options().use_game = false;
+    const eval::LabeledResult without_game =
+        eval::run_labeled(no_game_driver, corpus, options);
+
+    const eval::Tally with = with_game.firmup_total();
+    const eval::Tally without = without_game.firmup_total();
+    std::printf("precision with game   : %s (%d/%d)\n",
+                eval::percent(with.precision()).c_str(), with.p,
+                with.total());
+    std::printf("precision without game: %s (%d/%d)\n",
+                eval::percent(without.precision()).c_str(), without.p,
+                without.total());
+    std::printf("\npaper reference: 493 of 608 matches in one step, tail "
+                "to 32 steps; precision 90.11%%\nwith the iterative game "
+                "vs 67.3%% without it. Shape to check: most matches in "
+                "one step,\nnon-empty multi-step tail, and a clear "
+                "precision drop without the game.\n");
+    return 0;
+}

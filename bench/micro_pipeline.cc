@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the pipeline's hot stages:
+ * compilation, lifting, strand extraction + canonicalization, pairwise
+ * Sim, and the full game. These are throughput numbers for the paper's
+ * scalability claim (the corpus-scale search must stay static and cheap:
+ * the paper's per-CVE wall clock is minutes for ~200k executables).
+ */
+#include <benchmark/benchmark.h>
+
+#include "codegen/build.h"
+#include "firmware/catalog.h"
+#include "game/game.h"
+#include "lifter/cfg.h"
+#include "strand/canon.h"
+
+namespace {
+
+using namespace firmup;
+
+const loader::Executable &
+wget_exe()
+{
+    static const loader::Executable exe = [] {
+        const auto &pkg = firmware::package_by_name("wget");
+        const auto source =
+            firmware::generate_package_source(pkg, "1.15");
+        codegen::BuildRequest request;
+        request.arch = isa::Arch::Mips32;
+        request.profile = compiler::gcc_like_toolchain();
+        return codegen::build_executable(source, request);
+    }();
+    return exe;
+}
+
+const lifter::LiftedExecutable &
+wget_lifted()
+{
+    static const lifter::LiftedExecutable lifted =
+        lifter::lift_executable(wget_exe()).take();
+    return lifted;
+}
+
+const sim::ExecutableIndex &
+wget_index()
+{
+    static const sim::ExecutableIndex index =
+        sim::index_executable(wget_lifted());
+    return index;
+}
+
+const sim::ExecutableIndex &
+vendor_index()
+{
+    static const sim::ExecutableIndex index = [] {
+        const auto &pkg = firmware::package_by_name("wget");
+        const auto source =
+            firmware::generate_package_source(pkg, "1.15");
+        codegen::BuildRequest request;
+        request.arch = isa::Arch::Mips32;
+        request.profile = compiler::vendor_toolchains()[1];
+        request.strip = true;
+        request.keep_exported = false;
+        const auto exe = codegen::build_executable(source, request);
+        return sim::index_executable(
+            lifter::lift_executable(exe).take());
+    }();
+    return index;
+}
+
+void
+BM_CompileAndLink(benchmark::State &state)
+{
+    const auto &pkg = firmware::package_by_name("wget");
+    const auto source = firmware::generate_package_source(pkg, "1.15");
+    codegen::BuildRequest request;
+    request.arch = isa::Arch::Mips32;
+    request.profile = compiler::gcc_like_toolchain();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            codegen::build_executable(source, request));
+    }
+}
+BENCHMARK(BM_CompileAndLink)->Unit(benchmark::kMillisecond);
+
+void
+BM_LiftExecutable(benchmark::State &state)
+{
+    const loader::Executable &exe = wget_exe();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lifter::lift_executable(exe));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(wget_lifted().procs.size()));
+}
+BENCHMARK(BM_LiftExecutable)->Unit(benchmark::kMillisecond);
+
+void
+BM_StrandExtraction(benchmark::State &state)
+{
+    const lifter::LiftedExecutable &lifted = wget_lifted();
+    strand::CanonOptions options;
+    options.sections.text_lo = lifted.text_addr;
+    options.sections.text_hi = lifted.text_end;
+    options.sections.data_lo = lifted.data_addr;
+    options.sections.data_hi = lifted.data_end;
+    for (auto _ : state) {
+        for (const auto &[entry, proc] : lifted.procs) {
+            benchmark::DoNotOptimize(
+                strand::represent_procedure(proc, options));
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(lifted.procs.size()));
+}
+BENCHMARK(BM_StrandExtraction)->Unit(benchmark::kMillisecond);
+
+void
+BM_PairwiseSim(benchmark::State &state)
+{
+    const auto &q = wget_index();
+    const auto &t = vendor_index();
+    for (auto _ : state) {
+        for (const auto &qp : q.procs) {
+            for (const auto &tp : t.procs) {
+                benchmark::DoNotOptimize(
+                    sim::sim_score(qp.repr, tp.repr));
+            }
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(q.procs.size() * t.procs.size()));
+}
+BENCHMARK(BM_PairwiseSim);
+
+void
+BM_GameSearch(benchmark::State &state)
+{
+    const auto &q = wget_index();
+    const auto &t = vendor_index();
+    const int qv = q.find_by_name("ftp_retrieve_glob");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(game::match_query(q, qv, t));
+    }
+}
+BENCHMARK(BM_GameSearch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

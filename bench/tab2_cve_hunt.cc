@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Table 2 — "Confirmed vulnerable procedures found by FirmUp in publicly
+ * available, stripped firmware images".
+ *
+ * Builds the wild corpus, then hunts every catalog CVE across every
+ * executable of every firmware image (stripped targets only, as in the
+ * paper). Reports confirmed findings, false positives, affected vendors,
+ * latest-firmware findings, and wall-clock time per CVE.
+ *
+ * Shape expected from the paper: almost all rows with zero FPs, the
+ * version-skew-prone wget row allowed to produce the few FPs, a
+ * substantial fraction of findings on latest firmware.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "eval/experiments.h"
+#include "eval/report.h"
+#include "support/str.h"
+
+int
+main()
+{
+    using namespace firmup;
+
+    std::printf("== Table 2: CVE hunt over the wild corpus ==\n\n");
+    const firmware::Corpus corpus = firmware::build_corpus();
+    std::printf("corpus: %zu images, %zu executables, %zu procedures\n\n",
+                corpus.images.size(), corpus.executable_count(),
+                corpus.procedure_count());
+
+    eval::Driver driver;
+    // One-time corpus indexing (section 5.1), parallel like the paper's
+    // 72-thread evaluation machine.
+    const unsigned threads =
+        std::max(2u, std::thread::hardware_concurrency());
+    const auto index_start = std::chrono::steady_clock::now();
+    const std::size_t indexed = driver.preindex(corpus, threads);
+    const double index_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      index_start)
+            .count();
+    std::printf("indexed %zu distinct executables in %.2fs on %u "
+                "threads\n\n",
+                indexed, index_seconds, threads);
+
+    const auto rows = eval::run_cve_hunt(driver, corpus);
+
+    eval::Table table({"CVE", "Package", "Procedure", "Confirmed", "FPs",
+                       "Missed", "Affected Vendors", "Latest", "Time"});
+    int total_confirmed = 0, total_fps = 0, total_latest = 0,
+        total_missed = 0;
+    for (const auto &row : rows) {
+        std::vector<std::string> vendors(row.vendors.begin(),
+                                         row.vendors.end());
+        table.add_row({row.cve.cve_id, row.cve.package,
+                       row.cve.procedure, std::to_string(row.confirmed),
+                       std::to_string(row.fps),
+                       std::to_string(row.missed), join(vendors, ","),
+                       std::to_string(row.latest),
+                       strprintf("%.2fs", row.seconds)});
+        total_confirmed += row.confirmed;
+        total_fps += row.fps;
+        total_latest += row.latest;
+        total_missed += row.missed;
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("totals: %d confirmed vulnerable procedures "
+                "(%d in latest firmware), %d false positives, %d missed\n",
+                total_confirmed, total_latest, total_fps, total_missed);
+    std::printf("\npaper reference (real-world corpus): 373 confirmed, "
+                "147 in latest firmware; FPs only on the\n"
+                "version-skewed wget experiment (14). Absolute counts "
+                "differ (synthetic corpus); the shape to check:\n"
+                "near-zero FPs outside wget, confirmed >> FPs, and a "
+                "large latest-firmware share.\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Corpus crawl — the paper's section 5.1 pipeline at example scale:
+ * build the vendor corpus, pack every image into a blob, "crawl" the
+ * blobs (unpack binwalk-style), index every executable, and print the
+ * dataset statistics the paper reports (images → usable executables →
+ * procedures), including damaged members and header lies.
+ */
+#include <cstdio>
+
+#include "eval/driver.h"
+#include "firmware/corpus.h"
+
+using namespace firmup;
+
+int
+main()
+{
+    std::printf("== Firmware corpus crawl ==\n\n");
+    firmware::CorpusOptions options;
+    options.num_devices = 6;  // example scale
+    const firmware::Corpus corpus = firmware::build_corpus(options);
+
+    // Vendor side: publish every image as a packed blob.
+    std::vector<ByteBuffer> blobs;
+    Rng rng(99);
+    for (const firmware::FirmwareImage &image : corpus.images) {
+        blobs.push_back(firmware::pack_firmware(image, rng));
+    }
+    std::size_t total_bytes = 0;
+    for (const ByteBuffer &blob : blobs) {
+        total_bytes += blob.size();
+    }
+    std::printf("crawled %zu firmware blobs (%zu bytes total)\n",
+                blobs.size(), total_bytes);
+
+    // Analyst side: unpack and index everything.
+    eval::Driver driver;
+    std::size_t executables = 0, procedures = 0, damaged = 0,
+                header_lies = 0;
+    std::map<std::string, int> per_arch;
+    for (const ByteBuffer &blob : blobs) {
+        auto unpacked = firmware::unpack_firmware(blob);
+        if (!unpacked.ok()) {
+            continue;
+        }
+        damaged += static_cast<std::size_t>(
+            unpacked.value().damaged_members);
+        for (const loader::Executable &exe :
+             unpacked.value().image.executables) {
+            const sim::ExecutableIndex &index = driver.index_target(exe);
+            ++executables;
+            procedures += index.procs.size();
+            ++per_arch[isa::arch_name(index.arch)];
+            header_lies += exe.declared_arch != index.arch ? 1 : 0;
+        }
+    }
+    std::printf("unpacked %zu executables (%zu damaged members "
+                "skipped)\n",
+                executables, damaged);
+    std::printf("indexed %zu procedures total\n", procedures);
+    std::printf("headers declaring the wrong ISA (sniffed around): "
+                "%zu\n",
+                header_lies);
+    std::printf("per-architecture executable counts:\n");
+    for (const auto &[arch, count] : per_arch) {
+        std::printf("  %-8s %d\n", arch.c_str(), count);
+    }
+    std::printf("\n(the paper's crawl: ~5000 images -> ~2000 usable -> "
+                "~200k executables -> ~40M procedures;\nsame pipeline, "
+                "example scale)\n");
+    return 0;
+}

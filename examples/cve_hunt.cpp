@@ -1,0 +1,109 @@
+/**
+ * @file
+ * End-to-end CVE hunt in one firmware blob — the paper's motivating
+ * scenario, compressed to a single device:
+ *
+ *  1. A vendor builds a firmware image: wget (vulnerable version,
+ *     custom build config) + dropbear, stripped, packed into a blob with
+ *     padding and config payloads.
+ *  2. The analyst unpacks the blob binwalk-style, lifts each executable
+ *     (sniffing the real ISA past the corrupt header), and searches for
+ *     CVE-2014-4877's ftp_retrieve_glob with the back-and-forth game.
+ */
+#include <cstdio>
+
+#include "codegen/build.h"
+#include "eval/driver.h"
+#include "firmware/catalog.h"
+#include "firmware/image.h"
+
+using namespace firmup;
+
+namespace {
+
+loader::Executable
+vendor_build(const std::string &package, const std::string &version,
+             const std::set<std::string> &features)
+{
+    const auto &pkg = firmware::package_by_name(package);
+    const auto source = firmware::generate_package_source(pkg, version);
+    codegen::BuildRequest request;
+    request.arch = isa::Arch::Mips32;
+    request.profile = compiler::vendor_toolchains()[1];
+    request.all_features = false;
+    request.enabled_features = features;
+    request.strip = true;
+    request.keep_exported = pkg.is_library;
+    request.exe_name = package;
+    request.link.text_base = 0x10000;
+    request.link.data_base = 0x20000000;
+    return codegen::build_executable(source, request);
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("== CVE hunt in a firmware blob ==\n\n");
+
+    // --- vendor side: build and pack the firmware ---
+    firmware::FirmwareImage image;
+    image.vendor = "NETGEAR";
+    image.device = "NG-R7000";
+    image.version = "V1.0.3";
+    image.is_latest = true;
+    image.executables.push_back(
+        vendor_build("wget", "1.15", {"ssl"}));  // --disable-opie
+    image.executables.push_back(vendor_build("dropbear", "2012.55", {}));
+    // One header lies about the ISA (the wrong-ELFCLASS caveat).
+    image.executables[0].declared_arch = isa::Arch::X86;
+    image.content_files = {"etc/board.cfg", "www/index.html"};
+
+    Rng rng(7);
+    const ByteBuffer blob = firmware::pack_firmware(image, rng);
+    std::printf("packed firmware blob: %zu bytes, %zu executables\n",
+                blob.size(), image.executables.size());
+
+    // --- analyst side: unpack, lift, hunt ---
+    auto unpacked = firmware::unpack_firmware(blob);
+    if (!unpacked.ok()) {
+        std::printf("unpack failed: %s\n",
+                    unpacked.error_message().c_str());
+        return 1;
+    }
+    std::printf("unpacked: vendor=%s device=%s version=%s, "
+                "%zu executables, %d damaged members\n\n",
+                unpacked.value().image.vendor.c_str(),
+                unpacked.value().image.device.c_str(),
+                unpacked.value().image.version.c_str(),
+                unpacked.value().image.executables.size(),
+                unpacked.value().damaged_members);
+
+    eval::Driver driver;
+    const auto &cve = firmware::cve_database()[5];  // CVE-2014-4877
+    std::printf("hunting %s (%s in %s <= %s)\n\n", cve.cve_id.c_str(),
+                cve.procedure.c_str(), cve.package.c_str(),
+                eval::latest_vulnerable_version(cve).c_str());
+
+    for (const loader::Executable &exe :
+         unpacked.value().image.executables) {
+        const sim::ExecutableIndex &target = driver.index_target(exe);
+        std::printf("%-10s declared=%-6s sniffed=%-6s procs=%zu : ",
+                    exe.name.c_str(), isa::arch_name(exe.declared_arch),
+                    isa::arch_name(target.arch), target.procs.size());
+        const eval::Query query = driver.build_query(cve, target.arch);
+        const eval::SearchOutcome outcome = driver.search(query, target);
+        if (outcome.detected) {
+            std::printf("VULNERABLE — %s found at 0x%llx "
+                        "(%d shared strands, %d game steps)\n",
+                        cve.procedure.c_str(),
+                        static_cast<unsigned long long>(
+                            outcome.matched_entry),
+                        outcome.sim, outcome.steps);
+        } else {
+            std::printf("no match\n");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,203 @@
+#include "baseline/bindiff_like.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "support/hash.h"
+
+namespace firmup::baseline {
+
+namespace {
+
+std::uint64_t
+degree_sequence_hash(const ir::Procedure &proc)
+{
+    // In/out degree pairs, sorted: a compiler-insensitive shape
+    // signature in the spirit of the MD-index.
+    std::map<std::uint64_t, int> in_degree;
+    for (const auto &[addr, block] : proc.blocks) {
+        for (std::uint64_t succ : block.successors()) {
+            ++in_degree[succ];
+        }
+    }
+    std::vector<std::pair<int, int>> degrees;
+    for (const auto &[addr, block] : proc.blocks) {
+        degrees.emplace_back(in_degree[addr],
+                             static_cast<int>(block.successors().size()));
+    }
+    std::sort(degrees.begin(), degrees.end());
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (const auto &[in, out] : degrees) {
+        h = hash_combine(h, static_cast<std::uint64_t>(in) * 64 +
+                                static_cast<std::uint64_t>(out));
+    }
+    return h;
+}
+
+/** Structural distance between two feature vectors (lower = closer). */
+double
+shape_distance(const GraphFeatures &a, const GraphFeatures &b)
+{
+    const auto rel = [](int x, int y) {
+        const double denom = std::max(1, std::max(x, y));
+        return std::abs(x - y) / denom;
+    };
+    double d = rel(a.blocks, b.blocks) + rel(a.edges, b.edges) +
+               rel(a.calls, b.calls) + 0.5 * rel(a.insts, b.insts);
+    if (a.shape_hash == b.shape_hash) {
+        d -= 1.0;  // identical CFG shape is strong evidence for BinDiff
+    }
+    return d;
+}
+
+}  // namespace
+
+GraphIndex
+graph_index(const lifter::LiftedExecutable &lifted)
+{
+    GraphIndex index;
+    index.name = lifted.name;
+    for (const auto &[entry, proc] : lifted.procs) {
+        GraphFeatures f;
+        f.entry = entry;
+        f.name = proc.name;
+        f.blocks = static_cast<int>(proc.blocks.size());
+        f.insts = static_cast<int>(proc.stmt_count());
+        for (const auto &[addr, block] : proc.blocks) {
+            f.edges += static_cast<int>(block.successors().size());
+        }
+        f.callees = proc.callees();
+        f.calls = static_cast<int>(f.callees.size());
+        f.shape_hash = degree_sequence_hash(proc);
+        index.by_entry[entry] = static_cast<int>(index.procs.size());
+        index.procs.push_back(std::move(f));
+    }
+    return index;
+}
+
+std::map<int, int>
+bindiff_match(const GraphIndex &Q, const GraphIndex &T)
+{
+    std::map<int, int> q_to_t;
+    std::set<int> used_t;
+    auto take = [&](int qi, int ti) {
+        q_to_t[qi] = ti;
+        used_t.insert(ti);
+    };
+
+    // Phase 1: symbol names (dominant when present).
+    std::map<std::string, std::vector<int>> t_names;
+    for (std::size_t i = 0; i < T.procs.size(); ++i) {
+        if (!T.procs[i].name.empty()) {
+            t_names[T.procs[i].name].push_back(static_cast<int>(i));
+        }
+    }
+    for (std::size_t i = 0; i < Q.procs.size(); ++i) {
+        const auto &name = Q.procs[i].name;
+        if (name.empty()) {
+            continue;
+        }
+        const auto it = t_names.find(name);
+        if (it != t_names.end() && it->second.size() == 1 &&
+            !used_t.contains(it->second[0])) {
+            take(static_cast<int>(i), it->second[0]);
+        }
+    }
+
+    // Phase 2: unique exact structural signatures.
+    using Sig = std::tuple<int, int, int, std::uint64_t>;
+    auto sig_of = [](const GraphFeatures &f) {
+        return Sig{f.blocks, f.edges, f.calls, f.shape_hash};
+    };
+    std::map<Sig, std::vector<int>> q_sigs, t_sigs;
+    for (std::size_t i = 0; i < Q.procs.size(); ++i) {
+        if (!q_to_t.contains(static_cast<int>(i))) {
+            q_sigs[sig_of(Q.procs[i])].push_back(static_cast<int>(i));
+        }
+    }
+    for (std::size_t i = 0; i < T.procs.size(); ++i) {
+        if (!used_t.contains(static_cast<int>(i))) {
+            t_sigs[sig_of(T.procs[i])].push_back(static_cast<int>(i));
+        }
+    }
+    for (const auto &[sig, qs] : q_sigs) {
+        const auto it = t_sigs.find(sig);
+        if (qs.size() == 1 && it != t_sigs.end() &&
+            it->second.size() == 1 && !used_t.contains(it->second[0])) {
+            take(qs[0], it->second[0]);
+        }
+    }
+
+    // Phase 3: call-graph propagation from matched pairs. When a matched
+    // pair has the same callee count, pair up the k-th callees whose
+    // shapes are compatible.
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (const auto &[qi, ti] : std::map<int, int>(q_to_t)) {
+            const auto &qf = Q.procs[static_cast<std::size_t>(qi)];
+            const auto &tf = T.procs[static_cast<std::size_t>(ti)];
+            if (qf.callees.size() != tf.callees.size()) {
+                continue;
+            }
+            for (std::size_t k = 0; k < qf.callees.size(); ++k) {
+                const auto q_it = Q.by_entry.find(qf.callees[k]);
+                const auto t_it = T.by_entry.find(tf.callees[k]);
+                if (q_it == Q.by_entry.end() ||
+                    t_it == T.by_entry.end()) {
+                    continue;
+                }
+                const int cq = q_it->second;
+                const int ct = t_it->second;
+                if (q_to_t.contains(cq) || used_t.contains(ct)) {
+                    continue;
+                }
+                if (shape_distance(
+                        Q.procs[static_cast<std::size_t>(cq)],
+                        T.procs[static_cast<std::size_t>(ct)]) < 0.8) {
+                    take(cq, ct);
+                    progress = true;
+                }
+            }
+        }
+    }
+
+    // Phase 4: greedy nearest-shape for the remainder.
+    struct Pair
+    {
+        double distance;
+        int qi;
+        int ti;
+        bool operator<(const Pair &other) const
+        {
+            return std::tie(distance, qi, ti) <
+                   std::tie(other.distance, other.qi, other.ti);
+        }
+    };
+    std::vector<Pair> pairs;
+    for (std::size_t i = 0; i < Q.procs.size(); ++i) {
+        if (q_to_t.contains(static_cast<int>(i))) {
+            continue;
+        }
+        for (std::size_t j = 0; j < T.procs.size(); ++j) {
+            if (used_t.contains(static_cast<int>(j))) {
+                continue;
+            }
+            const double d = shape_distance(Q.procs[i], T.procs[j]);
+            if (d < 0.6) {  // similarity threshold
+                pairs.push_back(Pair{d, static_cast<int>(i),
+                                     static_cast<int>(j)});
+            }
+        }
+    }
+    std::sort(pairs.begin(), pairs.end());
+    for (const Pair &p : pairs) {
+        if (!q_to_t.contains(p.qi) && !used_t.contains(p.ti)) {
+            take(p.qi, p.ti);
+        }
+    }
+    return q_to_t;
+}
+
+}  // namespace firmup::baseline

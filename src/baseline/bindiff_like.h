@@ -1,0 +1,56 @@
+/**
+ * @file
+ * BinDiff-like baseline: whole-binary, graph-structural matching.
+ *
+ * Models the ingredients the paper attributes to BinDiff (section 5.3 and
+ * [zynamics manual]): procedure names when available (BinDiff "attributes
+ * great importance to the procedure name when it exists"), control-flow-
+ * graph shape (block/edge counts and a degree-sequence hash, standing in
+ * for the MD-index), and call-graph propagation from already-matched
+ * pairs. It never looks at instruction semantics — which is exactly the
+ * weakness Fig. 7 of the paper demonstrates: structurally similar but
+ * semantically unrelated CFGs are matched.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lifter/cfg.h"
+
+namespace firmup::baseline {
+
+/** Structural features of one procedure. */
+struct GraphFeatures
+{
+    std::uint64_t entry = 0;
+    std::string name;
+    int blocks = 0;
+    int edges = 0;
+    int calls = 0;
+    int insts = 0;                 ///< lifted statement count
+    std::uint64_t shape_hash = 0;  ///< degree-sequence hash (MD-index-ish)
+    std::vector<std::uint64_t> callees;  ///< call targets (entries)
+};
+
+/** Whole-binary structural index. */
+struct GraphIndex
+{
+    std::string name;
+    std::vector<GraphFeatures> procs;
+    std::map<std::uint64_t, int> by_entry;
+};
+
+/** Extract structural features from a lifted executable. */
+GraphIndex graph_index(const lifter::LiftedExecutable &lifted);
+
+/**
+ * Produce a (partial) matching between the procedures of Q and T,
+ * BinDiff style: names first, unique exact shapes next, call-graph
+ * propagation, then greedy nearest-shape for the remainder.
+ * @return map from Q procedure index to T procedure index.
+ */
+std::map<int, int> bindiff_match(const GraphIndex &Q, const GraphIndex &T);
+
+}  // namespace firmup::baseline

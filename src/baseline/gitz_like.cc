@@ -1,0 +1,40 @@
+#include "baseline/gitz_like.h"
+
+#include <algorithm>
+
+namespace firmup::baseline {
+
+std::vector<RankedMatch>
+gitz_rank(const sim::ExecutableIndex &Q, int qv_index,
+          const sim::ExecutableIndex &T,
+          const sim::GlobalContext *context)
+{
+    const auto &query = Q.procs[static_cast<std::size_t>(qv_index)].repr;
+    std::vector<RankedMatch> ranked;
+    ranked.reserve(T.procs.size());
+    for (std::size_t i = 0; i < T.procs.size(); ++i) {
+        RankedMatch m;
+        m.target_index = static_cast<int>(i);
+        m.score = context != nullptr
+                      ? sim::weighted_sim(query, T.procs[i].repr, *context)
+                      : static_cast<double>(
+                            sim::sim_score(query, T.procs[i].repr));
+        ranked.push_back(m);
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const RankedMatch &a, const RankedMatch &b) {
+                         return a.score > b.score;
+                     });
+    return ranked;
+}
+
+int
+gitz_top1(const sim::ExecutableIndex &Q, int qv_index,
+          const sim::ExecutableIndex &T,
+          const sim::GlobalContext *context)
+{
+    const auto ranked = gitz_rank(Q, qv_index, T, context);
+    return ranked.empty() ? -1 : ranked.front().target_index;
+}
+
+}  // namespace firmup::baseline

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * GitZ-like baseline: procedure-centric strand similarity search.
+ *
+ * GitZ [David et al., PLDI'17] compares a query procedure against a pool
+ * of target procedures "while disregarding the origin executable"
+ * (paper section 5.3): it ranks all candidates by statistically-weighted
+ * shared-strand counts and returns the top-k list. It shares the strand
+ * substrate with FirmUp — the difference under test is precisely the
+ * absence of executable-level context.
+ */
+#pragma once
+
+#include <vector>
+
+#include "sim/similarity.h"
+
+namespace firmup::baseline {
+
+/** One ranked candidate. */
+struct RankedMatch
+{
+    int target_index = -1;
+    double score = 0.0;
+};
+
+/**
+ * Rank all procedures of @p T against query @p qv_index of @p Q by
+ * (optionally weighted) strand similarity, best first.
+ * @param context when non-null, scores are weighted by strand rarity
+ *        (GitZ's trained "global context"); otherwise raw Sim is used.
+ */
+std::vector<RankedMatch> gitz_rank(const sim::ExecutableIndex &Q,
+                                   int qv_index,
+                                   const sim::ExecutableIndex &T,
+                                   const sim::GlobalContext *context);
+
+/** Top-1 convenience wrapper; -1 when T is empty. */
+int gitz_top1(const sim::ExecutableIndex &Q, int qv_index,
+              const sim::ExecutableIndex &T,
+              const sim::GlobalContext *context);
+
+}  // namespace firmup::baseline

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Code generation: MIR → machine instructions.
+ *
+ * One Backend subclass per ISA. The shared driver walks MIR in layout
+ * order, plumbs values between allocated registers, spill slots and the
+ * two reserved scratch registers, fuses compare+branch pairs, folds
+ * add-immediate address computations into load/store displacements, and
+ * delegates every ISA-specific decision (instruction selection, frames,
+ * calling sequences, delay slots) to virtual hooks.
+ *
+ * Output is a ProcCode: machine instructions with symbolic label/proc/
+ * global references; the linker (link.h) lays procedures out and resolves
+ * them.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "codegen/regalloc.h"
+#include "compiler/mir.h"
+#include "compiler/toolchain.h"
+#include "isa/isa.h"
+
+namespace firmup::codegen {
+
+/** Synthetic label id for the shared epilogue. */
+inline constexpr int kEpilogueLabel = 1 << 20;
+
+/** Generated machine code for one procedure, pre-linking. */
+struct ProcCode
+{
+    std::string name;
+    bool exported = false;
+    std::vector<isa::MachInst> insts;
+    std::map<int, int> labels;  ///< label id -> instruction index
+};
+
+/** A register-or-immediate right operand used by selection hooks. */
+struct RVal
+{
+    bool is_reg = true;
+    isa::MReg reg = 0;
+    std::int32_t imm = 0;
+
+    static RVal r(isa::MReg reg) { return {true, reg, 0}; }
+    static RVal i(std::int32_t imm) { return {false, 0, imm}; }
+};
+
+/** ISA-independent code generation driver; subclassed per ISA. */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    /** Create the backend for @p arch under @p profile. */
+    static std::unique_ptr<Backend> create(
+        isa::Arch arch, const compiler::ToolchainProfile &profile);
+
+    /** Generate machine code for @p proc. */
+    ProcCode generate(const compiler::MProc &proc);
+
+  protected:
+    Backend(isa::Arch arch, const compiler::ToolchainProfile &profile);
+
+    // ---- selection hooks (pure ISA policy) ----
+    virtual void move(isa::MReg rd, isa::MReg rs) = 0;
+    virtual void load_const(isa::MReg rd, std::int32_t imm) = 0;
+    virtual void load_global_addr(isa::MReg rd, int global_index,
+                                  std::int32_t offset) = 0;
+    virtual void bin_rr(compiler::MOp op, isa::MReg rd, isa::MReg a,
+                        isa::MReg b) = 0;
+    /** Default materializes the immediate into scratch1. */
+    virtual void bin_ri(compiler::MOp op, isa::MReg rd, isa::MReg a,
+                        std::int32_t imm);
+    virtual void cmp_set(isa::Cond cond, isa::MReg rd, isa::MReg a,
+                         RVal b) = 0;
+    virtual void cmp_branch(isa::Cond cond, isa::MReg a, RVal b,
+                            int label) = 0;
+    virtual void branch_nonzero(isa::MReg reg, int label) = 0;
+    virtual void jump(int label) = 0;
+    virtual void load_word(isa::MReg rd, isa::MReg base,
+                           std::int32_t disp) = 0;
+    virtual void store_word(isa::MReg src, isa::MReg base,
+                            std::int32_t disp) = 0;
+
+    // ---- frame & ABI hooks ----
+    /** Decide the frame layout; called once, before the prologue. */
+    virtual void plan_frame() = 0;
+    virtual void emit_prologue() = 0;
+    virtual void emit_epilogue() = 0;
+    /** Frame location of a spill slot: base register + displacement. */
+    virtual void spill_addr(int slot, isa::MReg &base,
+                            std::int32_t &disp) const = 0;
+    /** Bring parameter @p index into the location of vreg @p v. */
+    virtual void param_init(int index, compiler::VReg v);
+    /** Emit a complete call: args, transfer, result into inst.dst. */
+    virtual void call_sequence(const compiler::MInst &inst);
+    /** The call-transfer instruction itself (jal/bl/call). */
+    virtual void emit_call_inst(int proc_index) = 0;
+    /** Final cleanup after all code is emitted (delay slots on MIPS). */
+    virtual void finalize() {}
+
+    // ---- shared plumbing available to subclasses ----
+    void emit(const isa::MachInst &inst) { code_.insts.push_back(inst); }
+    void bind(int label);
+    /** Register currently holding vreg @p v (loads spills into scratch). */
+    isa::MReg value_reg(compiler::VReg v, isa::MReg scratch);
+    /** Register to compute vreg @p v into (its reg, or scratch). */
+    isa::MReg dest_reg(compiler::VReg v, isa::MReg scratch) const;
+    /** Flush @p from into v's home if v is spilled / elsewhere. */
+    void store_result(compiler::VReg v, isa::MReg from);
+    /** Move/load the value of @p v into the specific register @p dst. */
+    void load_into(isa::MReg dst, compiler::VReg v);
+
+    const isa::Target &target_;
+    const isa::AbiInfo &abi_;
+    compiler::ToolchainProfile profile_;
+
+    // Per-procedure state, valid during generate().
+    const compiler::MProc *proc_ = nullptr;
+    Allocation alloc_;
+    ProcCode code_;
+    bool has_call_ = false;
+
+  private:
+    void emit_inst(const compiler::MInst &inst);
+    void emit_terminator(const compiler::MBlock &block, int next_id);
+    std::vector<int> count_uses() const;
+
+    std::vector<int> use_count_;
+    std::set<const compiler::MInst *> skip_;  ///< fused / folded away
+};
+
+}  // namespace firmup::codegen

@@ -1,0 +1,255 @@
+#include "codegen/backend_arm.h"
+
+#include "support/error.h"
+
+namespace firmup::codegen {
+
+using compiler::MOp;
+using isa::MachInst;
+using isa::MReg;
+namespace a32 = isa::arm;
+
+namespace {
+
+bool
+fits_imm12(std::int64_t v)
+{
+    return v >= -2048 && v <= 2047;
+}
+
+MachInst
+make(a32::Op op, MReg rd = 0, MReg rn = 0, MReg rm = 0,
+     std::int64_t imm = 0)
+{
+    MachInst inst;
+    inst.op = static_cast<std::uint16_t>(op);
+    inst.rd = rd;
+    inst.rs = rn;
+    inst.rt = rm;
+    inst.imm = imm;
+    return inst;
+}
+
+}  // namespace
+
+ArmBackend::ArmBackend(const compiler::ToolchainProfile &profile)
+    : Backend(isa::Arch::Arm32, profile)
+{
+}
+
+void
+ArmBackend::plan_frame()
+{
+    pad_ = profile_.extra_frame_pad;
+    slots_bytes_ = 4 * alloc_.num_spill_slots;
+    const int saved =
+        4 * static_cast<int>(alloc_.used_callee_saved.size()) +
+        (has_call_ ? 4 : 0);
+    frame_ = pad_ + slots_bytes_ + saved;
+    frame_ = (frame_ + 7) & ~7;
+}
+
+void
+ArmBackend::spill_addr(int slot, MReg &base, std::int32_t &disp) const
+{
+    base = a32::Sp;
+    disp = profile_.locals_descending
+               ? pad_ + 4 * (alloc_.num_spill_slots - 1 - slot)
+               : pad_ + 4 * slot;
+}
+
+void
+ArmBackend::emit_prologue()
+{
+    if (frame_ == 0) {
+        return;
+    }
+    emit(make(a32::Op::SubImm, a32::Sp, a32::Sp, 0, frame_));
+    int offset = pad_ + slots_bytes_;
+    for (MReg reg : alloc_.used_callee_saved) {
+        emit(make(a32::Op::Str, reg, a32::Sp, 0, offset));
+        offset += 4;
+    }
+    if (has_call_) {
+        emit(make(a32::Op::Str, a32::Lr, a32::Sp, 0, frame_ - 4));
+    }
+}
+
+void
+ArmBackend::emit_epilogue()
+{
+    if (frame_ != 0) {
+        int offset = pad_ + slots_bytes_;
+        for (MReg reg : alloc_.used_callee_saved) {
+            emit(make(a32::Op::Ldr, reg, a32::Sp, 0, offset));
+            offset += 4;
+        }
+        if (has_call_) {
+            emit(make(a32::Op::Ldr, a32::Lr, a32::Sp, 0, frame_ - 4));
+        }
+        emit(make(a32::Op::AddImm, a32::Sp, a32::Sp, 0, frame_));
+    }
+    emit(make(a32::Op::BxLr));
+}
+
+void
+ArmBackend::move(MReg rd, MReg rs)
+{
+    emit(make(a32::Op::MovReg, rd, 0, rs));
+}
+
+void
+ArmBackend::load_const(MReg rd, std::int32_t imm)
+{
+    if (fits_imm12(imm) && !profile_.materialize_full_const) {
+        emit(make(a32::Op::MovImm, rd, 0, 0, imm));
+        return;
+    }
+    const auto u = static_cast<std::uint32_t>(imm);
+    emit(make(a32::Op::Movw, rd, 0, 0, u & 0xffff));
+    if ((u >> 16) != 0 || profile_.materialize_full_const) {
+        emit(make(a32::Op::Movt, rd, 0, 0, u >> 16));
+    }
+}
+
+void
+ArmBackend::load_global_addr(MReg rd, int global_index, std::int32_t off)
+{
+    MachInst lo = make(a32::Op::Movw, rd);
+    lo.ref = MachInst::Ref::GlobalLo;
+    lo.ref_index = global_index;
+    lo.ref_offset = off;
+    emit(lo);
+    MachInst hi = make(a32::Op::Movt, rd);
+    hi.ref = MachInst::Ref::GlobalHi;
+    hi.ref_index = global_index;
+    hi.ref_offset = off;
+    emit(hi);
+}
+
+void
+ArmBackend::bin_rr(MOp op, MReg rd, MReg a, MReg b)
+{
+    a32::Op sel;
+    switch (op) {
+      case MOp::Add: sel = a32::Op::Add; break;
+      case MOp::Sub: sel = a32::Op::Sub; break;
+      case MOp::Mul: sel = a32::Op::Mul; break;
+      case MOp::DivS: sel = a32::Op::Sdiv; break;
+      case MOp::RemS: sel = a32::Op::Srem; break;
+      case MOp::And: sel = a32::Op::And; break;
+      case MOp::Or: sel = a32::Op::Orr; break;
+      case MOp::Xor: sel = a32::Op::Eor; break;
+      case MOp::Shl: sel = a32::Op::Lsl; break;
+      case MOp::ShrA: sel = a32::Op::Asr; break;
+      case MOp::ShrL: sel = a32::Op::Lsr; break;
+      default:
+        FIRMUP_ASSERT(false, "arm: unexpected binop");
+    }
+    emit(make(sel, rd, a, b));
+}
+
+void
+ArmBackend::bin_ri(MOp op, MReg rd, MReg a, std::int32_t imm)
+{
+    switch (op) {
+      case MOp::Add:
+        if (fits_imm12(imm)) {
+            emit(make(a32::Op::AddImm, rd, a, 0, imm));
+            return;
+        }
+        break;
+      case MOp::Sub:
+        if (fits_imm12(imm)) {
+            emit(make(a32::Op::SubImm, rd, a, 0, imm));
+            return;
+        }
+        break;
+      case MOp::Shl:
+        emit(make(a32::Op::LslImm, rd, a, 0, imm & 31));
+        return;
+      case MOp::ShrA:
+        emit(make(a32::Op::AsrImm, rd, a, 0, imm & 31));
+        return;
+      case MOp::ShrL:
+        emit(make(a32::Op::LsrImm, rd, a, 0, imm & 31));
+        return;
+      default:
+        break;
+    }
+    Backend::bin_ri(op, rd, a, imm);
+}
+
+void
+ArmBackend::emit_cmp(MReg a, const RVal &b)
+{
+    if (!b.is_reg && fits_imm12(b.imm)) {
+        emit(make(a32::Op::CmpImm, 0, a, 0, b.imm));
+        return;
+    }
+    MReg rb = b.reg;
+    if (!b.is_reg) {
+        load_const(abi_.scratch1, b.imm);
+        rb = abi_.scratch1;
+    }
+    emit(make(a32::Op::Cmp, 0, a, rb));
+}
+
+void
+ArmBackend::cmp_set(isa::Cond cond, MReg rd, MReg a, RVal b)
+{
+    emit_cmp(a, b);
+    MachInst set = make(a32::Op::Set, rd);
+    set.cond = cond;
+    emit(set);
+}
+
+void
+ArmBackend::cmp_branch(isa::Cond cond, MReg a, RVal b, int label)
+{
+    emit_cmp(a, b);
+    MachInst br = make(a32::Op::B);
+    br.cond = cond;
+    br.rt = 1;  // conditional marker
+    br.ref = MachInst::Ref::Block;
+    br.ref_index = label;
+    emit(br);
+}
+
+void
+ArmBackend::branch_nonzero(MReg reg, int label)
+{
+    cmp_branch(isa::Cond::NE, reg, RVal::i(0), label);
+}
+
+void
+ArmBackend::jump(int label)
+{
+    MachInst br = make(a32::Op::B);
+    br.ref = MachInst::Ref::Block;
+    br.ref_index = label;
+    emit(br);
+}
+
+void
+ArmBackend::load_word(MReg rd, MReg base, std::int32_t disp)
+{
+    emit(make(a32::Op::Ldr, rd, base, 0, disp));
+}
+
+void
+ArmBackend::store_word(MReg src, MReg base, std::int32_t disp)
+{
+    emit(make(a32::Op::Str, src, base, 0, disp));
+}
+
+void
+ArmBackend::emit_call_inst(int proc_index)
+{
+    MachInst bl = make(a32::Op::Bl);
+    bl.ref = MachInst::Ref::Proc;
+    bl.ref_index = proc_index;
+    emit(bl);
+}
+
+}  // namespace firmup::codegen

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ARM32 code-generation backend (see backend.h for the driver contract).
+ */
+#pragma once
+
+#include "codegen/backend.h"
+#include "isa/arm.h"
+
+namespace firmup::codegen {
+
+/** ARM32 instruction selection: flags-based compares, movw/movt constants. */
+class ArmBackend final : public Backend
+{
+  public:
+    explicit ArmBackend(const compiler::ToolchainProfile &profile);
+
+  protected:
+    void move(isa::MReg rd, isa::MReg rs) override;
+    void load_const(isa::MReg rd, std::int32_t imm) override;
+    void load_global_addr(isa::MReg rd, int global_index,
+                          std::int32_t offset) override;
+    void bin_rr(compiler::MOp op, isa::MReg rd, isa::MReg a,
+                isa::MReg b) override;
+    void bin_ri(compiler::MOp op, isa::MReg rd, isa::MReg a,
+                std::int32_t imm) override;
+    void cmp_set(isa::Cond cond, isa::MReg rd, isa::MReg a,
+                 RVal b) override;
+    void cmp_branch(isa::Cond cond, isa::MReg a, RVal b,
+                    int label) override;
+    void branch_nonzero(isa::MReg reg, int label) override;
+    void jump(int label) override;
+    void load_word(isa::MReg rd, isa::MReg base,
+                   std::int32_t disp) override;
+    void store_word(isa::MReg src, isa::MReg base,
+                    std::int32_t disp) override;
+    void plan_frame() override;
+    void emit_prologue() override;
+    void emit_epilogue() override;
+    void spill_addr(int slot, isa::MReg &base,
+                    std::int32_t &disp) const override;
+    void emit_call_inst(int proc_index) override;
+
+  private:
+    void emit_cmp(isa::MReg a, const RVal &b);
+
+    int frame_ = 0;
+    int pad_ = 0;
+    int slots_bytes_ = 0;
+};
+
+}  // namespace firmup::codegen

@@ -1,0 +1,27 @@
+#include "codegen/backend.h"
+
+#include "codegen/backend_arm.h"
+#include "codegen/backend_mips.h"
+#include "codegen/backend_ppc.h"
+#include "codegen/backend_x86.h"
+#include "support/error.h"
+
+namespace firmup::codegen {
+
+std::unique_ptr<Backend>
+Backend::create(isa::Arch arch, const compiler::ToolchainProfile &profile)
+{
+    switch (arch) {
+      case isa::Arch::Mips32:
+        return std::make_unique<MipsBackend>(profile);
+      case isa::Arch::Arm32:
+        return std::make_unique<ArmBackend>(profile);
+      case isa::Arch::Ppc32:
+        return std::make_unique<PpcBackend>(profile);
+      case isa::Arch::X86:
+        return std::make_unique<X86Backend>(profile);
+    }
+    FIRMUP_ASSERT(false, "bad arch");
+}
+
+}  // namespace firmup::codegen

@@ -1,0 +1,484 @@
+/**
+ * @file
+ * MIPS32 backend: load/store RISC selection, $zero-based moves, slt-based
+ * compares, jal calls, and architectural branch delay slots (filled with
+ * NOPs, or with a hoisted preceding instruction when the toolchain profile
+ * enables `mips_fill_delay_slot` — reproducing the block-boundary caveat
+ * the paper handles in its lifter).
+ */
+#include "codegen/backend_mips.h"
+
+#include <algorithm>
+
+#include "isa/mips.h"
+#include "support/error.h"
+
+namespace firmup::codegen {
+
+using compiler::MOp;
+using isa::MachInst;
+using isa::MReg;
+namespace m = isa::mips;
+
+namespace {
+
+bool
+fits_s16(std::int64_t v)
+{
+    return v >= -32768 && v <= 32767;
+}
+
+bool
+fits_u16(std::int64_t v)
+{
+    return v >= 0 && v <= 0xffff;
+}
+
+MachInst
+with_ref(MachInst inst, MachInst::Ref ref, int index, std::int32_t off = 0)
+{
+    inst.ref = ref;
+    inst.ref_index = index;
+    inst.ref_offset = off;
+    return inst;
+}
+
+}  // namespace
+
+MipsBackend::MipsBackend(const compiler::ToolchainProfile &profile)
+    : Backend(isa::Arch::Mips32, profile)
+{
+}
+
+void
+MipsBackend::plan_frame()
+{
+    pad_ = profile_.extra_frame_pad;
+    slots_bytes_ = 4 * alloc_.num_spill_slots;
+    saved_bytes_ =
+        4 * static_cast<int>(alloc_.used_callee_saved.size()) +
+        (has_call_ ? 4 : 0);
+    frame_ = pad_ + slots_bytes_ + saved_bytes_;
+    frame_ = (frame_ + 7) & ~7;
+}
+
+void
+MipsBackend::spill_addr(int slot, MReg &base, std::int32_t &disp) const
+{
+    base = m::Sp;
+    disp = profile_.locals_descending
+               ? pad_ + 4 * (alloc_.num_spill_slots - 1 - slot)
+               : pad_ + 4 * slot;
+}
+
+void
+MipsBackend::emit_prologue()
+{
+    if (frame_ == 0) {
+        return;
+    }
+    emit(m::make_ri(m::Op::Addiu, m::Sp, m::Sp, -frame_));
+    int offset = pad_ + slots_bytes_;
+    for (MReg reg : alloc_.used_callee_saved) {
+        emit(m::make_ri(m::Op::Sw, reg, m::Sp, offset));
+        offset += 4;
+    }
+    if (has_call_) {
+        emit(m::make_ri(m::Op::Sw, m::Ra, m::Sp, frame_ - 4));
+    }
+}
+
+void
+MipsBackend::emit_epilogue()
+{
+    if (frame_ != 0) {
+        int offset = pad_ + slots_bytes_;
+        for (MReg reg : alloc_.used_callee_saved) {
+            emit(m::make_ri(m::Op::Lw, reg, m::Sp, offset));
+            offset += 4;
+        }
+        if (has_call_) {
+            emit(m::make_ri(m::Op::Lw, m::Ra, m::Sp, frame_ - 4));
+        }
+        emit(m::make_ri(m::Op::Addiu, m::Sp, m::Sp, frame_));
+    }
+    MachInst jr;
+    jr.op = static_cast<std::uint16_t>(m::Op::Jr);
+    jr.rs = m::Ra;
+    emit(jr);
+    emit(m::make_nop());
+}
+
+void
+MipsBackend::move(MReg rd, MReg rs)
+{
+    emit(m::make_rrr(m::Op::Or, rd, rs, m::Zero));
+}
+
+void
+MipsBackend::load_const(MReg rd, std::int32_t imm)
+{
+    if (!profile_.materialize_full_const) {
+        if (fits_s16(imm)) {
+            emit(m::make_ri(m::Op::Addiu, rd, m::Zero, imm));
+            return;
+        }
+        if (fits_u16(imm)) {
+            emit(m::make_ri(m::Op::Ori, rd, m::Zero, imm));
+            return;
+        }
+    }
+    const auto u = static_cast<std::uint32_t>(imm);
+    emit(m::make_ri(m::Op::Lui, rd, 0,
+                    static_cast<std::int32_t>(u >> 16)));
+    emit(m::make_ri(m::Op::Ori, rd, rd,
+                    static_cast<std::int32_t>(u & 0xffff)));
+}
+
+void
+MipsBackend::load_global_addr(MReg rd, int global_index, std::int32_t off)
+{
+    emit(with_ref(m::make_ri(m::Op::Lui, rd, 0, 0),
+                  MachInst::Ref::GlobalHi, global_index, off));
+    emit(with_ref(m::make_ri(m::Op::Ori, rd, rd, 0),
+                  MachInst::Ref::GlobalLo, global_index, off));
+}
+
+void
+MipsBackend::bin_rr(MOp op, MReg rd, MReg a, MReg b)
+{
+    m::Op sel;
+    switch (op) {
+      case MOp::Add: sel = m::Op::Addu; break;
+      case MOp::Sub: sel = m::Op::Subu; break;
+      case MOp::Mul: sel = m::Op::Mul; break;
+      case MOp::DivS: sel = m::Op::Div; break;
+      case MOp::RemS: sel = m::Op::Mod; break;
+      case MOp::And: sel = m::Op::And; break;
+      case MOp::Or: sel = m::Op::Or; break;
+      case MOp::Xor: sel = m::Op::Xor; break;
+      case MOp::Shl: sel = m::Op::Sllv; break;
+      case MOp::ShrA: sel = m::Op::Srav; break;
+      case MOp::ShrL: sel = m::Op::Srlv; break;
+      default:
+        FIRMUP_ASSERT(false, "mips: unexpected binop");
+    }
+    emit(m::make_rrr(sel, rd, a, b));
+}
+
+void
+MipsBackend::bin_ri(MOp op, MReg rd, MReg a, std::int32_t imm)
+{
+    switch (op) {
+      case MOp::Add:
+        if (fits_s16(imm)) {
+            emit(m::make_ri(m::Op::Addiu, rd, a, imm));
+            return;
+        }
+        break;
+      case MOp::Sub:
+        if (fits_s16(-static_cast<std::int64_t>(imm))) {
+            emit(m::make_ri(m::Op::Addiu, rd, a, -imm));
+            return;
+        }
+        break;
+      case MOp::And:
+        if (fits_u16(imm)) {
+            emit(m::make_ri(m::Op::Andi, rd, a, imm));
+            return;
+        }
+        break;
+      case MOp::Or:
+        if (fits_u16(imm)) {
+            emit(m::make_ri(m::Op::Ori, rd, a, imm));
+            return;
+        }
+        break;
+      case MOp::Xor:
+        if (fits_u16(imm)) {
+            emit(m::make_ri(m::Op::Xori, rd, a, imm));
+            return;
+        }
+        break;
+      case MOp::Shl:
+        emit(m::make_ri(m::Op::Sll, rd, a, imm & 31));
+        return;
+      case MOp::ShrA:
+        emit(m::make_ri(m::Op::Sra, rd, a, imm & 31));
+        return;
+      case MOp::ShrL:
+        emit(m::make_ri(m::Op::Srl, rd, a, imm & 31));
+        return;
+      default:
+        break;
+    }
+    Backend::bin_ri(op, rd, a, imm);
+}
+
+isa::MReg
+MipsBackend::rval_reg(const RVal &b, MReg scratch)
+{
+    if (b.is_reg) {
+        return b.reg;
+    }
+    if (b.imm == 0) {
+        return m::Zero;
+    }
+    load_const(scratch, b.imm);
+    return scratch;
+}
+
+void
+MipsBackend::cmp_set(isa::Cond cond, MReg rd, MReg a, RVal b)
+{
+    using isa::Cond;
+    switch (cond) {
+      case Cond::LTS:
+      case Cond::LTU:
+        if (!b.is_reg && fits_s16(b.imm)) {
+            emit(m::make_ri(cond == Cond::LTS ? m::Op::Slti : m::Op::Sltiu,
+                            rd, a, b.imm));
+        } else {
+            emit(m::make_rrr(cond == Cond::LTS ? m::Op::Slt : m::Op::Sltu,
+                             rd, a, rval_reg(b, abi_.scratch1)));
+        }
+        return;
+      case Cond::LES:
+      case Cond::LEU: {
+        // a <= b  <=>  !(b < a)
+        const MReg rb = rval_reg(b, abi_.scratch1);
+        emit(m::make_rrr(cond == Cond::LES ? m::Op::Slt : m::Op::Sltu,
+                         rd, rb, a));
+        emit(m::make_ri(m::Op::Xori, rd, rd, 1));
+        return;
+      }
+      case Cond::EQ:
+      case Cond::NE: {
+        if (!b.is_reg && b.imm == 0) {
+            // common x == 0 shape
+            if (cond == Cond::EQ) {
+                emit(m::make_ri(m::Op::Sltiu, rd, a, 1));
+            } else {
+                emit(m::make_rrr(m::Op::Sltu, rd, m::Zero, a));
+            }
+            return;
+        }
+        if (!b.is_reg && fits_u16(b.imm)) {
+            emit(m::make_ri(m::Op::Xori, rd, a, b.imm));
+        } else {
+            emit(m::make_rrr(m::Op::Xor, rd, a,
+                             rval_reg(b, abi_.scratch1)));
+        }
+        if (cond == isa::Cond::EQ) {
+            emit(m::make_ri(m::Op::Sltiu, rd, rd, 1));
+        } else {
+            emit(m::make_rrr(m::Op::Sltu, rd, m::Zero, rd));
+        }
+        return;
+      }
+    }
+}
+
+void
+MipsBackend::branch_raw(m::Op op, MReg rs, MReg rt, int label)
+{
+    MachInst inst = m::make_rrr(op, 0, rs, rt);
+    inst.ref = MachInst::Ref::Block;
+    inst.ref_index = label;
+    emit(inst);
+    emit(m::make_nop());  // delay slot; possibly filled in finalize()
+}
+
+void
+MipsBackend::cmp_branch(isa::Cond cond, MReg a, RVal b, int label)
+{
+    using isa::Cond;
+    switch (cond) {
+      case Cond::EQ:
+        branch_raw(m::Op::Beq, a, rval_reg(b, abi_.scratch1), label);
+        return;
+      case Cond::NE:
+        branch_raw(m::Op::Bne, a, rval_reg(b, abi_.scratch1), label);
+        return;
+      case Cond::LTS:
+      case Cond::LTU:
+        if (!b.is_reg && fits_s16(b.imm)) {
+            emit(m::make_ri(cond == Cond::LTS ? m::Op::Slti : m::Op::Sltiu,
+                            m::At, a, b.imm));
+        } else {
+            emit(m::make_rrr(cond == Cond::LTS ? m::Op::Slt : m::Op::Sltu,
+                             m::At, a, rval_reg(b, abi_.scratch1)));
+        }
+        branch_raw(m::Op::Bne, m::At, m::Zero, label);
+        return;
+      case Cond::LES:
+      case Cond::LEU: {
+        const MReg rb = rval_reg(b, abi_.scratch1);
+        emit(m::make_rrr(cond == Cond::LES ? m::Op::Slt : m::Op::Sltu,
+                         m::At, rb, a));
+        branch_raw(m::Op::Beq, m::At, m::Zero, label);
+        return;
+      }
+    }
+}
+
+void
+MipsBackend::branch_nonzero(MReg reg, int label)
+{
+    branch_raw(m::Op::Bne, reg, m::Zero, label);
+}
+
+void
+MipsBackend::jump(int label)
+{
+    MachInst inst;
+    inst.op = static_cast<std::uint16_t>(m::Op::J);
+    inst.ref = MachInst::Ref::Block;
+    inst.ref_index = label;
+    emit(inst);
+    emit(m::make_nop());
+}
+
+void
+MipsBackend::load_word(MReg rd, MReg base, std::int32_t disp)
+{
+    emit(m::make_ri(m::Op::Lw, rd, base, disp));
+}
+
+void
+MipsBackend::store_word(MReg src, MReg base, std::int32_t disp)
+{
+    emit(m::make_ri(m::Op::Sw, src, base, disp));
+}
+
+void
+MipsBackend::emit_call_inst(int proc_index)
+{
+    if (profile_.mips_pic_calls) {
+        // PIC idiom (paper Fig. 1a): load the callee address into $t9,
+        // then jalr — vendors building position-independent firmware
+        // emit calls this way.
+        MachInst hi = m::make_ri(m::Op::Lui, m::T9, 0, 0);
+        hi.ref = MachInst::Ref::ProcHi;
+        hi.ref_index = proc_index;
+        emit(hi);
+        MachInst lo = m::make_ri(m::Op::Ori, m::T9, m::T9, 0);
+        lo.ref = MachInst::Ref::ProcLo;
+        lo.ref_index = proc_index;
+        emit(lo);
+        MachInst jalr;
+        jalr.op = static_cast<std::uint16_t>(m::Op::Jalr);
+        jalr.rs = m::T9;
+        emit(jalr);
+        emit(m::make_nop());
+        return;
+    }
+    MachInst inst;
+    inst.op = static_cast<std::uint16_t>(m::Op::Jal);
+    inst.ref = MachInst::Ref::Proc;
+    inst.ref_index = proc_index;
+    emit(inst);
+    emit(m::make_nop());
+}
+
+void
+MipsBackend::finalize()
+{
+    if (!profile_.mips_fill_delay_slot) {
+        return;
+    }
+    // Hoist an eligible instruction from before each branch into its NOP
+    // delay slot. Eligibility: the candidate is a plain (non-branch,
+    // non-NOP) instruction, is not itself sitting in a delay slot, no
+    // label binds to it or to the branch, and the branch does not read
+    // the register the candidate writes.
+    std::vector<bool> has_label(code_.insts.size() + 1, false);
+    for (const auto &[label, index] : code_.labels) {
+        has_label[static_cast<std::size_t>(index)] = true;
+    }
+
+    auto branch_reads = [](const MachInst &inst) -> std::vector<MReg> {
+        switch (static_cast<m::Op>(inst.op)) {
+          case m::Op::Beq:
+          case m::Op::Bne:
+            return {inst.rs, inst.rt};
+          case m::Op::Jr:
+          case m::Op::Jalr:
+            return {inst.rs};
+          default:
+            return {};
+        }
+    };
+    auto writes_reg = [](const MachInst &inst) -> int {
+        switch (static_cast<m::Op>(inst.op)) {
+          case m::Op::Sw:
+          case m::Op::Nop:
+          case m::Op::Beq:
+          case m::Op::Bne:
+          case m::Op::J:
+          case m::Op::Jal:
+          case m::Op::Jr:
+          case m::Op::Jalr:
+            return -1;
+          default:
+            return inst.rd;
+        }
+    };
+
+    std::vector<MachInst> out;
+    std::vector<int> remap(code_.insts.size() + 1, -1);
+    std::size_t i = 0;
+    while (i < code_.insts.size()) {
+        const MachInst &inst = code_.insts[i];
+        const bool is_branch =
+            m::has_delay_slot(static_cast<m::Op>(inst.op));
+        const bool slot_is_nop =
+            is_branch && i + 1 < code_.insts.size() &&
+            static_cast<m::Op>(code_.insts[i + 1].op) == m::Op::Nop;
+        bool filled = false;
+        if (slot_is_nop && !out.empty() && i >= 1 && !has_label[i] &&
+            !has_label[i - 1] && remap[i - 1] ==
+                static_cast<int>(out.size()) - 1) {
+            const MachInst &cand = out.back();
+            const auto cand_op = static_cast<m::Op>(cand.op);
+            const bool cand_plain =
+                cand_op != m::Op::Nop && !m::has_delay_slot(cand_op);
+            const bool cand_in_slot =
+                i >= 2 && m::has_delay_slot(
+                              static_cast<m::Op>(code_.insts[i - 2].op));
+            const int w = writes_reg(cand);
+            bool conflict = false;
+            for (MReg r : branch_reads(inst)) {
+                conflict |= w >= 0 && r == w;
+            }
+            if (cand_plain && !cand_in_slot && !conflict) {
+                // [cand, branch, nop] -> [branch, cand]
+                const MachInst moved = out.back();
+                out.pop_back();
+                remap[i] = static_cast<int>(out.size());
+                out.push_back(inst);
+                remap[i - 1] = static_cast<int>(out.size());
+                out.push_back(moved);
+                remap[i + 1] = static_cast<int>(out.size());
+                i += 2;  // skip the nop
+                filled = true;
+            }
+        }
+        if (!filled) {
+            remap[i] = static_cast<int>(out.size());
+            out.push_back(inst);
+            ++i;
+        }
+    }
+    remap[code_.insts.size()] = static_cast<int>(out.size());
+    // Remap label targets (none point at moved instructions by
+    // construction; end-of-code labels map to the new end).
+    for (auto &[label, index] : code_.labels) {
+        int target = remap[static_cast<std::size_t>(index)];
+        FIRMUP_ASSERT(target >= 0, "delay-slot fill lost a label");
+        index = target;
+    }
+    code_.insts = std::move(out);
+}
+
+}  // namespace firmup::codegen

@@ -1,0 +1,286 @@
+#include "codegen/backend_ppc.h"
+
+#include "support/error.h"
+
+namespace firmup::codegen {
+
+using compiler::MOp;
+using isa::MachInst;
+using isa::MReg;
+namespace p32 = isa::ppc;
+
+namespace {
+
+bool
+fits_s16(std::int64_t v)
+{
+    return v >= -32768 && v <= 32767;
+}
+
+bool
+fits_u16(std::int64_t v)
+{
+    return v >= 0 && v <= 0xffff;
+}
+
+MachInst
+make(p32::Op op, MReg rd = 0, MReg rs = 0, MReg rt = 0,
+     std::int64_t imm = 0)
+{
+    MachInst inst;
+    inst.op = static_cast<std::uint16_t>(op);
+    inst.rd = rd;
+    inst.rs = rs;
+    inst.rt = rt;
+    inst.imm = imm;
+    return inst;
+}
+
+bool
+is_unsigned_cond(isa::Cond cond)
+{
+    return cond == isa::Cond::LTU || cond == isa::Cond::LEU;
+}
+
+}  // namespace
+
+PpcBackend::PpcBackend(const compiler::ToolchainProfile &profile)
+    : Backend(isa::Arch::Ppc32, profile)
+{
+}
+
+void
+PpcBackend::plan_frame()
+{
+    pad_ = profile_.extra_frame_pad;
+    slots_bytes_ = 4 * alloc_.num_spill_slots;
+    const int saved =
+        4 * static_cast<int>(alloc_.used_callee_saved.size()) +
+        (has_call_ ? 4 : 0);
+    frame_ = pad_ + slots_bytes_ + saved;
+    frame_ = (frame_ + 7) & ~7;
+}
+
+void
+PpcBackend::spill_addr(int slot, MReg &base, std::int32_t &disp) const
+{
+    base = p32::R1;
+    disp = profile_.locals_descending
+               ? pad_ + 4 * (alloc_.num_spill_slots - 1 - slot)
+               : pad_ + 4 * slot;
+}
+
+void
+PpcBackend::emit_prologue()
+{
+    if (frame_ == 0) {
+        return;
+    }
+    emit(make(p32::Op::Addi, p32::R1, p32::R1, 0, -frame_));
+    int offset = pad_ + slots_bytes_;
+    for (MReg reg : alloc_.used_callee_saved) {
+        emit(make(p32::Op::Stw, reg, p32::R1, 0, offset));
+        offset += 4;
+    }
+    if (has_call_) {
+        emit(make(p32::Op::Mflr, abi_.scratch0));
+        emit(make(p32::Op::Stw, abi_.scratch0, p32::R1, 0, frame_ - 4));
+    }
+}
+
+void
+PpcBackend::emit_epilogue()
+{
+    if (frame_ != 0) {
+        if (has_call_) {
+            emit(make(p32::Op::Lwz, abi_.scratch0, p32::R1, 0,
+                      frame_ - 4));
+            MachInst mtlr = make(p32::Op::Mtlr);
+            mtlr.rs = abi_.scratch0;
+            emit(mtlr);
+        }
+        int offset = pad_ + slots_bytes_;
+        for (MReg reg : alloc_.used_callee_saved) {
+            emit(make(p32::Op::Lwz, reg, p32::R1, 0, offset));
+            offset += 4;
+        }
+        emit(make(p32::Op::Addi, p32::R1, p32::R1, 0, frame_));
+    }
+    emit(make(p32::Op::Blr));
+}
+
+void
+PpcBackend::move(MReg rd, MReg rs)
+{
+    emit(make(p32::Op::Or, rd, rs, rs));  // mr rd, rs
+}
+
+void
+PpcBackend::load_const(MReg rd, std::int32_t imm)
+{
+    if (fits_s16(imm) && !profile_.materialize_full_const) {
+        emit(make(p32::Op::Addi, rd, 0, 0, imm));  // li
+        return;
+    }
+    const auto u = static_cast<std::uint32_t>(imm);
+    emit(make(p32::Op::Addis, rd, 0, 0,
+              static_cast<std::int64_t>(u >> 16)));  // lis
+    emit(make(p32::Op::Ori, rd, rd, 0,
+              static_cast<std::int64_t>(u & 0xffff)));
+}
+
+void
+PpcBackend::load_global_addr(MReg rd, int global_index, std::int32_t off)
+{
+    MachInst hi = make(p32::Op::Addis, rd, 0);
+    hi.ref = MachInst::Ref::GlobalHi;
+    hi.ref_index = global_index;
+    hi.ref_offset = off;
+    emit(hi);
+    MachInst lo = make(p32::Op::Ori, rd, rd);
+    lo.ref = MachInst::Ref::GlobalLo;
+    lo.ref_index = global_index;
+    lo.ref_offset = off;
+    emit(lo);
+}
+
+void
+PpcBackend::bin_rr(MOp op, MReg rd, MReg a, MReg b)
+{
+    p32::Op sel;
+    switch (op) {
+      case MOp::Add: sel = p32::Op::Add; break;
+      case MOp::Sub: sel = p32::Op::Subf; break;
+      case MOp::Mul: sel = p32::Op::Mullw; break;
+      case MOp::DivS: sel = p32::Op::Divw; break;
+      case MOp::RemS: sel = p32::Op::Modsw; break;
+      case MOp::And: sel = p32::Op::And; break;
+      case MOp::Or: sel = p32::Op::Or; break;
+      case MOp::Xor: sel = p32::Op::Xor; break;
+      case MOp::Shl: sel = p32::Op::Slw; break;
+      case MOp::ShrA: sel = p32::Op::Sraw; break;
+      case MOp::ShrL: sel = p32::Op::Srw; break;
+      default:
+        FIRMUP_ASSERT(false, "ppc: unexpected binop");
+    }
+    emit(make(sel, rd, a, b));
+}
+
+void
+PpcBackend::bin_ri(MOp op, MReg rd, MReg a, std::int32_t imm)
+{
+    switch (op) {
+      case MOp::Add:
+        if (fits_s16(imm)) {
+            emit(make(p32::Op::Addi, rd, a, 0, imm));
+            return;
+        }
+        break;
+      case MOp::Sub:
+        if (fits_s16(-static_cast<std::int64_t>(imm))) {
+            emit(make(p32::Op::Addi, rd, a, 0, -imm));
+            return;
+        }
+        break;
+      case MOp::Or:
+        if (fits_u16(imm)) {
+            emit(make(p32::Op::Ori, rd, a, 0, imm));
+            return;
+        }
+        break;
+      default:
+        break;
+    }
+    Backend::bin_ri(op, rd, a, imm);
+}
+
+void
+PpcBackend::emit_cmp(isa::Cond cond, MReg a, const RVal &b)
+{
+    if (is_unsigned_cond(cond)) {
+        MReg rb = b.reg;
+        if (!b.is_reg) {
+            load_const(abi_.scratch1, b.imm);
+            rb = abi_.scratch1;
+        }
+        MachInst cmp = make(p32::Op::Cmplw);
+        cmp.rs = a;
+        cmp.rt = rb;
+        emit(cmp);
+        return;
+    }
+    if (!b.is_reg && fits_s16(b.imm)) {
+        MachInst cmp = make(p32::Op::Cmpwi);
+        cmp.rs = a;
+        cmp.imm = b.imm;
+        emit(cmp);
+        return;
+    }
+    MReg rb = b.reg;
+    if (!b.is_reg) {
+        load_const(abi_.scratch1, b.imm);
+        rb = abi_.scratch1;
+    }
+    MachInst cmp = make(p32::Op::Cmpw);
+    cmp.rs = a;
+    cmp.rt = rb;
+    emit(cmp);
+}
+
+void
+PpcBackend::cmp_set(isa::Cond cond, MReg rd, MReg a, RVal b)
+{
+    emit_cmp(cond, a, b);
+    MachInst set = make(p32::Op::Setbc, rd);
+    set.cond = cond;
+    emit(set);
+}
+
+void
+PpcBackend::cmp_branch(isa::Cond cond, MReg a, RVal b, int label)
+{
+    emit_cmp(cond, a, b);
+    MachInst bc = make(p32::Op::Bc);
+    bc.cond = cond;
+    bc.ref = MachInst::Ref::Block;
+    bc.ref_index = label;
+    emit(bc);
+}
+
+void
+PpcBackend::branch_nonzero(MReg reg, int label)
+{
+    cmp_branch(isa::Cond::NE, reg, RVal::i(0), label);
+}
+
+void
+PpcBackend::jump(int label)
+{
+    MachInst b = make(p32::Op::B);
+    b.ref = MachInst::Ref::Block;
+    b.ref_index = label;
+    emit(b);
+}
+
+void
+PpcBackend::load_word(MReg rd, MReg base, std::int32_t disp)
+{
+    emit(make(p32::Op::Lwz, rd, base, 0, disp));
+}
+
+void
+PpcBackend::store_word(MReg src, MReg base, std::int32_t disp)
+{
+    emit(make(p32::Op::Stw, src, base, 0, disp));
+}
+
+void
+PpcBackend::emit_call_inst(int proc_index)
+{
+    MachInst bl = make(p32::Op::Bl);
+    bl.ref = MachInst::Ref::Proc;
+    bl.ref_index = proc_index;
+    emit(bl);
+}
+
+}  // namespace firmup::codegen

@@ -1,0 +1,262 @@
+#include "codegen/backend_x86.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace firmup::codegen {
+
+using compiler::MInst;
+using compiler::MOp;
+using isa::MachInst;
+using isa::MReg;
+namespace x = isa::x86;
+
+namespace {
+
+MachInst
+make(x::Op op, MReg rd = 0, MReg rs = 0, MReg rt = 0, std::int64_t imm = 0)
+{
+    MachInst inst;
+    inst.op = static_cast<std::uint16_t>(op);
+    inst.rd = rd;
+    inst.rs = rs;
+    inst.rt = rt;
+    inst.imm = imm;
+    return inst;
+}
+
+x::Op
+rr_op(MOp op)
+{
+    switch (op) {
+      case MOp::Add: return x::Op::AddRR;
+      case MOp::Sub: return x::Op::SubRR;
+      case MOp::Mul: return x::Op::ImulRR;
+      case MOp::DivS: return x::Op::IdivRR;
+      case MOp::RemS: return x::Op::IremRR;
+      case MOp::And: return x::Op::AndRR;
+      case MOp::Or: return x::Op::OrRR;
+      case MOp::Xor: return x::Op::XorRR;
+      case MOp::Shl: return x::Op::ShlRR;
+      case MOp::ShrA: return x::Op::SarRR;
+      case MOp::ShrL: return x::Op::ShrRR;
+      default:
+        FIRMUP_ASSERT(false, "x86: unexpected binop");
+    }
+}
+
+x::Op
+ri_op(MOp op)
+{
+    switch (op) {
+      case MOp::Add: return x::Op::AddRI;
+      case MOp::Sub: return x::Op::SubRI;
+      case MOp::Mul: return x::Op::ImulRI;
+      case MOp::And: return x::Op::AndRI;
+      case MOp::Or: return x::Op::OrRI;
+      case MOp::Xor: return x::Op::XorRI;
+      case MOp::Shl: return x::Op::ShlRI;
+      case MOp::ShrA: return x::Op::SarRI;
+      case MOp::ShrL: return x::Op::ShrRI;
+      default:
+        return x::Op::Nop;  // no immediate form (div/rem)
+    }
+}
+
+}  // namespace
+
+X86Backend::X86Backend(const compiler::ToolchainProfile &profile)
+    : Backend(isa::Arch::X86, profile)
+{
+}
+
+void
+X86Backend::plan_frame()
+{
+    sub_bytes_ = profile_.extra_frame_pad + 4 * alloc_.num_spill_slots;
+}
+
+void
+X86Backend::spill_addr(int slot, MReg &base, std::int32_t &disp) const
+{
+    base = x::Ebp;
+    disp = profile_.locals_descending
+               ? -(profile_.extra_frame_pad +
+                   4 * (alloc_.num_spill_slots - slot))
+               : -(profile_.extra_frame_pad + 4 * (slot + 1));
+}
+
+void
+X86Backend::emit_prologue()
+{
+    emit(make(x::Op::Push, x::Ebp));
+    emit(make(x::Op::MovRR, x::Ebp, 0, x::Esp));
+    if (sub_bytes_ > 0) {
+        emit(make(x::Op::SubRI, x::Esp, 0, 0, sub_bytes_));
+    }
+    for (MReg reg : alloc_.used_callee_saved) {
+        emit(make(x::Op::Push, reg));
+    }
+}
+
+void
+X86Backend::emit_epilogue()
+{
+    for (auto it = alloc_.used_callee_saved.rbegin();
+         it != alloc_.used_callee_saved.rend(); ++it) {
+        emit(make(x::Op::Pop, *it));
+    }
+    if (sub_bytes_ > 0) {
+        emit(make(x::Op::AddRI, x::Esp, 0, 0, sub_bytes_));
+    }
+    emit(make(x::Op::Pop, x::Ebp));
+    emit(make(x::Op::Ret));
+}
+
+void
+X86Backend::param_init(int index, compiler::VReg v)
+{
+    // cdecl: arg i at [ebp + 8 + 4i].
+    const std::int32_t disp = 8 + 4 * index;
+    const Loc &loc = alloc_.locs[v];
+    if (loc.is_reg()) {
+        emit(make(x::Op::LoadRM, loc.reg, x::Ebp, 0, disp));
+    } else if (loc.is_spill()) {
+        emit(make(x::Op::LoadRM, abi_.scratch0, x::Ebp, 0, disp));
+        store_result(v, abi_.scratch0);
+    }
+}
+
+void
+X86Backend::move(MReg rd, MReg rs)
+{
+    emit(make(x::Op::MovRR, rd, 0, rs));
+}
+
+void
+X86Backend::load_const(MReg rd, std::int32_t imm)
+{
+    emit(make(x::Op::MovRI, rd, 0, 0, imm));
+}
+
+void
+X86Backend::load_global_addr(MReg rd, int global_index, std::int32_t off)
+{
+    MachInst mov = make(x::Op::MovRI, rd);
+    mov.ref = MachInst::Ref::GlobalAbs;
+    mov.ref_index = global_index;
+    mov.ref_offset = off;
+    emit(mov);
+}
+
+void
+X86Backend::bin_rr(MOp op, MReg rd, MReg a, MReg b)
+{
+    const x::Op sel = rr_op(op);
+    if (rd == a) {
+        emit(make(sel, rd, 0, b));
+        return;
+    }
+    FIRMUP_ASSERT(rd != b, "x86: dst aliases rhs");
+    emit(make(x::Op::MovRR, rd, 0, a));
+    emit(make(sel, rd, 0, b));
+}
+
+void
+X86Backend::bin_ri(MOp op, MReg rd, MReg a, std::int32_t imm)
+{
+    const x::Op sel = ri_op(op);
+    if (sel == x::Op::Nop) {  // idiv/irem need a register operand
+        Backend::bin_ri(op, rd, a, imm);
+        return;
+    }
+    if (rd != a) {
+        emit(make(x::Op::MovRR, rd, 0, a));
+    }
+    emit(make(sel, rd, 0, 0, imm));
+}
+
+void
+X86Backend::emit_cmp(MReg a, const RVal &b)
+{
+    if (b.is_reg) {
+        emit(make(x::Op::CmpRR, a, 0, b.reg));
+    } else {
+        emit(make(x::Op::CmpRI, a, 0, 0, b.imm));
+    }
+}
+
+void
+X86Backend::cmp_set(isa::Cond cond, MReg rd, MReg a, RVal b)
+{
+    emit_cmp(a, b);
+    MachInst set = make(x::Op::Setcc, rd);
+    set.cond = cond;
+    emit(set);
+}
+
+void
+X86Backend::cmp_branch(isa::Cond cond, MReg a, RVal b, int label)
+{
+    emit_cmp(a, b);
+    MachInst jcc = make(x::Op::Jcc);
+    jcc.cond = cond;
+    jcc.ref = MachInst::Ref::Block;
+    jcc.ref_index = label;
+    emit(jcc);
+}
+
+void
+X86Backend::branch_nonzero(MReg reg, int label)
+{
+    cmp_branch(isa::Cond::NE, reg, RVal::i(0), label);
+}
+
+void
+X86Backend::jump(int label)
+{
+    MachInst jmp = make(x::Op::Jmp);
+    jmp.ref = MachInst::Ref::Block;
+    jmp.ref_index = label;
+    emit(jmp);
+}
+
+void
+X86Backend::load_word(MReg rd, MReg base, std::int32_t disp)
+{
+    emit(make(x::Op::LoadRM, rd, base, 0, disp));
+}
+
+void
+X86Backend::store_word(MReg src, MReg base, std::int32_t disp)
+{
+    emit(make(x::Op::StoreMR, src, base, 0, disp));
+}
+
+void
+X86Backend::call_sequence(const MInst &inst)
+{
+    // cdecl: push arguments right-to-left, caller cleans the stack.
+    for (std::size_t i = inst.args.size(); i-- > 0;) {
+        const MReg r = value_reg(inst.args[i], abi_.scratch0);
+        emit(make(x::Op::Push, r));
+    }
+    emit_call_inst(inst.callee);
+    if (!inst.args.empty()) {
+        emit(make(x::Op::AddRI, x::Esp, 0, 0,
+                  static_cast<std::int32_t>(4 * inst.args.size())));
+    }
+    store_result(inst.dst, x::Eax);
+}
+
+void
+X86Backend::emit_call_inst(int proc_index)
+{
+    MachInst call = make(x::Op::Call);
+    call.ref = MachInst::Ref::Proc;
+    call.ref_index = proc_index;
+    emit(call);
+}
+
+}  // namespace firmup::codegen

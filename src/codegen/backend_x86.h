@@ -1,0 +1,57 @@
+/**
+ * @file
+ * x86 code-generation backend (see backend.h for the driver contract).
+ */
+#pragma once
+
+#include "codegen/backend.h"
+#include "isa/x86.h"
+
+namespace firmup::codegen {
+
+/**
+ * x86 selection: two-operand destructive ALU forms, EFLAGS compares,
+ * cdecl stack arguments and an ebp frame. The structural distance from
+ * the three RISC backends is intentional — it is what the canonical
+ * strand representation has to erase.
+ */
+class X86Backend final : public Backend
+{
+  public:
+    explicit X86Backend(const compiler::ToolchainProfile &profile);
+
+  protected:
+    void move(isa::MReg rd, isa::MReg rs) override;
+    void load_const(isa::MReg rd, std::int32_t imm) override;
+    void load_global_addr(isa::MReg rd, int global_index,
+                          std::int32_t offset) override;
+    void bin_rr(compiler::MOp op, isa::MReg rd, isa::MReg a,
+                isa::MReg b) override;
+    void bin_ri(compiler::MOp op, isa::MReg rd, isa::MReg a,
+                std::int32_t imm) override;
+    void cmp_set(isa::Cond cond, isa::MReg rd, isa::MReg a,
+                 RVal b) override;
+    void cmp_branch(isa::Cond cond, isa::MReg a, RVal b,
+                    int label) override;
+    void branch_nonzero(isa::MReg reg, int label) override;
+    void jump(int label) override;
+    void load_word(isa::MReg rd, isa::MReg base,
+                   std::int32_t disp) override;
+    void store_word(isa::MReg src, isa::MReg base,
+                    std::int32_t disp) override;
+    void plan_frame() override;
+    void emit_prologue() override;
+    void emit_epilogue() override;
+    void spill_addr(int slot, isa::MReg &base,
+                    std::int32_t &disp) const override;
+    void param_init(int index, compiler::VReg v) override;
+    void call_sequence(const compiler::MInst &inst) override;
+    void emit_call_inst(int proc_index) override;
+
+  private:
+    void emit_cmp(isa::MReg a, const RVal &b);
+
+    int sub_bytes_ = 0;  ///< bytes subtracted from esp for spills/pad
+};
+
+}  // namespace firmup::codegen

@@ -1,0 +1,40 @@
+#include "codegen/build.h"
+
+#include "codegen/backend.h"
+
+namespace firmup::codegen {
+
+compiler::MModule
+compile_to_mir(const lang::PackageSource &source,
+               const BuildRequest &request)
+{
+    compiler::MModule module =
+        request.all_features
+            ? compiler::lower_package(source)
+            : compiler::lower_package(source, request.enabled_features);
+    compiler::optimize_module(module, request.profile);
+    return module;
+}
+
+loader::Executable
+build_executable(const lang::PackageSource &source,
+                 const BuildRequest &request)
+{
+    const compiler::MModule module = compile_to_mir(source, request);
+    auto backend = Backend::create(request.arch, request.profile);
+    std::vector<ProcCode> procs;
+    procs.reserve(module.procs.size());
+    for (const compiler::MProc &proc : module.procs) {
+        procs.push_back(backend->generate(proc));
+    }
+    loader::Executable exe =
+        link_module(procs, module.global_words, request.arch, request.link,
+                    request.exe_name.empty() ? source.name
+                                             : request.exe_name);
+    if (request.strip) {
+        loader::strip_executable(exe, request.keep_exported);
+    }
+    return exe;
+}
+
+}  // namespace firmup::codegen

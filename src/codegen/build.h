@@ -1,0 +1,43 @@
+/**
+ * @file
+ * End-to-end build driver: source package → optimized MIR → machine code
+ * → linked FWELF executable. This is the "vendor toolchain" a corpus
+ * builder invokes; the query side uses it too, with the reference
+ * gcc-like profile.
+ */
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "codegen/link.h"
+#include "compiler/lower.h"
+#include "compiler/passes.h"
+#include "compiler/toolchain.h"
+#include "lang/ast.h"
+#include "loader/fwelf.h"
+
+namespace firmup::codegen {
+
+/** Everything that determines the bits of a built executable. */
+struct BuildRequest
+{
+    isa::Arch arch = isa::Arch::Mips32;
+    compiler::ToolchainProfile profile;
+    std::set<std::string> enabled_features;  ///< feature-gated procedures
+    bool all_features = true;   ///< ignore enabled_features, include all
+    bool strip = false;         ///< drop symbols after linking
+    bool keep_exported = true;  ///< exported symbols survive stripping
+    std::string exe_name;
+    LinkOptions link;
+};
+
+/** Compile a package to MIR under @p request (features + optimization). */
+compiler::MModule compile_to_mir(const lang::PackageSource &source,
+                                 const BuildRequest &request);
+
+/** Full pipeline: compile, code-generate, link, optionally strip. */
+loader::Executable build_executable(const lang::PackageSource &source,
+                                    const BuildRequest &request);
+
+}  // namespace firmup::codegen

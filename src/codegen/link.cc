@@ -1,0 +1,127 @@
+#include "codegen/link.h"
+
+#include "support/error.h"
+
+namespace firmup::codegen {
+
+loader::Executable
+link_module(const std::vector<ProcCode> &procs,
+            const std::vector<int> &global_words, isa::Arch arch,
+            const LinkOptions &options, const std::string &exe_name)
+{
+    const isa::Target &target = isa::target_for(arch);
+
+    // Pass 1: instruction offsets and procedure entry addresses.
+    std::vector<std::vector<std::uint32_t>> inst_offsets(procs.size());
+    std::vector<std::uint32_t> proc_addrs(procs.size());
+    std::uint32_t cursor = options.text_base;
+    for (std::size_t pi = 0; pi < procs.size(); ++pi) {
+        cursor = (cursor + 3u) & ~3u;  // 4-align procedure entries
+        proc_addrs[pi] = cursor;
+        inst_offsets[pi].reserve(procs[pi].insts.size() + 1);
+        for (const isa::MachInst &inst : procs[pi].insts) {
+            inst_offsets[pi].push_back(cursor);
+            cursor += static_cast<std::uint32_t>(target.inst_size(inst));
+        }
+        inst_offsets[pi].push_back(cursor);  // end sentinel
+    }
+
+    // Global data layout.
+    std::vector<std::uint32_t> global_addrs(global_words.size());
+    std::uint32_t data_cursor = options.data_base;
+    for (std::size_t gi = 0; gi < global_words.size(); ++gi) {
+        global_addrs[gi] = data_cursor;
+        data_cursor += 4u * static_cast<std::uint32_t>(global_words[gi]);
+    }
+
+    // Pass 2: resolve references and encode.
+    ByteBuffer text;
+    std::uint32_t addr = options.text_base;
+    for (std::size_t pi = 0; pi < procs.size(); ++pi) {
+        while (addr < proc_addrs[pi]) {  // inter-procedure padding
+            text.push_back(0);
+            ++addr;
+        }
+        for (std::size_t ii = 0; ii < procs[pi].insts.size(); ++ii) {
+            isa::MachInst inst = procs[pi].insts[ii];
+            switch (inst.ref) {
+              case isa::MachInst::Ref::None:
+                break;
+              case isa::MachInst::Ref::Block: {
+                const auto it = procs[pi].labels.find(inst.ref_index);
+                FIRMUP_ASSERT(it != procs[pi].labels.end(),
+                              "link: unbound label");
+                inst.imm = inst_offsets[pi][static_cast<std::size_t>(
+                    it->second)];
+                break;
+              }
+              case isa::MachInst::Ref::Proc:
+              case isa::MachInst::Ref::ProcHi:
+              case isa::MachInst::Ref::ProcLo: {
+                FIRMUP_ASSERT(
+                    inst.ref_index >= 0 &&
+                        static_cast<std::size_t>(inst.ref_index) <
+                            procs.size(),
+                    "link: bad proc reference");
+                const std::uint32_t pa =
+                    proc_addrs[static_cast<std::size_t>(inst.ref_index)];
+                if (inst.ref == isa::MachInst::Ref::ProcHi) {
+                    inst.imm = pa >> 16;
+                } else if (inst.ref == isa::MachInst::Ref::ProcLo) {
+                    inst.imm = pa & 0xffff;
+                } else {
+                    inst.imm = pa;
+                }
+                break;
+              }
+              case isa::MachInst::Ref::GlobalHi:
+              case isa::MachInst::Ref::GlobalLo:
+              case isa::MachInst::Ref::GlobalAbs: {
+                FIRMUP_ASSERT(
+                    inst.ref_index >= 0 &&
+                        static_cast<std::size_t>(inst.ref_index) <
+                            global_addrs.size(),
+                    "link: bad global reference");
+                const std::uint32_t ga =
+                    global_addrs[static_cast<std::size_t>(
+                        inst.ref_index)] +
+                    static_cast<std::uint32_t>(inst.ref_offset);
+                if (inst.ref == isa::MachInst::Ref::GlobalHi) {
+                    inst.imm = ga >> 16;
+                } else if (inst.ref == isa::MachInst::Ref::GlobalLo) {
+                    inst.imm = ga & 0xffff;
+                } else {
+                    inst.imm = ga;
+                }
+                break;
+              }
+            }
+            inst.ref = isa::MachInst::Ref::None;
+            const std::size_t before = text.size();
+            target.encode(inst, addr, text);
+            addr += static_cast<std::uint32_t>(text.size() - before);
+            FIRMUP_ASSERT(addr == inst_offsets[pi][ii + 1],
+                          "link: size/encode mismatch");
+        }
+    }
+
+    loader::Executable exe;
+    exe.name = exe_name;
+    exe.arch = arch;
+    exe.declared_arch = arch;
+    exe.entry = procs.empty() ? options.text_base : proc_addrs[0];
+    exe.text_addr = options.text_base;
+    exe.data_addr = options.data_base;
+    exe.text = std::move(text);
+    exe.data.assign(data_cursor - options.data_base, 0);
+    for (std::size_t pi = 0; pi < procs.size(); ++pi) {
+        loader::Symbol sym;
+        sym.addr = proc_addrs[pi];
+        sym.name = procs[pi].name;
+        sym.exported = procs[pi].exported;
+        exe.symbols.push_back(std::move(sym));
+    }
+    return exe;
+}
+
+}  // namespace firmup::codegen

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Linking: lay out generated procedures in a text section, resolve
+ * symbolic references (labels, procedure entries, global addresses),
+ * encode to bytes and produce a loader::Executable.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codegen/backend.h"
+#include "loader/fwelf.h"
+
+namespace firmup::codegen {
+
+/** Section placement for a linked executable. */
+struct LinkOptions
+{
+    std::uint32_t text_base = 0x400000;
+    std::uint32_t data_base = 0x10000000;
+};
+
+/**
+ * Link @p procs into an executable image.
+ *
+ * Procedure 0 becomes the entry point. Every procedure gets a (non-
+ * exported unless flagged) symbol; stripping is the caller's decision.
+ * @p global_words gives the size of each global data object in 32-bit
+ * words, laid out in order at data_base.
+ */
+loader::Executable link_module(const std::vector<ProcCode> &procs,
+                               const std::vector<int> &global_words,
+                               isa::Arch arch, const LinkOptions &options,
+                               const std::string &exe_name);
+
+}  // namespace firmup::codegen

@@ -1,0 +1,336 @@
+#include "compiler/lower.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.h"
+
+namespace firmup::compiler {
+
+namespace {
+
+/** Per-procedure lowering context. */
+class ProcLowering
+{
+  public:
+    ProcLowering(const lang::ProcedureAst &ast,
+                 const std::map<std::string, int> &proc_index,
+                 const std::vector<int> &global_words)
+        : ast_(ast), proc_index_(proc_index), global_words_(global_words)
+    {
+        proc_.name = ast.name;
+        proc_.num_params = ast.num_params;
+        proc_.exported = ast.exported;
+        // vregs [0, num_params) are parameters; locals follow.
+        local_base_ = static_cast<VReg>(ast.num_params);
+        proc_.next_vreg = local_base_ + static_cast<VReg>(ast.num_locals);
+        new_block();
+    }
+
+    MProc
+    run()
+    {
+        // Locals read before first write must be defined. They are
+        // initialized from global state (as real procedures read config
+        // and context structures), which keeps their values opaque to
+        // the optimizer — a constant initializer would let -O2 fold away
+        // entire control-flow regions and make different optimization
+        // levels of the same source structurally unrecognizable.
+        for (int i = 0; i < ast_.num_locals; ++i) {
+            const VReg dst = local_base_ + static_cast<VReg>(i);
+            if (global_words_.empty()) {
+                emit(MInst::make_const(dst, 0));
+                continue;
+            }
+            const int g = i % static_cast<int>(global_words_.size());
+            const int word =
+                i % std::max(1, global_words_[static_cast<std::size_t>(
+                                    g)]);
+            const VReg base = proc_.fresh();
+            emit(MInst::gaddr(base, g));
+            const VReg addr = proc_.fresh();
+            emit(MInst::bin(addr, MOp::Add, base,
+                            MVal::immediate(4 * word)));
+            emit(MInst::load(dst, addr));
+        }
+        const bool terminated = lower_body(ast_.body);
+        if (!terminated) {
+            // Implicit `return 0` for bodies without a trailing return.
+            const VReg zero = proc_.fresh();
+            emit(MInst::make_const(zero, 0));
+            terminate(MTerm::ret(zero));
+        }
+        return std::move(proc_);
+    }
+
+  private:
+    int
+    new_block()
+    {
+        const int id = static_cast<int>(proc_.blocks.size());
+        MBlock b;
+        b.id = id;
+        proc_.blocks.push_back(std::move(b));
+        cur_ = id;
+        return id;
+    }
+
+    MBlock &cur() { return proc_.blocks[static_cast<std::size_t>(cur_)]; }
+
+    void emit(MInst inst) { cur().insts.push_back(std::move(inst)); }
+
+    void
+    terminate(MTerm term)
+    {
+        cur().term = term;
+        terminated_ = true;
+    }
+
+    /** Lower an expression, returning the vreg holding its value. */
+    VReg
+    lower_expr(const lang::Expr &e)
+    {
+        switch (e.kind) {
+          case lang::Expr::Kind::Const: {
+            const VReg r = proc_.fresh();
+            emit(MInst::make_const(r, e.value));
+            return r;
+          }
+          case lang::Expr::Kind::Param:
+            FIRMUP_ASSERT(e.index < ast_.num_params, "bad param index");
+            return static_cast<VReg>(e.index);
+          case lang::Expr::Kind::Local:
+            FIRMUP_ASSERT(e.index < ast_.num_locals, "bad local index");
+            return local_base_ + static_cast<VReg>(e.index);
+          case lang::Expr::Kind::LoadGlobal: {
+            const VReg addr = lower_global_addr(e.index, *e.a);
+            const VReg r = proc_.fresh();
+            emit(MInst::load(r, addr));
+            return r;
+          }
+          case lang::Expr::Kind::Bin:
+            return lower_bin(e);
+          case lang::Expr::Kind::Call:
+            return lower_call(e);
+        }
+        FIRMUP_ASSERT(false, "unreachable expr kind");
+    }
+
+    /** Compute &global[index_expr] (word-indexed). */
+    VReg
+    lower_global_addr(int global_index, const lang::Expr &index_expr)
+    {
+        const VReg base = proc_.fresh();
+        emit(MInst::gaddr(base, global_index));
+        const VReg idx = lower_expr(index_expr);
+        const VReg off = proc_.fresh();
+        emit(MInst::bin(off, MOp::Shl, idx, MVal::immediate(2)));
+        const VReg addr = proc_.fresh();
+        emit(MInst::bin(addr, MOp::Add, base, MVal::vreg(off)));
+        return addr;
+    }
+
+    VReg
+    lower_bin(const lang::Expr &e)
+    {
+        using L = lang::BinOp;
+        // Gt/Ge canonicalize to Lt/Le with swapped operands here, so MIR
+        // (and everything downstream) only sees the canonical quartet.
+        const bool swapped = e.op == L::Gt || e.op == L::Ge;
+        const VReg a = lower_expr(swapped ? *e.b : *e.a);
+        const VReg b = lower_expr(swapped ? *e.a : *e.b);
+        MOp op;
+        switch (e.op) {
+          case L::Add: op = MOp::Add; break;
+          case L::Sub: op = MOp::Sub; break;
+          case L::Mul: op = MOp::Mul; break;
+          case L::Div: op = MOp::DivS; break;
+          case L::Rem: op = MOp::RemS; break;
+          case L::And: op = MOp::And; break;
+          case L::Or: op = MOp::Or; break;
+          case L::Xor: op = MOp::Xor; break;
+          case L::Shl: op = MOp::Shl; break;
+          case L::Shr: op = MOp::ShrA; break;
+          case L::Eq: op = MOp::CmpEQ; break;
+          case L::Ne: op = MOp::CmpNE; break;
+          case L::Lt:
+          case L::Gt: op = MOp::CmpLTS; break;
+          case L::Le:
+          case L::Ge: op = MOp::CmpLES; break;
+          default:
+            FIRMUP_ASSERT(false, "unhandled source binop");
+        }
+        const VReg r = proc_.fresh();
+        emit(MInst::bin(r, op, a, MVal::vreg(b)));
+        return r;
+    }
+
+    VReg
+    lower_call(const lang::Expr &e)
+    {
+        std::vector<VReg> args;
+        args.reserve(e.args.size());
+        for (const lang::ExprPtr &arg : e.args) {
+            args.push_back(lower_expr(*arg));
+        }
+        const VReg r = proc_.fresh();
+        const auto it = proc_index_.find(e.callee);
+        if (it == proc_index_.end()) {
+            // Callee excluded by the build configuration: the call site is
+            // compiled out (the --disable-opie effect).
+            emit(MInst::make_const(r, 0));
+        } else {
+            emit(MInst::call(r, it->second, std::move(args)));
+        }
+        return r;
+    }
+
+    /**
+     * Lower a statement list into the current block chain.
+     * @return true when the body ended in a Return (block terminated).
+     */
+    bool
+    lower_body(const std::vector<lang::StmtPtr> &body)
+    {
+        for (const lang::StmtPtr &s : body) {
+            if (lower_stmt(*s)) {
+                return true;  // statements after a return are dead
+            }
+        }
+        return false;
+    }
+
+    /** @return true when the statement terminated the current block. */
+    bool
+    lower_stmt(const lang::Stmt &s)
+    {
+        switch (s.kind) {
+          case lang::Stmt::Kind::AssignLocal: {
+            const VReg rhs = lower_expr(*s.expr);
+            emit(MInst::copy(local_base_ + static_cast<VReg>(s.index),
+                             rhs));
+            return false;
+          }
+          case lang::Stmt::Kind::StoreGlobal: {
+            const VReg addr = lower_global_addr(s.index, *s.addr);
+            const VReg val = lower_expr(*s.expr);
+            emit(MInst::store(addr, val));
+            return false;
+          }
+          case lang::Stmt::Kind::If: {
+            const VReg cond = lower_expr(*s.cond);
+            const int cond_block = cur_;
+            const int then_block = new_block();
+            const bool then_done = lower_body(s.then_body);
+            const int then_end = cur_;
+
+            int else_block = -1;
+            int else_end = -1;
+            bool else_done = false;
+            if (!s.else_body.empty()) {
+                else_block = new_block();
+                else_done = lower_body(s.else_body);
+                else_end = cur_;
+            }
+            const int join = new_block();
+
+            proc_.blocks[static_cast<std::size_t>(cond_block)].term =
+                MTerm::branch(cond, then_block,
+                              else_block >= 0 ? else_block : join);
+            if (!then_done) {
+                proc_.blocks[static_cast<std::size_t>(then_end)].term =
+                    MTerm::jump(join);
+            }
+            if (else_block >= 0 && !else_done) {
+                proc_.blocks[static_cast<std::size_t>(else_end)].term =
+                    MTerm::jump(join);
+            }
+            cur_ = join;
+            return false;
+          }
+          case lang::Stmt::Kind::While: {
+            const int pre_block = cur_;
+            const int head = new_block();
+            proc_.blocks[static_cast<std::size_t>(pre_block)].term =
+                MTerm::jump(head);
+            const VReg cond = lower_expr(*s.cond);
+            const int head_end = cur_;
+
+            const int body_block = new_block();
+            const bool body_done = lower_body(s.else_body);
+            const int body_end = cur_;
+
+            const int exit = new_block();
+            proc_.blocks[static_cast<std::size_t>(head_end)].term =
+                MTerm::branch(cond, body_block, exit);
+            if (!body_done) {
+                proc_.blocks[static_cast<std::size_t>(body_end)].term =
+                    MTerm::jump(head);
+            }
+            cur_ = exit;
+            return false;
+          }
+          case lang::Stmt::Kind::Return: {
+            const VReg v = lower_expr(*s.expr);
+            terminate(MTerm::ret(v));
+            return true;
+          }
+          case lang::Stmt::Kind::ExprStmt:
+            lower_expr(*s.expr);
+            return false;
+        }
+        return false;
+    }
+
+    const lang::ProcedureAst &ast_;
+    const std::map<std::string, int> &proc_index_;
+    const std::vector<int> &global_words_;
+    MProc proc_;
+    VReg local_base_ = 0;
+    int cur_ = 0;
+    bool terminated_ = false;
+};
+
+}  // namespace
+
+MModule
+lower_package(const lang::PackageSource &source,
+              const std::set<std::string> &enabled_features)
+{
+    MModule module;
+    module.name = source.name;
+    for (const lang::GlobalVar &g : source.globals) {
+        module.global_words.push_back(g.words);
+    }
+
+    // Select the procedures present in this build.
+    std::vector<const lang::ProcedureAst *> included;
+    std::map<std::string, int> proc_index;
+    for (const lang::ProcedureAst &p : source.procedures) {
+        if (!p.feature.empty() && !enabled_features.contains(p.feature)) {
+            continue;
+        }
+        proc_index[p.name] = static_cast<int>(included.size());
+        included.push_back(&p);
+    }
+
+    for (const lang::ProcedureAst *p : included) {
+        ProcLowering lowering(*p, proc_index, module.global_words);
+        module.procs.push_back(lowering.run());
+    }
+    return module;
+}
+
+MModule
+lower_package(const lang::PackageSource &source)
+{
+    std::set<std::string> all;
+    for (const lang::ProcedureAst &p : source.procedures) {
+        if (!p.feature.empty()) {
+            all.insert(p.feature);
+        }
+    }
+    return lower_package(source, all);
+}
+
+}  // namespace firmup::compiler

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * AST → MIR lowering.
+ *
+ * Lowering selects the set of procedures present in a build (feature gates
+ * model the paper's `--disable-opie`-style configuration differences) and
+ * produces an MModule. Calls to procedures excluded by the build
+ * configuration are *dropped* — replaced by a constant-zero result — which
+ * is what produces the call-graph variance of Fig. 5 and the "domino
+ * effect" described in section 2.2.
+ */
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "compiler/mir.h"
+#include "lang/ast.h"
+
+namespace firmup::compiler {
+
+/**
+ * Lower @p source to MIR.
+ *
+ * Procedures whose feature gate is non-empty and not in
+ * @p enabled_features are omitted from the module.
+ */
+MModule lower_package(const lang::PackageSource &source,
+                      const std::set<std::string> &enabled_features);
+
+/** Lower with every feature enabled. */
+MModule lower_package(const lang::PackageSource &source);
+
+}  // namespace firmup::compiler

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * MIR optimization passes.
+ *
+ * The pass list mirrors what the paper attributes to "the full-blown
+ * modern optimizer" it borrows from LLVM (section 3.2.1): expression
+ * simplification, constant folding and propagation, instruction combining,
+ * common subexpression elimination and dead code elimination — plus
+ * inlining and layout policies, which are the main sources of structural
+ * divergence between toolchains.
+ *
+ * All passes preserve observable semantics; which ones run, and with which
+ * policies, is decided by the ToolchainProfile.
+ */
+#pragma once
+
+#include "compiler/mir.h"
+#include "compiler/toolchain.h"
+
+namespace firmup::compiler {
+
+/** Block-local constant folding + algebraic simplification. */
+void fold_constants(MProc &proc, bool strength_reduce);
+
+/** Block-local copy propagation. */
+void propagate_copies(MProc &proc);
+
+/** Block-local common subexpression elimination. */
+void eliminate_common_subexpressions(MProc &proc);
+
+/** Global liveness-based dead code elimination. */
+void eliminate_dead_code(MProc &proc);
+
+/** Rewrite branches whose condition is a block-local constant. */
+void simplify_branches(MProc &proc);
+
+/** Drop blocks unreachable from the entry. */
+void remove_unreachable_blocks(MProc &proc);
+
+/**
+ * Merge straight-line block chains: empty forwarding blocks are bypassed
+ * and a block whose only successor has no other predecessor is fused with
+ * it. Changes the CFG shape between optimization levels the way real
+ * compilers do.
+ */
+void merge_blocks(MProc &proc);
+
+/**
+ * Loop rotation: a while-style loop head is duplicated into a guard
+ * block, producing the classic bottom-tested shape. Skipped for heads
+ * with side effects (calls/stores in the condition).
+ * @return number of loops rotated.
+ */
+int rotate_loops(MProc &proc);
+
+/** Swap operand order of commutative operations (divergence knob). */
+void swap_commutative_operands(MProc &proc);
+
+/** Reorder non-entry blocks (layout divergence knob). */
+void reorder_blocks(MProc &proc, bool reverse);
+
+/**
+ * Inline small single-block, call-free callees into their call sites.
+ * @return number of call sites inlined.
+ */
+int inline_small_procs(MModule &module, int threshold);
+
+/** Run the profile's configured pipeline over the whole module. */
+void optimize_module(MModule &module, const ToolchainProfile &profile);
+
+}  // namespace firmup::compiler

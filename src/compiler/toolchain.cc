@@ -1,0 +1,96 @@
+#include "compiler/toolchain.h"
+
+#include "support/error.h"
+
+namespace firmup::compiler {
+
+ToolchainProfile
+gcc_like_toolchain()
+{
+    ToolchainProfile p;
+    p.name = "gcc-5.2-O2";
+    p.opt_level = 2;
+    p.use_cse = true;
+    p.strength_reduce = true;
+    p.inline_threshold = 8;
+    p.rotate_loops = true;
+    return p;
+}
+
+std::vector<ToolchainProfile>
+vendor_toolchains()
+{
+    std::vector<ToolchainProfile> out;
+
+    {
+        // A conservative vendor build: low optimization, memory-heavy code.
+        ToolchainProfile p;
+        p.name = "vendor-cc-O0";
+        p.opt_level = 0;
+        p.use_cse = false;
+        p.strength_reduce = false;
+        p.inline_threshold = 0;
+        p.locals_descending = true;
+        p.extra_frame_pad = 8;
+        p.materialize_full_const = true;
+        out.push_back(p);
+    }
+    {
+        // Mid-level vendor build with different layout policies.
+        ToolchainProfile p;
+        p.name = "vendor-cc-O1";
+        p.opt_level = 1;
+        p.use_cse = false;
+        p.strength_reduce = true;
+        p.inline_threshold = 0;
+        p.swap_commutative = true;
+        p.callee_saved_first = true;
+        p.mips_fill_delay_slot = true;
+        p.mips_pic_calls = true;  // NETGEAR-style MIPS builds (Fig. 1a)
+        out.push_back(p);
+    }
+    {
+        // Aggressive vendor build: heavy inlining, reordered layout.
+        ToolchainProfile p;
+        p.name = "vendor-cc-O2";
+        p.opt_level = 2;
+        p.use_cse = true;
+        p.strength_reduce = true;
+        p.inline_threshold = 16;
+        p.rotate_loops = true;
+        p.swap_commutative = true;
+        p.reverse_block_layout = true;
+        p.locals_descending = true;
+        p.mips_fill_delay_slot = true;
+        out.push_back(p);
+    }
+    {
+        // An SDK-like toolchain close to the reference but not identical.
+        ToolchainProfile p;
+        p.name = "sdk-gcc-O2";
+        p.opt_level = 2;
+        p.use_cse = true;
+        p.strength_reduce = true;
+        p.inline_threshold = 4;
+        p.extra_frame_pad = 4;
+        p.callee_saved_first = true;
+        out.push_back(p);
+    }
+    return out;
+}
+
+ToolchainProfile
+toolchain_by_name(const std::string &name)
+{
+    if (ToolchainProfile p = gcc_like_toolchain(); p.name == name) {
+        return p;
+    }
+    for (const ToolchainProfile &p : vendor_toolchains()) {
+        if (p.name == name) {
+            return p;
+        }
+    }
+    FIRMUP_ASSERT(false, "unknown toolchain profile: " + name);
+}
+
+}  // namespace firmup::compiler

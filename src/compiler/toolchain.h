@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Toolchain profiles — the "unique build tool chains" of the paper.
+ *
+ * Each vendor in the firmware corpus builds with its own profile; the
+ * query side uses the gcc-like default ("gcc 5.2 at -O2", section 5.1).
+ * A profile bundles optimizer configuration and code-generation policies;
+ * two profiles applied to the same source produce the syntactic divergence
+ * of Fig. 1 while preserving semantics.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace firmup::compiler {
+
+/** One simulated compiler/toolchain configuration. */
+struct ToolchainProfile
+{
+    std::string name;
+
+    // ---- optimizer configuration ----
+    int opt_level = 2;            ///< 0, 1 or 2
+    bool use_cse = true;          ///< common subexpression elimination
+    bool strength_reduce = true;  ///< mul-by-power-of-two => shift
+    bool swap_commutative = false;///< prefer reversed operand order
+    int inline_threshold = 8;     ///< max callee insts to inline (O2 only)
+    bool rotate_loops = false;    ///< bottom-test loop rotation (O2)
+
+    // ---- code generation configuration ----
+    bool locals_descending = false;  ///< frame slot layout direction
+    int extra_frame_pad = 0;         ///< extra bytes in every frame
+    bool callee_saved_first = false; ///< register allocation preference
+    bool mips_fill_delay_slot = false; ///< fill branch delay slots (vs NOP)
+    bool mips_pic_calls = false;       ///< PIC-style calls: la $t9 + jalr $t9
+    bool materialize_full_const = false; ///< always use hi/lo pairs
+    bool reverse_block_layout = false;   ///< alternative block placement
+};
+
+/** The query-side reference toolchain ("gcc 5.2 -O2"). */
+ToolchainProfile gcc_like_toolchain();
+
+/** Vendor toolchains used when building firmware corpora. */
+std::vector<ToolchainProfile> vendor_toolchains();
+
+/** Look up a profile by name in {gcc_like} ∪ vendor_toolchains(). */
+ToolchainProfile toolchain_by_name(const std::string &name);
+
+}  // namespace firmup::compiler

@@ -1,0 +1,247 @@
+#include "eval/driver.h"
+
+#include <algorithm>
+#include <set>
+
+#include "baseline/gitz_like.h"
+#include "codegen/build.h"
+#include "support/error.h"
+#include "support/hash.h"
+#include "support/threadpool.h"
+
+namespace firmup::eval {
+
+Driver::Driver(SearchOptions options) : options_(std::move(options)) {}
+
+std::string
+latest_vulnerable_version(const firmware::CveRecord &cve)
+{
+    const firmware::PackageSpec &pkg =
+        firmware::package_by_name(cve.package);
+    std::string newest;
+    for (const std::string &version : pkg.versions) {
+        if (cve.affects(pkg, version)) {
+            newest = version;  // versions are ordered oldest first
+        }
+    }
+    FIRMUP_ASSERT(!newest.empty(),
+                  cve.cve_id + ": no vulnerable version in catalog");
+    return newest;
+}
+
+Query
+Driver::build_query(const firmware::CveRecord &cve, isa::Arch arch)
+{
+    Query query = build_query(cve.package, cve.procedure,
+                              latest_vulnerable_version(cve), arch);
+    query.label = cve.cve_id;
+    return query;
+}
+
+Query
+Driver::build_query(const std::string &package,
+                    const std::string &procedure,
+                    const std::string &version, isa::Arch arch)
+{
+    const firmware::PackageSpec &pkg = firmware::package_by_name(package);
+    const lang::PackageSource source =
+        firmware::generate_package_source(pkg, version);
+
+    // Section 5.1: queries are compiled from source with the reference
+    // toolchain at its default optimization level, all features on
+    // (the researcher's build is a default build).
+    codegen::BuildRequest request;
+    request.arch = arch;
+    request.profile = compiler::gcc_like_toolchain();
+    request.exe_name = package + "-query";
+    const loader::Executable exe =
+        codegen::build_executable(source, request);
+
+    auto lifted = lifter::lift_executable(exe);
+    FIRMUP_ASSERT(lifted.ok(), "query lift failed: " +
+                                   lifted.error_message());
+
+    Query query;
+    query.label = package + "/" + procedure;
+    query.package = package;
+    query.procedure = procedure;
+    query.version = version;
+    query.index = sim::index_executable(lifted.value(), options_.canon);
+    query.qv = query.index.find_by_name(procedure);
+    FIRMUP_ASSERT(query.qv >= 0,
+                  "query procedure missing: " + procedure);
+    query.graph = baseline::graph_index(lifted.value());
+    return query;
+}
+
+const lifter::LiftedExecutable &
+Driver::lift_cached(const loader::Executable &exe)
+{
+    const std::uint64_t key = hash_combine(
+        fnv1a64(exe.name),
+        fnv1a64(std::string_view(
+            reinterpret_cast<const char *>(exe.text.data()),
+            exe.text.size())));
+    auto it = lift_cache_.find(key);
+    if (it == lift_cache_.end()) {
+        auto lifted = lifter::lift_executable(exe);
+        FIRMUP_ASSERT(lifted.ok(), "target lift failed");
+        it = lift_cache_.emplace(key, std::move(lifted).take()).first;
+    }
+    return it->second;
+}
+
+const sim::ExecutableIndex &
+Driver::index_target(const loader::Executable &exe)
+{
+    const lifter::LiftedExecutable &lifted = lift_cached(exe);
+    const std::uint64_t key = hash_combine(
+        fnv1a64(exe.name),
+        fnv1a64(std::string_view(
+            reinterpret_cast<const char *>(exe.text.data()),
+            exe.text.size())));
+    auto it = index_cache_.find(key);
+    if (it == index_cache_.end()) {
+        it = index_cache_
+                 .emplace(key,
+                          sim::index_executable(lifted, options_.canon))
+                 .first;
+    }
+    return it->second;
+}
+
+const baseline::GraphIndex &
+Driver::graph_target(const loader::Executable &exe)
+{
+    const lifter::LiftedExecutable &lifted = lift_cached(exe);
+    const std::uint64_t key = hash_combine(
+        fnv1a64(exe.name),
+        fnv1a64(std::string_view(
+            reinterpret_cast<const char *>(exe.text.data()),
+            exe.text.size())));
+    auto it = graph_cache_.find(key);
+    if (it == graph_cache_.end()) {
+        it = graph_cache_.emplace(key, baseline::graph_index(lifted))
+                 .first;
+    }
+    return it->second;
+}
+
+std::size_t
+Driver::preindex(const firmware::Corpus &corpus, unsigned threads)
+{
+    // Collect distinct executables by content key.
+    std::vector<const loader::Executable *> work;
+    std::set<std::uint64_t> seen;
+    for (const firmware::FirmwareImage &image : corpus.images) {
+        for (const loader::Executable &exe : image.executables) {
+            const std::uint64_t key = hash_combine(
+                fnv1a64(exe.name),
+                fnv1a64(std::string_view(
+                    reinterpret_cast<const char *>(exe.text.data()),
+                    exe.text.size())));
+            if (seen.insert(key).second &&
+                !index_cache_.contains(key)) {
+                work.push_back(&exe);
+            }
+        }
+    }
+    // Lift + index in parallel with no shared state, merge at the end.
+    std::vector<lifter::LiftedExecutable> lifted(work.size());
+    std::vector<sim::ExecutableIndex> indexes(work.size());
+    const strand::CanonOptions canon = options_.canon;
+    ThreadPool::parallel_for(
+        threads, work.size(), [&](std::size_t i) {
+            auto result = lifter::lift_executable(*work[i]);
+            FIRMUP_ASSERT(result.ok(), "preindex lift failed");
+            lifted[i] = std::move(result).take();
+            indexes[i] = sim::index_executable(lifted[i], canon);
+        });
+    for (std::size_t i = 0; i < work.size(); ++i) {
+        const loader::Executable &exe = *work[i];
+        const std::uint64_t key = hash_combine(
+            fnv1a64(exe.name),
+            fnv1a64(std::string_view(
+                reinterpret_cast<const char *>(exe.text.data()),
+                exe.text.size())));
+        lift_cache_.emplace(key, std::move(lifted[i]));
+        index_cache_.emplace(key, std::move(indexes[i]));
+    }
+    return work.size();
+}
+
+SearchOutcome
+Driver::match(const Query &query,
+              const sim::ExecutableIndex &target) const
+{
+    SearchOutcome outcome;
+    if (target.procs.empty()) {
+        return outcome;
+    }
+    if (options_.use_game) {
+        const game::GameResult result =
+            game::match_query(query.index, query.qv, target,
+                              options_.game);
+        outcome.steps = result.steps;
+        if (result.matched) {
+            outcome.detected = true;
+            outcome.matched_entry = result.target_entry;
+            outcome.sim = result.sim;
+        }
+        return outcome;
+    }
+    // Ablation: procedure-centric top-1 (no executable context).
+    const int top = baseline::gitz_top1(query.index, query.qv, target,
+                                        nullptr);
+    if (top >= 0) {
+        const auto &proc = target.procs[static_cast<std::size_t>(top)];
+        outcome.steps = 1;
+        outcome.detected = true;
+        outcome.matched_entry = proc.entry;
+        outcome.sim = sim::sim_score(
+            query.index.procs[static_cast<std::size_t>(query.qv)].repr,
+            proc.repr);
+    }
+    return outcome;
+}
+
+SearchOutcome
+Driver::search(const Query &query,
+               const sim::ExecutableIndex &target) const
+{
+    SearchOutcome outcome = match(query, target);
+    if (!outcome.detected) {
+        return outcome;
+    }
+    const auto &q_repr =
+        query.index.procs[static_cast<std::size_t>(query.qv)].repr;
+    const auto q_strands = static_cast<double>(q_repr.hashes.size());
+    const int ratio_threshold = std::max(
+        options_.min_confirm_sim,
+        static_cast<int>(options_.min_confirm_ratio * q_strands));
+    bool accept = outcome.sim >= ratio_threshold;
+    if (!accept &&
+        outcome.sim >= std::max(options_.min_confirm_sim,
+                                static_cast<int>(
+                                    options_.min_margin_ratio *
+                                    q_strands))) {
+        // Dominance fallback: compare against the runner-up.
+        int second = 0;
+        for (const sim::ProcEntry &proc : target.procs) {
+            if (proc.entry == outcome.matched_entry) {
+                continue;
+            }
+            second = std::max(second, sim::sim_score(q_repr, proc.repr));
+        }
+        accept = static_cast<double>(outcome.sim) >=
+                 options_.margin_factor * static_cast<double>(second);
+    }
+    if (!accept) {
+        outcome.detected = false;
+        outcome.matched_entry = 0;
+        outcome.sim = 0;
+    }
+    return outcome;
+}
+
+}  // namespace firmup::eval

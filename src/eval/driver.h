@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The FirmUp search driver — the tool facade tying the stack together.
+ *
+ * A vulnerability search (the paper's problem definition) takes a CVE
+ * record, builds the query executable (the latest vulnerable version of
+ * the package, compiled with the reference gcc-like toolchain for the
+ * target's ISA, exactly like section 5.1), lifts and indexes the target,
+ * and runs the back-and-forth game. A detection is accepted when the
+ * game produces a consistent match sharing at least `min_confirm_sim`
+ * strands.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baseline/bindiff_like.h"
+#include "baseline/gitz_like.h"
+#include "firmware/catalog.h"
+#include "firmware/corpus.h"
+#include "game/game.h"
+#include "sim/similarity.h"
+
+namespace firmup::eval {
+
+/** Search configuration (ablation knobs included). */
+struct SearchOptions
+{
+    int min_confirm_sim = 4;   ///< absolute floor of shared strands
+    /**
+     * Relative floor: a detection must share at least this fraction of
+     * the query procedure's strands. Procedure sizes vary wildly, so an
+     * absolute count alone cannot separate true matches from generic-
+     * idiom collisions.
+     */
+    double min_confirm_ratio = 0.5;
+    /**
+     * Dominance fallback: a lower-overlap match is still accepted when
+     * it shares at least `min_margin_ratio` of the query's strands AND
+     * dominates the runner-up procedure of the same executable by
+     * `margin_factor`. True matches in heavily re-optimized builds have
+     * modest absolute overlap but no serious competitor; cross-package
+     * noise has many near-equal competitors.
+     */
+    double min_margin_ratio = 0.18;
+    double margin_factor = 2.5;
+    bool use_game = true;      ///< false = procedure-centric top-1
+    game::GameOptions game;
+    strand::CanonOptions canon;  ///< section ranges filled per target
+};
+
+/** A prepared query: indexed executable + the vulnerable procedure. */
+struct Query
+{
+    std::string label;          ///< e.g. "CVE-2014-4877"
+    std::string package;
+    std::string procedure;
+    std::string version;
+    sim::ExecutableIndex index;
+    int qv = -1;                ///< index of the query procedure
+    /** Structural index for the BinDiff baseline. */
+    baseline::GraphIndex graph;
+};
+
+/** One search outcome against one target executable. */
+struct SearchOutcome
+{
+    bool detected = false;
+    std::uint64_t matched_entry = 0;
+    int sim = 0;
+    int steps = 0;
+};
+
+/** Drives lifting, indexing and matching with an index cache. */
+class Driver
+{
+  public:
+    explicit Driver(SearchOptions options = {});
+
+    const SearchOptions &options() const { return options_; }
+    SearchOptions &options() { return options_; }
+
+    /**
+     * Build the query for @p cve, targeting @p arch. The query version
+     * is the newest version the CVE still affects (section 5.1).
+     */
+    Query build_query(const firmware::CveRecord &cve, isa::Arch arch);
+
+    /** Build a query for an arbitrary (package, procedure, version). */
+    Query build_query(const std::string &package,
+                      const std::string &procedure,
+                      const std::string &version, isa::Arch arch);
+
+    /**
+     * Lift + index a target executable. Results are cached by content,
+     * so byte-identical executables re-shipped across firmware versions
+     * are only processed once (paper section 5.2 observation).
+     */
+    const sim::ExecutableIndex &index_target(
+        const loader::Executable &exe);
+
+    /** Structural (BinDiff) index of a target, cached likewise. */
+    const baseline::GraphIndex &graph_target(
+        const loader::Executable &exe);
+
+    /**
+     * Lift + index every executable of @p corpus across @p threads
+     * worker threads, seeding the caches (the paper's one-time corpus
+     * indexing phase, section 5.1). Subsequent searches are pure lookups.
+     * @return number of distinct executables indexed.
+     */
+    std::size_t preindex(const firmware::Corpus &corpus,
+                         unsigned threads);
+
+    /** Run the FirmUp search (game, or top-1 when use_game is off). */
+    SearchOutcome search(const Query &query,
+                         const sim::ExecutableIndex &target) const;
+
+    /**
+     * Like search(), but without the detection threshold: the outcome is
+     * whatever the matcher produced. This is the controlled-experiment
+     * protocol (section 5.3), where targets are known to contain the
+     * procedure and the question is only *where* it is; the threshold
+     * belongs to the wild hunt, where "is the package even in this
+     * executable?" must be answered first.
+     */
+    SearchOutcome match(const Query &query,
+                        const sim::ExecutableIndex &target) const;
+
+  private:
+    SearchOptions options_;
+    std::map<std::uint64_t, sim::ExecutableIndex> index_cache_;
+    std::map<std::uint64_t, baseline::GraphIndex> graph_cache_;
+    std::map<std::uint64_t, lifter::LiftedExecutable> lift_cache_;
+
+    const lifter::LiftedExecutable &lift_cached(
+        const loader::Executable &exe);
+};
+
+/** The newest version of @p package that @p cve still affects. */
+std::string latest_vulnerable_version(const firmware::CveRecord &cve);
+
+}  // namespace firmup::eval

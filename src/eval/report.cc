@@ -1,0 +1,59 @@
+#include "eval/report.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace firmup::eval {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::add_row(std::vector<std::string> cells)
+{
+    FIRMUP_ASSERT(cells.size() == headers_.size(),
+                  "table row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+        for (const auto &row : rows_) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    auto line = [&](const std::vector<std::string> &cells) {
+        std::string out = "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out += " " + cells[c] +
+                   std::string(widths[c] - cells[c].size(), ' ') + " |";
+        }
+        return out + "\n";
+    };
+    std::string out = line(headers_);
+    std::string rule = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        rule += std::string(widths[c] + 2, '-') + "|";
+    }
+    out += rule + "\n";
+    for (const auto &row : rows_) {
+        out += line(row);
+    }
+    return out;
+}
+
+std::string
+percent(double fraction)
+{
+    return strprintf("%.1f%%", fraction * 100.0);
+}
+
+}  // namespace firmup::eval

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark binaries.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace firmup::eval {
+
+/** Fixed-width ASCII table builder. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must have as many cells as there are headers. */
+    void add_row(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** "12.3%" style formatting. */
+std::string percent(double fraction);
+
+}  // namespace firmup::eval

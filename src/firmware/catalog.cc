@@ -1,0 +1,488 @@
+#include "firmware/catalog.h"
+
+#include <algorithm>
+
+#include "lang/generate.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace firmup::firmware {
+
+namespace {
+
+ProcSpec
+core(const char *name)
+{
+    ProcSpec spec;
+    spec.name = name;
+    return spec;
+}
+
+ProcSpec
+exported(const char *name)
+{
+    ProcSpec spec;
+    spec.name = name;
+    spec.exported = true;
+    return spec;
+}
+
+ProcSpec
+feature(const char *name, const char *gate)
+{
+    ProcSpec spec;
+    spec.name = name;
+    spec.feature = gate;
+    return spec;
+}
+
+ProcSpec
+deprecated(const char *name, const char *removed_in, const char *body_of)
+{
+    ProcSpec spec;
+    spec.name = name;
+    spec.exported = true;
+    spec.removed_in = removed_in;
+    spec.body_of = body_of;
+    return spec;
+}
+
+std::vector<PackageSpec>
+make_catalog()
+{
+    std::vector<PackageSpec> catalog;
+
+    {
+        PackageSpec p;
+        p.name = "vsftpd";
+        p.versions = {"2.0.5", "2.3.2", "2.3.4", "3.0.2"};
+        p.features = {"ssl"};
+        p.num_globals = 5;
+        p.procedures = {
+            core("handle_pasv"),
+            core("handle_retr"), core("handle_stor"),
+            core("handle_list"), core("handle_dir_common"),
+            core("vsf_sysutil_retval_is_error"),
+            core("vsf_sysutil_open_file"), core("vsf_sysutil_read"),
+            core("vsf_sysutil_write_loop"), core("str_alloc_text"),
+            core("str_append_str"), core("str_split_char"),
+            core("str_locate_char"), core("str_getline"),
+            core("vsf_filename_passes_filter"),
+            core("priv_sock_send_cmd"), core("priv_sock_get_result"),
+            core("vsf_cmdio_write"), core("vsf_cmdio_get_cmd_and_arg"),
+            core("tunable_setting_set"), core("ftp_write_banner"),
+            core("process_post_login"), core("init_connection"),
+            feature("ssl_init", "ssl"), feature("ssl_read_common", "ssl"),
+            feature("ssl_accept", "ssl"),
+        };
+        catalog.push_back(std::move(p));
+    }
+    {
+        PackageSpec p;
+        p.name = "bftpd";
+        p.versions = {"1.6", "2.3", "3.8"};
+        p.num_globals = 4;
+        p.procedures = {
+            core("bftpdutmp_init"), core("mystrncpy"),
+            core("bftpdutmp_log"),
+            core("bftpdutmp_end"), core("command_retr"),
+            core("command_stor"), core("command_list"),
+            core("command_user"), core("command_pass"),
+            core("dirlist_one_file"), core("hidegroups_init"),
+            core("login_init"), core("login_check_password"),
+            core("bftpd_cwd_chdir"), core("bftpd_cwd_mappath"),
+            core("config_getoption"),
+            core("config_init"), core("net_send"),
+            core("net_recv"), core("handle_sigchld"),
+        };
+        catalog.push_back(std::move(p));
+    }
+    {
+        PackageSpec p;
+        p.name = "libcurl";
+        p.versions = {"7.15.4", "7.24.0", "7.36.0", "7.50.3", "7.52.1"};
+        p.features = {"cookies", "ssl"};
+        p.num_globals = 6;
+        p.is_library = true;
+        p.procedures = {
+            // curl_unescape: the deprecated ancestor of
+            // curl_easy_unescape, present only in ancient releases where
+            // its successor does not exist yet (paper section 5.2).
+            deprecated("curl_unescape", "7.24.0", "curl_easy_unescape"),
+            [] {
+                ProcSpec spec;
+                spec.name = "curl_easy_unescape";
+                spec.exported = true;
+                spec.introduced_in = "7.24.0";
+                return spec;
+            }(),
+            exported("curl_easy_escape"),
+            exported("curl_easy_init"), exported("curl_easy_setopt"),
+            exported("curl_easy_perform"), exported("curl_easy_cleanup"),
+            exported("curl_slist_append"), exported("curl_getdate"),
+            core("tailmatch"), core("alloc_addbyter"),
+            core("dprintf_formatf"), core("parse_url"),
+            core("parse_hostname"), core("resolve_server"),
+            core("conn_connect"), core("readwrite_data"),
+            core("multi_runsingle"), core("hash_add"),
+            core("hash_fetch"), core("llist_insert_next"),
+            core("splay_insert"), core("timeval_subtract"),
+            core("base64_encode"), core("strequal_nocase"),
+            feature("cookie_add", "cookies"),
+            feature("cookie_getlist", "cookies"),
+            feature("cookie_cleanup", "cookies"),
+            feature("ossl_connect_common", "ssl"),
+            feature("ossl_recv", "ssl"),
+        };
+        catalog.push_back(std::move(p));
+    }
+    {
+        PackageSpec p;
+        p.name = "dbus";
+        p.versions = {"1.4.1", "1.6.12", "1.8.6"};
+        p.num_globals = 4;
+        p.is_library = true;
+        p.procedures = {
+            exported("dbus_message_new"), exported("dbus_message_unref"),
+            exported("dbus_connection_open"),
+            exported("dbus_connection_send"),
+            exported("dbus_signature_validate"),
+            core("marshal_write_basic"), core("marshal_read_basic"),
+            core("string_append_printf"), core("string_find_blank"),
+            core("printf_string_upper_bound"),
+            core("auth_handle_input"), core("transport_do_iteration"),
+            core("watch_list_add"), core("timeout_list_add"),
+            core("hash_table_insert"), core("hash_table_lookup"),
+            core("validate_body"), core("header_get_field"),
+        };
+        catalog.push_back(std::move(p));
+    }
+    {
+        PackageSpec p;
+        p.name = "wget";
+        p.versions = {"1.12", "1.15", "1.16", "1.18"};
+        p.features = {"opie", "ssl"};
+        p.num_globals = 6;
+        p.procedures = {
+            core("getftp"), core("get_ftp"),
+            core("url_parse"), core("url_free"), core("url_escape"),
+            core("ftp_parse_ls"),
+            core("ftp_retrieve_glob"), core("ftp_loop_internal"),
+            core("http_loop"), core("gethttp"),
+            core("retrieve_url"), core("retr_rate"),
+            core("calc_rate"), core("fd_read_body"),
+            core("fd_read_line"), core("cookie_header"),
+            core("hash_table_get"), core("hash_table_put"),
+            core("log_init"), core("logprintf"),
+            core("parse_netrc"), core("run_wgetrc"),
+            core("convert_links"), core("path_simplify"),
+            feature("skey_resp", "opie"),
+            feature("ssl_connect_wget", "ssl"),
+            feature("ssl_check_certificate", "ssl"),
+        };
+        catalog.push_back(std::move(p));
+    }
+    {
+        PackageSpec p;
+        p.name = "libexif";
+        p.versions = {"0.6.19", "0.6.21"};
+        p.num_globals = 4;
+        p.is_library = true;
+        p.procedures = {
+            exported("exif_entry_get_value"), exported("exif_entry_new"),
+            exported("exif_entry_initialize"), exported("exif_data_new"),
+            exported("exif_data_load_data"), exported("exif_data_save_data"),
+            exported("exif_content_get_entry"),
+            exported("exif_tag_get_name"),
+            core("exif_entry_format_value"), core("mnote_data_load"),
+            core("convert_utf16"), core("entry_dump_text"),
+            core("data_foreach_content"), core("log_backend"),
+        };
+        catalog.push_back(std::move(p));
+    }
+    {
+        PackageSpec p;
+        p.name = "net-snmp";
+        p.versions = {"5.4.3", "5.7.2", "5.7.3"};
+        p.num_globals = 5;
+        p.is_library = true;
+        p.procedures = {
+            exported("snmp_pdu_create"),
+            exported("snmp_open"), exported("snmp_send"),
+            exported("snmp_parse_oid"), exported("snmp_var_append"),
+            core("asn_parse_int"), core("asn_parse_string"),
+            core("asn_parse_header"), core("asn_build_sequence"),
+            exported("snmp_pdu_parse"),
+            core("usm_process_in_msg"), core("scapi_get_transform"),
+            core("container_find"), core("oid_compare"),
+            core("mib_find_node"), core("agent_check_packet"),
+        };
+        catalog.push_back(std::move(p));
+    }
+    // Corpus filler packages (no tracked CVEs): make firmware images
+    // realistically heterogeneous.
+    {
+        PackageSpec p;
+        p.name = "busybox";
+        p.versions = {"1.19", "1.24"};
+        p.features = {"telnetd", "httpd"};
+        p.num_globals = 6;
+        p.procedures = {
+            core("bb_ask_password"), core("bb_full_write"),
+            core("bb_parse_mode"), core("xmalloc_open_read"),
+            core("safe_read"), core("safe_write"),
+            core("procps_scan"), core("run_shell_applet"),
+            core("udhcp_send_packet"), core("udhcp_recv_packet"),
+            core("route_main_loop"), core("ifconfig_apply"),
+            core("mount_fstab_entry"), core("tar_extract_entry"),
+            core("gzip_inflate_block"), core("md5_hash_block"),
+            feature("telnetd_main_loop", "telnetd"),
+            feature("telnetd_make_session", "telnetd"),
+            feature("httpd_handle_request", "httpd"),
+            feature("httpd_send_headers", "httpd"),
+        };
+        catalog.push_back(std::move(p));
+    }
+    {
+        PackageSpec p;
+        p.name = "dropbear";
+        p.versions = {"2012.55", "2016.74"};
+        p.num_globals = 4;
+        p.procedures = {
+            core("session_loop"), core("recv_msg_userauth_request"),
+            core("send_msg_userauth_failure"), core("buf_getstring"),
+            core("buf_putstring"), core("buf_getint"),
+            core("kex_comb_key"), core("gen_new_keys"),
+            core("channel_data_recv"), core("channel_try_send"),
+            core("algo_match"), core("sign_key_verify"),
+        };
+        catalog.push_back(std::move(p));
+    }
+    {
+        PackageSpec p;
+        p.name = "miniupnpd";
+        p.versions = {"1.8", "2.0"};
+        p.num_globals = 4;
+        p.procedures = {
+            core("upnp_event_process"), core("process_ssdp_request"),
+            core("send_ssdp_response"), core("build_soap_body"),
+            core("parse_soap_request"), core("add_port_mapping"),
+            core("delete_port_mapping"), core("get_nat_rule"),
+            core("iptc_init_chain"), core("lease_file_add"),
+        };
+        catalog.push_back(std::move(p));
+    }
+    return catalog;
+}
+
+}  // namespace
+
+int
+PackageSpec::version_index(const std::string &version) const
+{
+    for (std::size_t i = 0; i < versions.size(); ++i) {
+        if (versions[i] == version) {
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+bool
+CveRecord::affects(const PackageSpec &pkg, const std::string &version) const
+{
+    const int v = pkg.version_index(version);
+    const int fixed = pkg.version_index(fixed_version);
+    if (v < 0) {
+        return false;
+    }
+    return fixed < 0 || v < fixed;
+}
+
+const std::vector<PackageSpec> &
+package_catalog()
+{
+    static const std::vector<PackageSpec> catalog = make_catalog();
+    return catalog;
+}
+
+const PackageSpec &
+package_by_name(const std::string &name)
+{
+    for (const PackageSpec &p : package_catalog()) {
+        if (p.name == name) {
+            return p;
+        }
+    }
+    FIRMUP_ASSERT(false, "unknown package: " + name);
+}
+
+const std::vector<CveRecord> &
+cve_database()
+{
+    // Table 2 of the paper, plus the two section-5.3 additions.
+    static const std::vector<CveRecord> db = {
+        {"CVE-2011-0762", "vsftpd", "vsf_filename_passes_filter", "3.0.2",
+         "DoS"},
+        {"CVE-2009-4593", "bftpd", "bftpdutmp_log", "3.8", "BOF"},
+        {"CVE-2012-0036", "libcurl", "curl_easy_unescape", "7.36.0",
+         "input validation"},
+        {"CVE-2013-1944", "libcurl", "tailmatch", "7.50.3",
+         "information disclosure"},
+        {"CVE-2013-2168", "dbus", "printf_string_upper_bound", "1.8.6",
+         "DoS"},
+        {"CVE-2014-4877", "wget", "ftp_retrieve_glob", "1.16",
+         "path traversal"},
+        {"CVE-2016-8618", "libcurl", "alloc_addbyter", "7.52.1", "BOF"},
+        {"CVE-2012-2841", "libexif", "exif_entry_get_value", "0.6.21",
+         "BOF"},
+        {"CVE-2015-5621", "net-snmp", "snmp_pdu_parse", "5.7.3", "DoS"},
+    };
+    return db;
+}
+
+lang::PackageSource
+generate_package_source(const PackageSpec &pkg, const std::string &version)
+{
+    const int vidx = pkg.version_index(version);
+    FIRMUP_ASSERT(vidx >= 0, pkg.name + ": unknown version " + version);
+
+    lang::PackageSource src;
+    src.name = pkg.name;
+    src.version = version;
+    for (int g = 0; g < pkg.num_globals; ++g) {
+        Rng grng = Rng::from_label("pkg/" + pkg.name + "/global/" +
+                                   std::to_string(g));
+        src.globals.push_back(
+            {"g" + std::to_string(g),
+             static_cast<int>(grng.range(2, 32))});
+    }
+
+    // Base bodies: independent of version and of procedure order.
+    std::vector<lang::Callee> all_callees;
+    for (const ProcSpec &spec : pkg.procedures) {
+        Rng sig = Rng::from_label("pkg/" + pkg.name + "/sig/" + spec.name);
+        all_callees.push_back(
+            {spec.name, static_cast<int>(sig.range(0, 3))});
+    }
+    // Package-wide idiom pool: shared helper patterns reused across the
+    // package's procedures (string handling, logging, buffer walks...).
+    Rng pool_rng = Rng::from_label("pkg/" + pkg.name + "/idioms");
+    const std::vector<lang::StmtPtr> idiom_pool =
+        lang::generate_idiom_pool(pool_rng, 14, pkg.num_globals);
+
+    // The package's constant vocabulary: a few ubiquitous values plus
+    // package-specific sizes, masks and error codes.
+    std::vector<std::int32_t> const_pool = {0, 1, 4, 8, 16, 255, 1024};
+    Rng const_rng = Rng::from_label("pkg/" + pkg.name + "/consts");
+    for (int k = 0; k < 12; ++k) {
+        const_pool.push_back(
+            static_cast<std::int32_t>(const_rng.range(2, 8192)));
+    }
+
+    const int version_idx = vidx;
+    for (std::size_t i = 0; i < pkg.procedures.size(); ++i) {
+        const ProcSpec &spec = pkg.procedures[i];
+        if (!spec.removed_in.empty()) {
+            const int removed = pkg.version_index(spec.removed_in);
+            if (removed >= 0 && version_idx >= removed) {
+                continue;  // deprecated and gone by this release
+            }
+        }
+        if (!spec.introduced_in.empty()) {
+            const int introduced = pkg.version_index(spec.introduced_in);
+            if (introduced >= 0 && version_idx < introduced) {
+                continue;  // does not exist yet in this release
+            }
+        }
+        lang::GenOptions options;
+        options.num_params = all_callees[i].num_params;
+        options.num_globals = pkg.num_globals;
+        options.idiom_pool = &idiom_pool;
+        options.idiom_percent = 45;
+        options.const_pool = &const_pool;
+        // Size variance: a share of procedures are much larger. Large
+        // procedures soak up shared strands and spuriously attract
+        // queries — the paper's prime cause of contested games
+        // ("very large procedures that are mistakenly matched with the
+        // query due to their size", section 5.3).
+        Rng size_rng = Rng::from_label("pkg/" + pkg.name + "/size/" +
+                                       spec.name);
+        if (size_rng.chance(1, 5)) {
+            options.min_stmts = 26;
+            options.max_stmts = 44;
+        }
+        // Callable pool: a seeded subset of the *earlier* procedures,
+        // keeping the call graph acyclic and stable across versions.
+        Rng pool = Rng::from_label("pkg/" + pkg.name + "/pool/" +
+                                   spec.name);
+        for (std::size_t j = 0; j < i; ++j) {
+            if (pool.chance(1, 3)) {
+                options.callable.push_back(all_callees[j]);
+            }
+        }
+        // A deprecated procedure shares its successor's body seed (and
+        // arity): the two are ancestor and descendant of the same source.
+        const std::string body_name =
+            spec.body_of.empty() ? spec.name : spec.body_of;
+        if (!spec.body_of.empty()) {
+            Rng sig = Rng::from_label("pkg/" + pkg.name + "/sig/" +
+                                      body_name);
+            options.num_params = static_cast<int>(sig.range(0, 3));
+        }
+        Rng body = Rng::from_label("pkg/" + pkg.name + "/body/" +
+                                   body_name);
+        lang::ProcedureAst proc =
+            lang::generate_procedure(body, spec.name, options);
+        if (!spec.body_of.empty()) {
+            // The ancestor has drifted a little from the descendant.
+            Rng drift = Rng::from_label("pkg/" + pkg.name + "/ancient/" +
+                                        spec.name);
+            lang::mutate_procedure(drift, proc, 2);
+        }
+        proc.exported = spec.exported;
+        proc.feature = spec.feature;
+        src.procedures.push_back(std::move(proc));
+    }
+
+    // Version drift: each release applies a seeded batch of source
+    // mutations on top of the previous one.
+    for (int v = 1; v <= vidx; ++v) {
+        const std::string &release =
+            pkg.versions[static_cast<std::size_t>(v)];
+        Rng vrng =
+            Rng::from_label("pkg/" + pkg.name + "/release/" + release);
+        const int touched = static_cast<int>(vrng.range(4, 9));
+        for (int k = 0; k < touched; ++k) {
+            auto &proc = src.procedures[vrng.index(
+                src.procedures.size())];
+            lang::mutate_procedure(vrng, proc,
+                                   static_cast<int>(vrng.range(1, 4)));
+        }
+        // Hot code churns: procedures with CVE history are actively
+        // maintained, so every release has a coin-flip chance of touching
+        // them (this is what made wget 1.12 diverge from 1.15 enough to
+        // cause the paper's only false positives).
+        for (const CveRecord &cve : cve_database()) {
+            if (cve.package == pkg.name && vrng.chance(1, 2)) {
+                if (auto *proc = src.find(cve.procedure)) {
+                    lang::mutate_procedure(vrng, *proc, 1);
+                }
+            }
+        }
+        // Security patches: a release that fixes a CVE definitely edits
+        // the vulnerable procedure.
+        for (const CveRecord &cve : cve_database()) {
+            if (cve.package == pkg.name && cve.fixed_version == release) {
+                if (auto *proc = src.find(cve.procedure)) {
+                    Rng patch = Rng::from_label("pkg/" + pkg.name +
+                                                "/patch/" + cve.cve_id);
+                    lang::mutate_procedure(patch, *proc, 3);
+                }
+            }
+        }
+    }
+    return src;
+}
+
+}  // namespace firmup::firmware

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The package & CVE catalog driving the synthetic corpus.
+ *
+ * Mirrors the paper's evaluation subjects (Table 2 and section 5.3):
+ * vsftpd, bftpd, libcurl, dbus, wget, plus the exported-procedure group
+ * libexif and net-snmp, with the CVE-affected procedures under their real
+ * names. Source bodies are synthesized deterministically per package and
+ * mutated cumulatively per version, so "wget 1.12" and "wget 1.15" differ
+ * the way two real releases do — including the semantic drift that caused
+ * the paper's only false positives (section 5.2, "Noteworthy findings").
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace firmup::firmware {
+
+/** One procedure slot in a package. */
+struct ProcSpec
+{
+    std::string name;
+    bool exported = false;
+    std::string feature;  ///< "" = core; else only built when enabled
+    /**
+     * First version in which the procedure no longer exists ("" = never
+     * removed). Models deprecation: the paper found a 2014 firmware still
+     * shipping curl_unescape(), deprecated upstream in 2006 (section 5.2,
+     * "Deprecated procedures").
+     */
+    std::string removed_in;
+    /** First version in which the procedure exists ("" = since ever). */
+    std::string introduced_in;
+    /** Ancestor procedure whose body this one descends from ("" = own). */
+    std::string body_of;
+};
+
+/** A software package: procedures plus an ordered version history. */
+struct PackageSpec
+{
+    std::string name;
+    std::vector<std::string> versions;  ///< oldest first
+    std::vector<ProcSpec> procedures;
+    std::vector<std::string> features;
+    int num_globals = 4;
+    bool is_library = false;  ///< libraries keep exported symbols
+
+    int version_index(const std::string &version) const;
+};
+
+/** A known vulnerability. */
+struct CveRecord
+{
+    std::string cve_id;
+    std::string package;
+    std::string procedure;
+    std::string fixed_version;  ///< first non-vulnerable version
+    std::string kind;           ///< DoS, BOF, ...
+
+    /** True when @p version of the package is affected. */
+    bool affects(const PackageSpec &pkg, const std::string &version) const;
+};
+
+/** All packages available to the corpus builder. */
+const std::vector<PackageSpec> &package_catalog();
+
+/** Catalog lookup by name; asserts on unknown packages. */
+const PackageSpec &package_by_name(const std::string &name);
+
+/** The CVE database used by the Table 2 experiment. */
+const std::vector<CveRecord> &cve_database();
+
+/**
+ * Synthesize the source of @p pkg at @p version.
+ *
+ * The base source is derived from the package name alone; each version
+ * applies a seeded batch of mutations on top of the previous one, so
+ * consecutive versions are similar and distant versions drift apart.
+ */
+lang::PackageSource generate_package_source(const PackageSpec &pkg,
+                                            const std::string &version);
+
+}  // namespace firmup::firmware

@@ -1,0 +1,147 @@
+#include "firmware/image.h"
+
+#include <cstring>
+
+namespace firmup::firmware {
+
+namespace {
+
+constexpr std::uint8_t kImageMagic[6] = {'F', 'W', 'I', 'M', 'G', '1'};
+constexpr std::uint8_t kContentMagic[4] = {'C', 'F', 'G', '0'};
+
+void
+append_string(ByteBuffer &out, const std::string &s)
+{
+    append_u16_le(out, static_cast<std::uint16_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+bool
+read_string(const ByteBuffer &blob, std::size_t &pos, std::string &out)
+{
+    if (pos + 2 > blob.size()) {
+        return false;
+    }
+    const std::uint16_t len = read_u16_le(blob.data() + pos);
+    pos += 2;
+    if (pos + len > blob.size()) {
+        return false;
+    }
+    out.assign(reinterpret_cast<const char *>(blob.data() + pos), len);
+    pos += len;
+    return true;
+}
+
+void
+append_garbage(ByteBuffer &out, Rng &rng)
+{
+    const std::size_t n = rng.index(200);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Garbage must not accidentally contain the FWEX magic; byte
+        // values below 'F' guarantee that.
+        out.push_back(static_cast<std::uint8_t>(rng.index('E')));
+    }
+}
+
+}  // namespace
+
+ByteBuffer
+pack_firmware(const FirmwareImage &image, Rng &rng)
+{
+    ByteBuffer out;
+    for (std::uint8_t byte : kImageMagic) {
+        out.push_back(byte);
+    }
+    append_string(out, image.vendor);
+    append_string(out, image.device);
+    append_string(out, image.version);
+    append_u8(out, image.is_latest ? 1 : 0);
+
+    for (const loader::Executable &exe : image.executables) {
+        append_garbage(out, rng);
+        // Member header: [u16 len][name][u16 len][u32 size][FWELF bytes].
+        // The duplicated length makes backward carving from the FWEX
+        // magic unambiguous.
+        const ByteBuffer payload = loader::write_fwelf(exe);
+        append_string(out, exe.name);
+        append_u16_le(out, static_cast<std::uint16_t>(exe.name.size()));
+        append_u32_le(out, static_cast<std::uint32_t>(payload.size()));
+        out.insert(out.end(), payload.begin(), payload.end());
+    }
+    for (const std::string &content : image.content_files) {
+        append_garbage(out, rng);
+        for (std::uint8_t byte : kContentMagic) {
+            out.push_back(byte);
+        }
+        append_string(out, content);
+    }
+    append_garbage(out, rng);
+    return out;
+}
+
+Result<UnpackResult>
+unpack_firmware(const ByteBuffer &blob)
+{
+    if (blob.size() < sizeof(kImageMagic) ||
+        std::memcmp(blob.data(), kImageMagic, sizeof(kImageMagic)) != 0) {
+        return Result<UnpackResult>::error("not a firmware image");
+    }
+    UnpackResult result;
+    std::size_t pos = sizeof(kImageMagic);
+    if (!read_string(blob, pos, result.image.vendor) ||
+        !read_string(blob, pos, result.image.device) ||
+        !read_string(blob, pos, result.image.version) ||
+        pos >= blob.size()) {
+        return Result<UnpackResult>::error("corrupt image header");
+    }
+    result.image.is_latest = blob[pos++] != 0;
+
+    // binwalk-style carving: scan for the FWEX magic anywhere in the
+    // blob; each hit is preceded by the member name + size fields.
+    for (std::size_t i = pos; i + 4 <= blob.size(); ++i) {
+        if (std::memcmp(blob.data() + i, loader::kMagic, 4) == 0) {
+            // Walk back over the size field to recover name and length.
+            if (i < 4) {
+                continue;
+            }
+            const std::uint32_t size = read_u32_le(blob.data() + i - 4);
+            if (i + size > blob.size()) {
+                ++result.damaged_members;  // truncated member
+                continue;
+            }
+            auto exe = loader::parse_fwelf(blob.data() + i, size);
+            if (!exe.ok()) {
+                ++result.damaged_members;
+                continue;
+            }
+            // Member name sits before the size field, bracketed by two
+            // copies of its length: [len][name][len][size][payload].
+            std::string name;
+            if (i >= 6) {
+                const std::uint16_t name_len =
+                    read_u16_le(blob.data() + i - 6);
+                const std::size_t header = 6 + 2 +
+                    static_cast<std::size_t>(name_len);
+                if (i >= header &&
+                    read_u16_le(blob.data() + i - header) == name_len) {
+                    name.assign(reinterpret_cast<const char *>(
+                                    blob.data() + i - 6 - name_len),
+                                name_len);
+                }
+            }
+            exe.value().name = name;
+            result.image.executables.push_back(std::move(exe).take());
+            i += size - 1;
+        } else if (std::memcmp(blob.data() + i, kContentMagic, 4) == 0) {
+            std::size_t cpos = i + 4;
+            std::string content;
+            if (read_string(blob, cpos, content)) {
+                result.image.content_files.push_back(std::move(content));
+                i = cpos - 1;
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace firmup::firmware

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Firmware image container and binwalk-like unpacker.
+ *
+ * Vendors ship firmware as opaque blobs: a vendor header, executables,
+ * configuration payloads, and stretches of padding/garbage in between.
+ * The unpacker does what binwalk does for the paper's crawler (section
+ * 5.1): it scans the blob for embedded FWELF magics, carves out each
+ * member, and tolerates corrupt or truncated members (the paper's ~3000
+ * images that "failed to unpack or consisted only of content" are
+ * represented by images whose members all fail to parse).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "loader/fwelf.h"
+#include "support/rng.h"
+
+namespace firmup::firmware {
+
+/** A firmware image, unpacked form. */
+struct FirmwareImage
+{
+    std::string vendor;
+    std::string device;
+    std::string version;
+    bool is_latest = false;  ///< newest available firmware for the device
+    std::vector<loader::Executable> executables;
+    std::vector<std::string> content_files;  ///< config blobs etc.
+};
+
+/** Serialize @p image into a vendor blob with seeded padding/garbage. */
+ByteBuffer pack_firmware(const FirmwareImage &image, Rng &rng);
+
+/**
+ * Carve a firmware blob: scan for FWELF members and the vendor header.
+ * Unparsable members are skipped (counted in `damaged_members`).
+ */
+struct UnpackResult
+{
+    FirmwareImage image;
+    int damaged_members = 0;
+};
+Result<UnpackResult> unpack_firmware(const ByteBuffer &blob);
+
+}  // namespace firmup::firmware

@@ -1,0 +1,203 @@
+#include "game/game.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/str.h"
+
+namespace firmup::game {
+
+namespace {
+
+/** A procedure reference: which executable, which index. */
+struct Ref
+{
+    bool in_q = true;
+    int index = -1;
+
+    bool operator==(const Ref &) const = default;
+    auto operator<=>(const Ref &) const = default;
+};
+
+/** Player state for one game. */
+class Game
+{
+  public:
+    Game(const sim::ExecutableIndex &Q, const sim::ExecutableIndex &T,
+         const GameOptions &options)
+        : q_(Q), t_(T), opt_(options)
+    {
+    }
+
+    GameResult
+    run(int qv_index)
+    {
+        GameResult result;
+        const Ref qv{true, qv_index};
+        std::vector<Ref> stack{qv};
+        auto name_of = [this](const Ref &r) {
+            const auto &procs = r.in_q ? q_.procs : t_.procs;
+            const auto &p = procs[static_cast<std::size_t>(r.index)];
+            if (!p.name.empty()) {
+                return p.name;
+            }
+            return "sub_" + to_hex(p.entry);
+        };
+        auto note = [&result, this](const std::string &line) {
+            if (opt_.record_trace) {
+                result.trace.push_back(line);
+            }
+        };
+
+        while (result.steps < opt_.max_steps && !stack.empty()) {
+            const Ref m = stack.back();
+            if (is_matched(m)) {
+                stack.pop_back();
+                continue;
+            }
+            ++result.steps;
+
+            int forward_sim = 0;
+            const int forward = best_match(m, forward_sim);
+            if (forward < 0 || forward_sim < opt_.min_sim) {
+                // No usable candidate: qv loses outright, other
+                // procedures are simply set aside.
+                if (m == qv) {
+                    break;
+                }
+                unmatchable_.insert(m);
+                stack.pop_back();
+                continue;
+            }
+            const Ref fwd{!m.in_q, forward};
+
+            int back_sim = 0;
+            const int back = best_match(fwd, back_sim);
+            if (opt_.record_trace) {
+                note(strprintf(
+                    "player: matches %s with %s (Sim=%d)",
+                    name_of(m).c_str(), name_of(fwd).c_str(),
+                    forward_sim));
+            }
+            // Eq. 1 lets the rival counter with any pick at least as
+            // good (>=), so ties are contested; the deterministic
+            // best_match tie-break keeps the game finite.
+            const bool consistent = back == m.index;
+            if (consistent) {
+                note("rival: no better pick for " + name_of(fwd) +
+                     "; pair accepted");
+                record(m, fwd);
+                if (m == qv || fwd == qv) {
+                    result.matched = true;
+                    const int t_index = m == qv ? forward : m.index;
+                    result.target_index = t_index;
+                    result.target_entry =
+                        t_.procs[static_cast<std::size_t>(t_index)].entry;
+                    result.sim = forward_sim;
+                    break;
+                }
+                stack.pop_back();
+                if (matches_q_.size() >= opt_.max_matches) {
+                    break;  // heuristic cut-off (paper's third condition)
+                }
+                continue;
+            }
+            // Rival found a strictly better owner for `forward`; push the
+            // contested procedures and retry from the top of the stack.
+            const Ref bck{m.in_q, back};
+            note(strprintf("rival: counters with %s (Sim=%d > %d)",
+                           name_of(bck).c_str(), back_sim, forward_sim));
+            bool pushed = false;
+            for (const Ref &r : {fwd, bck}) {
+                if (!is_matched(r) &&
+                    std::find(stack.begin(), stack.end(), r) ==
+                        stack.end()) {
+                    stack.push_back(r);
+                    pushed = true;
+                }
+            }
+            if (!pushed) {
+                break;  // fixed state: the game cannot make progress
+            }
+        }
+
+        result.q_to_t = matches_q_;
+        return result;
+    }
+
+  private:
+    const strand::ProcedureStrands &
+    repr(const Ref &r) const
+    {
+        const auto &procs = r.in_q ? q_.procs : t_.procs;
+        return procs[static_cast<std::size_t>(r.index)].repr;
+    }
+
+    int
+    sim_of(const Ref &m, int other_index) const
+    {
+        const Ref other{!m.in_q, other_index};
+        return sim::sim_score(repr(m), repr(other));
+    }
+
+    bool
+    is_matched(const Ref &r) const
+    {
+        const auto &matched = r.in_q ? matches_q_ : matches_t_;
+        return matched.contains(r.index);
+    }
+
+    /**
+     * GetBestMatch: the highest-Sim procedure on the other side that is
+     * not already matched. Ties break to the lowest index.
+     */
+    int
+    best_match(const Ref &m, int &best_sim) const
+    {
+        const auto &others = m.in_q ? t_.procs : q_.procs;
+        const auto &matched_other = m.in_q ? matches_t_ : matches_q_;
+        best_sim = -1;
+        int best = -1;
+        for (std::size_t i = 0; i < others.size(); ++i) {
+            const int index = static_cast<int>(i);
+            if (matched_other.contains(index) ||
+                unmatchable_.contains(Ref{!m.in_q, index})) {
+                continue;
+            }
+            const int s = sim::sim_score(repr(m), others[i].repr);
+            if (s > best_sim) {
+                best_sim = s;
+                best = index;
+            }
+        }
+        return best;
+    }
+
+    void
+    record(const Ref &m, const Ref &other)
+    {
+        const int qi = m.in_q ? m.index : other.index;
+        const int ti = m.in_q ? other.index : m.index;
+        matches_q_[qi] = ti;
+        matches_t_[ti] = qi;
+    }
+
+    const sim::ExecutableIndex &q_;
+    const sim::ExecutableIndex &t_;
+    const GameOptions &opt_;
+    std::map<int, int> matches_q_;  ///< Q index -> T index
+    std::map<int, int> matches_t_;  ///< T index -> Q index
+    std::set<Ref> unmatchable_;
+};
+
+}  // namespace
+
+GameResult
+match_query(const sim::ExecutableIndex &Q, int qv_index,
+            const sim::ExecutableIndex &T, const GameOptions &options)
+{
+    Game game(Q, T, options);
+    return game.run(qv_index);
+}
+
+}  // namespace firmup::game

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Binary similarity as a back-and-forth game — Algorithm 2 of the paper.
+ *
+ * The player tries to match the query procedure qv ∈ Q with a procedure
+ * of the target executable T; the rival counters by exhibiting a better
+ * match for the player's pick. The implementation is the player's winning
+ * strategy: a stack of procedures to match, where a procedure is settled
+ * only when the best match of its best match is itself (forward/backward
+ * consistency), building the partial matching of Eq. 1 without ever
+ * requiring a full matching of the two executables.
+ *
+ * Termination (GameDidntEnd in the paper):
+ *   - qv acquires a match            → success;
+ *   - the stack reaches a fixed state → failure (no consistent match);
+ *   - too many matches or steps       → heuristic cut-off.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/similarity.h"
+
+namespace firmup::game {
+
+/** Game cut-off heuristics (the paper's third ending condition). */
+struct GameOptions
+{
+    int max_steps = 512;
+    std::size_t max_matches = 128;
+    int min_sim = 1;  ///< below this, a pair shares nothing usable
+    bool record_trace = false;  ///< narrate moves (Table 1 style)
+};
+
+/** Outcome of one query-vs-executable game. */
+struct GameResult
+{
+    bool matched = false;
+    int target_index = -1;       ///< index into T.procs when matched
+    std::uint64_t target_entry = 0;
+    int sim = 0;                 ///< Sim(qv, match)
+    int steps = 0;               ///< loop iterations (Fig. 9 metric)
+    /** The partial matching built along the way: Q index ↔ T index. */
+    std::map<int, int> q_to_t;
+    /** Player/rival narration when GameOptions::record_trace is set. */
+    std::vector<std::string> trace;
+};
+
+/**
+ * Run the game matching @p qv_index (into Q.procs) against T.
+ */
+GameResult match_query(const sim::ExecutableIndex &Q, int qv_index,
+                       const sim::ExecutableIndex &T,
+                       const GameOptions &options = {});
+
+}  // namespace firmup::game

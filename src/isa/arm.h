@@ -1,0 +1,61 @@
+/**
+ * @file
+ * ARM32-like target: little-endian, fixed 32-bit words, a 4-bit condition
+ * field, and NZCV-style flags set by explicit compare instructions.
+ *
+ * The bit layout is a simplified ARM-flavored encoding we define ourselves
+ * (documented below); semantics follow ARM idioms: cmp sets the flags,
+ * conditional branches and the set<cond> instruction read them, movw/movt
+ * build 32-bit constants, bl links into lr, bx lr returns. Deviations from
+ * commercial ARM (no barrel shifter operands, conditional execution only
+ * on branches/set, a set<cond> instruction standing in for conditional
+ * mov) are irrelevant to the reproduction: assembler and disassembler
+ * in this repository agree on the language.
+ *
+ * Word layout: cond[31:28] | op[27:20] | rd[19:16] | rn[15:12] | opnd[11:0]
+ *   - register forms: rm in opnd[3:0]
+ *   - immediate forms: signed 12-bit immediate in opnd
+ *   - movw/movt: imm16 in bits [15:0]
+ *   - b/bl: signed 20-bit word offset (relative to the next instruction)
+ *
+ * MachInst convention: rd = destination, rs = rn, rt = rm, imm as above
+ * (branch targets are absolute in `imm`).
+ */
+#pragma once
+
+#include "isa/isa.h"
+
+namespace firmup::isa::arm {
+
+/** ARM registers (r11 and r12 are reserved as scratch by the backend). */
+enum Reg : MReg {
+    R0 = 0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10, R11, R12,
+    Sp = 13, Lr = 14, Pc = 15,
+};
+
+/** Opcodes. */
+enum class Op : std::uint16_t {
+    Nop,
+    MovReg, MovImm, Movw, Movt,
+    Add, AddImm, Sub, SubImm, Mul,
+    And, Orr, Eor,
+    Lsl, Lsr, Asr, LslImm, LsrImm, AsrImm,
+    Sdiv, Srem,
+    Cmp, CmpImm,
+    Ldr, Str,
+    B,       ///< conditional/unconditional branch (cond field)
+    Bl, BxLr,
+    Set,     ///< rd = (flags satisfy cond) ? 1 : 0
+};
+
+inline constexpr int kInstBytes = 4;
+
+const AbiInfo &abi();
+int inst_size(const MachInst &inst);
+void encode(const MachInst &inst, std::uint64_t addr, ByteBuffer &out);
+Result<Decoded> decode(const std::uint8_t *p, std::size_t avail,
+                       std::uint64_t addr);
+std::string disasm(const MachInst &inst);
+const char *reg_name(MReg reg);
+
+}  // namespace firmup::isa::arm

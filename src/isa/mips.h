@@ -1,0 +1,72 @@
+/**
+ * @file
+ * MIPS32 target: real MIPS-I encodings (plus MIPS32r6 div/mod), stored
+ * big-endian, with architectural branch delay slots.
+ *
+ * Operand convention in MachInst (our convention, independent of the bit
+ * layout, which follows the real ISA):
+ *  - three-register ops:  rd = rs OP rt
+ *  - immediate ops:       rd = rs OP imm   (rt in the encoding)
+ *  - shifts by immediate: rd = rs OP imm   (shamt in the encoding)
+ *  - Lw/Sw:               rd <-> mem[rs + imm]
+ *  - Beq/Bne:             compare rs, rt; `imm` holds the ABSOLUTE target
+ *  - J/Jal:               `imm` holds the absolute target
+ *  - Jr/Jalr:             target register in rs
+ *
+ * The delay slot is a property of the *machine*, not the encoding: every
+ * branch/jump is followed by one instruction that executes regardless of
+ * the branch outcome. The code generator emits either a Nop or a hoisted
+ * preceding instruction there (toolchain knob `mips_fill_delay_slot`), and
+ * the lifter re-attributes the slot instruction to the branch's block —
+ * the exact caveat discussed in the paper, section 3.1.
+ */
+#pragma once
+
+#include "isa/isa.h"
+
+namespace firmup::isa::mips {
+
+/** MIPS architectural registers. */
+enum Reg : MReg {
+    Zero = 0, At = 1, V0 = 2, V1 = 3,
+    A0 = 4, A1 = 5, A2 = 6, A3 = 7,
+    T0 = 8, T1 = 9, T2 = 10, T3 = 11, T4 = 12, T5 = 13, T6 = 14, T7 = 15,
+    S0 = 16, S1 = 17, S2 = 18, S3 = 19, S4 = 20, S5 = 21, S6 = 22, S7 = 23,
+    T8 = 24, T9 = 25, K0 = 26, K1 = 27,
+    Gp = 28, Sp = 29, Fp = 30, Ra = 31,
+};
+
+/** Opcodes (values are internal; encodings follow the real ISA). */
+enum class Op : std::uint16_t {
+    Nop,
+    // I-type
+    Lui, Ori, Addiu, Slti, Sltiu, Andi, Xori, Lw, Sw, Beq, Bne,
+    // R-type
+    Addu, Subu, Mul, Div, Mod, Divu, And, Or, Xor,
+    Sllv, Srlv, Srav, Slt, Sltu,
+    // shift-by-immediate
+    Sll, Srl, Sra,
+    // jumps
+    J, Jal, Jr, Jalr,
+};
+
+/** Fixed instruction width. */
+inline constexpr int kInstBytes = 4;
+
+const AbiInfo &abi();
+int inst_size(const MachInst &inst);
+void encode(const MachInst &inst, std::uint64_t addr, ByteBuffer &out);
+Result<Decoded> decode(const std::uint8_t *p, std::size_t avail,
+                       std::uint64_t addr);
+std::string disasm(const MachInst &inst);
+const char *reg_name(MReg reg);
+
+/** Convenience constructors used by the code generator. */
+MachInst make_rrr(Op op, MReg rd, MReg rs, MReg rt);
+MachInst make_ri(Op op, MReg rd, MReg rs, std::int32_t imm);
+MachInst make_nop();
+
+/** True for instructions with an architectural delay slot. */
+bool has_delay_slot(Op op);
+
+}  // namespace firmup::isa::mips

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * PPC32 target: big-endian, fixed 32-bit words, condition register cr0,
+ * link register accessed via mflr/mtlr, bc conditional branches.
+ *
+ * Encodings follow the real PowerPC forms for the supported subset
+ * (D-form, X/XO-form, I/B-form); `setbc` borrows the ISA 3.1 instruction
+ * of the same name so compare results can be materialized into a GPR.
+ * `mods` uses the ISA 3.0 `modsw` extended opcode.
+ *
+ * MachInst convention:
+ *  - XO-form ALU:  rd = rs OP rt        (subf computes rt - rs per ISA,
+ *                                        handled by the backend)
+ *  - D-form:       rd = rs OP imm
+ *  - Lwz/Stw:      rd <-> mem[rs + imm]
+ *  - Cmpw/Cmplw:   compare rs with rt into cr0
+ *  - Bc:           cond in `cond`, absolute target in `imm`
+ *  - B/Bl:         absolute target in `imm`
+ *  - Setbc:        rd = cr0 satisfies `cond` ? 1 : 0
+ */
+#pragma once
+
+#include "isa/isa.h"
+
+namespace firmup::isa::ppc {
+
+/** General-purpose registers r0..r31; r1 is the stack pointer. */
+enum Reg : MReg {
+    R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14,
+    R15 = 15, R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21,
+    R22 = 22, R23 = 23, R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28,
+    R29 = 29, R30 = 30, R31 = 31,
+};
+
+/** Opcodes. */
+enum class Op : std::uint16_t {
+    Nop,
+    Addi, Addis, Ori,
+    Add, Subf, Mullw, Divw, Divwu, Modsw,
+    And, Or, Xor, Slw, Srw, Sraw,
+    Cmpw, Cmpwi, Cmplw,
+    Lwz, Stw,
+    B, Bl, Bc, Blr,
+    Mflr, Mtlr,
+    Setbc,
+};
+
+inline constexpr int kInstBytes = 4;
+
+const AbiInfo &abi();
+int inst_size(const MachInst &inst);
+void encode(const MachInst &inst, std::uint64_t addr, ByteBuffer &out);
+Result<Decoded> decode(const std::uint8_t *p, std::size_t avail,
+                       std::uint64_t addr);
+std::string disasm(const MachInst &inst);
+const char *reg_name(MReg reg);
+
+}  // namespace firmup::isa::ppc

@@ -1,0 +1,70 @@
+#include "isa/isa.h"
+
+#include "isa/arm.h"
+#include "isa/mips.h"
+#include "isa/ppc.h"
+#include "isa/x86.h"
+
+namespace firmup::isa {
+
+const char *
+arch_name(Arch arch)
+{
+    switch (arch) {
+      case Arch::Mips32: return "mips32";
+      case Arch::Arm32: return "arm32";
+      case Arch::Ppc32: return "ppc32";
+      case Arch::X86: return "x86";
+    }
+    return "?";
+}
+
+bool
+arch_is_big_endian(Arch arch)
+{
+    return arch == Arch::Mips32 || arch == Arch::Ppc32;
+}
+
+const char *
+cond_name(Cond cond)
+{
+    switch (cond) {
+      case Cond::EQ: return "eq";
+      case Cond::NE: return "ne";
+      case Cond::LTS: return "lt";
+      case Cond::LES: return "le";
+      case Cond::LTU: return "lo";
+      case Cond::LEU: return "ls";
+    }
+    return "?";
+}
+
+const Target &
+target_for(Arch arch)
+{
+    static const Target mips_target{Arch::Mips32, &mips::abi(),
+                                    mips::inst_size, mips::encode,
+                                    mips::decode, mips::disasm,
+                                    mips::reg_name};
+    static const Target arm_target{Arch::Arm32, &arm::abi(),
+                                   arm::inst_size, arm::encode,
+                                   arm::decode, arm::disasm,
+                                   arm::reg_name};
+    static const Target ppc_target{Arch::Ppc32, &ppc::abi(),
+                                   ppc::inst_size, ppc::encode,
+                                   ppc::decode, ppc::disasm,
+                                   ppc::reg_name};
+    static const Target x86_target{Arch::X86, &x86::abi(),
+                                   x86::inst_size, x86::encode,
+                                   x86::decode, x86::disasm,
+                                   x86::reg_name};
+    switch (arch) {
+      case Arch::Mips32: return mips_target;
+      case Arch::Arm32: return arm_target;
+      case Arch::Ppc32: return ppc_target;
+      case Arch::X86: return x86_target;
+    }
+    FIRMUP_ASSERT(false, "bad arch");
+}
+
+}  // namespace firmup::isa

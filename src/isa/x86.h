@@ -1,0 +1,56 @@
+/**
+ * @file
+ * x86-like target: little-endian, variable-length (1-6 bytes), two-operand
+ * destructive ALU operations, EFLAGS set by cmp and consumed by jcc/setcc,
+ * stack-passed arguments (cdecl-style), push/pop and an ebp frame.
+ *
+ * The byte-level encoding is our own compact scheme (opcode byte, optional
+ * mod byte with two register nibbles, optional 32-bit immediate), because
+ * the full commercial x86 encoding adds nothing to the reproduction: what
+ * matters is that this target is variable-length, two-operand, and
+ * flag-based, so its code looks nothing like the three RISC targets.
+ *
+ * MachInst convention:
+ *  - two-operand ALU:  rd OP= rt         (rd is both source and dest)
+ *  - MovRI:            rd = imm32
+ *  - CmpRR/CmpRI:      compare rd with rt/imm
+ *  - Jcc:              cond + absolute target in `imm`
+ *  - LoadRM:           rd = mem[rs + imm]
+ *  - StoreMR:          mem[rs + imm] = rd
+ *  - Lea:              rd = rs + imm
+ *  - Setcc:            rd = (flags satisfy cond) ? 1 : 0
+ */
+#pragma once
+
+#include "isa/isa.h"
+
+namespace firmup::isa::x86 {
+
+/** Registers. */
+enum Reg : MReg {
+    Eax = 0, Ecx = 1, Edx = 2, Ebx = 3,
+    Esp = 4, Ebp = 5, Esi = 6, Edi = 7,
+};
+
+/** Opcodes. */
+enum class Op : std::uint16_t {
+    MovRR, MovRI,
+    AddRR, SubRR, ImulRR, AndRR, OrRR, XorRR, ShlRR, SarRR, ShrRR,
+    IdivRR, IremRR,
+    AddRI, SubRI, AndRI, OrRI, XorRI, ImulRI, ShlRI, SarRI, ShrRI,
+    CmpRR, CmpRI,
+    Jcc, Jmp, Call, Ret,
+    Push, Pop,
+    LoadRM, StoreMR, Lea,
+    Setcc, Neg, Not, Nop,
+};
+
+const AbiInfo &abi();
+int inst_size(const MachInst &inst);
+void encode(const MachInst &inst, std::uint64_t addr, ByteBuffer &out);
+Result<Decoded> decode(const std::uint8_t *p, std::size_t avail,
+                       std::uint64_t addr);
+std::string disasm(const MachInst &inst);
+const char *reg_name(MReg reg);
+
+}  // namespace firmup::isa::x86

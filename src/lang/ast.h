@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Source-language AST for the synthetic package corpus.
+ *
+ * The paper evaluates on real C packages (wget, vsftpd, libcurl, ...)
+ * compiled by unknown vendor toolchains. We reproduce that environment with
+ * a small C-like language: 32-bit integers, global word arrays, procedures
+ * with parameters/locals, structured control flow, and calls. Procedures are
+ * generated deterministically from seeds (see generate.h) so that the same
+ * "source" can be compiled by different toolchain profiles to different
+ * ISAs, giving ground-truth similarity labels.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace firmup::lang {
+
+/** Binary operators of the source language. */
+enum class BinOp : std::uint8_t {
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr,
+    Eq, Ne, Lt, Le, Gt, Ge,   ///< signed comparisons, yield 0/1
+};
+
+/** Name of a source-level operator (for pretty-printing). */
+const char *binop_token(BinOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** An expression node. */
+struct Expr
+{
+    enum class Kind : std::uint8_t {
+        Const,       ///< 32-bit literal (`value`)
+        Param,       ///< procedure parameter (`index`)
+        Local,       ///< local variable (`index`)
+        LoadGlobal,  ///< global_array[`index`][ a ]
+        Bin,         ///< a `op` b
+        Call,        ///< callee_name(args...)
+    };
+
+    Kind kind;
+    std::int32_t value = 0;   ///< Const literal
+    int index = 0;            ///< Param/Local/LoadGlobal index
+    BinOp op = BinOp::Add;
+    ExprPtr a, b;             ///< operands (Bin), index expr (LoadGlobal)
+    std::string callee;       ///< Call target (resolved by the compiler)
+    std::vector<ExprPtr> args;
+
+    static ExprPtr constant(std::int32_t v);
+    static ExprPtr param(int index);
+    static ExprPtr local(int index);
+    static ExprPtr load_global(int global_index, ExprPtr at);
+    static ExprPtr bin(BinOp op, ExprPtr a, ExprPtr b);
+    static ExprPtr call(std::string callee, std::vector<ExprPtr> args);
+
+    /** Deep copy. */
+    ExprPtr clone() const;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** A statement node. */
+struct Stmt
+{
+    enum class Kind : std::uint8_t {
+        AssignLocal,   ///< local[`index`] = expr
+        StoreGlobal,   ///< global[`index`][ a ] = expr
+        If,            ///< if (cond) then_body else else_body
+        While,         ///< while (cond) body
+        Return,        ///< return expr
+        ExprStmt,      ///< expr; (call evaluated for effect)
+    };
+
+    Kind kind;
+    int index = 0;
+    ExprPtr expr;             ///< rhs / return value / bare expression
+    ExprPtr cond;             ///< If/While condition
+    ExprPtr addr;             ///< StoreGlobal index expression
+    std::vector<StmtPtr> then_body;
+    std::vector<StmtPtr> else_body;  ///< also While body
+
+    static StmtPtr assign_local(int index, ExprPtr rhs);
+    static StmtPtr store_global(int global_index, ExprPtr at, ExprPtr rhs);
+    static StmtPtr if_stmt(ExprPtr cond, std::vector<StmtPtr> then_body,
+                           std::vector<StmtPtr> else_body);
+    static StmtPtr while_stmt(ExprPtr cond, std::vector<StmtPtr> body);
+    static StmtPtr ret(ExprPtr value);
+    static StmtPtr expr_stmt(ExprPtr e);
+
+    /** Deep copy. */
+    StmtPtr clone() const;
+};
+
+/** A procedure definition. */
+struct ProcedureAst
+{
+    std::string name;
+    int num_params = 0;
+    int num_locals = 0;
+    bool exported = false;    ///< exported symbols survive stripping
+    std::string feature;      ///< build-config feature gate; "" = core
+    std::vector<StmtPtr> body;
+
+    ProcedureAst() = default;
+    ProcedureAst(ProcedureAst &&) = default;
+    ProcedureAst &operator=(ProcedureAst &&) = default;
+
+    /** Deep copy (AST mutation for version skew needs value semantics). */
+    ProcedureAst clone() const;
+};
+
+/** A global word-array variable. */
+struct GlobalVar
+{
+    std::string name;
+    int words = 1;
+};
+
+/** A package: a compilation unit of procedures plus globals. */
+struct PackageSource
+{
+    std::string name;
+    std::string version;
+    std::vector<GlobalVar> globals;
+    std::vector<ProcedureAst> procedures;
+
+    /** Find a procedure by name; nullptr when absent. */
+    const ProcedureAst *find(const std::string &name) const;
+    ProcedureAst *find(const std::string &name);
+};
+
+/** Render an expression as C-like text. */
+std::string to_string(const Expr &e);
+/** Render a statement (indented by @p depth). */
+std::string to_string(const Stmt &s, int depth = 0);
+/** Render a whole procedure. */
+std::string to_string(const ProcedureAst &p);
+
+}  // namespace firmup::lang

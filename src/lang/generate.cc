@@ -1,0 +1,421 @@
+#include "lang/generate.h"
+
+#include <functional>
+
+#include "support/error.h"
+
+namespace firmup::lang {
+
+namespace {
+
+/** Recursive generator holding shared state for one procedure. */
+class ProcGen
+{
+  public:
+    ProcGen(Rng &rng, const GenOptions &options)
+        : rng_(rng), opt_(options)
+    {
+    }
+
+    ProcedureAst
+    run(const std::string &name)
+    {
+        ProcedureAst p;
+        p.name = name;
+        p.num_params = opt_.num_params;
+        num_locals_ = opt_.force_num_locals > 0
+                          ? opt_.force_num_locals
+                          : static_cast<int>(rng_.range(2, 5));
+        p.num_locals = num_locals_;
+
+        const int n = static_cast<int>(
+            rng_.range(opt_.min_stmts, opt_.max_stmts));
+        for (int i = 0; i < n; ++i) {
+            // Real procedures branch: force a guard and a loop into
+            // every body so no procedure degenerates to straight-line
+            // code whose strands are dominated by frame traffic.
+            if (i == 1) {
+                p.body.push_back(gen_if(0));
+            } else if (i == n / 2 + 1) {
+                p.body.push_back(opt_.allow_loops ? gen_while(0)
+                                                  : gen_if(0));
+            } else if (i == n / 3 + 1 && opt_.num_globals > 0) {
+                // A distinctive global store: stores survive dead-code
+                // elimination and carry procedure-specific value chains.
+                p.body.push_back(Stmt::store_global(
+                    static_cast<int>(rng_.index(opt_.num_globals)),
+                    gen_index_expr(), gen_expr(0)));
+            } else {
+                p.body.push_back(gen_stmt(0));
+            }
+        }
+        // Return a combination of the locals so the state threaded
+        // through the body stays live under optimization — real
+        // procedures rarely compute values nobody consumes.
+        ExprPtr result = gen_expr(1);
+        for (int v = 0; v < num_locals_; ++v) {
+            result = Expr::bin(v % 2 == 0 ? BinOp::Add : BinOp::Xor,
+                               std::move(result), Expr::local(v));
+        }
+        p.body.push_back(Stmt::ret(std::move(result)));
+        return p;
+    }
+
+  private:
+    ExprPtr
+    gen_leaf()
+    {
+        switch (rng_.index(4)) {
+          case 0:
+            // Half the constants come from the package's shared
+            // vocabulary; the rest are distinctive magic numbers (like
+            // 0x1F in the paper's Fig. 1 snippet), occasionally large to
+            // exercise hi/lo materialization sequences.
+            if (opt_.const_pool != nullptr && !opt_.const_pool->empty() &&
+                rng_.chance(1, 2)) {
+                return Expr::constant(rng_.pick(*opt_.const_pool));
+            }
+            if (rng_.chance(1, 5)) {
+                return Expr::constant(static_cast<std::int32_t>(
+                    rng_.range(0x10000, 0x100000)));
+            }
+            return Expr::constant(
+                static_cast<std::int32_t>(rng_.range(-64, 4096)));
+          case 1:
+            if (opt_.num_params > 0) {
+                return Expr::param(
+                    static_cast<int>(rng_.index(opt_.num_params)));
+            }
+            [[fallthrough]];
+          case 2:
+            return Expr::local(static_cast<int>(rng_.index(num_locals_)));
+          default:
+            if (opt_.num_globals > 0) {
+                return Expr::load_global(
+                    static_cast<int>(rng_.index(opt_.num_globals)),
+                    gen_index_expr());
+            }
+            return Expr::local(static_cast<int>(rng_.index(num_locals_)));
+        }
+    }
+
+    /** Small non-negative index expression for global array accesses. */
+    ExprPtr
+    gen_index_expr()
+    {
+        if (rng_.chance(1, 2)) {
+            return Expr::constant(
+                static_cast<std::int32_t>(rng_.range(0, 7)));
+        }
+        return Expr::bin(BinOp::And,
+                         Expr::local(static_cast<int>(
+                             rng_.index(num_locals_))),
+                         Expr::constant(7));
+    }
+
+    BinOp
+    gen_arith_op()
+    {
+        static constexpr BinOp ops[] = {
+            BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And, BinOp::Or,
+            BinOp::Xor, BinOp::Shl, BinOp::Shr, BinOp::Add, BinOp::Sub,
+        };
+        return ops[rng_.index(std::size(ops))];
+    }
+
+    BinOp
+    gen_cmp_op()
+    {
+        static constexpr BinOp ops[] = {
+            BinOp::Eq, BinOp::Ne, BinOp::Lt, BinOp::Le, BinOp::Gt,
+            BinOp::Ge,
+        };
+        return ops[rng_.index(std::size(ops))];
+    }
+
+    ExprPtr
+    gen_expr(int depth)
+    {
+        if (depth >= opt_.max_expr_depth || rng_.chance(1, 3)) {
+            return gen_leaf();
+        }
+        if (!opt_.callable.empty() && rng_.chance(1, 6)) {
+            const Callee &callee = rng_.pick(opt_.callable);
+            std::vector<ExprPtr> args;
+            for (int i = 0; i < callee.num_params; ++i) {
+                args.push_back(gen_expr(depth + 1));
+            }
+            return Expr::call(callee.name, std::move(args));
+        }
+        return Expr::bin(gen_arith_op(), gen_expr(depth + 1),
+                         gen_expr(depth + 1));
+    }
+
+    ExprPtr
+    gen_cond()
+    {
+        return Expr::bin(gen_cmp_op(), gen_expr(1), gen_expr(2));
+    }
+
+    std::vector<StmtPtr>
+    gen_body(int depth, int min_stmts, int max_stmts)
+    {
+        std::vector<StmtPtr> body;
+        const int n = static_cast<int>(rng_.range(min_stmts, max_stmts));
+        for (int i = 0; i < n; ++i) {
+            body.push_back(gen_stmt(depth));
+        }
+        return body;
+    }
+
+    StmtPtr
+    gen_stmt(int depth)
+    {
+        if (depth == 0 && opt_.idiom_pool != nullptr &&
+            !opt_.idiom_pool->empty() &&
+            rng_.chance(opt_.idiom_percent, 100)) {
+            return rng_.pick(*opt_.idiom_pool)->clone();
+        }
+        const bool allow_nesting = depth < opt_.max_depth;
+        switch (rng_.index(allow_nesting ? 6 : 4)) {
+          case 0: {
+            // Accumulator-style update keeps dataflow chains alive
+            // across the body (v = v OP expr).
+            const int v = static_cast<int>(rng_.index(num_locals_));
+            return Stmt::assign_local(
+                v, Expr::bin(gen_arith_op(), Expr::local(v),
+                             gen_expr(1)));
+          }
+          case 1:
+            return Stmt::assign_local(
+                static_cast<int>(rng_.index(num_locals_)), gen_expr(0));
+          case 2:
+            if (opt_.num_globals > 0) {
+                return Stmt::store_global(
+                    static_cast<int>(rng_.index(opt_.num_globals)),
+                    gen_index_expr(), gen_expr(1));
+            }
+            [[fallthrough]];
+          case 3:
+            if (!opt_.callable.empty()) {
+                const Callee &callee = rng_.pick(opt_.callable);
+                std::vector<ExprPtr> args;
+                for (int i = 0; i < callee.num_params; ++i) {
+                    args.push_back(gen_expr(1));
+                }
+                return Stmt::expr_stmt(
+                    Expr::call(callee.name, std::move(args)));
+            }
+            return Stmt::assign_local(
+                static_cast<int>(rng_.index(num_locals_)), gen_expr(0));
+          case 4:
+            return gen_if(depth);
+          default:
+            return opt_.allow_loops ? gen_while(depth) : gen_if(depth);
+        }
+    }
+
+    StmtPtr
+    gen_if(int depth)
+    {
+        std::vector<StmtPtr> else_body;
+        if (rng_.chance(1, 3)) {
+            else_body = gen_body(depth + 1, 1, 3);
+        }
+        return Stmt::if_stmt(gen_cond(), gen_body(depth + 1, 1, 4),
+                             std::move(else_body));
+    }
+
+    StmtPtr
+    gen_while(int depth)
+    {
+        // Canonical bounded loop: while (v < K) { ...; v = v + 1; }
+        const int v = static_cast<int>(rng_.index(num_locals_));
+        const auto bound = static_cast<std::int32_t>(rng_.range(2, 64));
+        std::vector<StmtPtr> body = gen_body(depth + 1, 1, 3);
+        body.push_back(Stmt::assign_local(
+            v, Expr::bin(BinOp::Add, Expr::local(v), Expr::constant(1))));
+        return Stmt::while_stmt(
+            Expr::bin(BinOp::Lt, Expr::local(v), Expr::constant(bound)),
+            std::move(body));
+    }
+
+    Rng &rng_;
+    const GenOptions &opt_;
+    int num_locals_ = 2;
+};
+
+/** Collect mutable pointers to all statements, recursively. */
+void
+collect_stmts(std::vector<StmtPtr> &body, std::vector<Stmt *> &out)
+{
+    for (StmtPtr &s : body) {
+        out.push_back(s.get());
+        collect_stmts(s->then_body, out);
+        collect_stmts(s->else_body, out);
+    }
+}
+
+/** Collect mutable pointers to all expressions in a statement subtree. */
+void
+collect_exprs(Expr *e, std::vector<Expr *> &out)
+{
+    if (e == nullptr) {
+        return;
+    }
+    out.push_back(e);
+    collect_exprs(e->a.get(), out);
+    collect_exprs(e->b.get(), out);
+    for (ExprPtr &arg : e->args) {
+        collect_exprs(arg.get(), out);
+    }
+}
+
+void
+collect_all_exprs(std::vector<StmtPtr> &body, std::vector<Expr *> &out)
+{
+    std::vector<Stmt *> stmts;
+    collect_stmts(body, stmts);
+    for (Stmt *s : stmts) {
+        collect_exprs(s->expr.get(), out);
+        collect_exprs(s->cond.get(), out);
+        collect_exprs(s->addr.get(), out);
+    }
+}
+
+}  // namespace
+
+ProcedureAst
+generate_procedure(Rng &rng, const std::string &name,
+                   const GenOptions &options)
+{
+    ProcGen gen(rng, options);
+    return gen.run(name);
+}
+
+void
+mutate_procedure(Rng &rng, ProcedureAst &proc, int count)
+{
+    for (int round = 0; round < count; ++round) {
+        std::vector<Expr *> exprs;
+        collect_all_exprs(proc.body, exprs);
+        switch (rng.index(5)) {
+          case 0: {  // tweak a constant
+            std::vector<Expr *> consts;
+            for (Expr *e : exprs) {
+                if (e->kind == Expr::Kind::Const) {
+                    consts.push_back(e);
+                }
+            }
+            if (!consts.empty()) {
+                Expr *e = rng.pick(consts);
+                e->value += static_cast<std::int32_t>(rng.range(1, 9));
+            }
+            break;
+          }
+          case 1: {  // swap an arithmetic operator
+            std::vector<Expr *> bins;
+            for (Expr *e : exprs) {
+                if (e->kind == Expr::Kind::Bin) {
+                    bins.push_back(e);
+                }
+            }
+            if (!bins.empty()) {
+                Expr *e = rng.pick(bins);
+                static constexpr BinOp swaps[] = {
+                    BinOp::Add, BinOp::Sub, BinOp::Xor, BinOp::Or,
+                };
+                e->op = swaps[rng.index(std::size(swaps))];
+            }
+            break;
+          }
+          case 2: {  // insert a fresh assignment at top level
+            const int local = proc.num_locals > 0
+                ? static_cast<int>(rng.index(proc.num_locals)) : 0;
+            auto rhs = Expr::bin(
+                BinOp::Add, Expr::local(local),
+                Expr::constant(static_cast<std::int32_t>(
+                    rng.range(1, 255))));
+            const std::size_t at = rng.index(proc.body.size());
+            proc.body.insert(
+                proc.body.begin() + static_cast<std::ptrdiff_t>(at),
+                Stmt::assign_local(local, std::move(rhs)));
+            break;
+          }
+          case 3: {  // delete a non-Return top-level statement
+            std::vector<std::size_t> candidates;
+            for (std::size_t i = 0; i < proc.body.size(); ++i) {
+                if (proc.body[i]->kind != Stmt::Kind::Return) {
+                    candidates.push_back(i);
+                }
+            }
+            if (candidates.size() > 2) {
+                proc.body.erase(
+                    proc.body.begin() +
+                    static_cast<std::ptrdiff_t>(rng.pick(candidates)));
+            }
+            break;
+          }
+          default: {  // wrap a top-level statement in a guard
+            std::vector<std::size_t> candidates;
+            for (std::size_t i = 0; i < proc.body.size(); ++i) {
+                if (proc.body[i]->kind != Stmt::Kind::Return) {
+                    candidates.push_back(i);
+                }
+            }
+            if (!candidates.empty()) {
+                const std::size_t at = rng.pick(candidates);
+                auto cond = Expr::bin(
+                    BinOp::Ne,
+                    Expr::local(proc.num_locals > 0
+                                ? static_cast<int>(
+                                      rng.index(proc.num_locals)) : 0),
+                    Expr::constant(static_cast<std::int32_t>(
+                        rng.range(0, 16))));
+                std::vector<StmtPtr> then_body;
+                then_body.push_back(std::move(proc.body[at]));
+                proc.body[at] = Stmt::if_stmt(std::move(cond),
+                                              std::move(then_body), {});
+            }
+            break;
+          }
+        }
+    }
+}
+
+namespace {
+
+std::size_t
+count_body(const std::vector<StmtPtr> &body)
+{
+    std::size_t n = 0;
+    for (const StmtPtr &s : body) {
+        n += 1 + count_body(s->then_body) + count_body(s->else_body);
+    }
+    return n;
+}
+
+}  // namespace
+
+std::size_t
+stmt_count(const ProcedureAst &proc)
+{
+    return count_body(proc.body);
+}
+
+std::vector<StmtPtr>
+generate_idiom_pool(Rng &rng, int count, int num_globals)
+{
+    GenOptions options;
+    options.num_params = 0;
+    options.num_globals = num_globals;
+    options.force_num_locals = 2;  // every procedure has >= 2 locals
+    options.max_depth = 1;
+    options.min_stmts = count;
+    options.max_stmts = count;
+    ProcedureAst pool_proc = generate_procedure(rng, "__pool", options);
+    pool_proc.body.pop_back();  // drop the synthetic return
+    return std::move(pool_proc.body);
+}
+
+}  // namespace firmup::lang

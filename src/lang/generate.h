@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic synthetic-procedure generation and version mutation.
+ *
+ * Procedure bodies are grown from a seeded Rng: given the same seed and
+ * options, generation is bit-reproducible. Each generated procedure embeds
+ * distinctive magic constants and shapes drawn from its own stream, so two
+ * different procedures share few strands while two compilations of the same
+ * procedure share many — the property the whole evaluation rests on.
+ *
+ * Version skew (wget 1.12 vs 1.15 in the paper, section 5.2) is modeled by
+ * mutate_procedure(): small seeded edits — constant tweaks, operator swaps,
+ * statement insertion/deletion, guard wrapping — applied cumulatively from
+ * one version to the next.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "support/rng.h"
+
+namespace firmup::lang {
+
+/** A callable procedure visible to the generator (name and arity). */
+struct Callee
+{
+    std::string name;
+    int num_params = 0;
+};
+
+/** Knobs controlling procedure generation. */
+struct GenOptions
+{
+    int num_params = 2;
+    int min_stmts = 7;        ///< top-level statements
+    int max_stmts = 18;
+    int max_depth = 3;        ///< statement nesting
+    int max_expr_depth = 3;
+    int num_globals = 4;      ///< size of the referencable global pool
+    int force_num_locals = 0; ///< fixed local count (0 = seeded choice)
+    /**
+     * Allow while loops. Generated loop bodies may reassign their own
+     * counter, so termination is not guaranteed — differential-execution
+     * tests disable loops to keep every run finite.
+     */
+    bool allow_loops = true;
+    std::vector<Callee> callable;  ///< procedures call expressions may target
+    /**
+     * Shared idiom pool: statement templates reused across the
+     * procedures of one package, the way real codebases repeat logging,
+     * string and buffer-handling patterns. Cloned statements make
+     * same-package procedures partially similar — the collision source
+     * that the back-and-forth game exists to disambiguate.
+     */
+    const std::vector<StmtPtr> *idiom_pool = nullptr;
+    std::uint32_t idiom_percent = 0;  ///< chance per top-level statement
+    /**
+     * Shared constant pool (buffer sizes, flag masks, error codes...):
+     * real packages reuse a small vocabulary of constants, which makes
+     * strands collide across procedures in a structured way.
+     */
+    const std::vector<std::int32_t> *const_pool = nullptr;
+};
+
+/**
+ * Generate @p count statements over 2 locals / no params, suitable as a
+ * package-wide idiom pool.
+ */
+std::vector<StmtPtr> generate_idiom_pool(Rng &rng, int count,
+                                         int num_globals);
+
+/** Generate a procedure body from @p rng. Deterministic in (rng, options). */
+ProcedureAst generate_procedure(Rng &rng, const std::string &name,
+                                const GenOptions &options);
+
+/**
+ * Apply @p count seeded mutations to @p proc in place.
+ * Mutations preserve well-formedness (arities, indexes) but deliberately
+ * change semantics, the way source patches between versions do.
+ */
+void mutate_procedure(Rng &rng, ProcedureAst &proc, int count);
+
+/** Count AST statements (recursively) — used by tests and size heuristics. */
+std::size_t stmt_count(const ProcedureAst &proc);
+
+}  // namespace firmup::lang

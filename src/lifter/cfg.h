@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Executable lifting: architecture sniffing, procedure discovery and CFG
+ * recovery for stripped FWELF binaries.
+ *
+ * This module plays the role IDA Pro plays in the paper ("the parsing and
+ * extraction of procedures and BBs from executables", section 3.1),
+ * including the robustness caveats the paper lists:
+ *  - vendor headers lie about the architecture (wrong ELFCLASS): we sniff
+ *    the real ISA by trial-decoding (detect_arch);
+ *  - MIPS branch delay slots displace the first instruction of the
+ *    following block: the lifter re-attributes slot instructions to the
+ *    branch's block;
+ *  - procedures are discovered from the entry point, the (optional)
+ *    symbol table, call targets, and a prologue scan over text bytes not
+ *    claimed by any discovered procedure ("coverage of unaccounted-for
+ *    areas in the text section").
+ */
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ir/uir.h"
+#include "lifter/lift.h"
+#include "loader/fwelf.h"
+
+namespace firmup::lifter {
+
+/** A fully lifted executable: µIR procedures plus section geometry. */
+struct LiftedExecutable
+{
+    std::string name;
+    isa::Arch arch = isa::Arch::Mips32;
+    std::uint64_t text_addr = 0;
+    std::uint64_t text_end = 0;
+    std::uint64_t data_addr = 0;
+    std::uint64_t data_end = 0;
+    std::map<std::uint64_t, ir::Procedure> procs;  ///< keyed by entry
+
+    /** True when @p value looks like a code or static-data address. */
+    bool is_section_address(std::uint64_t value) const
+    {
+        return (value >= text_addr && value < text_end) ||
+               (value >= data_addr && value < data_end);
+    }
+};
+
+/**
+ * Sniff the actual ISA of @p exe by trial-decoding from the entry point,
+ * preferring the declared architecture on ties.
+ */
+isa::Arch detect_arch(const loader::Executable &exe);
+
+/** Options for lift_executable. */
+struct LiftOptions
+{
+    bool sniff_arch = true;     ///< distrust the header's declared arch
+    bool prologue_scan = true;  ///< discover never-called procedures
+};
+
+/** Lift every discoverable procedure of @p exe. */
+Result<LiftedExecutable> lift_executable(const loader::Executable &exe,
+                                         const LiftOptions &options = {});
+
+}  // namespace firmup::lifter

@@ -1,0 +1,291 @@
+#include "lifter/interp.h"
+
+#include "isa/arm.h"
+#include "isa/mips.h"
+#include "isa/ppc.h"
+#include "isa/x86.h"
+
+namespace firmup::lifter {
+
+namespace {
+
+using ir::BinOp;
+using ir::Operand;
+using ir::Stmt;
+using ir::UnOp;
+
+std::uint32_t
+eval_bin(BinOp op, std::uint32_t a, std::uint32_t b)
+{
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(b);
+    switch (op) {
+      case BinOp::Add: return a + b;
+      case BinOp::Sub: return a - b;
+      case BinOp::Mul: return a * b;
+      case BinOp::DivS:
+        return (sb == 0 || (sa == INT32_MIN && sb == -1))
+                   ? 0
+                   : static_cast<std::uint32_t>(sa / sb);
+      case BinOp::DivU: return b == 0 ? 0 : a / b;
+      case BinOp::RemS:
+        return (sb == 0 || (sa == INT32_MIN && sb == -1))
+                   ? 0
+                   : static_cast<std::uint32_t>(sa % sb);
+      case BinOp::RemU: return b == 0 ? 0 : a % b;
+      case BinOp::And: return a & b;
+      case BinOp::Or: return a | b;
+      case BinOp::Xor: return a ^ b;
+      case BinOp::Shl: return a << (b & 31);
+      case BinOp::ShrL: return a >> (b & 31);
+      case BinOp::ShrA:
+        return static_cast<std::uint32_t>(sa >> (b & 31));
+      case BinOp::CmpEQ: return a == b;
+      case BinOp::CmpNE: return a != b;
+      case BinOp::CmpLTS: return sa < sb;
+      case BinOp::CmpLTU: return a < b;
+      case BinOp::CmpLES: return sa <= sb;
+      case BinOp::CmpLEU: return a <= b;
+    }
+    return 0;
+}
+
+/** Whole-machine interpretation state. */
+class Machine
+{
+  public:
+    Machine(const LiftedExecutable &lifted, const ExecOptions &options)
+        : lifted_(lifted), options_(options), fuel_(options.fuel)
+    {
+    }
+
+    std::map<ir::RegId, std::uint32_t> regs;
+    std::map<std::uint32_t, std::uint32_t> memory;
+
+    std::uint32_t
+    load(std::uint32_t addr)
+    {
+        const auto it = memory.find(addr & ~3u);
+        return it != memory.end() ? it->second : 0;
+    }
+
+    void
+    store(std::uint32_t addr, std::uint32_t value)
+    {
+        memory[addr & ~3u] = value;
+    }
+
+    /** Execute the procedure at @p entry; false on fuel/undecodable. */
+    bool
+    call(std::uint64_t entry, std::string &error)
+    {
+        const auto proc_it = lifted_.procs.find(entry);
+        if (proc_it == lifted_.procs.end()) {
+            error = "call to unknown procedure";
+            return false;
+        }
+        if (++depth_ > 64) {
+            --depth_;
+            error = "call depth exceeded";
+            return false;
+        }
+        const ir::Procedure &proc = proc_it->second;
+        std::uint64_t block_addr = proc.entry;
+        while (true) {
+            const auto block_it = proc.blocks.find(block_addr);
+            if (block_it == proc.blocks.end()) {
+                --depth_;
+                error = "control reached an unlifted block";
+                return false;
+            }
+            const ir::Block &block = block_it->second;
+            std::map<ir::TempId, std::uint32_t> temps;
+            auto value = [&temps](const Operand &op) -> std::uint32_t {
+                if (op.is_const()) {
+                    return op.as_const();
+                }
+                const auto it = temps.find(op.as_temp());
+                return it != temps.end() ? it->second : 0;
+            };
+            bool taken = false;
+            std::uint64_t taken_target = 0;
+            for (const Stmt &s : block.stmts) {
+                if (fuel_-- == 0) {
+                    --depth_;
+                    error = "fuel exhausted";
+                    return false;
+                }
+                switch (s.kind) {
+                  case Stmt::Kind::Get:
+                    temps[s.dst] = regs[s.reg];
+                    break;
+                  case Stmt::Kind::Put:
+                    regs[s.reg] = value(s.a);
+                    break;
+                  case Stmt::Kind::Bin:
+                    temps[s.dst] =
+                        eval_bin(s.bin_op, value(s.a), value(s.b));
+                    break;
+                  case Stmt::Kind::Un:
+                    temps[s.dst] = s.un_op == UnOp::Neg
+                                       ? 0u - value(s.a)
+                                       : ~value(s.a);
+                    break;
+                  case Stmt::Kind::Load:
+                    temps[s.dst] = load(value(s.a));
+                    break;
+                  case Stmt::Kind::Store:
+                    store(value(s.a), value(s.b));
+                    break;
+                  case Stmt::Kind::Select:
+                    temps[s.dst] = value(s.a) != 0 ? value(s.b)
+                                                   : value(s.extra);
+                    break;
+                  case Stmt::Kind::Call: {
+                    const std::uint32_t target = value(s.a);
+                    // x86 `call` pushes a return address the lifted
+                    // statement does not model; emulate it so callee
+                    // frames see the cdecl layout, and emulate `ret`'s
+                    // pop on the way out.
+                    if (lifted_.arch == isa::Arch::X86) {
+                        regs[isa::x86::Esp] -= 4;
+                        store(regs[isa::x86::Esp], 0xdeadbeef);
+                    }
+                    if (!call(target, error)) {
+                        --depth_;
+                        return false;
+                    }
+                    if (lifted_.arch == isa::Arch::X86) {
+                        regs[isa::x86::Esp] += 4;
+                    }
+                    temps[s.dst] = regs[ret_reg()];
+                    break;
+                  }
+                  case Stmt::Kind::Exit:
+                    if (value(s.a) != 0) {
+                        taken = true;
+                        taken_target = value(s.b);
+                    }
+                    break;
+                }
+                if (taken) {
+                    break;
+                }
+            }
+            if (taken) {
+                block_addr = taken_target;
+                continue;
+            }
+            switch (block.end) {
+              case ir::BlockEndKind::Fallthrough:
+                block_addr = block.fallthrough;
+                break;
+              case ir::BlockEndKind::Jump:
+                block_addr = block.target;
+                break;
+              case ir::BlockEndKind::CondJump:
+                block_addr = block.fallthrough;  // Exit not taken
+                break;
+              case ir::BlockEndKind::Ret:
+                --depth_;
+                return true;
+            }
+        }
+    }
+
+    ir::RegId
+    ret_reg() const
+    {
+        switch (lifted_.arch) {
+          case isa::Arch::Mips32: return isa::mips::V0;
+          case isa::Arch::Arm32: return isa::arm::R0;
+          case isa::Arch::Ppc32: return isa::ppc::R3;
+          case isa::Arch::X86: return isa::x86::Eax;
+        }
+        return 0;
+    }
+
+    ir::RegId
+    sp_reg() const
+    {
+        switch (lifted_.arch) {
+          case isa::Arch::Mips32: return isa::mips::Sp;
+          case isa::Arch::Arm32: return isa::arm::Sp;
+          case isa::Arch::Ppc32: return isa::ppc::R1;
+          case isa::Arch::X86: return isa::x86::Esp;
+        }
+        return 0;
+    }
+
+  private:
+    const LiftedExecutable &lifted_;
+    const ExecOptions &options_;
+    std::uint64_t fuel_;
+    int depth_ = 0;
+};
+
+}  // namespace
+
+ExecResult
+execute_procedure(const LiftedExecutable &lifted, std::uint64_t entry,
+                  const std::vector<std::uint32_t> &args,
+                  const ExecOptions &options)
+{
+    Machine machine(lifted, options);
+    machine.regs[machine.sp_reg()] = options.stack_top;
+
+    // Place arguments per the architecture's ABI.
+    switch (lifted.arch) {
+      case isa::Arch::Mips32:
+        for (std::size_t i = 0; i < args.size() && i < 4; ++i) {
+            machine.regs[static_cast<ir::RegId>(isa::mips::A0 + i)] =
+                args[i];
+        }
+        break;
+      case isa::Arch::Arm32:
+        for (std::size_t i = 0; i < args.size() && i < 4; ++i) {
+            machine.regs[static_cast<ir::RegId>(isa::arm::R0 + i)] =
+                args[i];
+        }
+        break;
+      case isa::Arch::Ppc32:
+        for (std::size_t i = 0; i < args.size() && i < 4; ++i) {
+            machine.regs[static_cast<ir::RegId>(isa::ppc::R3 + i)] =
+                args[i];
+        }
+        break;
+      case isa::Arch::X86: {
+        // cdecl: args above a dummy return address.
+        std::uint32_t sp = options.stack_top;
+        for (std::size_t i = args.size(); i-- > 0;) {
+            sp -= 4;
+            machine.store(sp, args[i]);
+        }
+        sp -= 4;
+        machine.store(sp, 0xdeadbeef);  // return address slot
+        machine.regs[machine.sp_reg()] = sp;
+        break;
+      }
+    }
+
+    ExecResult result;
+    std::string error;
+    if (!machine.call(entry, error)) {
+        result.error = error;
+        return result;
+    }
+    result.ok = true;
+    result.value = machine.regs[machine.ret_reg()];
+    // Report only data-section memory: stack layouts legitimately differ
+    // between compilations.
+    for (const auto &[addr, value] : machine.memory) {
+        if (addr >= lifted.data_addr && addr < lifted.data_end &&
+            value != 0) {
+            result.memory[addr - static_cast<std::uint32_t>(
+                                     lifted.data_addr)] = value;
+        }
+    }
+    return result;
+}
+
+}  // namespace firmup::lifter

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * µIR interpreter — concrete execution of lifted procedures.
+ *
+ * The reproduction's equivalence oracle: two compilations of the same
+ * source procedure, lifted back to µIR, must compute the same result and
+ * the same final global-memory state for the same arguments. This is the
+ * differential test that pins down the whole compiler/encoder/decoder/
+ * lifter chain semantically — if any stage mis-translates an instruction,
+ * cross-toolchain executions diverge.
+ *
+ * (The paper itself never executes firmware code — that is its argument
+ * against dynamic approaches, section 6 — but the *reproduction* needs an
+ * executable semantics to prove its substrate faithful.)
+ */
+#pragma once
+
+#include <map>
+
+#include "lifter/cfg.h"
+
+namespace firmup::lifter {
+
+/** Result of a terminated interpretation. */
+struct ExecResult
+{
+    bool ok = false;            ///< false: fuel exhausted or bad state
+    std::string error;          ///< diagnostic when !ok
+    std::uint32_t value = 0;    ///< ABI return-register value
+    std::map<std::uint32_t, std::uint32_t> memory;  ///< final data words
+};
+
+/** Interpreter limits. */
+struct ExecOptions
+{
+    std::uint64_t fuel = 200000;  ///< maximum statements to execute
+    std::uint32_t stack_top = 0x7fff0000;  ///< initial stack pointer
+};
+
+/**
+ * Execute the procedure at @p entry of @p lifted with the given
+ * arguments (passed per the architecture's ABI). Data-section memory
+ * starts zeroed; loads from unwritten addresses read zero. Division by
+ * zero yields zero (the same convention the compile-time folders use).
+ */
+ExecResult execute_procedure(const LiftedExecutable &lifted,
+                             std::uint64_t entry,
+                             const std::vector<std::uint32_t> &args,
+                             const ExecOptions &options = {});
+
+}  // namespace firmup::lifter

@@ -1,0 +1,619 @@
+#include "lifter/lift.h"
+
+#include "isa/arm.h"
+#include "isa/mips.h"
+#include "isa/ppc.h"
+#include "isa/x86.h"
+#include "support/error.h"
+
+namespace firmup::lifter {
+
+using ir::BinOp;
+using ir::Operand;
+using ir::Stmt;
+using ir::TempId;
+using ir::UnOp;
+using isa::MachInst;
+
+namespace {
+
+/** Statement emission helpers bound to one block + temp counter. */
+class Emitter
+{
+  public:
+    Emitter(ir::Block &block, LiftState &state, std::uint64_t addr)
+        : block_(block), state_(state), addr_(addr)
+    {
+    }
+
+    TempId
+    fresh()
+    {
+        return state_.next_temp++;
+    }
+
+    void
+    push(Stmt s)
+    {
+        s.insn_addr = addr_;
+        block_.stmts.push_back(s);
+    }
+
+    /** t = Get(reg) */
+    Operand
+    get(ir::RegId reg)
+    {
+        const TempId t = fresh();
+        push(Stmt::get(t, reg));
+        return Operand::temp(t);
+    }
+
+    void
+    put(ir::RegId reg, Operand v)
+    {
+        push(Stmt::put(reg, v));
+    }
+
+    Operand
+    bin(BinOp op, Operand a, Operand b)
+    {
+        const TempId t = fresh();
+        push(Stmt::bin(t, op, a, b));
+        return Operand::temp(t);
+    }
+
+    Operand
+    un(UnOp op, Operand a)
+    {
+        const TempId t = fresh();
+        push(Stmt::un(t, op, a));
+        return Operand::temp(t);
+    }
+
+    Operand
+    load(Operand address)
+    {
+        const TempId t = fresh();
+        push(Stmt::load(t, address));
+        return Operand::temp(t);
+    }
+
+    void
+    store(Operand address, Operand value)
+    {
+        push(Stmt::store(address, value));
+    }
+
+    Operand
+    call(Operand target)
+    {
+        const TempId t = fresh();
+        push(Stmt::call(t, target));
+        return Operand::temp(t);
+    }
+
+    void
+    exit_if(Operand cond, std::uint64_t target)
+    {
+        push(Stmt::exit(cond, Operand::imm(
+                                  static_cast<std::uint32_t>(target))));
+    }
+
+    /** Comparison of the recorded CC_DEP operands under `cond`. */
+    Operand
+    cc_compare(isa::Cond cond)
+    {
+        const Operand a = get(kRegCcDep1);
+        const Operand b = get(kRegCcDep2);
+        return bin(cond_op(cond), a, b);
+    }
+
+    static BinOp
+    cond_op(isa::Cond cond)
+    {
+        switch (cond) {
+          case isa::Cond::EQ: return BinOp::CmpEQ;
+          case isa::Cond::NE: return BinOp::CmpNE;
+          case isa::Cond::LTS: return BinOp::CmpLTS;
+          case isa::Cond::LES: return BinOp::CmpLES;
+          case isa::Cond::LTU: return BinOp::CmpLTU;
+          case isa::Cond::LEU: return BinOp::CmpLEU;
+        }
+        return BinOp::CmpEQ;
+    }
+
+  private:
+    ir::Block &block_;
+    LiftState &state_;
+    std::uint64_t addr_;
+};
+
+Flow
+lift_mips(const MachInst &inst, std::uint64_t addr, LiftState &state,
+          ir::Block &block)
+{
+    namespace m = isa::mips;
+    Emitter e(block, state, addr);
+    const auto op = static_cast<m::Op>(inst.op);
+    // $zero reads as constant 0 — resolving it here keeps strands clean.
+    auto reg = [&e](isa::MReg r) {
+        return r == m::Zero ? Operand::imm(0) : e.get(r);
+    };
+    auto imm_s = [&inst] {
+        return Operand::imm(static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(inst.imm)));
+    };
+    auto imm_u = [&inst] {
+        return Operand::imm(static_cast<std::uint32_t>(inst.imm) & 0xffff);
+    };
+
+    switch (op) {
+      case m::Op::Nop:
+        return Flow::normal();
+      case m::Op::Lui:
+        e.put(inst.rd, Operand::imm(static_cast<std::uint32_t>(inst.imm)
+                                    << 16));
+        return Flow::normal();
+      case m::Op::Ori:
+        e.put(inst.rd, e.bin(BinOp::Or, reg(inst.rs), imm_u()));
+        return Flow::normal();
+      case m::Op::Andi:
+        e.put(inst.rd, e.bin(BinOp::And, reg(inst.rs), imm_u()));
+        return Flow::normal();
+      case m::Op::Xori:
+        e.put(inst.rd, e.bin(BinOp::Xor, reg(inst.rs), imm_u()));
+        return Flow::normal();
+      case m::Op::Addiu:
+        e.put(inst.rd, e.bin(BinOp::Add, reg(inst.rs), imm_s()));
+        return Flow::normal();
+      case m::Op::Slti:
+        e.put(inst.rd, e.bin(BinOp::CmpLTS, reg(inst.rs), imm_s()));
+        return Flow::normal();
+      case m::Op::Sltiu:
+        e.put(inst.rd, e.bin(BinOp::CmpLTU, reg(inst.rs), imm_s()));
+        return Flow::normal();
+      case m::Op::Lw:
+        e.put(inst.rd,
+              e.load(e.bin(BinOp::Add, reg(inst.rs), imm_s())));
+        return Flow::normal();
+      case m::Op::Sw:
+        e.store(e.bin(BinOp::Add, reg(inst.rs), imm_s()), reg(inst.rd));
+        return Flow::normal();
+      case m::Op::Sll:
+      case m::Op::Srl:
+      case m::Op::Sra: {
+        const BinOp shift = op == m::Op::Sll    ? BinOp::Shl
+                            : op == m::Op::Srl ? BinOp::ShrL
+                                               : BinOp::ShrA;
+        e.put(inst.rd, e.bin(shift, reg(inst.rs),
+                             Operand::imm(static_cast<std::uint32_t>(
+                                 inst.imm & 31))));
+        return Flow::normal();
+      }
+      case m::Op::Addu:
+      case m::Op::Subu:
+      case m::Op::Mul:
+      case m::Op::Div:
+      case m::Op::Mod:
+      case m::Op::Divu:
+      case m::Op::And:
+      case m::Op::Or:
+      case m::Op::Xor:
+      case m::Op::Sllv:
+      case m::Op::Srlv:
+      case m::Op::Srav:
+      case m::Op::Slt:
+      case m::Op::Sltu: {
+        BinOp bop;
+        switch (op) {
+          case m::Op::Addu: bop = BinOp::Add; break;
+          case m::Op::Subu: bop = BinOp::Sub; break;
+          case m::Op::Mul: bop = BinOp::Mul; break;
+          case m::Op::Div: bop = BinOp::DivS; break;
+          case m::Op::Mod: bop = BinOp::RemS; break;
+          case m::Op::Divu: bop = BinOp::DivU; break;
+          case m::Op::And: bop = BinOp::And; break;
+          case m::Op::Or: bop = BinOp::Or; break;
+          case m::Op::Xor: bop = BinOp::Xor; break;
+          case m::Op::Sllv: bop = BinOp::Shl; break;
+          case m::Op::Srlv: bop = BinOp::ShrL; break;
+          case m::Op::Srav: bop = BinOp::ShrA; break;
+          case m::Op::Slt: bop = BinOp::CmpLTS; break;
+          default: bop = BinOp::CmpLTU; break;
+        }
+        e.put(inst.rd, e.bin(bop, reg(inst.rs), reg(inst.rt)));
+        return Flow::normal();
+      }
+      case m::Op::Beq:
+      case m::Op::Bne: {
+        const Operand c =
+            e.bin(op == m::Op::Beq ? BinOp::CmpEQ : BinOp::CmpNE,
+                  reg(inst.rs), reg(inst.rt));
+        e.exit_if(c, static_cast<std::uint64_t>(inst.imm));
+        return Flow::branch(static_cast<std::uint64_t>(inst.imm));
+      }
+      case m::Op::J:
+        return Flow::jump(static_cast<std::uint64_t>(inst.imm));
+      case m::Op::Jal: {
+        const Operand result = e.call(Operand::imm(
+            static_cast<std::uint32_t>(inst.imm)));
+        e.put(m::V0, result);
+        return Flow::normal();
+      }
+      case m::Op::Jalr: {
+        const Operand result = e.call(reg(inst.rs));
+        e.put(m::V0, result);
+        return Flow::normal();
+      }
+      case m::Op::Jr:
+        // `jr $ra` is the return idiom; other targets (not produced by
+        // any toolchain here) degrade to a return as well.
+        return Flow::ret();
+    }
+    return Flow::normal();
+}
+
+Flow
+lift_arm(const MachInst &inst, std::uint64_t addr, LiftState &state,
+         ir::Block &block)
+{
+    namespace a = isa::arm;
+    Emitter e(block, state, addr);
+    const auto op = static_cast<a::Op>(inst.op);
+    auto imm32 = [&inst] {
+        return Operand::imm(static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(inst.imm)));
+    };
+
+    switch (op) {
+      case a::Op::Nop:
+        return Flow::normal();
+      case a::Op::MovReg:
+        e.put(inst.rd, e.get(inst.rt));
+        return Flow::normal();
+      case a::Op::MovImm:
+        e.put(inst.rd, imm32());
+        return Flow::normal();
+      case a::Op::Movw:
+        e.put(inst.rd,
+              Operand::imm(static_cast<std::uint32_t>(inst.imm) & 0xffff));
+        return Flow::normal();
+      case a::Op::Movt: {
+        const Operand low =
+            e.bin(BinOp::And, e.get(inst.rd), Operand::imm(0xffff));
+        e.put(inst.rd,
+              e.bin(BinOp::Or, low,
+                    Operand::imm(static_cast<std::uint32_t>(inst.imm)
+                                 << 16)));
+        return Flow::normal();
+      }
+      case a::Op::Add:
+      case a::Op::Sub:
+      case a::Op::Mul:
+      case a::Op::And:
+      case a::Op::Orr:
+      case a::Op::Eor:
+      case a::Op::Lsl:
+      case a::Op::Lsr:
+      case a::Op::Asr:
+      case a::Op::Sdiv:
+      case a::Op::Srem: {
+        BinOp bop;
+        switch (op) {
+          case a::Op::Add: bop = BinOp::Add; break;
+          case a::Op::Sub: bop = BinOp::Sub; break;
+          case a::Op::Mul: bop = BinOp::Mul; break;
+          case a::Op::And: bop = BinOp::And; break;
+          case a::Op::Orr: bop = BinOp::Or; break;
+          case a::Op::Eor: bop = BinOp::Xor; break;
+          case a::Op::Lsl: bop = BinOp::Shl; break;
+          case a::Op::Lsr: bop = BinOp::ShrL; break;
+          case a::Op::Asr: bop = BinOp::ShrA; break;
+          case a::Op::Sdiv: bop = BinOp::DivS; break;
+          default: bop = BinOp::RemS; break;
+        }
+        e.put(inst.rd, e.bin(bop, e.get(inst.rs), e.get(inst.rt)));
+        return Flow::normal();
+      }
+      case a::Op::AddImm:
+        e.put(inst.rd, e.bin(BinOp::Add, e.get(inst.rs), imm32()));
+        return Flow::normal();
+      case a::Op::SubImm:
+        e.put(inst.rd, e.bin(BinOp::Sub, e.get(inst.rs), imm32()));
+        return Flow::normal();
+      case a::Op::LslImm:
+      case a::Op::LsrImm:
+      case a::Op::AsrImm: {
+        const BinOp bop = op == a::Op::LslImm   ? BinOp::Shl
+                          : op == a::Op::LsrImm ? BinOp::ShrL
+                                                : BinOp::ShrA;
+        e.put(inst.rd, e.bin(bop, e.get(inst.rs), imm32()));
+        return Flow::normal();
+      }
+      case a::Op::Cmp:
+        e.put(kRegCcDep1, e.get(inst.rs));
+        e.put(kRegCcDep2, e.get(inst.rt));
+        return Flow::normal();
+      case a::Op::CmpImm:
+        e.put(kRegCcDep1, e.get(inst.rs));
+        e.put(kRegCcDep2, imm32());
+        return Flow::normal();
+      case a::Op::Ldr:
+        e.put(inst.rd, e.load(e.bin(BinOp::Add, e.get(inst.rs),
+                                    imm32())));
+        return Flow::normal();
+      case a::Op::Str:
+        e.store(e.bin(BinOp::Add, e.get(inst.rs), imm32()),
+                e.get(inst.rd));
+        return Flow::normal();
+      case a::Op::B:
+        if (inst.rt == 1) {
+            e.exit_if(e.cc_compare(inst.cond),
+                      static_cast<std::uint64_t>(inst.imm));
+            return Flow::branch(static_cast<std::uint64_t>(inst.imm));
+        }
+        return Flow::jump(static_cast<std::uint64_t>(inst.imm));
+      case a::Op::Bl: {
+        const Operand result = e.call(Operand::imm(
+            static_cast<std::uint32_t>(inst.imm)));
+        e.put(a::R0, result);
+        return Flow::normal();
+      }
+      case a::Op::BxLr:
+        return Flow::ret();
+      case a::Op::Set:
+        e.put(inst.rd, e.cc_compare(inst.cond));
+        return Flow::normal();
+    }
+    return Flow::normal();
+}
+
+Flow
+lift_ppc(const MachInst &inst, std::uint64_t addr, LiftState &state,
+         ir::Block &block)
+{
+    namespace p = isa::ppc;
+    Emitter e(block, state, addr);
+    const auto op = static_cast<p::Op>(inst.op);
+    auto imm_s = [&inst] {
+        return Operand::imm(static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(inst.imm)));
+    };
+    /** Resolve a cr0 condition against the live compare signedness. */
+    auto resolve_cond = [&state](isa::Cond cond) {
+        if (!state.cmp_unsigned) {
+            return cond;
+        }
+        switch (cond) {
+          case isa::Cond::LTS: return isa::Cond::LTU;
+          case isa::Cond::LES: return isa::Cond::LEU;
+          default: return cond;
+        }
+    };
+
+    switch (op) {
+      case p::Op::Nop:
+        return Flow::normal();
+      case p::Op::Addi:
+        // PPC: RA=0 means literal zero (the li idiom).
+        if (inst.rs == 0) {
+            e.put(inst.rd, imm_s());
+        } else {
+            e.put(inst.rd, e.bin(BinOp::Add, e.get(inst.rs), imm_s()));
+        }
+        return Flow::normal();
+      case p::Op::Addis: {
+        const Operand shifted = Operand::imm(
+            static_cast<std::uint32_t>(inst.imm) << 16);
+        if (inst.rs == 0) {
+            e.put(inst.rd, shifted);
+        } else {
+            e.put(inst.rd, e.bin(BinOp::Add, e.get(inst.rs), shifted));
+        }
+        return Flow::normal();
+      }
+      case p::Op::Ori:
+        e.put(inst.rd,
+              e.bin(BinOp::Or, e.get(inst.rs),
+                    Operand::imm(static_cast<std::uint32_t>(inst.imm) &
+                                 0xffff)));
+        return Flow::normal();
+      case p::Op::Add:
+      case p::Op::Subf:
+      case p::Op::Mullw:
+      case p::Op::Divw:
+      case p::Op::Divwu:
+      case p::Op::Modsw:
+      case p::Op::And:
+      case p::Op::Or:
+      case p::Op::Xor:
+      case p::Op::Slw:
+      case p::Op::Srw:
+      case p::Op::Sraw: {
+        BinOp bop;
+        switch (op) {
+          case p::Op::Add: bop = BinOp::Add; break;
+          case p::Op::Subf: bop = BinOp::Sub; break;
+          case p::Op::Mullw: bop = BinOp::Mul; break;
+          case p::Op::Divw: bop = BinOp::DivS; break;
+          case p::Op::Divwu: bop = BinOp::DivU; break;
+          case p::Op::Modsw: bop = BinOp::RemS; break;
+          case p::Op::And: bop = BinOp::And; break;
+          case p::Op::Or: bop = BinOp::Or; break;
+          case p::Op::Xor: bop = BinOp::Xor; break;
+          case p::Op::Slw: bop = BinOp::Shl; break;
+          case p::Op::Srw: bop = BinOp::ShrL; break;
+          default: bop = BinOp::ShrA; break;
+        }
+        e.put(inst.rd, e.bin(bop, e.get(inst.rs), e.get(inst.rt)));
+        return Flow::normal();
+      }
+      case p::Op::Cmpw:
+      case p::Op::Cmplw:
+        e.put(kRegCcDep1, e.get(inst.rs));
+        e.put(kRegCcDep2, e.get(inst.rt));
+        state.cmp_unsigned = op == p::Op::Cmplw;
+        return Flow::normal();
+      case p::Op::Cmpwi:
+        e.put(kRegCcDep1, e.get(inst.rs));
+        e.put(kRegCcDep2, imm_s());
+        state.cmp_unsigned = false;
+        return Flow::normal();
+      case p::Op::Lwz:
+        e.put(inst.rd, e.load(e.bin(BinOp::Add, e.get(inst.rs),
+                                    imm_s())));
+        return Flow::normal();
+      case p::Op::Stw:
+        e.store(e.bin(BinOp::Add, e.get(inst.rs), imm_s()),
+                e.get(inst.rd));
+        return Flow::normal();
+      case p::Op::B:
+        return Flow::jump(static_cast<std::uint64_t>(inst.imm));
+      case p::Op::Bl: {
+        const Operand result = e.call(Operand::imm(
+            static_cast<std::uint32_t>(inst.imm)));
+        e.put(p::R3, result);
+        return Flow::normal();
+      }
+      case p::Op::Bc:
+        e.exit_if(e.cc_compare(resolve_cond(inst.cond)),
+                  static_cast<std::uint64_t>(inst.imm));
+        return Flow::branch(static_cast<std::uint64_t>(inst.imm));
+      case p::Op::Blr:
+        return Flow::ret();
+      case p::Op::Mflr:
+        e.put(inst.rd, e.get(kRegLr));
+        return Flow::normal();
+      case p::Op::Mtlr:
+        e.put(kRegLr, e.get(inst.rs));
+        return Flow::normal();
+      case p::Op::Setbc:
+        e.put(inst.rd, e.cc_compare(resolve_cond(inst.cond)));
+        return Flow::normal();
+    }
+    return Flow::normal();
+}
+
+Flow
+lift_x86(const MachInst &inst, std::uint64_t addr, LiftState &state,
+         ir::Block &block)
+{
+    namespace x = isa::x86;
+    Emitter e(block, state, addr);
+    const auto op = static_cast<x::Op>(inst.op);
+    auto imm32 = [&inst] {
+        return Operand::imm(static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(inst.imm)));
+    };
+    auto two_op = [&](BinOp bop, Operand rhs) {
+        e.put(inst.rd, e.bin(bop, e.get(inst.rd), rhs));
+    };
+
+    switch (op) {
+      case x::Op::Nop:
+        return Flow::normal();
+      case x::Op::MovRR:
+        e.put(inst.rd, e.get(inst.rt));
+        return Flow::normal();
+      case x::Op::MovRI:
+        e.put(inst.rd, imm32());
+        return Flow::normal();
+      case x::Op::AddRR: two_op(BinOp::Add, e.get(inst.rt)); break;
+      case x::Op::SubRR: two_op(BinOp::Sub, e.get(inst.rt)); break;
+      case x::Op::ImulRR: two_op(BinOp::Mul, e.get(inst.rt)); break;
+      case x::Op::AndRR: two_op(BinOp::And, e.get(inst.rt)); break;
+      case x::Op::OrRR: two_op(BinOp::Or, e.get(inst.rt)); break;
+      case x::Op::XorRR: two_op(BinOp::Xor, e.get(inst.rt)); break;
+      case x::Op::ShlRR: two_op(BinOp::Shl, e.get(inst.rt)); break;
+      case x::Op::SarRR: two_op(BinOp::ShrA, e.get(inst.rt)); break;
+      case x::Op::ShrRR: two_op(BinOp::ShrL, e.get(inst.rt)); break;
+      case x::Op::IdivRR: two_op(BinOp::DivS, e.get(inst.rt)); break;
+      case x::Op::IremRR: two_op(BinOp::RemS, e.get(inst.rt)); break;
+      case x::Op::AddRI: two_op(BinOp::Add, imm32()); break;
+      case x::Op::SubRI: two_op(BinOp::Sub, imm32()); break;
+      case x::Op::ImulRI: two_op(BinOp::Mul, imm32()); break;
+      case x::Op::AndRI: two_op(BinOp::And, imm32()); break;
+      case x::Op::OrRI: two_op(BinOp::Or, imm32()); break;
+      case x::Op::XorRI: two_op(BinOp::Xor, imm32()); break;
+      case x::Op::ShlRI: two_op(BinOp::Shl, imm32()); break;
+      case x::Op::SarRI: two_op(BinOp::ShrA, imm32()); break;
+      case x::Op::ShrRI: two_op(BinOp::ShrL, imm32()); break;
+      case x::Op::Neg:
+        e.put(inst.rd, e.un(UnOp::Neg, e.get(inst.rd)));
+        break;
+      case x::Op::Not:
+        e.put(inst.rd, e.un(UnOp::Not, e.get(inst.rd)));
+        break;
+      case x::Op::CmpRR:
+        e.put(kRegCcDep1, e.get(inst.rd));
+        e.put(kRegCcDep2, e.get(inst.rt));
+        break;
+      case x::Op::CmpRI:
+        e.put(kRegCcDep1, e.get(inst.rd));
+        e.put(kRegCcDep2, imm32());
+        break;
+      case x::Op::Jcc:
+        e.exit_if(e.cc_compare(inst.cond),
+                  static_cast<std::uint64_t>(inst.imm));
+        return Flow::branch(static_cast<std::uint64_t>(inst.imm));
+      case x::Op::Jmp:
+        return Flow::jump(static_cast<std::uint64_t>(inst.imm));
+      case x::Op::Call: {
+        const Operand result = e.call(Operand::imm(
+            static_cast<std::uint32_t>(inst.imm)));
+        e.put(x::Eax, result);
+        break;
+      }
+      case x::Op::Ret:
+        return Flow::ret();
+      case x::Op::Push: {
+        const Operand sp =
+            e.bin(BinOp::Sub, e.get(x::Esp), Operand::imm(4));
+        e.put(x::Esp, sp);
+        e.store(sp, e.get(inst.rd));
+        break;
+      }
+      case x::Op::Pop: {
+        const Operand sp = e.get(x::Esp);
+        e.put(inst.rd, e.load(sp));
+        e.put(x::Esp, e.bin(BinOp::Add, sp, Operand::imm(4)));
+        break;
+      }
+      case x::Op::LoadRM:
+        e.put(inst.rd, e.load(e.bin(BinOp::Add, e.get(inst.rs),
+                                    imm32())));
+        break;
+      case x::Op::StoreMR:
+        e.store(e.bin(BinOp::Add, e.get(inst.rs), imm32()),
+                e.get(inst.rd));
+        break;
+      case x::Op::Lea:
+        e.put(inst.rd, e.bin(BinOp::Add, e.get(inst.rs), imm32()));
+        break;
+      case x::Op::Setcc:
+        e.put(inst.rd, e.cc_compare(inst.cond));
+        break;
+    }
+    return Flow::normal();
+}
+
+}  // namespace
+
+Flow
+lift_inst(isa::Arch arch, const MachInst &inst, std::uint64_t addr,
+          LiftState &state, ir::Block &block)
+{
+    switch (arch) {
+      case isa::Arch::Mips32:
+        return lift_mips(inst, addr, state, block);
+      case isa::Arch::Arm32:
+        return lift_arm(inst, addr, state, block);
+      case isa::Arch::Ppc32:
+        return lift_ppc(inst, addr, state, block);
+      case isa::Arch::X86:
+        return lift_x86(inst, addr, state, block);
+    }
+    FIRMUP_ASSERT(false, "bad arch");
+}
+
+}  // namespace firmup::lifter

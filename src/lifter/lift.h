@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Instruction lifting: machine instructions → µIR statements.
+ *
+ * Mirrors the role of VEX in the paper (section 3.1): every lifted
+ * instruction exposes the full machine-state effect, including flag
+ * side-effects. Flag-setting compares are lifted the way VEX models
+ * condition codes — the compare operands are stored into CC_DEP1/CC_DEP2
+ * pseudo-registers and the consuming branch/set instruction materializes
+ * the actual comparison expression — which lets one canonical form emerge
+ * across flag-based (ARM, x86, PPC) and compare-into-register (MIPS)
+ * architectures once strands are simplified.
+ */
+#pragma once
+
+#include "ir/uir.h"
+#include "isa/isa.h"
+
+namespace firmup::lifter {
+
+/** Pseudo guest registers shared by all ISAs (above any real register). */
+inline constexpr ir::RegId kRegCcDep1 = 64;  ///< last compare, left
+inline constexpr ir::RegId kRegCcDep2 = 65;  ///< last compare, right
+inline constexpr ir::RegId kRegLr = 66;      ///< PPC link register
+
+/** Control-flow effect of one lifted instruction. */
+struct Flow
+{
+    enum class Kind : std::uint8_t {
+        Normal,  ///< falls through
+        Branch,  ///< conditional; Exit statement emitted, `target` set
+        Jump,    ///< unconditional transfer to `target`
+        Ret,     ///< procedure return
+    } kind = Kind::Normal;
+    std::uint64_t target = 0;
+
+    static Flow normal() { return {}; }
+    static Flow branch(std::uint64_t t) { return {Kind::Branch, t}; }
+    static Flow jump(std::uint64_t t) { return {Kind::Jump, t}; }
+    static Flow ret() { return {Kind::Ret, 0}; }
+};
+
+/** Mutable lifting state threaded through one basic block. */
+struct LiftState
+{
+    ir::TempId next_temp = 0;
+    bool cmp_unsigned = false;  ///< PPC: was the live compare a cmplw?
+};
+
+/**
+ * Lift one instruction into @p block.
+ *
+ * Calls are lifted as in-block Call statements (blocks do not split at
+ * calls). Branch targets are absolute addresses.
+ */
+Flow lift_inst(isa::Arch arch, const isa::MachInst &inst,
+               std::uint64_t addr, LiftState &state, ir::Block &block);
+
+}  // namespace firmup::lifter

@@ -1,0 +1,144 @@
+#include "sim/persist.h"
+
+#include <cstring>
+
+namespace firmup::sim {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'F', 'W', 'I', 'X'};
+constexpr std::uint16_t kVersion = 1;
+
+void
+append_u64_le(ByteBuffer &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+std::uint64_t
+read_u64_le(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+        v = (v << 8) | p[i];
+    }
+    return v;
+}
+
+void
+append_string(ByteBuffer &out, const std::string &s)
+{
+    append_u16_le(out, static_cast<std::uint16_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+bool
+read_string(const std::uint8_t *bytes, std::size_t size, std::size_t &pos,
+            std::string &out)
+{
+    if (pos + 2 > size) {
+        return false;
+    }
+    const std::uint16_t len = read_u16_le(bytes + pos);
+    pos += 2;
+    if (pos + len > size) {
+        return false;
+    }
+    out.assign(reinterpret_cast<const char *>(bytes + pos), len);
+    pos += len;
+    return true;
+}
+
+}  // namespace
+
+ByteBuffer
+serialize_index(const ExecutableIndex &index)
+{
+    ByteBuffer out;
+    for (std::uint8_t byte : kMagic) {
+        out.push_back(byte);
+    }
+    append_u16_le(out, kVersion);
+    append_u8(out, static_cast<std::uint8_t>(index.arch));
+    append_string(out, index.name);
+    append_u32_le(out, static_cast<std::uint32_t>(index.procs.size()));
+    for (const ProcEntry &proc : index.procs) {
+        append_u64_le(out, proc.entry);
+        append_string(out, proc.name);
+        append_u32_le(out,
+                      static_cast<std::uint32_t>(proc.repr.block_count));
+        append_u32_le(out,
+                      static_cast<std::uint32_t>(proc.repr.stmt_count));
+        append_u32_le(out,
+                      static_cast<std::uint32_t>(proc.repr.hashes.size()));
+        for (std::uint64_t h : proc.repr.hashes) {
+            append_u64_le(out, h);
+        }
+    }
+    return out;
+}
+
+Result<ExecutableIndex>
+parse_index(const std::uint8_t *bytes, std::size_t size)
+{
+    std::size_t pos = 0;
+    if (size < 7 || std::memcmp(bytes, kMagic, 4) != 0) {
+        return Result<ExecutableIndex>::error("fwix: bad magic");
+    }
+    pos = 4;
+    const std::uint16_t version = read_u16_le(bytes + pos);
+    pos += 2;
+    if (version != kVersion) {
+        return Result<ExecutableIndex>::error("fwix: bad version");
+    }
+    ExecutableIndex index;
+    const std::uint8_t arch_byte = bytes[pos++];
+    if (arch_byte > static_cast<std::uint8_t>(isa::Arch::X86)) {
+        return Result<ExecutableIndex>::error("fwix: bad arch");
+    }
+    index.arch = static_cast<isa::Arch>(arch_byte);
+    if (!read_string(bytes, size, pos, index.name)) {
+        return Result<ExecutableIndex>::error("fwix: truncated name");
+    }
+    if (pos + 4 > size) {
+        return Result<ExecutableIndex>::error("fwix: truncated count");
+    }
+    const std::uint32_t proc_count = read_u32_le(bytes + pos);
+    pos += 4;
+    for (std::uint32_t i = 0; i < proc_count; ++i) {
+        ProcEntry proc;
+        if (pos + 8 > size) {
+            return Result<ExecutableIndex>::error("fwix: truncated proc");
+        }
+        proc.entry = read_u64_le(bytes + pos);
+        pos += 8;
+        if (!read_string(bytes, size, pos, proc.name) ||
+            pos + 12 > size) {
+            return Result<ExecutableIndex>::error("fwix: truncated proc");
+        }
+        proc.repr.block_count = read_u32_le(bytes + pos);
+        proc.repr.stmt_count = read_u32_le(bytes + pos + 4);
+        const std::uint32_t hash_count = read_u32_le(bytes + pos + 8);
+        pos += 12;
+        if (pos + 8ull * hash_count > size) {
+            return Result<ExecutableIndex>::error(
+                "fwix: truncated strand hashes");
+        }
+        for (std::uint32_t h = 0; h < hash_count; ++h) {
+            proc.repr.hashes.insert(read_u64_le(bytes + pos));
+            pos += 8;
+        }
+        index.procs.push_back(std::move(proc));
+    }
+    return index;
+}
+
+Result<ExecutableIndex>
+parse_index(const ByteBuffer &bytes)
+{
+    return parse_index(bytes.data(), bytes.size());
+}
+
+}  // namespace firmup::sim

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Serialization of executable indexes.
+ *
+ * The paper's crawl indexes ~200k executables once and then answers many
+ * CVE queries against the stored strand sets (section 5.1: "the
+ * procedures were indexed as a set of strands"). This module provides
+ * that persistence layer: an ExecutableIndex round-trips through a
+ * compact binary format (magic "FWIX"), so a corpus can be lifted and
+ * canonicalized once and searched many times.
+ */
+#pragma once
+
+#include "sim/similarity.h"
+#include "support/bytes.h"
+#include "support/error.h"
+
+namespace firmup::sim {
+
+/** Serialize @p index into the FWIX binary format. */
+ByteBuffer serialize_index(const ExecutableIndex &index);
+
+/** Parse an FWIX blob back into an index. */
+Result<ExecutableIndex> parse_index(const std::uint8_t *bytes,
+                                    std::size_t size);
+
+/** Convenience overload. */
+Result<ExecutableIndex> parse_index(const ByteBuffer &bytes);
+
+}  // namespace firmup::sim

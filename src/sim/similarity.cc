@@ -1,0 +1,119 @@
+#include "sim/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace firmup::sim {
+
+int
+ExecutableIndex::find_by_entry(std::uint64_t addr) const
+{
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+        if (procs[i].entry == addr) {
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+int
+ExecutableIndex::find_by_name(const std::string &proc_name) const
+{
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+        if (procs[i].name == proc_name) {
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+ExecutableIndex
+index_executable(const lifter::LiftedExecutable &lifted,
+                 strand::CanonOptions options)
+{
+    options.sections.text_lo = lifted.text_addr;
+    options.sections.text_hi = lifted.text_end;
+    options.sections.data_lo = lifted.data_addr;
+    options.sections.data_hi = lifted.data_end;
+
+    ExecutableIndex index;
+    index.name = lifted.name;
+    index.arch = lifted.arch;
+    index.procs.reserve(lifted.procs.size());
+    for (const auto &[entry, proc] : lifted.procs) {
+        ProcEntry pe;
+        pe.entry = entry;
+        pe.name = proc.name;
+        pe.repr = strand::represent_procedure(proc, options);
+        index.procs.push_back(std::move(pe));
+    }
+    return index;
+}
+
+int
+sim_score(const strand::ProcedureStrands &q,
+          const strand::ProcedureStrands &t)
+{
+    // Iterate the smaller set against the larger.
+    const auto &small = q.hashes.size() <= t.hashes.size() ? q : t;
+    const auto &large = q.hashes.size() <= t.hashes.size() ? t : q;
+    int shared = 0;
+    for (std::uint64_t h : small.hashes) {
+        shared += large.hashes.contains(h) ? 1 : 0;
+    }
+    return shared;
+}
+
+double
+GlobalContext::weight_of(std::uint64_t hash) const
+{
+    const auto it = weights.find(hash);
+    return it != weights.end() ? it->second : default_weight;
+}
+
+GlobalContext
+train_global_context(const std::vector<const ExecutableIndex *> &sample)
+{
+    GlobalContext context;
+    std::map<std::uint64_t, int> counts;
+    int total_procs = 0;
+    for (const ExecutableIndex *index : sample) {
+        for (const ProcEntry &proc : index->procs) {
+            ++total_procs;
+            for (std::uint64_t h : proc.repr.hashes) {
+                ++counts[h];
+            }
+        }
+    }
+    if (total_procs == 0) {
+        return context;
+    }
+    // -log document frequency, as in statistical significance weighting:
+    // a strand appearing in every procedure carries no evidence.
+    for (const auto &[hash, count] : counts) {
+        const double df =
+            static_cast<double>(count) / static_cast<double>(total_procs);
+        context.weights[hash] = std::max(0.05, -std::log(df));
+    }
+    // Unseen strands are maximally surprising.
+    context.default_weight = -std::log(0.5 / total_procs);
+    return context;
+}
+
+double
+weighted_sim(const strand::ProcedureStrands &q,
+             const strand::ProcedureStrands &t,
+             const GlobalContext &context)
+{
+    const auto &small = q.hashes.size() <= t.hashes.size() ? q : t;
+    const auto &large = q.hashes.size() <= t.hashes.size() ? t : q;
+    double score = 0.0;
+    for (std::uint64_t h : small.hashes) {
+        if (large.hashes.contains(h)) {
+            score += context.weight_of(h);
+        }
+    }
+    return score;
+}
+
+}  // namespace firmup::sim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Pairwise procedure similarity (paper section 3.3) and executable
+ * indexes.
+ *
+ * Sim(q, t) = |Strands(q) ∩ Strands(t)| over hashed canonical strands —
+ * a plain set intersection with no counts, exactly as the paper defines
+ * it. An ExecutableIndex is the unit both the game and the baselines
+ * operate on: every procedure of one executable, represented as strand
+ * hash sets.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lifter/cfg.h"
+#include "strand/canon.h"
+
+namespace firmup::sim {
+
+/** One indexed procedure. */
+struct ProcEntry
+{
+    std::uint64_t entry = 0;
+    std::string name;  ///< empty when stripped
+    strand::ProcedureStrands repr;
+};
+
+/** All procedures of one executable, represented for similarity search. */
+struct ExecutableIndex
+{
+    std::string name;
+    isa::Arch arch = isa::Arch::Mips32;
+    std::vector<ProcEntry> procs;
+
+    /** Index of the procedure whose entry is @p addr, or -1. */
+    int find_by_entry(std::uint64_t addr) const;
+    /** Index of the first procedure named @p name, or -1. */
+    int find_by_name(const std::string &name) const;
+};
+
+/**
+ * Build the index of a lifted executable. Canonicalization knobs are
+ * taken from @p options; section ranges are filled in from @p lifted.
+ */
+ExecutableIndex index_executable(const lifter::LiftedExecutable &lifted,
+                                 strand::CanonOptions options = {});
+
+/** Sim(q, t): the number of shared canonical strands. */
+int sim_score(const strand::ProcedureStrands &q,
+              const strand::ProcedureStrands &t);
+
+/**
+ * Statistical strand weights trained from a sample of procedures — the
+ * "global context" of GitZ: common strands (prologue shapes, trivial
+ * moves) carry little evidence, rare strands carry much.
+ */
+struct GlobalContext
+{
+    std::map<std::uint64_t, double> weights;
+    double default_weight = 1.0;
+
+    double weight_of(std::uint64_t hash) const;
+};
+
+/** Train a global context over all procedures in @p sample. */
+GlobalContext train_global_context(
+    const std::vector<const ExecutableIndex *> &sample);
+
+/** Weighted similarity: sum of weights of shared strands. */
+double weighted_sim(const strand::ProcedureStrands &q,
+                    const strand::ProcedureStrands &t,
+                    const GlobalContext &context);
+
+}  // namespace firmup::sim

@@ -1,0 +1,582 @@
+#include "strand/canon.h"
+
+#include <map>
+
+#include "support/error.h"
+#include "support/hash.h"
+#include "support/str.h"
+
+namespace firmup::strand {
+
+using ir::BinOp;
+using ir::Operand;
+using ir::Stmt;
+using ir::UnOp;
+
+namespace {
+
+/** Expression node in the canonicalization arena. */
+struct Expr
+{
+    enum class Kind : std::uint8_t {
+        Const, Input, Offset, Load, Bin, Un, Select, Call,
+    };
+    Kind kind;
+    std::uint32_t cval = 0;   ///< Const payload
+    ir::RegId reg = 0;        ///< Input origin register
+    std::uint64_t raw = 0;    ///< Offset original value
+    BinOp bin = BinOp::Add;
+    UnOp un = UnOp::Neg;
+    int a = -1, b = -1, c = -1;
+    std::uint64_t shash = 0;  ///< structural, allocation-independent
+};
+
+std::uint32_t
+eval_binop(BinOp op, std::uint32_t a, std::uint32_t b)
+{
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(b);
+    switch (op) {
+      case BinOp::Add: return a + b;
+      case BinOp::Sub: return a - b;
+      case BinOp::Mul: return a * b;
+      case BinOp::DivS:
+        return (sb == 0 || (sa == INT32_MIN && sb == -1))
+                   ? 0 : static_cast<std::uint32_t>(sa / sb);
+      case BinOp::DivU: return b == 0 ? 0 : a / b;
+      case BinOp::RemS:
+        return (sb == 0 || (sa == INT32_MIN && sb == -1))
+                   ? 0 : static_cast<std::uint32_t>(sa % sb);
+      case BinOp::RemU: return b == 0 ? 0 : a % b;
+      case BinOp::And: return a & b;
+      case BinOp::Or: return a | b;
+      case BinOp::Xor: return a ^ b;
+      case BinOp::Shl: return a << (b & 31);
+      case BinOp::ShrL: return a >> (b & 31);
+      case BinOp::ShrA:
+        return static_cast<std::uint32_t>(sa >> (b & 31));
+      case BinOp::CmpEQ: return a == b;
+      case BinOp::CmpNE: return a != b;
+      case BinOp::CmpLTS: return sa < sb;
+      case BinOp::CmpLTU: return a < b;
+      case BinOp::CmpLES: return sa <= sb;
+      case BinOp::CmpLEU: return a <= b;
+    }
+    return 0;
+}
+
+/** Arena + smart constructors implementing the simplification rules. */
+class Builder
+{
+  public:
+    explicit Builder(const CanonOptions &options) : opt_(options) {}
+
+    const Expr &at(int i) const { return arena_[static_cast<size_t>(i)]; }
+
+    int
+    constant(std::uint32_t value)
+    {
+        if (opt_.eliminate_offsets && opt_.sections.contains(value)) {
+            Expr e{Expr::Kind::Offset};
+            e.raw = value;
+            e.shash = mix64(0x0FF5E7);  // all offsets structurally equal
+            return add(e);
+        }
+        Expr e{Expr::Kind::Const};
+        e.cval = value;
+        e.shash = hash_combine(1, value);
+        return add(e);
+    }
+
+    int
+    input(ir::RegId reg)
+    {
+        Expr e{Expr::Kind::Input};
+        e.reg = reg;
+        // Inputs hash identically so that register allocation cannot
+        // perturb commutative operand ordering.
+        e.shash = mix64(0x1A9F7);
+        return add(e);
+    }
+
+    int
+    load(int addr)
+    {
+        Expr e{Expr::Kind::Load};
+        e.a = addr;
+        e.shash = hash_combine(mix64(3), at(addr).shash);
+        return add(e);
+    }
+
+    int
+    call(int target)
+    {
+        Expr e{Expr::Kind::Call};
+        e.a = target;
+        e.shash = hash_combine(mix64(4), at(target).shash);
+        return add(e);
+    }
+
+    int
+    select(int cond, int t, int f)
+    {
+        Expr e{Expr::Kind::Select};
+        e.a = cond;
+        e.b = t;
+        e.c = f;
+        e.shash = hash_combine(
+            hash_combine(mix64(5), at(cond).shash),
+            hash_combine(at(t).shash, at(f).shash));
+        return add(e);
+    }
+
+    int
+    unop(UnOp op, int a)
+    {
+        if (opt_.optimize) {
+            const Expr &ea = at(a);
+            if (ea.kind == Expr::Kind::Const) {
+                return constant(op == UnOp::Neg ? 0u - ea.cval : ~ea.cval);
+            }
+            // neg(neg(x)) = x, not(not(x)) = x
+            if (ea.kind == Expr::Kind::Un && ea.un == op) {
+                return ea.a;
+            }
+        }
+        Expr e{Expr::Kind::Un};
+        e.un = op;
+        e.a = a;
+        e.shash = hash_combine(mix64(10 + static_cast<int>(op)),
+                               at(a).shash);
+        return add(e);
+    }
+
+    int
+    binop(BinOp op, int a, int b)
+    {
+        if (!opt_.optimize) {
+            return raw_bin(op, a, b);
+        }
+        // Constant folding.
+        if (is_const(a) && is_const(b)) {
+            return constant(eval_binop(op, cval(a), cval(b)));
+        }
+        // Normalize subtraction-by-constant into addition.
+        if (op == BinOp::Sub && is_const(b)) {
+            return binop(BinOp::Add, a, constant(0u - cval(b)));
+        }
+        // Constant to the right for commutative operators.
+        if (ir::is_commutative(op) && is_const(a) && !is_const(b)) {
+            std::swap(a, b);
+        }
+        // Reassociate (x + c1) + c2.
+        if (op == BinOp::Add && is_const(b)) {
+            const Expr &ea = at(a);
+            if (ea.kind == Expr::Kind::Bin && ea.bin == BinOp::Add &&
+                is_const(ea.b)) {
+                return binop(BinOp::Add, ea.a,
+                             constant(cval(ea.b) + cval(b)));
+            }
+        }
+        // Identities with a constant rhs.
+        if (is_const(b)) {
+            const std::uint32_t c = cval(b);
+            switch (op) {
+              case BinOp::Add:
+              case BinOp::Sub:
+              case BinOp::Or:
+              case BinOp::Xor:
+              case BinOp::Shl:
+              case BinOp::ShrL:
+              case BinOp::ShrA:
+                if (c == 0) {
+                    return a;
+                }
+                break;
+              case BinOp::Mul:
+                if (c == 0) {
+                    return constant(0);
+                }
+                if (c == 1) {
+                    return a;
+                }
+                // Strength-reduction normal form: one toolchain emits a
+                // multiply, another a shift; converge on the shift.
+                if ((c & (c - 1)) == 0) {
+                    std::uint32_t log2 = 0;
+                    while ((1u << log2) < c) {
+                        ++log2;
+                    }
+                    return binop(BinOp::Shl, a, constant(log2));
+                }
+                break;
+              case BinOp::And:
+                if (c == 0) {
+                    return constant(0);
+                }
+                if (c == 0xffffffffu) {
+                    return a;
+                }
+                break;
+              default:
+                break;
+            }
+            // Instruction-combining rules for compare idioms:
+            //   sltiu r, x, 1      ->  x == 0
+            //   xori  r, cmp, 1    ->  !cmp
+            //   andi  r, cmp, 1    ->  cmp
+            if (op == BinOp::CmpLTU && c == 1) {
+                return binop(BinOp::CmpEQ, a, constant(0));
+            }
+            if (op == BinOp::Xor && c == 1 && is_cmp(a)) {
+                return negate(a);
+            }
+            if (op == BinOp::And && c == 1 && is_cmp(a)) {
+                return a;
+            }
+            if ((op == BinOp::CmpEQ || op == BinOp::CmpNE) && c == 0) {
+                //   cmp == 0  ->  !cmp ;  cmp != 0  ->  cmp
+                if (is_cmp(a)) {
+                    return op == BinOp::CmpNE ? a : negate(a);
+                }
+                //   (x ^ y) == 0  ->  x == y   (MIPS seq idiom)
+                const Expr &ea = at(a);
+                if (ea.kind == Expr::Kind::Bin && ea.bin == BinOp::Xor) {
+                    return binop(op, ea.a, ea.b);
+                }
+            }
+        }
+        //   sltu r, 0, x  ->  x != 0
+        if (op == BinOp::CmpLTU && is_const(a) && cval(a) == 0) {
+            return binop(BinOp::CmpNE, b, constant(0));
+        }
+        // x - x, x ^ x, x & x, x | x with identical subtrees.
+        if (a == b || at(a).shash == at(b).shash) {
+            if (structurally_equal(a, b)) {
+                switch (op) {
+                  case BinOp::Sub:
+                  case BinOp::Xor:
+                    // Only safe when both sides are the *same value*,
+                    // which equal structure over shared inputs implies.
+                    if (a == b) {
+                        return constant(0);
+                    }
+                    break;
+                  case BinOp::And:
+                  case BinOp::Or:
+                    if (a == b) {
+                        return a;
+                    }
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+        // Canonical operand order for commutative operators: constants
+        // stay rightmost; everything else sorts by structural hash.
+        if (ir::is_commutative(op)) {
+            if (is_const(a) && !is_const(b)) {
+                std::swap(a, b);
+            } else if (!is_const(a) && !is_const(b) &&
+                       at(a).shash > at(b).shash) {
+                std::swap(a, b);
+            }
+        }
+        return raw_bin(op, a, b);
+    }
+
+    /** Logical negation of a comparison node. */
+    int
+    negate(int cmp)
+    {
+        const Expr &e = at(cmp);
+        FIRMUP_ASSERT(is_cmp(cmp), "negate of non-compare");
+        switch (e.bin) {
+          case BinOp::CmpEQ: return raw_bin(BinOp::CmpNE, e.a, e.b);
+          case BinOp::CmpNE: return raw_bin(BinOp::CmpEQ, e.a, e.b);
+          case BinOp::CmpLTS: return raw_bin(BinOp::CmpLES, e.b, e.a);
+          case BinOp::CmpLES: return raw_bin(BinOp::CmpLTS, e.b, e.a);
+          case BinOp::CmpLTU: return raw_bin(BinOp::CmpLEU, e.b, e.a);
+          default: return raw_bin(BinOp::CmpLTU, e.b, e.a);
+        }
+    }
+
+    bool
+    is_cmp(int i) const
+    {
+        const Expr &e = at(i);
+        return e.kind == Expr::Kind::Bin && ir::is_comparison(e.bin);
+    }
+
+  private:
+    int
+    add(const Expr &e)
+    {
+        arena_.push_back(e);
+        return static_cast<int>(arena_.size()) - 1;
+    }
+
+    int
+    raw_bin(BinOp op, int a, int b)
+    {
+        Expr e{Expr::Kind::Bin};
+        e.bin = op;
+        e.a = a;
+        e.b = b;
+        const std::uint64_t ha = at(a).shash;
+        const std::uint64_t hb = at(b).shash;
+        const std::uint64_t hop = mix64(100 + static_cast<int>(op));
+        e.shash = ir::is_commutative(op)
+                      ? hash_combine(hop, ha + hb)
+                      : hash_combine(hash_combine(hop, ha), hb);
+        return add(e);
+    }
+
+    bool is_const(int i) const { return at(i).kind == Expr::Kind::Const; }
+    std::uint32_t cval(int i) const { return at(i).cval; }
+
+    /** Deep structural equality (identity of Input regs matters here). */
+    bool
+    structurally_equal(int x, int y) const
+    {
+        if (x == y) {
+            return true;
+        }
+        const Expr &ex = at(x);
+        const Expr &ey = at(y);
+        if (ex.kind != ey.kind || ex.cval != ey.cval ||
+            ex.reg != ey.reg || ex.bin != ey.bin || ex.un != ey.un) {
+            return false;
+        }
+        auto eq_child = [this](int cx, int cy) {
+            if ((cx < 0) != (cy < 0)) {
+                return false;
+            }
+            return cx < 0 || structurally_equal(cx, cy);
+        };
+        return eq_child(ex.a, ey.a) && eq_child(ex.b, ey.b) &&
+               eq_child(ex.c, ey.c);
+    }
+
+    const CanonOptions &opt_;
+    std::vector<Expr> arena_;
+};
+
+/** Prints an expression with appearance-order name normalization. */
+class Printer
+{
+  public:
+    Printer(const Builder &builder, const CanonOptions &options)
+        : b_(builder), opt_(options)
+    {
+    }
+
+    std::string
+    print(int i)
+    {
+        const Expr &e = b_.at(i);
+        switch (e.kind) {
+          case Expr::Kind::Const:
+            return "0x" + to_hex(e.cval);
+          case Expr::Kind::Input: {
+            if (!opt_.normalize_names) {
+                return "r" + std::to_string(e.reg);
+            }
+            auto [it, fresh] =
+                input_names_.try_emplace(e.reg, input_names_.size());
+            (void)fresh;
+            return "reg" + std::to_string(it->second);
+          }
+          case Expr::Kind::Offset: {
+            if (!opt_.normalize_names) {
+                return "0x" + to_hex(e.raw);
+            }
+            auto [it, fresh] =
+                offset_names_.try_emplace(e.raw, offset_names_.size());
+            (void)fresh;
+            return "off" + std::to_string(it->second);
+          }
+          case Expr::Kind::Load:
+            return "load(" + print(e.a) + ")";
+          case Expr::Kind::Call:
+            return "call(" + print(e.a) + ")";
+          case Expr::Kind::Select:
+            return "ite(" + print(e.a) + ", " + print(e.b) + ", " +
+                   print(e.c) + ")";
+          case Expr::Kind::Un:
+            return std::string(ir::unop_name(e.un)) + "(" + print(e.a) +
+                   ")";
+          case Expr::Kind::Bin:
+            return std::string(ir::binop_name(e.bin)) + "(" + print(e.a) +
+                   ", " + print(e.b) + ")";
+        }
+        return "?";
+    }
+
+  private:
+    const Builder &b_;
+    const CanonOptions &opt_;
+    std::map<ir::RegId, std::size_t> input_names_;
+    std::map<std::uint64_t, std::size_t> offset_names_;
+};
+
+/** Symbolic evaluation environment over one strand. */
+class StrandEval
+{
+  public:
+    StrandEval(Builder &builder) : b_(builder) {}
+
+    int
+    operand(const Operand &op)
+    {
+        switch (op.kind) {
+          case Operand::Kind::Temp: {
+            const auto it = temps_.find(op.as_temp());
+            // A temp defined by a statement outside the slice can only
+            // happen on malformed input; treat it as an opaque input.
+            return it != temps_.end() ? it->second : b_.input(0xffff);
+          }
+          case Operand::Kind::Const:
+            return b_.constant(op.as_const());
+          case Operand::Kind::None:
+            return b_.constant(0);
+        }
+        return b_.constant(0);
+    }
+
+    int
+    reg_value(ir::RegId reg)
+    {
+        const auto it = regs_.find(reg);
+        if (it != regs_.end()) {
+            return it->second;
+        }
+        const auto memo = input_memo_.find(reg);
+        if (memo != input_memo_.end()) {
+            return memo->second;
+        }
+        const int node = b_.input(reg);
+        input_memo_[reg] = node;
+        return node;
+    }
+
+    /** Evaluate one statement; returns true if it was the root effect. */
+    void
+    eval(const Stmt &s)
+    {
+        switch (s.kind) {
+          case Stmt::Kind::Get:
+            temps_[s.dst] = reg_value(s.reg);
+            break;
+          case Stmt::Kind::Put:
+            regs_[s.reg] = operand(s.a);
+            break;
+          case Stmt::Kind::Bin:
+            temps_[s.dst] = b_.binop(s.bin_op, operand(s.a),
+                                     operand(s.b));
+            break;
+          case Stmt::Kind::Un:
+            temps_[s.dst] = b_.unop(s.un_op, operand(s.a));
+            break;
+          case Stmt::Kind::Load:
+            temps_[s.dst] = b_.load(operand(s.a));
+            break;
+          case Stmt::Kind::Select:
+            temps_[s.dst] = b_.select(operand(s.a), operand(s.b),
+                                      operand(s.extra));
+            break;
+          case Stmt::Kind::Call:
+            temps_[s.dst] = b_.call(operand(s.a));
+            break;
+          case Stmt::Kind::Store:
+          case Stmt::Kind::Exit:
+            break;  // effects; handled at the root
+        }
+    }
+
+    std::map<ir::TempId, int> temps_;
+    std::map<ir::RegId, int> regs_;
+    std::map<ir::RegId, int> input_memo_;
+    Builder &b_;
+};
+
+}  // namespace
+
+std::string
+canonical_strand(const Strand &strand, const CanonOptions &options)
+{
+    if (strand.empty()) {
+        return "";
+    }
+    Builder builder(options);
+    StrandEval eval(builder);
+    for (std::size_t i = 0; i + 1 < strand.size(); ++i) {
+        eval.eval(strand[i]);
+    }
+    const Stmt &root = strand.back();
+    Printer printer(builder, options);
+    switch (root.kind) {
+      case Stmt::Kind::Put: {
+        const int v = eval.operand(root.a);
+        if (options.normalize_names) {
+            // Register folding: the stored-to register is anonymized;
+            // the computed value is the strand's return value.
+            return "ret " + printer.print(v);
+        }
+        return "put r" + std::to_string(root.reg) + ", " +
+               printer.print(v);
+      }
+      case Stmt::Kind::Store:
+        return "store(" + printer.print(eval.operand(root.a)) + ", " +
+               printer.print(eval.operand(root.b)) + ")";
+      case Stmt::Kind::Exit:
+        return "exit(" + printer.print(eval.operand(root.a)) + ") -> " +
+               printer.print(eval.operand(root.b));
+      case Stmt::Kind::Call:
+        return "call(" + printer.print(eval.operand(root.a)) + ")";
+      default: {
+        // A value-producing statement nothing in the block consumes.
+        eval.eval(root);
+        const auto it = eval.temps_.find(root.dst);
+        const int v = it != eval.temps_.end()
+                          ? it->second
+                          : eval.operand(Operand::none());
+        return "val " + printer.print(v);
+      }
+    }
+}
+
+std::uint64_t
+strand_hash(const Strand &strand, const CanonOptions &options)
+{
+    return fnv1a64(canonical_strand(strand, options));
+}
+
+ProcedureStrands
+represent_procedure(const ir::Procedure &proc, const CanonOptions &options)
+{
+    ProcedureStrands out;
+    out.block_count = proc.blocks.size();
+    for (const auto &[addr, block] : proc.blocks) {
+        out.stmt_count += block.stmts.size();
+        for (const Strand &strand : decompose_block(block)) {
+            out.hashes.insert(strand_hash(strand, options));
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+canonical_strings(const ir::Procedure &proc, const CanonOptions &options)
+{
+    std::vector<std::string> out;
+    for (const auto &[addr, block] : proc.blocks) {
+        for (const Strand &strand : decompose_block(block)) {
+            out.push_back(canonical_strand(strand, options));
+        }
+    }
+    return out;
+}
+
+}  // namespace firmup::strand

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Strand canonicalization (paper section 3.2.1).
+ *
+ * Transforms a sliced strand into a canonical string so that semantically
+ * equivalent fragments from different compilations — and different ISAs —
+ * become syntactically equal. The pipeline applies exactly the steps the
+ * paper lists:
+ *
+ *  1. **Offset elimination** — constants that point into the text or data
+ *     sections (jump targets, static-data addresses) are replaced by
+ *     anonymous offset tokens; stack/struct displacement constants are
+ *     kept, as they describe the data the procedure manipulates.
+ *  2. **Register folding** — registers read before written become the
+ *     strand's inputs; the value computed by the strand's root statement
+ *     is its output ("return value").
+ *  3. **Compiler optimization** — symbolic re-optimization standing in
+ *     for LLVM `opt`: constant folding and propagation, expression
+ *     simplification, instruction combining (compare/flag idioms folded
+ *     to a single comparison), common subexpression elimination (via hash
+ *     consing) and dead code elimination (implicit: only the root's
+ *     dataflow is printed).
+ *  4. **Variable name normalization** — inputs and offsets are renamed by
+ *     order of appearance in the canonical print (reg0, reg1, ..., off0).
+ *
+ * Each step can be disabled independently for the ablation benchmarks.
+ */
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/uir.h"
+#include "strand/slice.h"
+
+namespace firmup::strand {
+
+/** Section geometry used by offset elimination. */
+struct SectionRanges
+{
+    std::uint64_t text_lo = 0, text_hi = 0;
+    std::uint64_t data_lo = 0, data_hi = 0;
+
+    bool
+    contains(std::uint64_t value) const
+    {
+        return (value >= text_lo && value < text_hi) ||
+               (value >= data_lo && value < data_hi);
+    }
+};
+
+/** Canonicalization configuration (all knobs default to the paper's). */
+struct CanonOptions
+{
+    SectionRanges sections;
+    bool eliminate_offsets = true;
+    bool optimize = true;
+    bool normalize_names = true;
+};
+
+/** Canonical string form of one strand. */
+std::string canonical_strand(const Strand &strand,
+                             const CanonOptions &options);
+
+/** 64-bit hash of the canonical form. */
+std::uint64_t strand_hash(const Strand &strand,
+                          const CanonOptions &options);
+
+/** A procedure represented as its set of hashed canonical strands. */
+struct ProcedureStrands
+{
+    std::set<std::uint64_t> hashes;
+    std::size_t block_count = 0;
+    std::size_t stmt_count = 0;
+};
+
+/** Decompose, canonicalize and hash every block of @p proc (section 3.3). */
+ProcedureStrands represent_procedure(const ir::Procedure &proc,
+                                     const CanonOptions &options);
+
+/** All canonical strand strings of @p proc (debugging, Fig. 3 demo). */
+std::vector<std::string> canonical_strings(const ir::Procedure &proc,
+                                           const CanonOptions &options);
+
+}  // namespace firmup::strand

@@ -1,0 +1,59 @@
+#include "strand/slice.h"
+
+#include <algorithm>
+#include <set>
+
+namespace firmup::strand {
+
+std::vector<Strand>
+decompose_block(const ir::Block &block)
+{
+    const auto &bb = block.stmts;
+    std::vector<Strand> strands;
+    std::set<std::size_t> indexes;
+    for (std::size_t i = 0; i < bb.size(); ++i) {
+        indexes.insert(i);
+    }
+
+    while (!indexes.empty()) {
+        const std::size_t top = *indexes.rbegin();
+        indexes.erase(top);
+
+        std::vector<std::size_t> member_indexes{top};
+        std::set<ir::Var> svars;
+        for (const ir::Var &v : ir::read_set(bb[top])) {
+            svars.insert(v);
+        }
+        for (std::size_t i = top; i-- > 0;) {
+            bool writes_needed = false;
+            for (const ir::Var &v : ir::write_set(bb[i])) {
+                writes_needed |= svars.contains(v);
+            }
+            if (!writes_needed) {
+                continue;
+            }
+            member_indexes.push_back(i);
+            // Registers are not SSA within a block: the *nearest* earlier
+            // definition satisfies the use, so stop tracking the defined
+            // variables and start tracking this statement's reads.
+            for (const ir::Var &v : ir::write_set(bb[i])) {
+                svars.erase(v);
+            }
+            for (const ir::Var &v : ir::read_set(bb[i])) {
+                svars.insert(v);
+            }
+            indexes.erase(i);
+        }
+
+        std::sort(member_indexes.begin(), member_indexes.end());
+        Strand strand;
+        strand.reserve(member_indexes.size());
+        for (std::size_t i : member_indexes) {
+            strand.push_back(bb[i]);
+        }
+        strands.push_back(std::move(strand));
+    }
+    return strands;
+}
+
+}  // namespace firmup::strand

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Basic-block decomposition into strands — Algorithm 1 of the paper.
+ *
+ * A strand is the backward data-flow slice of one "outward facing"
+ * statement in a basic block: starting from the last uncovered statement,
+ * every earlier statement that defines a variable the slice reads is
+ * pulled in, until the slice's inputs are only values that existed before
+ * the block. Every statement of the block ends up covered by exactly one
+ * strand as a slice *tail* (it may appear in several strands as a
+ * dependency).
+ */
+#pragma once
+
+#include <vector>
+
+#include "ir/uir.h"
+
+namespace firmup::strand {
+
+/** A strand: statements in original block order; the last is the root. */
+using Strand = std::vector<ir::Stmt>;
+
+/**
+ * Decompose @p block into strands (Alg. 1).
+ *
+ * Temporaries are SSA within the block (a µIR guarantee); guest registers
+ * may be redefined, so the def-use chaining walks backwards and stops at
+ * the most recent definition, exactly as the algorithm's WSet/RSet
+ * formulation does.
+ */
+std::vector<Strand> decompose_block(const ir::Block &block);
+
+}  // namespace firmup::strand

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Endian-aware byte buffer helpers used by encoders, decoders and the
+ * FWELF container.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace firmup {
+
+using ByteBuffer = std::vector<std::uint8_t>;
+
+inline void
+append_u8(ByteBuffer &buf, std::uint8_t v)
+{
+    buf.push_back(v);
+}
+
+inline void
+append_u16_le(ByteBuffer &buf, std::uint16_t v)
+{
+    buf.push_back(static_cast<std::uint8_t>(v));
+    buf.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+inline void
+append_u32_le(ByteBuffer &buf, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i) {
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+inline void
+append_u32_be(ByteBuffer &buf, std::uint32_t v)
+{
+    for (int i = 3; i >= 0; --i) {
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+inline std::uint16_t
+read_u16_le(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+inline std::uint32_t
+read_u32_le(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline std::uint32_t
+read_u32_be(const std::uint8_t *p)
+{
+    return (static_cast<std::uint32_t>(p[0]) << 24) |
+           (static_cast<std::uint32_t>(p[1]) << 16) |
+           (static_cast<std::uint32_t>(p[2]) << 8) |
+           static_cast<std::uint32_t>(p[3]);
+}
+
+}  // namespace firmup

@@ -1,0 +1,14 @@
+#include "support/error.h"
+
+namespace firmup {
+
+void
+assert_fail(const char *expr, const char *file, int line,
+            const std::string &message)
+{
+    std::fprintf(stderr, "firmup: assertion `%s` failed at %s:%d: %s\n",
+                 expr, file, line, message.c_str());
+    std::abort();
+}
+
+}  // namespace firmup

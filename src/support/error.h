@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Error handling primitives.
+ *
+ * Recoverable failures (malformed containers, undecodable instructions,
+ * lifter bail-outs) are reported through Result<T>; programming errors are
+ * reported through FIRMUP_ASSERT which aborts. This mirrors the gem5
+ * fatal()/panic() split: user-input problems return errors, internal
+ * invariant violations abort.
+ */
+#pragma once
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace firmup {
+
+/** Value-or-error-message return type for recoverable failures. */
+template <typename T>
+class Result
+{
+  public:
+    /* implicit */ Result(T value) : value_(std::move(value)) {}
+
+    /** Construct a failed result carrying a diagnostic message. */
+    static Result
+    error(std::string message)
+    {
+        Result r;
+        r.error_ = std::move(message);
+        return r;
+    }
+
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    /** Access the value; requires ok(). */
+    const T &value() const & { assert(ok()); return *value_; }
+    T &value() & { assert(ok()); return *value_; }
+    T &&take() && { assert(ok()); return std::move(*value_); }
+
+    /** Diagnostic message; requires !ok(). */
+    const std::string &error_message() const { assert(!ok()); return error_; }
+
+  private:
+    Result() = default;
+    std::optional<T> value_;
+    std::string error_;
+};
+
+[[noreturn]] void assert_fail(const char *expr, const char *file, int line,
+                              const std::string &message);
+
+}  // namespace firmup
+
+/** Abort with a message when an internal invariant is violated. */
+#define FIRMUP_ASSERT(expr, message)                                       \
+    do {                                                                   \
+        if (!(expr)) {                                                     \
+            ::firmup::assert_fail(#expr, __FILE__, __LINE__, (message));   \
+        }                                                                  \
+    } while (0)

@@ -1,0 +1,32 @@
+#include "support/hash.h"
+
+namespace firmup {
+
+std::uint64_t
+fnv1a64(std::string_view bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+hash_combine(std::uint64_t seed, std::uint64_t value)
+{
+    return mix64(seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                         (seed >> 2)));
+}
+
+}  // namespace firmup

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Hashing primitives used throughout FirmUp.
+ *
+ * Canonical strands are compared as 64-bit hashes of their printed form
+ * (paper section 3.3: "we keep the procedure representation as a set of
+ * hashed strands"). All hashing is deterministic across runs and platforms
+ * so corpus indexes can be persisted and experiments are reproducible.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace firmup {
+
+/** FNV-1a 64-bit hash of a byte string. Deterministic and seedless. */
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/** Strong 64-bit finalizer (splitmix64 mixer) for integer keys. */
+std::uint64_t mix64(std::uint64_t x);
+
+/**
+ * Combine two 64-bit hashes order-dependently.
+ * Used to fold structured values (op, operands...) into one digest.
+ */
+std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value);
+
+}  // namespace firmup

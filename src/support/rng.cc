@@ -1,0 +1,80 @@
+#include "support/rng.h"
+
+#include <cassert>
+
+#include "support/hash.h"
+
+namespace firmup {
+
+namespace {
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // splitmix64 expansion; guarantees a non-zero state for xoshiro.
+    std::uint64_t x = seed;
+    for (auto &lane : s_) {
+        x += 0x9e3779b97f4a7c15ull;
+        lane = mix64(x);
+    }
+}
+
+Rng
+Rng::from_label(std::string_view label)
+{
+    return Rng(fnv1a64(label));
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    assert(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) {  // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    }
+    return lo + static_cast<std::int64_t>(next() % span);
+}
+
+std::size_t
+Rng::index(std::size_t n)
+{
+    assert(n > 0);
+    return static_cast<std::size_t>(next() % n);
+}
+
+bool
+Rng::chance(std::uint32_t num, std::uint32_t den)
+{
+    assert(den > 0);
+    return next() % den < num;
+}
+
+Rng
+Rng::fork(std::string_view label)
+{
+    return Rng(hash_combine(next(), fnv1a64(label)));
+}
+
+}  // namespace firmup

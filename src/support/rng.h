@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything synthetic in this repository — source packages, version
+ * mutations, vendor build choices, firmware padding — is derived from
+ * seeded Rng instances so that every experiment is exactly reproducible.
+ * The generator is xoshiro256** seeded via splitmix64.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace firmup {
+
+/** Deterministic random number generator (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded with splitmix64. */
+    explicit Rng(std::uint64_t seed);
+
+    /** Construct from a string label (e.g. "wget/ftp_retrieve_glob/v1.15"). */
+    static Rng from_label(std::string_view label);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform value in [0, n). Requires n > 0. */
+    std::size_t index(std::size_t n);
+
+    /** Bernoulli trial: true with probability num/den. */
+    bool chance(std::uint32_t num, std::uint32_t den);
+
+    /** Uniformly pick one element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        return v[index(v.size())];
+    }
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::swap(v[i - 1], v[index(i)]);
+        }
+    }
+
+    /** Fork a child generator whose stream is independent of this one. */
+    Rng fork(std::string_view label);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+}  // namespace firmup

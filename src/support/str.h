@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Small string utilities shared across modules.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace firmup {
+
+/** Join elements of @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts, std::string_view sep);
+
+/** Hexadecimal rendering of a value, zero-padded to @p width digits. */
+std::string to_hex(std::uint64_t value, int width = 0);
+
+/** Printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** True if @p s starts with @p prefix. */
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/** Split @p s on @p sep (single character); keeps empty fields. */
+std::vector<std::string> split(std::string_view s, char sep);
+
+}  // namespace firmup

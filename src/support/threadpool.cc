@@ -1,0 +1,98 @@
+#include "support/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace firmup {
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    const unsigned n = std::max(1u, num_threads);
+    threads_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        threads_.emplace_back([this] { worker(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_available_.notify_all();
+    for (std::thread &t : threads_) {
+        t.join();
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queue_.push(std::move(task));
+    }
+    work_available_.notify_one();
+}
+
+void
+ThreadPool::wait_idle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock,
+               [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void
+ThreadPool::worker()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_available_.wait(
+                lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return;  // stopping and drained
+            }
+            task = std::move(queue_.front());
+            queue_.pop();
+            ++in_flight_;
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            --in_flight_;
+            if (queue_.empty() && in_flight_ == 0) {
+                idle_.notify_all();
+            }
+        }
+    }
+}
+
+void
+ThreadPool::parallel_for(unsigned num_threads, std::size_t count,
+                         const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0) {
+        return;
+    }
+    ThreadPool pool(num_threads);
+    std::atomic<std::size_t> next{0};
+    for (std::size_t t = 0; t < std::max<std::size_t>(1, num_threads);
+         ++t) {
+        pool.submit([&next, count, &fn] {
+            while (true) {
+                const std::size_t i = next.fetch_add(1);
+                if (i >= count) {
+                    return;
+                }
+                fn(i);
+            }
+        });
+    }
+    pool.wait_idle();
+}
+
+}  // namespace firmup

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A minimal fixed-size thread pool for data-parallel corpus work.
+ *
+ * The paper's evaluation machine runs 72 threads with bounded per-thread
+ * memory (section 5.1); the corpus-indexing phase here is embarrassingly
+ * parallel (one executable per task, no shared state until the merge), so
+ * a plain worker pool with a shared queue suffices.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace firmup {
+
+/** Fixed-size worker pool; destruction joins after draining the queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p num_threads workers (minimum 1). */
+    explicit ThreadPool(unsigned num_threads);
+
+    /** Drains outstanding work, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait_idle();
+
+    /**
+     * Run @p fn(i) for i in [0, count) across the pool and wait.
+     * @p fn must be safe to call concurrently for distinct i.
+     */
+    static void parallel_for(unsigned num_threads, std::size_t count,
+                             const std::function<void(std::size_t)> &fn);
+
+  private:
+    void worker();
+
+    std::vector<std::thread> threads_;
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable idle_;
+    std::queue<std::function<void()>> queue_;
+    std::size_t in_flight_ = 0;
+    bool stopping_ = false;
+};
+
+}  // namespace firmup

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Property tests for strand canonicalization over randomized inputs:
+ * determinism, hash/string agreement, insensitivity to register renaming
+ * and commutative operand order, offset-boundary behaviour, and closure
+ * of comparison negation.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "strand/canon.h"
+#include "strand/slice.h"
+#include "support/hash.h"
+#include "support/rng.h"
+
+namespace firmup::strand {
+namespace {
+
+using ir::BinOp;
+using ir::Operand;
+using ir::Stmt;
+
+/** Build a random but well-formed strand (SSA temps, ordered defs). */
+Strand
+random_strand(Rng &rng, int length)
+{
+    Strand strand;
+    ir::TempId next_temp = 0;
+    std::vector<ir::TempId> defined;
+    auto operand = [&]() {
+        if (!defined.empty() && rng.chance(2, 3)) {
+            return Operand::temp(rng.pick(defined));
+        }
+        return Operand::imm(
+            static_cast<std::uint32_t>(rng.range(0, 0x2000)));
+    };
+    static constexpr BinOp ops[] = {
+        BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And, BinOp::Or,
+        BinOp::Xor, BinOp::Shl, BinOp::ShrA, BinOp::CmpEQ,
+        BinOp::CmpLTS, BinOp::CmpLTU,
+    };
+    for (int i = 0; i < length; ++i) {
+        switch (rng.index(6)) {
+          case 0: {
+            const ir::TempId t = next_temp++;
+            strand.push_back(
+                Stmt::get(t, static_cast<ir::RegId>(rng.index(32))));
+            defined.push_back(t);
+            break;
+          }
+          case 1:
+          case 2: {
+            const ir::TempId t = next_temp++;
+            strand.push_back(Stmt::bin(t, ops[rng.index(std::size(ops))],
+                                       operand(), operand()));
+            defined.push_back(t);
+            break;
+          }
+          case 3: {
+            const ir::TempId t = next_temp++;
+            strand.push_back(Stmt::load(t, operand()));
+            defined.push_back(t);
+            break;
+          }
+          case 4:
+            strand.push_back(Stmt::put(
+                static_cast<ir::RegId>(rng.index(32)), operand()));
+            break;
+          default: {
+            const ir::TempId t = next_temp++;
+            strand.push_back(Stmt::un(
+                t, rng.chance(1, 2) ? ir::UnOp::Neg : ir::UnOp::Not,
+                operand()));
+            defined.push_back(t);
+            break;
+          }
+        }
+    }
+    // A strand ends in an outward-facing statement.
+    strand.push_back(Stmt::put(
+        static_cast<ir::RegId>(rng.index(32)), operand()));
+    return strand;
+}
+
+TEST(CanonProperty, DeterministicAndHashConsistent)
+{
+    Rng rng(101);
+    CanonOptions options;
+    options.sections.text_lo = 0x400000;
+    options.sections.text_hi = 0x500000;
+    for (int i = 0; i < 500; ++i) {
+        const Strand strand =
+            random_strand(rng, static_cast<int>(rng.range(1, 12)));
+        const std::string a = canonical_strand(strand, options);
+        const std::string b = canonical_strand(strand, options);
+        EXPECT_EQ(a, b);
+        EXPECT_EQ(strand_hash(strand, options), fnv1a64(a));
+        EXPECT_FALSE(a.empty());
+    }
+}
+
+TEST(CanonProperty, RegisterRenamingInvariance)
+{
+    // Applying a register permutation to a strand must not change its
+    // canonical form (register folding + name normalization).
+    Rng rng(202);
+    CanonOptions options;
+    for (int i = 0; i < 300; ++i) {
+        const Strand strand =
+            random_strand(rng, static_cast<int>(rng.range(1, 10)));
+        // Permute registers by a random offset within the same space.
+        const auto shift = static_cast<ir::RegId>(rng.range(1, 31));
+        Strand renamed = strand;
+        for (Stmt &s : renamed) {
+            if (s.kind == Stmt::Kind::Get || s.kind == Stmt::Kind::Put) {
+                s.reg = static_cast<ir::RegId>((s.reg + shift) % 32);
+            }
+        }
+        EXPECT_EQ(canonical_strand(strand, options),
+                  canonical_strand(renamed, options))
+            << "iteration " << i;
+    }
+}
+
+TEST(CanonProperty, CommutativeSwapInvariance)
+{
+    Rng rng(303);
+    CanonOptions options;
+    for (int i = 0; i < 300; ++i) {
+        const Strand strand =
+            random_strand(rng, static_cast<int>(rng.range(1, 10)));
+        Strand swapped = strand;
+        for (Stmt &s : swapped) {
+            if (s.kind == Stmt::Kind::Bin && ir::is_commutative(s.bin_op)) {
+                std::swap(s.a, s.b);
+            }
+        }
+        EXPECT_EQ(canonical_strand(strand, options),
+                  canonical_strand(swapped, options))
+            << "iteration " << i;
+    }
+}
+
+TEST(CanonProperty, OffsetBoundaries)
+{
+    CanonOptions options;
+    options.sections.text_lo = 0x1000;
+    options.sections.text_hi = 0x2000;
+    options.sections.data_lo = 0x9000;
+    options.sections.data_hi = 0xa000;
+    auto canon_of_const = [&options](std::uint32_t value) {
+        const Strand s = {Stmt::put(1, Operand::imm(value))};
+        return canonical_strand(s, options);
+    };
+    // Inside the sections: eliminated.
+    EXPECT_EQ(canon_of_const(0x1000), "ret off0");
+    EXPECT_EQ(canon_of_const(0x1fff), "ret off0");
+    EXPECT_EQ(canon_of_const(0x9123), "ret off0");
+    // One past the end / one before the start: kept literally.
+    EXPECT_EQ(canon_of_const(0x2000), "ret 0x2000");
+    EXPECT_EQ(canon_of_const(0xfff), "ret 0xfff");
+    EXPECT_EQ(canon_of_const(0xa000), "ret 0xa000");
+}
+
+TEST(CanonProperty, DistinctOffsetsGetDistinctNames)
+{
+    CanonOptions options;
+    options.sections.data_lo = 0x9000;
+    options.sections.data_hi = 0xa000;
+    const Strand s = {
+        Stmt::load(0, Operand::imm(0x9000)),
+        Stmt::load(1, Operand::imm(0x9100)),
+        Stmt::bin(2, BinOp::Add, Operand::temp(0), Operand::temp(1)),
+        Stmt::put(1, Operand::temp(2)),
+    };
+    const std::string canon = canonical_strand(s, options);
+    EXPECT_NE(canon.find("off0"), std::string::npos);
+    EXPECT_NE(canon.find("off1"), std::string::npos);
+    // The SAME offset twice gets one name.
+    const Strand same = {
+        Stmt::load(0, Operand::imm(0x9000)),
+        Stmt::load(1, Operand::imm(0x9000)),
+        Stmt::bin(2, BinOp::Xor, Operand::temp(0), Operand::temp(1)),
+        Stmt::put(1, Operand::temp(2)),
+    };
+    EXPECT_EQ(canonical_strand(same, options).find("off1"),
+              std::string::npos);
+}
+
+TEST(CanonProperty, NegationClosure)
+{
+    // xor(xor(cmp,1),1) == cmp for every comparison operator.
+    CanonOptions options;
+    static constexpr BinOp cmps[] = {BinOp::CmpEQ, BinOp::CmpNE,
+                                     BinOp::CmpLTS, BinOp::CmpLES,
+                                     BinOp::CmpLTU, BinOp::CmpLEU};
+    for (BinOp cmp : cmps) {
+        const auto make = [cmp](int negations) {
+            Strand s;
+            s.push_back(Stmt::get(0, 1));
+            s.push_back(Stmt::get(1, 2));
+            s.push_back(Stmt::bin(2, cmp, Operand::temp(0),
+                                  Operand::temp(1)));
+            ir::TempId last = 2;
+            for (int n = 0; n < negations; ++n) {
+                s.push_back(Stmt::bin(3 + static_cast<ir::TempId>(n),
+                                      BinOp::Xor, Operand::temp(last),
+                                      Operand::imm(1)));
+                last = 3 + static_cast<ir::TempId>(n);
+            }
+            s.push_back(Stmt::put(9, Operand::temp(last)));
+            return s;
+        };
+        EXPECT_EQ(canonical_strand(make(0), options),
+                  canonical_strand(make(2), options))
+            << ir::binop_name(cmp);
+        EXPECT_NE(canonical_strand(make(0), options),
+                  canonical_strand(make(1), options))
+            << ir::binop_name(cmp);
+    }
+}
+
+TEST(CanonProperty, SlicedStrandsCanonicalizeIndependently)
+{
+    // Decomposing a block and canonicalizing each strand is stable under
+    // statement-preserving reordering of independent statements.
+    ir::Block block;
+    block.stmts.push_back(Stmt::get(0, 1));
+    block.stmts.push_back(Stmt::bin(1, BinOp::Add, Operand::temp(0),
+                                    Operand::imm(4)));
+    block.stmts.push_back(Stmt::put(2, Operand::temp(1)));
+    block.stmts.push_back(Stmt::get(2, 3));
+    block.stmts.push_back(Stmt::bin(3, BinOp::Mul, Operand::temp(2),
+                                    Operand::imm(3)));
+    block.stmts.push_back(Stmt::put(4, Operand::temp(3)));
+
+    ir::Block reordered;
+    reordered.stmts.push_back(block.stmts[3]);
+    reordered.stmts.push_back(block.stmts[4]);
+    reordered.stmts.push_back(block.stmts[5]);
+    reordered.stmts.push_back(block.stmts[0]);
+    reordered.stmts.push_back(block.stmts[1]);
+    reordered.stmts.push_back(block.stmts[2]);
+
+    CanonOptions options;
+    std::set<std::string> a, b;
+    for (const Strand &s : decompose_block(block)) {
+        a.insert(canonical_strand(s, options));
+    }
+    for (const Strand &s : decompose_block(reordered)) {
+        b.insert(canonical_strand(s, options));
+    }
+    EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace firmup::strand

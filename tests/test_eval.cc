@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Evaluation-driver tests: query construction, version resolution, the
+ * detection threshold, the step histogram, report rendering, and a small
+ * end-to-end labeled run.
+ */
+#include <gtest/gtest.h>
+
+#include "codegen/build.h"
+#include "eval/experiments.h"
+#include "eval/report.h"
+
+namespace firmup::eval {
+namespace {
+
+TEST(Driver, LatestVulnerableVersion)
+{
+    for (const firmware::CveRecord &cve : firmware::cve_database()) {
+        const std::string version = latest_vulnerable_version(cve);
+        const auto &pkg = firmware::package_by_name(cve.package);
+        EXPECT_TRUE(cve.affects(pkg, version)) << cve.cve_id;
+        // No later catalog version is still vulnerable.
+        const int v = pkg.version_index(version);
+        for (std::size_t later = static_cast<std::size_t>(v) + 1;
+             later < pkg.versions.size(); ++later) {
+            EXPECT_FALSE(cve.affects(pkg, pkg.versions[later]))
+                << cve.cve_id;
+        }
+    }
+}
+
+TEST(Driver, BuildQueryFindsProcedure)
+{
+    Driver driver;
+    const Query query = driver.build_query(
+        firmware::cve_database()[0], isa::Arch::Arm32);
+    EXPECT_GE(query.qv, 0);
+    EXPECT_EQ(query.package, "vsftpd");
+    EXPECT_FALSE(query.index.procs.empty());
+    EXPECT_EQ(query.index.procs[static_cast<std::size_t>(query.qv)].name,
+              "vsf_filename_passes_filter");
+    EXPECT_FALSE(query.graph.procs.empty());
+}
+
+TEST(Driver, SelfSearchDetectsWithPerfectSim)
+{
+    Driver driver;
+    const Query query = driver.build_query("wget", "ftp_retrieve_glob",
+                                           "1.15", isa::Arch::Mips32);
+    const SearchOutcome outcome =
+        driver.search(query, query.index);
+    ASSERT_TRUE(outcome.detected);
+    EXPECT_EQ(outcome.matched_entry,
+              query.index.procs[static_cast<std::size_t>(query.qv)]
+                  .entry);
+    EXPECT_EQ(static_cast<std::size_t>(outcome.sim),
+              query.index.procs[static_cast<std::size_t>(query.qv)]
+                  .repr.hashes.size());
+}
+
+TEST(Driver, ThresholdGatesDetection)
+{
+    Driver driver;
+    driver.options().min_confirm_ratio = 2.0;   // impossible bar
+    driver.options().min_margin_ratio = 2.0;    // fallback off too
+    const Query query = driver.build_query("wget", "ftp_retrieve_glob",
+                                           "1.15", isa::Arch::Mips32);
+    EXPECT_FALSE(driver.search(query, query.index).detected);
+    // match() ignores the threshold.
+    EXPECT_TRUE(driver.match(query, query.index).detected);
+}
+
+TEST(Driver, IndexCacheReturnsSameObject)
+{
+    Driver driver;
+    const Query query = driver.build_query("bftpd", "bftpdutmp_log",
+                                           "2.3", isa::Arch::X86);
+    // Two identical executables hit the same cache entry.
+    const auto &pkg = firmware::package_by_name("bftpd");
+    const auto source = firmware::generate_package_source(pkg, "2.3");
+    codegen::BuildRequest request;
+    request.arch = isa::Arch::X86;
+    request.profile = compiler::gcc_like_toolchain();
+    const auto exe = codegen::build_executable(source, request);
+    const sim::ExecutableIndex &a = driver.index_target(exe);
+    const sim::ExecutableIndex &b = driver.index_target(exe);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Experiments, StepHistogramBuckets)
+{
+    const auto buckets = step_histogram({1, 1, 2, 3, 4, 7, 12, 30, 100});
+    ASSERT_EQ(buckets.size(), 7u);
+    EXPECT_EQ(buckets[0], (std::pair<std::string, int>{"1", 2}));
+    EXPECT_EQ(buckets[1].second, 1);   // 2
+    EXPECT_EQ(buckets[2].second, 2);   // 3-4
+    EXPECT_EQ(buckets[3].second, 1);   // 5-8
+    EXPECT_EQ(buckets[4].second, 1);   // 9-16
+    EXPECT_EQ(buckets[5].second, 1);   // 17-32
+    EXPECT_EQ(buckets[6].second, 1);   // >32
+}
+
+TEST(Experiments, LabeledRunOnTinyCorpus)
+{
+    firmware::CorpusOptions corpus_options;
+    corpus_options.num_devices = 4;
+    const firmware::Corpus corpus =
+        firmware::build_corpus(corpus_options);
+    Driver driver;
+    LabeledOptions options;
+    options.run_gitz = true;
+    options.run_bindiff = true;
+    const LabeledResult result = run_labeled(driver, corpus, options);
+    ASSERT_FALSE(result.rows.empty());
+    const Tally firmup = result.firmup_total();
+    const Tally gitz = result.gitz_total();
+    const Tally bindiff = result.bindiff_total();
+    // Every tool classifies every target exactly once.
+    EXPECT_EQ(firmup.total(), gitz.total());
+    EXPECT_EQ(firmup.total(), bindiff.total());
+    EXPECT_GT(firmup.total(), 0);
+    // FirmUp must do at least as well as the baselines on this corpus.
+    EXPECT_GE(firmup.p, gitz.p);
+    EXPECT_GE(firmup.p, bindiff.p);
+    // Game steps are recorded only for correct matches.
+    EXPECT_EQ(result.game_steps.size(),
+              static_cast<std::size_t>(firmup.p));
+}
+
+TEST(Driver, PreindexMatchesSequentialIndexing)
+{
+    firmware::CorpusOptions corpus_options;
+    corpus_options.num_devices = 3;
+    const firmware::Corpus corpus =
+        firmware::build_corpus(corpus_options);
+
+    Driver parallel;
+    const std::size_t indexed = parallel.preindex(corpus, 4);
+    EXPECT_GT(indexed, 0u);
+
+    Driver sequential;
+    for (const auto &image : corpus.images) {
+        for (const auto &exe : image.executables) {
+            const sim::ExecutableIndex &a = sequential.index_target(exe);
+            const sim::ExecutableIndex &b = parallel.index_target(exe);
+            ASSERT_EQ(a.procs.size(), b.procs.size()) << exe.name;
+            for (std::size_t i = 0; i < a.procs.size(); ++i) {
+                EXPECT_EQ(a.procs[i].entry, b.procs[i].entry);
+                EXPECT_EQ(a.procs[i].repr.hashes,
+                          b.procs[i].repr.hashes);
+            }
+        }
+    }
+}
+
+TEST(Report, TableRendersAligned)
+{
+    Table table({"a", "long-header"});
+    table.add_row({"xxxx", "1"});
+    table.add_row({"y", "22"});
+    const std::string out = table.render();
+    // Every line is equally wide.
+    std::size_t width = out.find('\n');
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        const std::size_t next = out.find('\n', pos);
+        EXPECT_EQ(next - pos, width);
+        pos = next + 1;
+    }
+}
+
+TEST(Report, Percent)
+{
+    EXPECT_EQ(percent(0.5), "50.0%");
+    EXPECT_EQ(percent(0.0), "0.0%");
+    EXPECT_EQ(percent(0.966), "96.6%");
+}
+
+}  // namespace
+}  // namespace firmup::eval

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Firmware substrate tests: catalog determinism and version drift, image
+ * packing/carving robustness, corpus invariants (ground truth alignment,
+ * stripping policy, re-shipped executables).
+ */
+#include <gtest/gtest.h>
+
+#include "firmware/catalog.h"
+#include "firmware/corpus.h"
+#include "firmware/image.h"
+#include "lang/generate.h"
+
+namespace firmup::firmware {
+namespace {
+
+TEST(Catalog, PackagesAreWellFormed)
+{
+    for (const PackageSpec &pkg : package_catalog()) {
+        EXPECT_FALSE(pkg.versions.empty()) << pkg.name;
+        EXPECT_GE(pkg.procedures.size(), 10u) << pkg.name;
+        EXPECT_GT(pkg.num_globals, 0) << pkg.name;
+        // Feature gates must be declared.
+        for (const ProcSpec &proc : pkg.procedures) {
+            if (!proc.feature.empty()) {
+                EXPECT_NE(std::find(pkg.features.begin(),
+                                    pkg.features.end(), proc.feature),
+                          pkg.features.end())
+                    << pkg.name << "/" << proc.name;
+            }
+        }
+    }
+}
+
+TEST(Catalog, EveryCveResolvable)
+{
+    for (const CveRecord &cve : cve_database()) {
+        const PackageSpec &pkg = package_by_name(cve.package);
+        bool found = false;
+        for (const ProcSpec &proc : pkg.procedures) {
+            found |= proc.name == cve.procedure;
+        }
+        EXPECT_TRUE(found) << cve.cve_id;
+        // At least one catalog version is vulnerable.
+        bool any_vulnerable = false;
+        for (const std::string &version : pkg.versions) {
+            any_vulnerable |= cve.affects(pkg, version);
+        }
+        EXPECT_TRUE(any_vulnerable) << cve.cve_id;
+        // The fixed version, when cataloged, is not affected.
+        if (pkg.version_index(cve.fixed_version) >= 0) {
+            EXPECT_FALSE(cve.affects(pkg, cve.fixed_version))
+                << cve.cve_id;
+        }
+    }
+}
+
+TEST(Catalog, GenerationIsDeterministic)
+{
+    const PackageSpec &pkg = package_by_name("wget");
+    const auto a = generate_package_source(pkg, "1.15");
+    const auto b = generate_package_source(pkg, "1.15");
+    ASSERT_EQ(a.procedures.size(), b.procedures.size());
+    for (std::size_t i = 0; i < a.procedures.size(); ++i) {
+        EXPECT_EQ(lang::to_string(a.procedures[i]),
+                  lang::to_string(b.procedures[i]));
+    }
+}
+
+TEST(Catalog, VersionsDriftCumulatively)
+{
+    const PackageSpec &pkg = package_by_name("wget");
+    const auto v12 = generate_package_source(pkg, "1.12");
+    const auto v15 = generate_package_source(pkg, "1.15");
+    const auto v18 = generate_package_source(pkg, "1.18");
+    int diff_12_15 = 0, diff_12_18 = 0, diff_15_18 = 0;
+    for (std::size_t i = 0; i < v12.procedures.size(); ++i) {
+        const std::string a = lang::to_string(v12.procedures[i]);
+        const std::string b = lang::to_string(v15.procedures[i]);
+        const std::string c = lang::to_string(v18.procedures[i]);
+        diff_12_15 += a != b;
+        diff_12_18 += a != c;
+        diff_15_18 += b != c;
+    }
+    EXPECT_GT(diff_12_15, 0);
+    EXPECT_GT(diff_15_18, 0);
+    // Distant versions differ at least as much as close ones.
+    EXPECT_GE(diff_12_18, diff_12_15);
+}
+
+TEST(Catalog, SecurityPatchTouchesVulnerableProcedure)
+{
+    // CVE-2014-4877 is fixed in wget 1.16: ftp_retrieve_glob must change
+    // between 1.15 and 1.16.
+    const PackageSpec &pkg = package_by_name("wget");
+    const auto before = generate_package_source(pkg, "1.15");
+    const auto after = generate_package_source(pkg, "1.16");
+    EXPECT_NE(lang::to_string(*before.find("ftp_retrieve_glob")),
+              lang::to_string(*after.find("ftp_retrieve_glob")));
+}
+
+TEST(Image, PackUnpackRoundTrip)
+{
+    FirmwareImage image;
+    image.vendor = "NETGEAR";
+    image.device = "X-1";
+    image.version = "V9";
+    image.is_latest = true;
+    loader::Executable exe;
+    exe.name = "app";
+    exe.text = {0xde, 0xad, 0xbe, 0xef};
+    exe.data = {1, 2};
+    exe.text_addr = 0x400000;
+    exe.data_addr = 0x10000000;
+    image.executables.push_back(exe);
+    image.content_files = {"etc/config"};
+
+    Rng rng(1);
+    const ByteBuffer blob = pack_firmware(image, rng);
+    auto unpacked = unpack_firmware(blob);
+    ASSERT_TRUE(unpacked.ok()) << unpacked.error_message();
+    EXPECT_EQ(unpacked.value().image.vendor, "NETGEAR");
+    EXPECT_EQ(unpacked.value().image.device, "X-1");
+    EXPECT_TRUE(unpacked.value().image.is_latest);
+    ASSERT_EQ(unpacked.value().image.executables.size(), 1u);
+    EXPECT_EQ(unpacked.value().image.executables[0].name, "app");
+    EXPECT_EQ(unpacked.value().image.executables[0].text, exe.text);
+    ASSERT_EQ(unpacked.value().image.content_files.size(), 1u);
+    EXPECT_EQ(unpacked.value().damaged_members, 0);
+}
+
+TEST(Image, RoundTripUnderManyPaddingSeeds)
+{
+    FirmwareImage image;
+    image.vendor = "D-Link";
+    image.device = "D";
+    image.version = "1";
+    for (int e = 0; e < 3; ++e) {
+        loader::Executable exe;
+        exe.name = "exe" + std::to_string(e);
+        exe.text.assign(static_cast<std::size_t>(16 + e * 8),
+                        static_cast<std::uint8_t>(e));
+        image.executables.push_back(std::move(exe));
+    }
+    for (std::uint64_t seed = 0; seed < 25; ++seed) {
+        Rng rng(seed);
+        auto unpacked = unpack_firmware(pack_firmware(image, rng));
+        ASSERT_TRUE(unpacked.ok()) << "seed " << seed;
+        ASSERT_EQ(unpacked.value().image.executables.size(), 3u)
+            << "seed " << seed;
+        for (int e = 0; e < 3; ++e) {
+            EXPECT_EQ(unpacked.value()
+                          .image.executables[static_cast<std::size_t>(e)]
+                          .name,
+                      "exe" + std::to_string(e));
+        }
+    }
+}
+
+TEST(Image, TruncatedMemberIsSkippedNotFatal)
+{
+    FirmwareImage image;
+    image.vendor = "V";
+    image.device = "D";
+    image.version = "1";
+    loader::Executable exe;
+    exe.name = "app";
+    exe.text.assign(64, 0xaa);
+    image.executables.push_back(exe);
+    Rng rng(2);
+    ByteBuffer blob = pack_firmware(image, rng);
+    // Truncate ten bytes past the FWELF magic, mid-payload.
+    std::size_t magic_pos = 0;
+    for (std::size_t i = 0; i + 4 <= blob.size(); ++i) {
+        if (std::equal(std::begin(loader::kMagic),
+                       std::end(loader::kMagic), blob.begin() + i)) {
+            magic_pos = i;
+            break;
+        }
+    }
+    ASSERT_GT(magic_pos, 0u);
+    blob.resize(magic_pos + 10);
+    auto unpacked = unpack_firmware(blob);
+    ASSERT_TRUE(unpacked.ok());
+    EXPECT_EQ(unpacked.value().image.executables.size(), 0u);
+    EXPECT_EQ(unpacked.value().damaged_members, 1);
+}
+
+TEST(Image, RejectsForeignBlob)
+{
+    ByteBuffer junk = {'n', 'o', 't', 'f', 'w'};
+    EXPECT_FALSE(unpack_firmware(junk).ok());
+}
+
+TEST(Corpus, InvariantsHold)
+{
+    CorpusOptions options;
+    options.num_devices = 4;
+    const Corpus corpus = build_corpus(options);
+    EXPECT_EQ(corpus.images.size(), 8u);  // 2 releases per device
+    EXPECT_GT(corpus.executable_count(), 0u);
+    EXPECT_GT(corpus.procedure_count(), 0u);
+
+    for (std::size_t i = 0; i < corpus.images.size(); ++i) {
+        const FirmwareImage &image = corpus.images[i];
+        for (const loader::Executable &exe : image.executables) {
+            const TruthExe *truth =
+                corpus.find_truth(static_cast<int>(i), exe.name);
+            ASSERT_NE(truth, nullptr)
+                << image.device << "/" << exe.name;
+            EXPECT_FALSE(truth->procs.empty());
+            // Truth entries must lie inside the text section.
+            for (const TruthProc &proc : truth->procs) {
+                EXPECT_TRUE(exe.in_text(proc.entry));
+            }
+            // Surviving symbols must agree with the ground truth.
+            for (const loader::Symbol &sym : exe.symbols) {
+                EXPECT_EQ(truth->entry_of(sym.name), sym.addr);
+            }
+        }
+    }
+}
+
+TEST(Corpus, Deterministic)
+{
+    CorpusOptions options;
+    options.num_devices = 3;
+    const Corpus a = build_corpus(options);
+    const Corpus b = build_corpus(options);
+    ASSERT_EQ(a.images.size(), b.images.size());
+    for (std::size_t i = 0; i < a.images.size(); ++i) {
+        ASSERT_EQ(a.images[i].executables.size(),
+                  b.images[i].executables.size());
+        for (std::size_t e = 0; e < a.images[i].executables.size();
+             ++e) {
+            EXPECT_EQ(a.images[i].executables[e].text,
+                      b.images[i].executables[e].text);
+        }
+    }
+}
+
+TEST(Corpus, LatestReleaseMarkedOncePerDevice)
+{
+    CorpusOptions options;
+    options.num_devices = 5;
+    const Corpus corpus = build_corpus(options);
+    std::map<std::string, int> latest_count;
+    for (const FirmwareImage &image : corpus.images) {
+        if (image.is_latest) {
+            ++latest_count[image.device];
+        }
+    }
+    for (const auto &[device, count] : latest_count) {
+        EXPECT_EQ(count, 1) << device;
+    }
+}
+
+TEST(Corpus, SomeExecutablesRecycledAcrossReleases)
+{
+    CorpusOptions options;
+    options.num_devices = 8;
+    const Corpus corpus = build_corpus(options);
+    // The paper observed byte-identical executables shipped across
+    // firmware versions; the builder must reproduce that.
+    int recycled = 0;
+    for (std::size_t i = 0; i + 1 < corpus.images.size(); i += 2) {
+        for (const loader::Executable &old_exe :
+             corpus.images[i].executables) {
+            for (const loader::Executable &new_exe :
+                 corpus.images[i + 1].executables) {
+                recycled += old_exe.name == new_exe.name &&
+                                    old_exe.text == new_exe.text
+                                ? 1
+                                : 0;
+            }
+        }
+    }
+    EXPECT_GT(recycled, 0);
+}
+
+}  // namespace
+}  // namespace firmup::firmware

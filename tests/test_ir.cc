@@ -1,0 +1,143 @@
+/**
+ * @file
+ * µIR unit tests: statement constructors, RSet/WSet (the Alg. 1
+ * vocabulary), block successors, procedure queries, printing.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ir/uir.h"
+
+namespace firmup::ir {
+namespace {
+
+bool
+contains(const std::vector<Var> &vars, Var v)
+{
+    return std::find(vars.begin(), vars.end(), v) != vars.end();
+}
+
+TEST(Uir, ReadWriteSets)
+{
+    // Get reads a register, defines a temp.
+    const Stmt get = Stmt::get(3, 17);
+    EXPECT_TRUE(contains(read_set(get), Var::reg(17)));
+    EXPECT_TRUE(contains(write_set(get), Var::temp(3)));
+
+    // Put reads its operand, writes the register.
+    const Stmt put = Stmt::put(9, Operand::temp(3));
+    EXPECT_TRUE(contains(read_set(put), Var::temp(3)));
+    EXPECT_TRUE(contains(write_set(put), Var::reg(9)));
+
+    // Constants contribute no reads.
+    const Stmt put_c = Stmt::put(9, Operand::imm(5));
+    EXPECT_TRUE(read_set(put_c).empty());
+
+    // Bin reads both operands.
+    const Stmt bin = Stmt::bin(4, BinOp::Add, Operand::temp(1),
+                               Operand::temp(2));
+    EXPECT_TRUE(contains(read_set(bin), Var::temp(1)));
+    EXPECT_TRUE(contains(read_set(bin), Var::temp(2)));
+    EXPECT_TRUE(contains(write_set(bin), Var::temp(4)));
+
+    // Select reads all three operands.
+    const Stmt sel = Stmt::select(5, Operand::temp(1), Operand::temp(2),
+                                  Operand::temp(3));
+    EXPECT_EQ(read_set(sel).size(), 3u);
+
+    // Store writes nothing variable-wise (memory is not a Var).
+    const Stmt store = Stmt::store(Operand::temp(1), Operand::temp(2));
+    EXPECT_TRUE(write_set(store).empty());
+    EXPECT_EQ(read_set(store).size(), 2u);
+
+    // Exit reads its condition.
+    const Stmt exit = Stmt::exit(Operand::temp(7), Operand::imm(0x400));
+    EXPECT_TRUE(contains(read_set(exit), Var::temp(7)));
+    EXPECT_TRUE(write_set(exit).empty());
+}
+
+TEST(Uir, DefinesTemp)
+{
+    EXPECT_TRUE(Stmt::get(0, 1).defines_temp());
+    EXPECT_TRUE(Stmt::load(0, Operand::temp(1)).defines_temp());
+    EXPECT_TRUE(Stmt::call(0, Operand::imm(4)).defines_temp());
+    EXPECT_FALSE(Stmt::put(1, Operand::temp(0)).defines_temp());
+    EXPECT_FALSE(
+        Stmt::store(Operand::temp(0), Operand::temp(1)).defines_temp());
+    EXPECT_FALSE(
+        Stmt::exit(Operand::temp(0), Operand::imm(4)).defines_temp());
+}
+
+TEST(Uir, BlockSuccessors)
+{
+    Block b;
+    b.end = BlockEndKind::Ret;
+    EXPECT_TRUE(b.successors().empty());
+    b.end = BlockEndKind::Jump;
+    b.target = 0x100;
+    EXPECT_EQ(b.successors(), std::vector<std::uint64_t>{0x100});
+    b.end = BlockEndKind::CondJump;
+    b.fallthrough = 0x200;
+    EXPECT_EQ(b.successors(),
+              (std::vector<std::uint64_t>{0x100, 0x200}));
+    b.end = BlockEndKind::Fallthrough;
+    EXPECT_EQ(b.successors(), std::vector<std::uint64_t>{0x200});
+}
+
+TEST(Uir, ProcedureCallees)
+{
+    Procedure proc;
+    proc.entry = 0x400000;
+    Block b;
+    b.addr = 0x400000;
+    b.stmts.push_back(Stmt::call(0, Operand::imm(0x400100)));
+    b.stmts.push_back(Stmt::call(1, Operand::temp(5)));  // indirect
+    b.stmts.push_back(Stmt::call(2, Operand::imm(0x400200)));
+    b.end = BlockEndKind::Ret;
+    proc.blocks[b.addr] = std::move(b);
+    const auto callees = proc.callees();
+    ASSERT_EQ(callees.size(), 2u);  // indirect targets are not callees
+    EXPECT_EQ(callees[0], 0x400100u);
+    EXPECT_EQ(callees[1], 0x400200u);
+    EXPECT_EQ(proc.stmt_count(), 3u);
+}
+
+TEST(Uir, PrintingIsStable)
+{
+    EXPECT_EQ(to_string(Stmt::get(0, 4)), "t0 = Get(r4)");
+    EXPECT_EQ(to_string(Stmt::bin(2, BinOp::Add, Operand::temp(0),
+                                  Operand::imm(0x1f))),
+              "t2 = add t0, 0x1f");
+    EXPECT_EQ(to_string(Stmt::store(Operand::temp(1), Operand::temp(2))),
+              "Store(t1, t2)");
+    EXPECT_EQ(to_string(Stmt::exit(Operand::temp(3), Operand::imm(0x40))),
+              "Exit(t3) -> 0x40");
+}
+
+TEST(Uir, OperatorProperties)
+{
+    EXPECT_TRUE(is_commutative(BinOp::Add));
+    EXPECT_TRUE(is_commutative(BinOp::Xor));
+    EXPECT_FALSE(is_commutative(BinOp::Sub));
+    EXPECT_FALSE(is_commutative(BinOp::Shl));
+    EXPECT_TRUE(is_comparison(BinOp::CmpLEU));
+    EXPECT_FALSE(is_comparison(BinOp::And));
+    EXPECT_STREQ(binop_name(BinOp::CmpLTS), "icmp slt");
+    EXPECT_STREQ(unop_name(UnOp::Not), "not");
+}
+
+TEST(Uir, OperandAccessors)
+{
+    const Operand t = Operand::temp(7);
+    EXPECT_TRUE(t.is_temp());
+    EXPECT_FALSE(t.is_const());
+    EXPECT_EQ(t.as_temp(), 7u);
+    const Operand c = Operand::imm(0xffffffff);
+    EXPECT_TRUE(c.is_const());
+    EXPECT_EQ(c.as_const(), 0xffffffffu);
+    EXPECT_EQ(Operand::none().kind, Operand::Kind::None);
+}
+
+}  // namespace
+}  // namespace firmup::ir

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Lifter unit tests: per-ISA statement lifting semantics (zero register,
+ * flag thunks, PPC compare signedness), the MIPS delay-slot
+ * re-attribution, architecture sniffing and procedure discovery edges.
+ */
+#include <gtest/gtest.h>
+
+#include "codegen/build.h"
+#include "firmware/catalog.h"
+#include "isa/arm.h"
+#include "isa/mips.h"
+#include "isa/ppc.h"
+#include "isa/x86.h"
+#include "lang/generate.h"
+#include "lifter/cfg.h"
+#include "lifter/lift.h"
+#include "support/rng.h"
+
+namespace firmup::lifter {
+namespace {
+
+using ir::Stmt;
+
+ir::Block
+lift_one(isa::Arch arch, const isa::MachInst &inst,
+         std::uint64_t addr = 0x400000)
+{
+    ir::Block block;
+    LiftState state;
+    lift_inst(arch, inst, addr, state, block);
+    return block;
+}
+
+TEST(LiftMips, ZeroRegisterReadsAsConstant)
+{
+    namespace m = isa::mips;
+    // or $t0, $a0, $zero — the canonical move.
+    const auto block = lift_one(
+        isa::Arch::Mips32, m::make_rrr(m::Op::Or, m::T0, m::A0, m::Zero));
+    // The second operand of the Or must be an inline constant 0, not a
+    // Get of register 0.
+    bool found = false;
+    for (const Stmt &s : block.stmts) {
+        if (s.kind == Stmt::Kind::Bin) {
+            EXPECT_TRUE(s.b.is_const());
+            EXPECT_EQ(s.b.as_const(), 0u);
+            found = true;
+        }
+        if (s.kind == Stmt::Kind::Get) {
+            EXPECT_NE(s.reg, m::Zero);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(LiftMips, LuiShiftsImmediate)
+{
+    namespace m = isa::mips;
+    const auto block = lift_one(
+        isa::Arch::Mips32, m::make_ri(m::Op::Lui, m::T1, 0, 0x1000));
+    ASSERT_EQ(block.stmts.size(), 1u);
+    EXPECT_EQ(block.stmts[0].kind, Stmt::Kind::Put);
+    EXPECT_EQ(block.stmts[0].a.as_const(), 0x10000000u);
+}
+
+TEST(LiftMips, JalBecomesCallPlusV0)
+{
+    namespace m = isa::mips;
+    isa::MachInst jal;
+    jal.op = static_cast<std::uint16_t>(m::Op::Jal);
+    jal.imm = 0x400200;
+    const auto block = lift_one(isa::Arch::Mips32, jal);
+    ASSERT_EQ(block.stmts.size(), 2u);
+    EXPECT_EQ(block.stmts[0].kind, Stmt::Kind::Call);
+    EXPECT_EQ(block.stmts[0].a.as_const(), 0x400200u);
+    EXPECT_EQ(block.stmts[1].kind, Stmt::Kind::Put);
+    EXPECT_EQ(block.stmts[1].reg, m::V0);
+}
+
+TEST(LiftArm, CmpStoresCcDeps)
+{
+    namespace a = isa::arm;
+    isa::MachInst cmp;
+    cmp.op = static_cast<std::uint16_t>(a::Op::Cmp);
+    cmp.rs = a::R1;
+    cmp.rt = a::R2;
+    const auto block = lift_one(isa::Arch::Arm32, cmp);
+    int cc_puts = 0;
+    for (const Stmt &s : block.stmts) {
+        if (s.kind == Stmt::Kind::Put &&
+            (s.reg == kRegCcDep1 || s.reg == kRegCcDep2)) {
+            ++cc_puts;
+        }
+    }
+    EXPECT_EQ(cc_puts, 2);
+}
+
+TEST(LiftArm, ConditionalBranchMaterializesComparison)
+{
+    namespace a = isa::arm;
+    isa::MachInst b;
+    b.op = static_cast<std::uint16_t>(a::Op::B);
+    b.rt = 1;  // conditional
+    b.cond = isa::Cond::LTS;
+    b.imm = 0x400100;
+    const auto block = lift_one(isa::Arch::Arm32, b);
+    bool has_cmp = false, has_exit = false;
+    for (const Stmt &s : block.stmts) {
+        has_cmp |= s.kind == Stmt::Kind::Bin &&
+                   s.bin_op == ir::BinOp::CmpLTS;
+        has_exit |= s.kind == Stmt::Kind::Exit;
+    }
+    EXPECT_TRUE(has_cmp);
+    EXPECT_TRUE(has_exit);
+}
+
+TEST(LiftPpc, CmplwMakesFollowingBranchUnsigned)
+{
+    namespace p = isa::ppc;
+    ir::Block block;
+    LiftState state;
+    isa::MachInst cmplw;
+    cmplw.op = static_cast<std::uint16_t>(p::Op::Cmplw);
+    cmplw.rs = p::R3;
+    cmplw.rt = p::R4;
+    lift_inst(isa::Arch::Ppc32, cmplw, 0x400000, state, block);
+    isa::MachInst bc;
+    bc.op = static_cast<std::uint16_t>(p::Op::Bc);
+    bc.cond = isa::Cond::LTS;  // decoder reports the signed variant
+    bc.imm = 0x400100;
+    lift_inst(isa::Arch::Ppc32, bc, 0x400004, state, block);
+    bool has_unsigned = false;
+    for (const Stmt &s : block.stmts) {
+        has_unsigned |= s.kind == Stmt::Kind::Bin &&
+                        s.bin_op == ir::BinOp::CmpLTU;
+    }
+    EXPECT_TRUE(has_unsigned);
+}
+
+TEST(LiftPpc, AddiWithR0IsLoadImmediate)
+{
+    namespace p = isa::ppc;
+    isa::MachInst li;
+    li.op = static_cast<std::uint16_t>(p::Op::Addi);
+    li.rd = p::R5;
+    li.rs = 0;
+    li.imm = -7;
+    const auto block = lift_one(isa::Arch::Ppc32, li);
+    ASSERT_EQ(block.stmts.size(), 1u);
+    EXPECT_EQ(block.stmts[0].kind, Stmt::Kind::Put);
+    EXPECT_EQ(block.stmts[0].a.as_const(), 0xfffffff9u);
+}
+
+TEST(LiftX86, PushAdjustsEspAndStores)
+{
+    namespace x = isa::x86;
+    isa::MachInst push;
+    push.op = static_cast<std::uint16_t>(x::Op::Push);
+    push.rd = x::Ebx;
+    const auto block = lift_one(isa::Arch::X86, push);
+    bool has_sub = false, has_store = false, has_sp_put = false;
+    for (const Stmt &s : block.stmts) {
+        has_sub |= s.kind == Stmt::Kind::Bin &&
+                   s.bin_op == ir::BinOp::Sub;
+        has_store |= s.kind == Stmt::Kind::Store;
+        has_sp_put |= s.kind == Stmt::Kind::Put && s.reg == x::Esp;
+    }
+    EXPECT_TRUE(has_sub);
+    EXPECT_TRUE(has_store);
+    EXPECT_TRUE(has_sp_put);
+}
+
+TEST(LiftX86, TwoOperandAluReadsDestination)
+{
+    namespace x = isa::x86;
+    isa::MachInst add;
+    add.op = static_cast<std::uint16_t>(x::Op::AddRR);
+    add.rd = x::Ebx;
+    add.rt = x::Ecx;
+    const auto block = lift_one(isa::Arch::X86, add);
+    // Must read ebx (dst is also a source on x86).
+    bool reads_dst = false;
+    for (const Stmt &s : block.stmts) {
+        reads_dst |= s.kind == Stmt::Kind::Get && s.reg == x::Ebx;
+    }
+    EXPECT_TRUE(reads_dst);
+}
+
+// ---- delay slots & discovery ----
+
+lang::PackageSource
+loop_package()
+{
+    using lang::Expr;
+    using lang::Stmt;
+    lang::PackageSource pkg;
+    pkg.name = "p";
+    pkg.globals = {{"g0", 4}};
+    lang::ProcedureAst proc;
+    proc.name = "looper";
+    proc.num_params = 1;
+    proc.num_locals = 2;
+    std::vector<lang::StmtPtr> body;
+    body.push_back(Stmt::assign_local(
+        0, Expr::bin(lang::BinOp::Add, Expr::local(0),
+                     Expr::param(0))));
+    body.push_back(Stmt::assign_local(
+        1, Expr::bin(lang::BinOp::Add, Expr::local(1),
+                     Expr::constant(1))));
+    proc.body.push_back(Stmt::while_stmt(
+        Expr::bin(lang::BinOp::Lt, Expr::local(1), Expr::constant(10)),
+        std::move(body)));
+    proc.body.push_back(Stmt::ret(Expr::local(0)));
+    pkg.procedures.push_back(std::move(proc));
+    return pkg;
+}
+
+TEST(DelaySlots, FilledSlotsLiftToEquivalentCfg)
+{
+    // Build the same procedure with NOP slots and with filled slots; the
+    // lifted procedures must have identical block structure and strands
+    // land in the same blocks.
+    codegen::BuildRequest nop_request;
+    nop_request.arch = isa::Arch::Mips32;
+    nop_request.profile = compiler::gcc_like_toolchain();
+    nop_request.profile.mips_fill_delay_slot = false;
+    codegen::BuildRequest fill_request = nop_request;
+    fill_request.profile.mips_fill_delay_slot = true;
+
+    const auto pkg = loop_package();
+    const auto nop_exe = codegen::build_executable(pkg, nop_request);
+    const auto fill_exe = codegen::build_executable(pkg, fill_request);
+    // Filling must actually shrink the code.
+    EXPECT_LT(fill_exe.text.size(), nop_exe.text.size());
+
+    const auto nop_lift = lift_executable(nop_exe).take();
+    const auto fill_lift = lift_executable(fill_exe).take();
+    ASSERT_EQ(nop_lift.procs.size(), fill_lift.procs.size());
+    const auto &a = nop_lift.procs.begin()->second;
+    const auto &b = fill_lift.procs.begin()->second;
+    EXPECT_EQ(a.blocks.size(), b.blocks.size());
+}
+
+TEST(Discovery, PrologueScanFindsUncalledProcedures)
+{
+    // A stripped executable where proc 1 is never called: the entry
+    // explores proc 0 only; the prologue scan must still find proc 1.
+    lang::PackageSource pkg;
+    pkg.name = "p";
+    pkg.globals = {{"g0", 4}};
+    for (int i = 0; i < 2; ++i) {
+        using lang::Expr;
+        using lang::Stmt;
+        lang::ProcedureAst proc;
+        proc.name = "p" + std::to_string(i);
+        proc.num_params = 1;
+        proc.num_locals = 2;
+        // Enough locals traffic to force a frame.
+        for (int k = 0; k < 6; ++k) {
+            proc.body.push_back(Stmt::assign_local(
+                k % 2, Expr::bin(lang::BinOp::Add, Expr::local(0),
+                                 Expr::local(1))));
+        }
+        proc.body.push_back(Stmt::ret(Expr::local(0)));
+        pkg.procedures.push_back(std::move(proc));
+    }
+    codegen::BuildRequest request;
+    request.arch = isa::Arch::Arm32;
+    request.profile = compiler::vendor_toolchains()[0];  // O0: spills
+    request.strip = true;
+    request.keep_exported = false;
+    const auto exe = codegen::build_executable(pkg, request);
+
+    LiftOptions with_scan;
+    const auto lifted = lift_executable(exe, with_scan).take();
+    EXPECT_EQ(lifted.procs.size(), 2u);
+
+    LiftOptions no_scan;
+    no_scan.prologue_scan = false;
+    const auto without = lift_executable(exe, no_scan).take();
+    EXPECT_EQ(without.procs.size(), 1u);
+}
+
+TEST(Discovery, DetectArchOnAllArches)
+{
+    const auto pkg = loop_package();
+    for (isa::Arch arch : isa::kAllArches) {
+        codegen::BuildRequest request;
+        request.arch = arch;
+        request.profile = compiler::gcc_like_toolchain();
+        auto exe = codegen::build_executable(pkg, request);
+        for (isa::Arch lie : isa::kAllArches) {
+            exe.declared_arch = lie;
+            EXPECT_EQ(detect_arch(exe), arch)
+                << isa::arch_name(arch) << " declared as "
+                << isa::arch_name(lie);
+        }
+    }
+}
+
+TEST(Discovery, EmptyTextYieldsNoProcs)
+{
+    loader::Executable exe;
+    exe.arch = isa::Arch::Mips32;
+    exe.declared_arch = isa::Arch::Mips32;
+    exe.text_addr = 0x400000;
+    exe.entry = 0x400000;
+    auto lifted = lift_executable(exe);
+    ASSERT_TRUE(lifted.ok());
+    EXPECT_TRUE(lifted.value().procs.empty());
+}
+
+}  // namespace
+}  // namespace firmup::lifter
+
+namespace firmup::lifter {
+namespace {
+
+TEST(Robustness, ByteFlipFuzzNeverCrashesTheLifter)
+{
+    // Flip random text bytes of a valid executable: lifting must always
+    // return cleanly (possibly with fewer procedures), never crash or
+    // hang. This models firmware with corrupt sections, which the
+    // paper's crawler met constantly.
+    Rng rng(404);
+    const auto &pkg = firmware::package_by_name("miniupnpd");
+    const auto source = firmware::generate_package_source(pkg, "1.8");
+    for (isa::Arch arch : isa::kAllArches) {
+        codegen::BuildRequest request;
+        request.arch = arch;
+        request.profile = compiler::gcc_like_toolchain();
+        request.strip = true;
+        request.keep_exported = false;
+        const auto clean = codegen::build_executable(source, request);
+        for (int round = 0; round < 30; ++round) {
+            loader::Executable exe = clean;
+            const int flips = 1 + static_cast<int>(rng.index(8));
+            for (int f = 0; f < flips; ++f) {
+                exe.text[rng.index(exe.text.size())] ^=
+                    static_cast<std::uint8_t>(1 + rng.index(255));
+            }
+            auto lifted = lift_executable(exe);
+            ASSERT_TRUE(lifted.ok());
+            // Whatever survived must still be structurally sound.
+            for (const auto &[entry, proc] : lifted.value().procs) {
+                for (const auto &[addr, block] : proc.blocks) {
+                    (void)addr;
+                    (void)block;
+                }
+            }
+        }
+    }
+}
+
+TEST(Robustness, TruncatedTextSection)
+{
+    const auto &pkg = firmware::package_by_name("dropbear");
+    const auto source =
+        firmware::generate_package_source(pkg, "2012.55");
+    codegen::BuildRequest request;
+    request.arch = isa::Arch::X86;  // variable length: worst case
+    request.profile = compiler::gcc_like_toolchain();
+    auto exe = codegen::build_executable(source, request);
+    exe.text.resize(exe.text.size() / 3);
+    auto lifted = lift_executable(exe);
+    ASSERT_TRUE(lifted.ok());
+}
+
+}  // namespace
+}  // namespace firmup::lifter

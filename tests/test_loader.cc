@@ -1,0 +1,129 @@
+/**
+ * @file
+ * FWELF container tests: write/parse roundtrip, stripping semantics,
+ * corrupt-input rejection, and randomized robustness.
+ */
+#include <gtest/gtest.h>
+
+#include "loader/fwelf.h"
+#include "support/rng.h"
+
+namespace firmup::loader {
+namespace {
+
+Executable
+sample_exe()
+{
+    Executable exe;
+    exe.name = "sample";
+    exe.arch = isa::Arch::Ppc32;
+    exe.declared_arch = isa::Arch::Ppc32;
+    exe.entry = 0x400010;
+    exe.text_addr = 0x400000;
+    exe.data_addr = 0x10000000;
+    exe.text = {1, 2, 3, 4, 5, 6, 7, 8};
+    exe.data = {9, 9};
+    exe.symbols = {{0x400000, false, "internal"},
+                   {0x400004, true, "exported_fn"}};
+    return exe;
+}
+
+TEST(Fwelf, RoundTrip)
+{
+    const Executable exe = sample_exe();
+    const ByteBuffer bytes = write_fwelf(exe);
+    auto parsed = parse_fwelf(bytes);
+    ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+    const Executable &out = parsed.value();
+    EXPECT_EQ(out.declared_arch, exe.declared_arch);
+    EXPECT_EQ(out.entry, exe.entry);
+    EXPECT_EQ(out.text_addr, exe.text_addr);
+    EXPECT_EQ(out.data_addr, exe.data_addr);
+    EXPECT_EQ(out.text, exe.text);
+    EXPECT_EQ(out.data, exe.data);
+    ASSERT_EQ(out.symbols.size(), 2u);
+    EXPECT_EQ(out.symbols[1].name, "exported_fn");
+    EXPECT_TRUE(out.symbols[1].exported);
+}
+
+TEST(Fwelf, StripKeepExported)
+{
+    Executable exe = sample_exe();
+    strip_executable(exe, true);
+    EXPECT_TRUE(exe.stripped);
+    ASSERT_EQ(exe.symbols.size(), 1u);
+    EXPECT_EQ(exe.symbols[0].name, "exported_fn");
+}
+
+TEST(Fwelf, StripAll)
+{
+    Executable exe = sample_exe();
+    strip_executable(exe, false);
+    EXPECT_TRUE(exe.symbols.empty());
+    // Stripped flag survives serialization.
+    auto parsed = parse_fwelf(write_fwelf(exe));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(parsed.value().stripped);
+}
+
+TEST(Fwelf, RejectsBadMagic)
+{
+    ByteBuffer bytes = write_fwelf(sample_exe());
+    bytes[0] = 'X';
+    EXPECT_FALSE(parse_fwelf(bytes).ok());
+}
+
+TEST(Fwelf, RejectsTruncation)
+{
+    const ByteBuffer bytes = write_fwelf(sample_exe());
+    // Any prefix must fail or parse consistently, never crash.
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        auto parsed = parse_fwelf(bytes.data(), len);
+        EXPECT_FALSE(parsed.ok()) << "prefix length " << len;
+    }
+}
+
+TEST(Fwelf, RejectsBadArchByte)
+{
+    ByteBuffer bytes = write_fwelf(sample_exe());
+    bytes[6] = 0x7f;
+    EXPECT_FALSE(parse_fwelf(bytes).ok());
+}
+
+TEST(Fwelf, RandomGarbageNeverParses)
+{
+    Rng rng(4);
+    for (int i = 0; i < 200; ++i) {
+        ByteBuffer garbage(rng.index(256));
+        for (auto &b : garbage) {
+            b = static_cast<std::uint8_t>(rng.index(256));
+        }
+        auto parsed = parse_fwelf(garbage);
+        // Collisions with the 4-byte magic + version are possible in
+        // principle but must not occur for this seed; what matters is
+        // that nothing crashes and errors are clean.
+        if (parsed.ok()) {
+            ADD_FAILURE() << "garbage parsed at iteration " << i;
+        }
+    }
+}
+
+TEST(Fwelf, InTextInData)
+{
+    const Executable exe = sample_exe();
+    EXPECT_TRUE(exe.in_text(0x400000));
+    EXPECT_TRUE(exe.in_text(0x400007));
+    EXPECT_FALSE(exe.in_text(0x400008));
+    EXPECT_TRUE(exe.in_data(0x10000001));
+    EXPECT_FALSE(exe.in_data(0x10000002));
+}
+
+TEST(Fwelf, SymbolLookup)
+{
+    const Executable exe = sample_exe();
+    EXPECT_EQ(exe.symbol_at(0x400004), "exported_fn");
+    EXPECT_EQ(exe.symbol_at(0x999999), "");
+}
+
+}  // namespace
+}  // namespace firmup::loader

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the support substrate: hashing, RNG, strings, results.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "support/error.h"
+#include "support/hash.h"
+#include "support/rng.h"
+#include "support/str.h"
+#include "support/threadpool.h"
+
+namespace firmup {
+namespace {
+
+TEST(Hash, Fnv1a64KnownValues)
+{
+    // FNV-1a reference values.
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Hash, CombineOrderMatters)
+{
+    const std::uint64_t a = fnv1a64("left");
+    const std::uint64_t b = fnv1a64("right");
+    EXPECT_NE(hash_combine(a, b), hash_combine(b, a));
+}
+
+TEST(Hash, Mix64IsInjectiveOnSmallRange)
+{
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+        seen.insert(mix64(i));
+    }
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        same += a.next() == b.next();
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, RangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.range(-5, 17);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 17);
+    }
+}
+
+TEST(Rng, IndexCoversAllValues)
+{
+    Rng rng(9);
+    std::set<std::size_t> seen;
+    for (int i = 0; i < 200; ++i) {
+        seen.insert(rng.index(5));
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(11);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_TRUE(rng.chance(1, 1));
+        EXPECT_FALSE(rng.chance(0, 7));
+    }
+}
+
+TEST(Rng, ForkIndependentStreams)
+{
+    Rng parent(3);
+    Rng child1 = parent.fork("a");
+    Rng child2 = parent.fork("a");
+    // Forks consume parent state, so two same-label forks differ.
+    EXPECT_NE(child1.next(), child2.next());
+}
+
+TEST(Rng, FromLabelStable)
+{
+    Rng a = Rng::from_label("wget/ftp_retrieve_glob");
+    Rng b = Rng::from_label("wget/ftp_retrieve_glob");
+    EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Str, Join)
+{
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"a"}, ","), "a");
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Str, ToHex)
+{
+    EXPECT_EQ(to_hex(0x1f), "1f");
+    EXPECT_EQ(to_hex(0x1f, 8), "0000001f");
+    EXPECT_EQ(to_hex(0), "0");
+}
+
+TEST(Str, Strprintf)
+{
+    EXPECT_EQ(strprintf("%s=%d", "x", 42), "x=42");
+    EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+TEST(Str, StartsWith)
+{
+    EXPECT_TRUE(starts_with("firmware.bin", "firm"));
+    EXPECT_FALSE(starts_with("fir", "firm"));
+}
+
+TEST(Str, Split)
+{
+    const auto parts = split("a/b//c", '/');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Result, ValueAndError)
+{
+    Result<int> ok(5);
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value(), 5);
+
+    auto err = Result<int>::error("nope");
+    EXPECT_FALSE(err.ok());
+    EXPECT_EQ(err.error_message(), "nope");
+}
+
+}  // namespace
+}  // namespace firmup
+
+namespace firmup {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(4);
+        for (int i = 0; i < 100; ++i) {
+            pool.submit([&counter] { ++counter; });
+        }
+        pool.wait_idle();
+        EXPECT_EQ(counter.load(), 100);
+    }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndex)
+{
+    std::vector<std::atomic<int>> hits(257);
+    ThreadPool::parallel_for(3, hits.size(), [&hits](std::size_t i) {
+        ++hits[i];
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << i;
+    }
+}
+
+TEST(ThreadPool, ZeroWorkIsFine)
+{
+    ThreadPool::parallel_for(4, 0, [](std::size_t) { FAIL(); });
+    ThreadPool pool(1);
+    pool.wait_idle();
+}
+
+TEST(ThreadPool, DestructionDrainsQueue)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i) {
+            pool.submit([&counter] { ++counter; });
+        }
+        // No wait_idle: the destructor must drain before joining.
+    }
+    EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace firmup

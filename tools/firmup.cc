@@ -1,0 +1,396 @@
+/**
+ * @file
+ * `firmup` — command-line front end for the whole stack.
+ *
+ *   firmup cves                          list the CVE database
+ *   firmup corpus --out DIR [--devices N] [--seed S]
+ *                                        build the corpus, write blobs
+ *   firmup unpack BLOB                   carve a firmware blob
+ *   firmup index BLOB                    lift + index every executable
+ *   firmup disasm BLOB EXE [N]           disassemble an executable
+ *   firmup search CVE-ID BLOB...         hunt a CVE across blobs
+ *   firmup exec BLOB EXE PROC [ARGS..]   run a procedure in the µIR
+ *                                        interpreter (PROC is a symbol
+ *                                        name or @hex entry address)
+ *
+ * Blobs are the FWIMG containers produced by `firmup corpus` (or any
+ * firmware::pack_firmware caller).
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "eval/driver.h"
+#include "eval/report.h"
+#include "firmware/corpus.h"
+#include "firmware/image.h"
+#include "lifter/interp.h"
+
+using namespace firmup;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: firmup <command> [args]\n"
+        "  cves                                list known CVEs\n"
+        "  corpus --out DIR [--devices N] [--seed S]\n"
+        "                                      build + write firmware blobs\n"
+        "  unpack BLOB                         carve a firmware blob\n"
+        "  index BLOB                          lift & index every executable\n"
+        "  disasm BLOB EXE [N]                 disassemble first N insts\n"
+        "  search CVE-ID BLOB...               hunt a CVE across blobs\n"
+        "  exec BLOB EXE PROC [ARGS...]        interpret a procedure\n");
+    return 2;
+}
+
+Result<ByteBuffer>
+read_file(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return Result<ByteBuffer>::error("cannot open " + path);
+    }
+    ByteBuffer bytes((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    return bytes;
+}
+
+bool
+write_file(const std::string &path, const ByteBuffer &bytes)
+{
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    return static_cast<bool>(out);
+}
+
+int
+cmd_cves()
+{
+    eval::Table table({"CVE", "Package", "Procedure", "Kind", "Fixed in"});
+    for (const firmware::CveRecord &cve : firmware::cve_database()) {
+        table.add_row({cve.cve_id, cve.package, cve.procedure, cve.kind,
+                       cve.fixed_version});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmd_corpus(const std::vector<std::string> &args)
+{
+    firmware::CorpusOptions options;
+    std::string out_dir;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--out" && i + 1 < args.size()) {
+            out_dir = args[++i];
+        } else if (args[i] == "--devices" && i + 1 < args.size()) {
+            options.num_devices = std::stoi(args[++i]);
+        } else if (args[i] == "--seed" && i + 1 < args.size()) {
+            options.seed = std::stoull(args[++i]);
+        } else {
+            return usage();
+        }
+    }
+    if (out_dir.empty()) {
+        return usage();
+    }
+    const firmware::Corpus corpus = firmware::build_corpus(options);
+    Rng rng(options.seed ^ 0xb10b);
+    int written = 0;
+    for (const firmware::FirmwareImage &image : corpus.images) {
+        const std::string path = out_dir + "/" + image.vendor + "-" +
+                                 image.device + "-" + image.version +
+                                 ".fw";
+        if (!write_file(path, firmware::pack_firmware(image, rng))) {
+            std::fprintf(stderr, "firmup: cannot write %s\n",
+                         path.c_str());
+            return 1;
+        }
+        ++written;
+    }
+    std::printf("wrote %d firmware blobs (%zu executables, %zu "
+                "procedures) to %s\n",
+                written, corpus.executable_count(),
+                corpus.procedure_count(), out_dir.c_str());
+    return 0;
+}
+
+Result<firmware::UnpackResult>
+load_blob(const std::string &path)
+{
+    auto bytes = read_file(path);
+    if (!bytes.ok()) {
+        return Result<firmware::UnpackResult>::error(
+            bytes.error_message());
+    }
+    return firmware::unpack_firmware(bytes.value());
+}
+
+int
+cmd_unpack(const std::string &path)
+{
+    auto unpacked = load_blob(path);
+    if (!unpacked.ok()) {
+        std::fprintf(stderr, "firmup: %s\n",
+                     unpacked.error_message().c_str());
+        return 1;
+    }
+    const firmware::FirmwareImage &image = unpacked.value().image;
+    std::printf("vendor=%s device=%s version=%s latest=%s\n",
+                image.vendor.c_str(), image.device.c_str(),
+                image.version.c_str(), image.is_latest ? "yes" : "no");
+    eval::Table table({"member", "declared arch", "text", "data",
+                       "symbols", "stripped"});
+    for (const loader::Executable &exe : image.executables) {
+        table.add_row({exe.name, isa::arch_name(exe.declared_arch),
+                       std::to_string(exe.text.size()),
+                       std::to_string(exe.data.size()),
+                       std::to_string(exe.symbols.size()),
+                       exe.stripped ? "yes" : "no"});
+    }
+    std::printf("%s", table.render().c_str());
+    for (const std::string &content : image.content_files) {
+        std::printf("content: %s\n", content.c_str());
+    }
+    if (unpacked.value().damaged_members > 0) {
+        std::printf("%d damaged member(s) skipped\n",
+                    unpacked.value().damaged_members);
+    }
+    return 0;
+}
+
+int
+cmd_index(const std::string &path)
+{
+    auto unpacked = load_blob(path);
+    if (!unpacked.ok()) {
+        std::fprintf(stderr, "firmup: %s\n",
+                     unpacked.error_message().c_str());
+        return 1;
+    }
+    eval::Driver driver;
+    eval::Table table({"member", "arch", "procedures", "blocks",
+                       "strands"});
+    for (const loader::Executable &exe :
+         unpacked.value().image.executables) {
+        const sim::ExecutableIndex &index = driver.index_target(exe);
+        std::size_t blocks = 0, strands = 0;
+        for (const sim::ProcEntry &proc : index.procs) {
+            blocks += proc.repr.block_count;
+            strands += proc.repr.hashes.size();
+        }
+        table.add_row({exe.name, isa::arch_name(index.arch),
+                       std::to_string(index.procs.size()),
+                       std::to_string(blocks), std::to_string(strands)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmd_disasm(const std::string &path, const std::string &member, int count)
+{
+    auto unpacked = load_blob(path);
+    if (!unpacked.ok()) {
+        std::fprintf(stderr, "firmup: %s\n",
+                     unpacked.error_message().c_str());
+        return 1;
+    }
+    for (const loader::Executable &exe :
+         unpacked.value().image.executables) {
+        if (exe.name != member) {
+            continue;
+        }
+        const isa::Arch arch = lifter::detect_arch(exe);
+        const isa::Target &target = isa::target_for(arch);
+        std::printf("%s (%s%s):\n", exe.name.c_str(),
+                    isa::arch_name(arch),
+                    arch != exe.declared_arch ? ", header lies" : "");
+        std::uint64_t addr = exe.entry;
+        for (int i = 0; i < count; ++i) {
+            const std::size_t offset =
+                static_cast<std::size_t>(addr - exe.text_addr);
+            if (offset >= exe.text.size()) {
+                break;
+            }
+            auto decoded =
+                target.decode(exe.text.data() + offset,
+                              exe.text.size() - offset, addr);
+            if (!decoded.ok()) {
+                std::printf("  %06llx: <%s>\n",
+                            static_cast<unsigned long long>(addr),
+                            decoded.error_message().c_str());
+                break;
+            }
+            std::printf("  %06llx: %s\n",
+                        static_cast<unsigned long long>(addr),
+                        target.disasm(decoded.value().inst).c_str());
+            addr += static_cast<std::uint64_t>(decoded.value().size);
+        }
+        return 0;
+    }
+    std::fprintf(stderr, "firmup: no member named %s\n", member.c_str());
+    return 1;
+}
+
+int
+cmd_search(const std::string &cve_id,
+           const std::vector<std::string> &paths)
+{
+    const firmware::CveRecord *cve = nullptr;
+    for (const firmware::CveRecord &record : firmware::cve_database()) {
+        if (record.cve_id == cve_id) {
+            cve = &record;
+        }
+    }
+    if (cve == nullptr) {
+        std::fprintf(stderr, "firmup: unknown CVE %s (try `firmup "
+                             "cves`)\n",
+                     cve_id.c_str());
+        return 1;
+    }
+    std::printf("hunting %s: %s in %s (vulnerable <= %s)\n\n",
+                cve->cve_id.c_str(), cve->procedure.c_str(),
+                cve->package.c_str(),
+                eval::latest_vulnerable_version(*cve).c_str());
+    eval::Driver driver;
+    std::map<isa::Arch, eval::Query> queries;
+    int findings = 0;
+    for (const std::string &path : paths) {
+        auto unpacked = load_blob(path);
+        if (!unpacked.ok()) {
+            std::fprintf(stderr, "firmup: %s: %s\n", path.c_str(),
+                         unpacked.error_message().c_str());
+            continue;
+        }
+        for (const loader::Executable &exe :
+             unpacked.value().image.executables) {
+            const sim::ExecutableIndex &target =
+                driver.index_target(exe);
+            auto qit = queries.find(target.arch);
+            if (qit == queries.end()) {
+                qit = queries
+                          .emplace(target.arch,
+                                   driver.build_query(*cve, target.arch))
+                          .first;
+            }
+            const eval::SearchOutcome outcome =
+                driver.search(qit->second, target);
+            if (outcome.detected) {
+                ++findings;
+                std::printf("%s: %s: VULNERABLE — %s at 0x%llx "
+                            "(Sim=%d, %d game steps)\n",
+                            path.c_str(), exe.name.c_str(),
+                            cve->procedure.c_str(),
+                            static_cast<unsigned long long>(
+                                outcome.matched_entry),
+                            outcome.sim, outcome.steps);
+            }
+        }
+    }
+    std::printf("\n%d finding(s)\n", findings);
+    return findings > 0 ? 0 : 3;
+}
+
+int
+cmd_exec(const std::vector<std::string> &args)
+{
+    auto unpacked = load_blob(args[0]);
+    if (!unpacked.ok()) {
+        std::fprintf(stderr, "firmup: %s\n",
+                     unpacked.error_message().c_str());
+        return 1;
+    }
+    for (const loader::Executable &exe :
+         unpacked.value().image.executables) {
+        if (exe.name != args[1]) {
+            continue;
+        }
+        auto lifted = lifter::lift_executable(exe);
+        if (!lifted.ok()) {
+            std::fprintf(stderr, "firmup: lift failed: %s\n",
+                         lifted.error_message().c_str());
+            return 1;
+        }
+        std::uint64_t entry = 0;
+        if (args[2][0] == '@') {
+            entry = std::stoull(args[2].substr(1), nullptr, 16);
+        } else {
+            for (const loader::Symbol &sym : exe.symbols) {
+                if (sym.name == args[2]) {
+                    entry = sym.addr;
+                }
+            }
+            if (entry == 0) {
+                std::fprintf(stderr,
+                             "firmup: no symbol '%s' (stripped? use "
+                             "@hex-address)\n",
+                             args[2].c_str());
+                return 1;
+            }
+        }
+        std::vector<std::uint32_t> call_args;
+        for (std::size_t i = 3; i < args.size(); ++i) {
+            call_args.push_back(static_cast<std::uint32_t>(
+                std::stoll(args[i], nullptr, 0)));
+        }
+        const lifter::ExecResult result = lifter::execute_procedure(
+            lifted.value(), entry, call_args);
+        if (!result.ok) {
+            std::fprintf(stderr, "firmup: execution failed: %s\n",
+                         result.error.c_str());
+            return 1;
+        }
+        std::printf("returned 0x%x (%d)\n", result.value,
+                    static_cast<std::int32_t>(result.value));
+        for (const auto &[offset, value] : result.memory) {
+            std::printf("  data+0x%x = 0x%x\n", offset, value);
+        }
+        return 0;
+    }
+    std::fprintf(stderr, "firmup: no member named %s\n",
+                 args[1].c_str());
+    return 1;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) {
+        return usage();
+    }
+    const std::string &command = args[0];
+    if (command == "cves") {
+        return cmd_cves();
+    }
+    if (command == "corpus") {
+        return cmd_corpus({args.begin() + 1, args.end()});
+    }
+    if (command == "unpack" && args.size() == 2) {
+        return cmd_unpack(args[1]);
+    }
+    if (command == "index" && args.size() == 2) {
+        return cmd_index(args[1]);
+    }
+    if (command == "disasm" && args.size() >= 3) {
+        return cmd_disasm(args[1], args[2],
+                          args.size() > 3 ? std::stoi(args[3]) : 16);
+    }
+    if (command == "search" && args.size() >= 3) {
+        return cmd_search(args[1], {args.begin() + 2, args.end()});
+    }
+    if (command == "exec" && args.size() >= 4) {
+        return cmd_exec({args.begin() + 1, args.end()});
+    }
+    return usage();
+}
