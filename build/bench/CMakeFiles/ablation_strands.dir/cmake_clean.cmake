@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_strands.dir/ablation_strands.cc.o"
+  "CMakeFiles/ablation_strands.dir/ablation_strands.cc.o.d"
+  "ablation_strands"
+  "ablation_strands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_strands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

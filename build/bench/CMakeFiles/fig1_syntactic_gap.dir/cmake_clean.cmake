@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_syntactic_gap.dir/fig1_syntactic_gap.cc.o"
+  "CMakeFiles/fig1_syntactic_gap.dir/fig1_syntactic_gap.cc.o.d"
+  "fig1_syntactic_gap"
+  "fig1_syntactic_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_syntactic_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

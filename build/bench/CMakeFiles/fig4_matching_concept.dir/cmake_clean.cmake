@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_matching_concept.dir/fig4_matching_concept.cc.o"
+  "CMakeFiles/fig4_matching_concept.dir/fig4_matching_concept.cc.o.d"
+  "fig4_matching_concept"
+  "fig4_matching_concept.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_matching_concept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

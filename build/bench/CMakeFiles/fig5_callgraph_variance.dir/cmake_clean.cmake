@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_callgraph_variance.dir/fig5_callgraph_variance.cc.o"
+  "CMakeFiles/fig5_callgraph_variance.dir/fig5_callgraph_variance.cc.o.d"
+  "fig5_callgraph_variance"
+  "fig5_callgraph_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_callgraph_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

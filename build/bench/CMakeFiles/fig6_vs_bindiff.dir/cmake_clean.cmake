@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_vs_bindiff.dir/fig6_vs_bindiff.cc.o"
+  "CMakeFiles/fig6_vs_bindiff.dir/fig6_vs_bindiff.cc.o.d"
+  "fig6_vs_bindiff"
+  "fig6_vs_bindiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_vs_bindiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

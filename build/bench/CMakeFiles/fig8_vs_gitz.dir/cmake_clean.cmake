@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_vs_gitz.dir/fig8_vs_gitz.cc.o"
+  "CMakeFiles/fig8_vs_gitz.dir/fig8_vs_gitz.cc.o.d"
+  "fig8_vs_gitz"
+  "fig8_vs_gitz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_vs_gitz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

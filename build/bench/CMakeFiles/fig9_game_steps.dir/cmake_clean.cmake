@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_game_steps.dir/fig9_game_steps.cc.o"
+  "CMakeFiles/fig9_game_steps.dir/fig9_game_steps.cc.o.d"
+  "fig9_game_steps"
+  "fig9_game_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_game_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

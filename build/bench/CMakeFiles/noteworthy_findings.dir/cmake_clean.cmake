@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noteworthy_findings.dir/noteworthy_findings.cc.o"
+  "CMakeFiles/noteworthy_findings.dir/noteworthy_findings.cc.o.d"
+  "noteworthy_findings"
+  "noteworthy_findings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noteworthy_findings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_game_course.dir/tab1_game_course.cc.o"
+  "CMakeFiles/tab1_game_course.dir/tab1_game_course.cc.o.d"
+  "tab1_game_course"
+  "tab1_game_course.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_game_course.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

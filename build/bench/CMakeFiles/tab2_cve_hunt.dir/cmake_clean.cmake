@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_cve_hunt.dir/tab2_cve_hunt.cc.o"
+  "CMakeFiles/tab2_cve_hunt.dir/tab2_cve_hunt.cc.o.d"
+  "tab2_cve_hunt"
+  "tab2_cve_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_cve_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crawl_corpus.dir/crawl_corpus.cpp.o"
+  "CMakeFiles/crawl_corpus.dir/crawl_corpus.cpp.o.d"
+  "crawl_corpus"
+  "crawl_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crawl_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

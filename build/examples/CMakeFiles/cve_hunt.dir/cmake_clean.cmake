@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cve_hunt.dir/cve_hunt.cpp.o"
+  "CMakeFiles/cve_hunt.dir/cve_hunt.cpp.o.d"
+  "cve_hunt"
+  "cve_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cve_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_walkthrough.dir/game_walkthrough.cpp.o"
+  "CMakeFiles/game_walkthrough.dir/game_walkthrough.cpp.o.d"
+  "game_walkthrough"
+  "game_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("lang")
+subdirs("compiler")
+subdirs("isa")
+subdirs("codegen")
+subdirs("loader")
+subdirs("lifter")
+subdirs("strand")
+subdirs("sim")
+subdirs("game")
+subdirs("baseline")
+subdirs("firmware")
+subdirs("eval")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmup_baseline.dir/bindiff_like.cc.o"
+  "CMakeFiles/firmup_baseline.dir/bindiff_like.cc.o.d"
+  "CMakeFiles/firmup_baseline.dir/gitz_like.cc.o"
+  "CMakeFiles/firmup_baseline.dir/gitz_like.cc.o.d"
+  "libfirmup_baseline.a"
+  "libfirmup_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmup_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

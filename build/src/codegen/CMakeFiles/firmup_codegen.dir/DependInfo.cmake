@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/backend.cc" "src/codegen/CMakeFiles/firmup_codegen.dir/backend.cc.o" "gcc" "src/codegen/CMakeFiles/firmup_codegen.dir/backend.cc.o.d"
+  "/root/repo/src/codegen/backend_arm.cc" "src/codegen/CMakeFiles/firmup_codegen.dir/backend_arm.cc.o" "gcc" "src/codegen/CMakeFiles/firmup_codegen.dir/backend_arm.cc.o.d"
+  "/root/repo/src/codegen/backend_factory.cc" "src/codegen/CMakeFiles/firmup_codegen.dir/backend_factory.cc.o" "gcc" "src/codegen/CMakeFiles/firmup_codegen.dir/backend_factory.cc.o.d"
+  "/root/repo/src/codegen/backend_mips.cc" "src/codegen/CMakeFiles/firmup_codegen.dir/backend_mips.cc.o" "gcc" "src/codegen/CMakeFiles/firmup_codegen.dir/backend_mips.cc.o.d"
+  "/root/repo/src/codegen/backend_ppc.cc" "src/codegen/CMakeFiles/firmup_codegen.dir/backend_ppc.cc.o" "gcc" "src/codegen/CMakeFiles/firmup_codegen.dir/backend_ppc.cc.o.d"
+  "/root/repo/src/codegen/backend_x86.cc" "src/codegen/CMakeFiles/firmup_codegen.dir/backend_x86.cc.o" "gcc" "src/codegen/CMakeFiles/firmup_codegen.dir/backend_x86.cc.o.d"
+  "/root/repo/src/codegen/build.cc" "src/codegen/CMakeFiles/firmup_codegen.dir/build.cc.o" "gcc" "src/codegen/CMakeFiles/firmup_codegen.dir/build.cc.o.d"
+  "/root/repo/src/codegen/link.cc" "src/codegen/CMakeFiles/firmup_codegen.dir/link.cc.o" "gcc" "src/codegen/CMakeFiles/firmup_codegen.dir/link.cc.o.d"
+  "/root/repo/src/codegen/regalloc.cc" "src/codegen/CMakeFiles/firmup_codegen.dir/regalloc.cc.o" "gcc" "src/codegen/CMakeFiles/firmup_codegen.dir/regalloc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/firmup_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/firmup_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/firmup_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/loader/CMakeFiles/firmup_loader.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/firmup_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

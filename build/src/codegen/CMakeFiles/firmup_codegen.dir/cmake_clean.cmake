@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmup_codegen.dir/backend.cc.o"
+  "CMakeFiles/firmup_codegen.dir/backend.cc.o.d"
+  "CMakeFiles/firmup_codegen.dir/backend_arm.cc.o"
+  "CMakeFiles/firmup_codegen.dir/backend_arm.cc.o.d"
+  "CMakeFiles/firmup_codegen.dir/backend_factory.cc.o"
+  "CMakeFiles/firmup_codegen.dir/backend_factory.cc.o.d"
+  "CMakeFiles/firmup_codegen.dir/backend_mips.cc.o"
+  "CMakeFiles/firmup_codegen.dir/backend_mips.cc.o.d"
+  "CMakeFiles/firmup_codegen.dir/backend_ppc.cc.o"
+  "CMakeFiles/firmup_codegen.dir/backend_ppc.cc.o.d"
+  "CMakeFiles/firmup_codegen.dir/backend_x86.cc.o"
+  "CMakeFiles/firmup_codegen.dir/backend_x86.cc.o.d"
+  "CMakeFiles/firmup_codegen.dir/build.cc.o"
+  "CMakeFiles/firmup_codegen.dir/build.cc.o.d"
+  "CMakeFiles/firmup_codegen.dir/link.cc.o"
+  "CMakeFiles/firmup_codegen.dir/link.cc.o.d"
+  "CMakeFiles/firmup_codegen.dir/regalloc.cc.o"
+  "CMakeFiles/firmup_codegen.dir/regalloc.cc.o.d"
+  "libfirmup_codegen.a"
+  "libfirmup_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmup_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

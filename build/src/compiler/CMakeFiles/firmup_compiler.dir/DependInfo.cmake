@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/lower.cc" "src/compiler/CMakeFiles/firmup_compiler.dir/lower.cc.o" "gcc" "src/compiler/CMakeFiles/firmup_compiler.dir/lower.cc.o.d"
+  "/root/repo/src/compiler/mir.cc" "src/compiler/CMakeFiles/firmup_compiler.dir/mir.cc.o" "gcc" "src/compiler/CMakeFiles/firmup_compiler.dir/mir.cc.o.d"
+  "/root/repo/src/compiler/passes.cc" "src/compiler/CMakeFiles/firmup_compiler.dir/passes.cc.o" "gcc" "src/compiler/CMakeFiles/firmup_compiler.dir/passes.cc.o.d"
+  "/root/repo/src/compiler/toolchain.cc" "src/compiler/CMakeFiles/firmup_compiler.dir/toolchain.cc.o" "gcc" "src/compiler/CMakeFiles/firmup_compiler.dir/toolchain.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/firmup_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/firmup_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

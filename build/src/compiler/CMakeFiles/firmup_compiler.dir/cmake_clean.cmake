@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmup_compiler.dir/lower.cc.o"
+  "CMakeFiles/firmup_compiler.dir/lower.cc.o.d"
+  "CMakeFiles/firmup_compiler.dir/mir.cc.o"
+  "CMakeFiles/firmup_compiler.dir/mir.cc.o.d"
+  "CMakeFiles/firmup_compiler.dir/passes.cc.o"
+  "CMakeFiles/firmup_compiler.dir/passes.cc.o.d"
+  "CMakeFiles/firmup_compiler.dir/toolchain.cc.o"
+  "CMakeFiles/firmup_compiler.dir/toolchain.cc.o.d"
+  "libfirmup_compiler.a"
+  "libfirmup_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmup_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

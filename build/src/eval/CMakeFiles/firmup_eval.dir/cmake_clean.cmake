@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmup_eval.dir/driver.cc.o"
+  "CMakeFiles/firmup_eval.dir/driver.cc.o.d"
+  "CMakeFiles/firmup_eval.dir/experiments.cc.o"
+  "CMakeFiles/firmup_eval.dir/experiments.cc.o.d"
+  "CMakeFiles/firmup_eval.dir/report.cc.o"
+  "CMakeFiles/firmup_eval.dir/report.cc.o.d"
+  "libfirmup_eval.a"
+  "libfirmup_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmup_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

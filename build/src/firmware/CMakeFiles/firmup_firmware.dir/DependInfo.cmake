@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/firmware/catalog.cc" "src/firmware/CMakeFiles/firmup_firmware.dir/catalog.cc.o" "gcc" "src/firmware/CMakeFiles/firmup_firmware.dir/catalog.cc.o.d"
+  "/root/repo/src/firmware/corpus.cc" "src/firmware/CMakeFiles/firmup_firmware.dir/corpus.cc.o" "gcc" "src/firmware/CMakeFiles/firmup_firmware.dir/corpus.cc.o.d"
+  "/root/repo/src/firmware/image.cc" "src/firmware/CMakeFiles/firmup_firmware.dir/image.cc.o" "gcc" "src/firmware/CMakeFiles/firmup_firmware.dir/image.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/firmup_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/firmup_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/loader/CMakeFiles/firmup_loader.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/firmup_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/firmup_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/firmup_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

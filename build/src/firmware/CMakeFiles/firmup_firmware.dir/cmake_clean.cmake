@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmup_firmware.dir/catalog.cc.o"
+  "CMakeFiles/firmup_firmware.dir/catalog.cc.o.d"
+  "CMakeFiles/firmup_firmware.dir/corpus.cc.o"
+  "CMakeFiles/firmup_firmware.dir/corpus.cc.o.d"
+  "CMakeFiles/firmup_firmware.dir/image.cc.o"
+  "CMakeFiles/firmup_firmware.dir/image.cc.o.d"
+  "libfirmup_firmware.a"
+  "libfirmup_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmup_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmup_game.dir/game.cc.o"
+  "CMakeFiles/firmup_game.dir/game.cc.o.d"
+  "libfirmup_game.a"
+  "libfirmup_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmup_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmup_ir.dir/uir.cc.o"
+  "CMakeFiles/firmup_ir.dir/uir.cc.o.d"
+  "libfirmup_ir.a"
+  "libfirmup_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmup_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/arm.cc" "src/isa/CMakeFiles/firmup_isa.dir/arm.cc.o" "gcc" "src/isa/CMakeFiles/firmup_isa.dir/arm.cc.o.d"
+  "/root/repo/src/isa/mips.cc" "src/isa/CMakeFiles/firmup_isa.dir/mips.cc.o" "gcc" "src/isa/CMakeFiles/firmup_isa.dir/mips.cc.o.d"
+  "/root/repo/src/isa/ppc.cc" "src/isa/CMakeFiles/firmup_isa.dir/ppc.cc.o" "gcc" "src/isa/CMakeFiles/firmup_isa.dir/ppc.cc.o.d"
+  "/root/repo/src/isa/target.cc" "src/isa/CMakeFiles/firmup_isa.dir/target.cc.o" "gcc" "src/isa/CMakeFiles/firmup_isa.dir/target.cc.o.d"
+  "/root/repo/src/isa/x86.cc" "src/isa/CMakeFiles/firmup_isa.dir/x86.cc.o" "gcc" "src/isa/CMakeFiles/firmup_isa.dir/x86.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/firmup_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

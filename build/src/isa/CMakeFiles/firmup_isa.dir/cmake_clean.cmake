@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmup_isa.dir/arm.cc.o"
+  "CMakeFiles/firmup_isa.dir/arm.cc.o.d"
+  "CMakeFiles/firmup_isa.dir/mips.cc.o"
+  "CMakeFiles/firmup_isa.dir/mips.cc.o.d"
+  "CMakeFiles/firmup_isa.dir/ppc.cc.o"
+  "CMakeFiles/firmup_isa.dir/ppc.cc.o.d"
+  "CMakeFiles/firmup_isa.dir/target.cc.o"
+  "CMakeFiles/firmup_isa.dir/target.cc.o.d"
+  "CMakeFiles/firmup_isa.dir/x86.cc.o"
+  "CMakeFiles/firmup_isa.dir/x86.cc.o.d"
+  "libfirmup_isa.a"
+  "libfirmup_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmup_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmup_lang.dir/ast.cc.o"
+  "CMakeFiles/firmup_lang.dir/ast.cc.o.d"
+  "CMakeFiles/firmup_lang.dir/generate.cc.o"
+  "CMakeFiles/firmup_lang.dir/generate.cc.o.d"
+  "libfirmup_lang.a"
+  "libfirmup_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmup_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lifter/cfg.cc" "src/lifter/CMakeFiles/firmup_lifter.dir/cfg.cc.o" "gcc" "src/lifter/CMakeFiles/firmup_lifter.dir/cfg.cc.o.d"
+  "/root/repo/src/lifter/interp.cc" "src/lifter/CMakeFiles/firmup_lifter.dir/interp.cc.o" "gcc" "src/lifter/CMakeFiles/firmup_lifter.dir/interp.cc.o.d"
+  "/root/repo/src/lifter/lift.cc" "src/lifter/CMakeFiles/firmup_lifter.dir/lift.cc.o" "gcc" "src/lifter/CMakeFiles/firmup_lifter.dir/lift.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/firmup_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/firmup_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/firmup_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/loader/CMakeFiles/firmup_loader.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmup_lifter.dir/cfg.cc.o"
+  "CMakeFiles/firmup_lifter.dir/cfg.cc.o.d"
+  "CMakeFiles/firmup_lifter.dir/interp.cc.o"
+  "CMakeFiles/firmup_lifter.dir/interp.cc.o.d"
+  "CMakeFiles/firmup_lifter.dir/lift.cc.o"
+  "CMakeFiles/firmup_lifter.dir/lift.cc.o.d"
+  "libfirmup_lifter.a"
+  "libfirmup_lifter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmup_lifter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

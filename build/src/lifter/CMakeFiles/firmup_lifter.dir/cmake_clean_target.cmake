@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfirmup_lifter.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmup_loader.dir/fwelf.cc.o"
+  "CMakeFiles/firmup_loader.dir/fwelf.cc.o.d"
+  "libfirmup_loader.a"
+  "libfirmup_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmup_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmup_sim.dir/persist.cc.o"
+  "CMakeFiles/firmup_sim.dir/persist.cc.o.d"
+  "CMakeFiles/firmup_sim.dir/similarity.cc.o"
+  "CMakeFiles/firmup_sim.dir/similarity.cc.o.d"
+  "libfirmup_sim.a"
+  "libfirmup_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmup_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

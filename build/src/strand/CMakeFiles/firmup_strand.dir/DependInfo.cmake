@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strand/canon.cc" "src/strand/CMakeFiles/firmup_strand.dir/canon.cc.o" "gcc" "src/strand/CMakeFiles/firmup_strand.dir/canon.cc.o.d"
+  "/root/repo/src/strand/slice.cc" "src/strand/CMakeFiles/firmup_strand.dir/slice.cc.o" "gcc" "src/strand/CMakeFiles/firmup_strand.dir/slice.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/firmup_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/firmup_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

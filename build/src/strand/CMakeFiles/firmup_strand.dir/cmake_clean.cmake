@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmup_strand.dir/canon.cc.o"
+  "CMakeFiles/firmup_strand.dir/canon.cc.o.d"
+  "CMakeFiles/firmup_strand.dir/slice.cc.o"
+  "CMakeFiles/firmup_strand.dir/slice.cc.o.d"
+  "libfirmup_strand.a"
+  "libfirmup_strand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmup_strand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmup_support.dir/error.cc.o"
+  "CMakeFiles/firmup_support.dir/error.cc.o.d"
+  "CMakeFiles/firmup_support.dir/hash.cc.o"
+  "CMakeFiles/firmup_support.dir/hash.cc.o.d"
+  "CMakeFiles/firmup_support.dir/rng.cc.o"
+  "CMakeFiles/firmup_support.dir/rng.cc.o.d"
+  "CMakeFiles/firmup_support.dir/str.cc.o"
+  "CMakeFiles/firmup_support.dir/str.cc.o.d"
+  "CMakeFiles/firmup_support.dir/threadpool.cc.o"
+  "CMakeFiles/firmup_support.dir/threadpool.cc.o.d"
+  "libfirmup_support.a"
+  "libfirmup_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmup_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

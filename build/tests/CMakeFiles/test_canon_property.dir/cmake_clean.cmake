@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_canon_property.dir/test_canon_property.cc.o"
+  "CMakeFiles/test_canon_property.dir/test_canon_property.cc.o.d"
+  "test_canon_property"
+  "test_canon_property.pdb"
+  "test_canon_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_canon_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

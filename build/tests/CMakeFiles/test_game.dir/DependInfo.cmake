@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_game.cc" "tests/CMakeFiles/test_game.dir/test_game.cc.o" "gcc" "tests/CMakeFiles/test_game.dir/test_game.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/firmup_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/firmup_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/firmup_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/firmup_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lifter/CMakeFiles/firmup_lifter.dir/DependInfo.cmake"
+  "/root/repo/build/src/strand/CMakeFiles/firmup_strand.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/firmup_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/firmware/CMakeFiles/firmup_firmware.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/firmup_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/firmup_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/firmup_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/loader/CMakeFiles/firmup_loader.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/firmup_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/firmup_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

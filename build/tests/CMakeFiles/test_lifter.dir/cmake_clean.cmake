@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lifter.dir/test_lifter.cc.o"
+  "CMakeFiles/test_lifter.dir/test_lifter.cc.o.d"
+  "test_lifter"
+  "test_lifter.pdb"
+  "test_lifter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lifter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strand.dir/test_strand.cc.o"
+  "CMakeFiles/test_strand.dir/test_strand.cc.o.d"
+  "test_strand"
+  "test_strand.pdb"
+  "test_strand[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmup_cli.dir/firmup.cc.o"
+  "CMakeFiles/firmup_cli.dir/firmup.cc.o.d"
+  "firmup"
+  "firmup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmup_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
