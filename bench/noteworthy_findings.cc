@@ -53,7 +53,10 @@ main()
     // catalog both exist at 7.15.4 (ancestor + successor), matching the
     // paper's setup where the deprecated twin is the interesting match.
     const auto ancient = vendor_build("libcurl", "7.15.4");
-    const auto &ancient_index = driver.index_target(ancient);
+    const auto *ancient_ptr = driver.index_target(ancient);
+    FIRMUP_ASSERT(ancient_ptr != nullptr,
+                  "trusted in-process build must lift");
+    const auto &ancient_index = *ancient_ptr;
     const eval::SearchOutcome hit =
         driver.match(curl_query, ancient_index);
     std::printf("query curl_easy_unescape vs libcurl 7.15.4: ");
@@ -112,7 +115,10 @@ main()
                        "share of query strands"});
     for (const std::string &version : wget.versions) {
         const auto target_exe = vendor_build("wget", version);
-        const auto &target = driver.index_target(target_exe);
+        const auto *version_ptr = driver.index_target(target_exe);
+        FIRMUP_ASSERT(version_ptr != nullptr,
+                      "trusted in-process build must lift");
+        const auto &target = *version_ptr;
         // Locate the true procedure via an unstripped twin build.
         const eval::Query truth = driver.build_query(
             "wget", "ftp_retrieve_glob", version, isa::Arch::Mips32);

@@ -38,7 +38,10 @@ main()
     request.keep_exported = false;
     const loader::Executable target_exe =
         codegen::build_executable(source, request);
-    const auto &target = driver.index_target(target_exe);
+    const auto *target_ptr = driver.index_target(target_exe);
+    FIRMUP_ASSERT(target_ptr != nullptr,
+                  "trusted in-process build must lift");
+    const auto &target = *target_ptr;
 
     game::GameOptions options;
     options.record_trace = true;

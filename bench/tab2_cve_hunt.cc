@@ -52,7 +52,7 @@ main()
     eval::Table table({"CVE", "Package", "Procedure", "Confirmed", "FPs",
                        "Missed", "Affected Vendors", "Latest", "Time"});
     int total_confirmed = 0, total_fps = 0, total_latest = 0,
-        total_missed = 0;
+        total_missed = 0, total_skipped = 0;
     for (const auto &row : rows) {
         std::vector<std::string> vendors(row.vendors.begin(),
                                          row.vendors.end());
@@ -66,11 +66,15 @@ main()
         total_fps += row.fps;
         total_latest += row.latest;
         total_missed += row.missed;
+        total_skipped += row.skipped;
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("totals: %d confirmed vulnerable procedures "
-                "(%d in latest firmware), %d false positives, %d missed\n",
-                total_confirmed, total_latest, total_fps, total_missed);
+                "(%d in latest firmware), %d false positives, %d missed, "
+                "%d quarantined-target scans skipped\n",
+                total_confirmed, total_latest, total_fps, total_missed,
+                total_skipped);
+    std::printf("%s\n", eval::render_health(driver.health()).c_str());
     std::printf("\npaper reference (real-world corpus): 373 confirmed, "
                 "147 in latest firmware; FPs only on the\n"
                 "version-skewed wget experiment (14). Absolute counts "

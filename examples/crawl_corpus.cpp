@@ -48,11 +48,14 @@ main()
             unpacked.value().damaged_members);
         for (const loader::Executable &exe :
              unpacked.value().image.executables) {
-            const sim::ExecutableIndex &index = driver.index_target(exe);
+            const sim::ExecutableIndex *index = driver.index_target(exe);
+            if (index == nullptr) {
+                continue;  // quarantined; counted in driver.health()
+            }
             ++executables;
-            procedures += index.procs.size();
-            ++per_arch[isa::arch_name(index.arch)];
-            header_lies += exe.declared_arch != index.arch ? 1 : 0;
+            procedures += index->procs.size();
+            ++per_arch[isa::arch_name(index->arch)];
+            header_lies += exe.declared_arch != index->arch ? 1 : 0;
         }
     }
     std::printf("unpacked %zu executables (%zu damaged members "

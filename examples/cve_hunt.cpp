@@ -88,7 +88,12 @@ main()
 
     for (const loader::Executable &exe :
          unpacked.value().image.executables) {
-        const sim::ExecutableIndex &target = driver.index_target(exe);
+        const sim::ExecutableIndex *target_ptr = driver.index_target(exe);
+        if (target_ptr == nullptr) {
+            std::printf("%-10s quarantined\n", exe.name.c_str());
+            continue;
+        }
+        const sim::ExecutableIndex &target = *target_ptr;
         std::printf("%-10s declared=%-6s sniffed=%-6s procs=%zu : ",
                     exe.name.c_str(), isa::arch_name(exe.declared_arch),
                     isa::arch_name(target.arch), target.procs.size());

@@ -33,7 +33,11 @@ main()
     request.keep_exported = false;
     const loader::Executable target_exe =
         codegen::build_executable(source, request);
-    const sim::ExecutableIndex &target = driver.index_target(target_exe);
+    const sim::ExecutableIndex *target_ptr =
+        driver.index_target(target_exe);
+    FIRMUP_ASSERT(target_ptr != nullptr,
+                  "trusted in-process build must lift");
+    const sim::ExecutableIndex &target = *target_ptr;
 
     const eval::Query query = driver.build_query(
         "wget", "ftp_retrieve_glob", "1.15", isa::Arch::Arm32);

@@ -74,57 +74,95 @@ Driver::build_query(const std::string &package,
     return query;
 }
 
-const lifter::LiftedExecutable &
-Driver::lift_cached(const loader::Executable &exe)
+std::uint64_t
+content_key(const loader::Executable &exe)
 {
-    const std::uint64_t key = hash_combine(
+    return hash_combine(
         fnv1a64(exe.name),
         fnv1a64(std::string_view(
             reinterpret_cast<const char *>(exe.text.data()),
             exe.text.size())));
-    auto it = lift_cache_.find(key);
-    if (it == lift_cache_.end()) {
-        auto lifted = lifter::lift_executable(exe);
-        FIRMUP_ASSERT(lifted.ok(), "target lift failed");
-        it = lift_cache_.emplace(key, std::move(lifted).take()).first;
-    }
-    return it->second;
 }
 
-const sim::ExecutableIndex &
+namespace {
+
+/**
+ * Lift an untrusted executable, downgrading degenerate successes: a
+ * non-empty text section from which not a single procedure could be
+ * recovered is a lift bail-out, not a usable (empty) index.
+ */
+Result<lifter::LiftedExecutable>
+lift_untrusted(const loader::Executable &exe)
+{
+    auto lifted = lifter::lift_executable(exe);
+    if (lifted.ok() && lifted.value().procs.empty() &&
+        !exe.text.empty()) {
+        return Result<lifter::LiftedExecutable>::error(
+            ErrorCode::LiftBailout,
+            "no liftable procedure in " +
+                std::to_string(exe.text.size()) + " text bytes");
+    }
+    return lifted;
+}
+
+}  // namespace
+
+const lifter::LiftedExecutable *
+Driver::lift_cached(const loader::Executable &exe)
+{
+    const std::uint64_t key = content_key(exe);
+    auto it = lift_cache_.find(key);
+    if (it != lift_cache_.end()) {
+        return &it->second;
+    }
+    if (quarantined_.contains(key)) {
+        return nullptr;
+    }
+    ++health_.executables_seen;
+    auto lifted = lift_untrusted(exe);
+    if (!lifted.ok()) {
+        quarantined_.insert(key);
+        health_.note_quarantine(exe.name, lifted.error_code(),
+                                lifted.error_message());
+        return nullptr;
+    }
+    ++health_.lifted_ok;
+    return &lift_cache_.emplace(key, std::move(lifted).take())
+                .first->second;
+}
+
+const sim::ExecutableIndex *
 Driver::index_target(const loader::Executable &exe)
 {
-    const lifter::LiftedExecutable &lifted = lift_cached(exe);
-    const std::uint64_t key = hash_combine(
-        fnv1a64(exe.name),
-        fnv1a64(std::string_view(
-            reinterpret_cast<const char *>(exe.text.data()),
-            exe.text.size())));
+    const lifter::LiftedExecutable *lifted = lift_cached(exe);
+    if (lifted == nullptr) {
+        return nullptr;
+    }
+    const std::uint64_t key = content_key(exe);
     auto it = index_cache_.find(key);
     if (it == index_cache_.end()) {
         it = index_cache_
                  .emplace(key,
-                          sim::index_executable(lifted, options_.canon))
+                          sim::index_executable(*lifted, options_.canon))
                  .first;
     }
-    return it->second;
+    return &it->second;
 }
 
-const baseline::GraphIndex &
+const baseline::GraphIndex *
 Driver::graph_target(const loader::Executable &exe)
 {
-    const lifter::LiftedExecutable &lifted = lift_cached(exe);
-    const std::uint64_t key = hash_combine(
-        fnv1a64(exe.name),
-        fnv1a64(std::string_view(
-            reinterpret_cast<const char *>(exe.text.data()),
-            exe.text.size())));
+    const lifter::LiftedExecutable *lifted = lift_cached(exe);
+    if (lifted == nullptr) {
+        return nullptr;
+    }
+    const std::uint64_t key = content_key(exe);
     auto it = graph_cache_.find(key);
     if (it == graph_cache_.end()) {
-        it = graph_cache_.emplace(key, baseline::graph_index(lifted))
+        it = graph_cache_.emplace(key, baseline::graph_index(*lifted))
                  .first;
     }
-    return it->second;
+    return &it->second;
 }
 
 std::size_t
@@ -135,44 +173,61 @@ Driver::preindex(const firmware::Corpus &corpus, unsigned threads)
     std::set<std::uint64_t> seen;
     for (const firmware::FirmwareImage &image : corpus.images) {
         for (const loader::Executable &exe : image.executables) {
-            const std::uint64_t key = hash_combine(
-                fnv1a64(exe.name),
-                fnv1a64(std::string_view(
-                    reinterpret_cast<const char *>(exe.text.data()),
-                    exe.text.size())));
+            const std::uint64_t key = content_key(exe);
             if (seen.insert(key).second &&
-                !index_cache_.contains(key)) {
+                !index_cache_.contains(key) &&
+                !quarantined_.contains(key)) {
                 work.push_back(&exe);
             }
         }
     }
     // Lift + index in parallel with no shared state, merge at the end.
-    std::vector<lifter::LiftedExecutable> lifted(work.size());
-    std::vector<sim::ExecutableIndex> indexes(work.size());
+    // Failures stay in their slot; only the merge loop (single-threaded)
+    // touches caches, quarantine and health.
+    struct Slot
+    {
+        bool ok = false;
+        ErrorCode code = ErrorCode::Unknown;
+        std::string message;
+        lifter::LiftedExecutable lifted;
+        sim::ExecutableIndex index;
+    };
+    std::vector<Slot> slots(work.size());
     const strand::CanonOptions canon = options_.canon;
     ThreadPool::parallel_for(
         threads, work.size(), [&](std::size_t i) {
-            auto result = lifter::lift_executable(*work[i]);
-            FIRMUP_ASSERT(result.ok(), "preindex lift failed");
-            lifted[i] = std::move(result).take();
-            indexes[i] = sim::index_executable(lifted[i], canon);
+            auto result = lift_untrusted(*work[i]);
+            if (!result.ok()) {
+                slots[i].code = result.error_code();
+                slots[i].message = result.error_message();
+                return;
+            }
+            slots[i].ok = true;
+            slots[i].lifted = std::move(result).take();
+            slots[i].index =
+                sim::index_executable(slots[i].lifted, canon);
         });
+    std::size_t indexed = 0;
     for (std::size_t i = 0; i < work.size(); ++i) {
         const loader::Executable &exe = *work[i];
-        const std::uint64_t key = hash_combine(
-            fnv1a64(exe.name),
-            fnv1a64(std::string_view(
-                reinterpret_cast<const char *>(exe.text.data()),
-                exe.text.size())));
-        lift_cache_.emplace(key, std::move(lifted[i]));
-        index_cache_.emplace(key, std::move(indexes[i]));
+        const std::uint64_t key = content_key(exe);
+        ++health_.executables_seen;
+        if (!slots[i].ok) {
+            quarantined_.insert(key);
+            health_.note_quarantine(exe.name, slots[i].code,
+                                    slots[i].message);
+            continue;
+        }
+        ++health_.lifted_ok;
+        ++indexed;
+        lift_cache_.emplace(key, std::move(slots[i].lifted));
+        index_cache_.emplace(key, std::move(slots[i].index));
     }
-    return work.size();
+    return indexed;
 }
 
 SearchOutcome
-Driver::match(const Query &query,
-              const sim::ExecutableIndex &target) const
+Driver::match(const Query &query, const sim::ExecutableIndex &target)
 {
     SearchOutcome outcome;
     if (target.procs.empty()) {
@@ -183,6 +238,11 @@ Driver::match(const Query &query,
             game::match_query(query.index, query.qv, target,
                               options_.game);
         outcome.steps = result.steps;
+        if (result.ending == game::GameEnding::Unresolved) {
+            outcome.unresolved = true;
+            ++health_.games_unresolved;
+            health_.note_error(ErrorCode::BudgetExhausted);
+        }
         if (result.matched) {
             outcome.detected = true;
             outcome.matched_entry = result.target_entry;
@@ -206,8 +266,7 @@ Driver::match(const Query &query,
 }
 
 SearchOutcome
-Driver::search(const Query &query,
-               const sim::ExecutableIndex &target) const
+Driver::search(const Query &query, const sim::ExecutableIndex &target)
 {
     SearchOutcome outcome = match(query, target);
     if (!outcome.detected) {

@@ -14,10 +14,12 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "baseline/bindiff_like.h"
 #include "baseline/gitz_like.h"
+#include "eval/health.h"
 #include "firmware/catalog.h"
 #include "firmware/corpus.h"
 #include "game/game.h"
@@ -71,7 +73,17 @@ struct SearchOutcome
     std::uint64_t matched_entry = 0;
     int sim = 0;
     int steps = 0;
+    /** True when the game expired a budget before reaching an answer. */
+    bool unresolved = false;
 };
+
+/**
+ * Content identity of an executable: name + text bytes. Byte-identical
+ * executables re-shipped across firmware versions collapse to one key
+ * (paper section 5.2 observation) — this is the cache and quarantine key
+ * used throughout the driver.
+ */
+std::uint64_t content_key(const loader::Executable &exe);
 
 /** Drives lifting, indexing and matching with an index cache. */
 class Driver
@@ -97,26 +109,35 @@ class Driver
      * Lift + index a target executable. Results are cached by content,
      * so byte-identical executables re-shipped across firmware versions
      * are only processed once (paper section 5.2 observation).
+     *
+     * Untrusted input: returns nullptr when the executable cannot be
+     * lifted — the executable is quarantined (recorded in health() with
+     * its ErrorCode) and every later call returns nullptr without
+     * re-attempting the lift. The scan continues.
      */
-    const sim::ExecutableIndex &index_target(
+    const sim::ExecutableIndex *index_target(
         const loader::Executable &exe);
 
-    /** Structural (BinDiff) index of a target, cached likewise. */
-    const baseline::GraphIndex &graph_target(
+    /**
+     * Structural (BinDiff) index of a target, cached likewise; nullptr
+     * when the executable is quarantined.
+     */
+    const baseline::GraphIndex *graph_target(
         const loader::Executable &exe);
 
     /**
      * Lift + index every executable of @p corpus across @p threads
      * worker threads, seeding the caches (the paper's one-time corpus
-     * indexing phase, section 5.1). Subsequent searches are pure lookups.
-     * @return number of distinct executables indexed.
+     * indexing phase, section 5.1). Subsequent searches are pure
+     * lookups. Unliftable executables are quarantined, not fatal.
+     * @return number of distinct executables successfully indexed.
      */
     std::size_t preindex(const firmware::Corpus &corpus,
                          unsigned threads);
 
     /** Run the FirmUp search (game, or top-1 when use_game is off). */
     SearchOutcome search(const Query &query,
-                         const sim::ExecutableIndex &target) const;
+                         const sim::ExecutableIndex &target);
 
     /**
      * Like search(), but without the detection threshold: the outcome is
@@ -127,15 +148,22 @@ class Driver
      * executable?" must be answered first.
      */
     SearchOutcome match(const Query &query,
-                        const sim::ExecutableIndex &target) const;
+                        const sim::ExecutableIndex &target);
+
+    /** Degradation record for everything this driver has scanned. */
+    const ScanHealth &health() const { return health_; }
+    ScanHealth &health() { return health_; }
 
   private:
     SearchOptions options_;
+    ScanHealth health_;
     std::map<std::uint64_t, sim::ExecutableIndex> index_cache_;
     std::map<std::uint64_t, baseline::GraphIndex> graph_cache_;
     std::map<std::uint64_t, lifter::LiftedExecutable> lift_cache_;
+    /** Content keys of executables that failed to lift. */
+    std::set<std::uint64_t> quarantined_;
 
-    const lifter::LiftedExecutable &lift_cached(
+    const lifter::LiftedExecutable *lift_cached(
         const loader::Executable &exe);
 };
 

@@ -80,18 +80,22 @@ run_cve_hunt(Driver &driver, const firmware::Corpus &corpus)
         for (std::size_t i = 0; i < corpus.images.size(); ++i) {
             const firmware::FirmwareImage &image = corpus.images[i];
             for (const loader::Executable &exe : image.executables) {
-                const sim::ExecutableIndex &target =
+                const sim::ExecutableIndex *target =
                     driver.index_target(exe);
-                auto qit = queries.find(target.arch);
+                if (target == nullptr) {
+                    ++row.skipped;  // quarantined; scan continues
+                    continue;
+                }
+                auto qit = queries.find(target->arch);
                 if (qit == queries.end()) {
                     qit = queries
-                              .emplace(target.arch,
+                              .emplace(target->arch,
                                        driver.build_query(cve,
-                                                          target.arch))
+                                                          target->arch))
                               .first;
                 }
                 const SearchOutcome outcome =
-                    driver.search(qit->second, target);
+                    driver.search(qit->second, *target);
 
                 const firmware::TruthExe *truth = corpus.find_truth(
                     static_cast<int>(i), exe.name);
@@ -194,26 +198,29 @@ run_labeled(Driver &driver, const firmware::Corpus &corpus,
             if (trial.truth_entry == 0) {
                 continue;  // procedure compiled out of this build
             }
-            ++tally.targets;
             // The labeled experiment runs on name-less copies so no
             // tool can cheat (the paper's group-1 protocol).
             loader::Executable stripped = *trial.exe;
             loader::strip_executable(stripped,
                                      !options.strip_all_names);
 
-            const sim::ExecutableIndex &target =
+            const sim::ExecutableIndex *target =
                 driver.index_target(stripped);
-            auto qit = queries.find(target.arch);
+            if (target == nullptr) {
+                continue;  // quarantined; reported via health
+            }
+            ++tally.targets;
+            auto qit = queries.find(target->arch);
             if (qit == queries.end()) {
                 qit = queries
-                          .emplace(target.arch,
-                                   driver.build_query(cve, target.arch))
+                          .emplace(target->arch,
+                                   driver.build_query(cve, target->arch))
                           .first;
             }
             const Query &query = qit->second;
 
             // ---- FirmUp ----
-            const SearchOutcome outcome = driver.match(query, target);
+            const SearchOutcome outcome = driver.match(query, *target);
             if (!outcome.detected) {
                 ++tally.firmup.fn;
             } else if (outcome.matched_entry == trial.truth_entry) {
@@ -225,8 +232,10 @@ run_labeled(Driver &driver, const firmware::Corpus &corpus,
 
             // ---- BinDiff ----
             if (options.run_bindiff) {
+                // The lift already succeeded (target != nullptr), so the
+                // graph index cannot be quarantined here.
                 const baseline::GraphIndex &tgraph =
-                    driver.graph_target(stripped);
+                    *driver.graph_target(stripped);
                 const auto matches =
                     baseline::bindiff_match(query.graph, tgraph);
                 const std::uint64_t q_entry =
@@ -262,7 +271,7 @@ run_labeled(Driver &driver, const firmware::Corpus &corpus,
 
             // ---- GitZ ----
             if (options.run_gitz) {
-                auto cit = contexts.find(target.arch);
+                auto cit = contexts.find(target->arch);
                 if (cit == contexts.end()) {
                     // Train on all corpus executables of this arch.
                     std::vector<const sim::ExecutableIndex *> sample;
@@ -270,23 +279,24 @@ run_labeled(Driver &driver, const firmware::Corpus &corpus,
                          corpus.images) {
                         for (const loader::Executable &exe :
                              image.executables) {
-                            const sim::ExecutableIndex &index =
+                            const sim::ExecutableIndex *index =
                                 driver.index_target(exe);
-                            if (index.arch == target.arch) {
-                                sample.push_back(&index);
+                            if (index != nullptr &&
+                                index->arch == target->arch) {
+                                sample.push_back(index);
                             }
                         }
                     }
                     cit = contexts
-                              .emplace(target.arch,
+                              .emplace(target->arch,
                                        sim::train_global_context(sample))
                               .first;
                 }
                 const int top = baseline::gitz_top1(
-                    query.index, query.qv, target, &cit->second);
+                    query.index, query.qv, *target, &cit->second);
                 // Fig. 8 folds FN into FP: top-1 is right or it is not.
                 if (top >= 0 &&
-                    target.procs[static_cast<std::size_t>(top)].entry ==
+                    target->procs[static_cast<std::size_t>(top)].entry ==
                         trial.truth_entry) {
                     ++tally.gitz.p;
                 } else {
@@ -296,6 +306,7 @@ run_labeled(Driver &driver, const firmware::Corpus &corpus,
         }
         result.rows.push_back(std::move(tally));
     }
+    result.health = driver.health();
     return result;
 }
 
@@ -312,40 +323,45 @@ gitz_topk_hits(Driver &driver, const firmware::Corpus &corpus, int max_k)
             }
             loader::Executable stripped = *trial.exe;
             loader::strip_executable(stripped, false);
-            const sim::ExecutableIndex &target =
+            const sim::ExecutableIndex *target =
                 driver.index_target(stripped);
-            auto qit = queries.find(target.arch);
+            if (target == nullptr) {
+                continue;  // quarantined; reported via health
+            }
+            auto qit = queries.find(target->arch);
             if (qit == queries.end()) {
                 qit = queries
-                          .emplace(target.arch,
-                                   driver.build_query(cve, target.arch))
+                          .emplace(target->arch,
+                                   driver.build_query(cve, target->arch))
                           .first;
             }
-            auto cit = contexts.find(target.arch);
+            auto cit = contexts.find(target->arch);
             if (cit == contexts.end()) {
                 std::vector<const sim::ExecutableIndex *> sample;
                 for (const firmware::FirmwareImage &image :
                      corpus.images) {
                     for (const loader::Executable &exe :
                          image.executables) {
-                        const sim::ExecutableIndex &index =
+                        const sim::ExecutableIndex *index =
                             driver.index_target(exe);
-                        if (index.arch == target.arch) {
-                            sample.push_back(&index);
+                        if (index != nullptr &&
+                            index->arch == target->arch) {
+                            sample.push_back(index);
                         }
                     }
                 }
                 cit = contexts
-                          .emplace(target.arch,
+                          .emplace(target->arch,
                                    sim::train_global_context(sample))
                           .first;
             }
             const auto ranked = baseline::gitz_rank(
-                qit->second.index, qit->second.qv, target, &cit->second);
+                qit->second.index, qit->second.qv, *target,
+                &cit->second);
             for (int k = 0;
                  k < max_k && k < static_cast<int>(ranked.size()); ++k) {
                 const auto entry =
-                    target.procs[static_cast<std::size_t>(
+                    target->procs[static_cast<std::size_t>(
                         ranked[static_cast<std::size_t>(k)]
                             .target_index)].entry;
                 if (entry == trial.truth_entry) {

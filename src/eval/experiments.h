@@ -41,11 +41,16 @@ struct CveHuntRow
     int fps = 0;        ///< wrong procedure matched
     int missed = 0;     ///< vulnerable procedure present but not found
     int latest = 0;     ///< confirmed findings in latest-firmware images
+    int skipped = 0;    ///< quarantined targets this CVE never scanned
     std::set<std::string> vendors;  ///< vendors with confirmed findings
     double seconds = 0.0;
 };
 
-/** Run the Table 2 hunt: every CVE against every corpus executable. */
+/**
+ * Run the Table 2 hunt: every CVE against every corpus executable.
+ * Quarantined executables are skipped (per-row `skipped`); coverage for
+ * the whole scan is in driver.health().
+ */
 std::vector<CveHuntRow> run_cve_hunt(Driver &driver,
                                      const firmware::Corpus &corpus);
 
@@ -78,6 +83,8 @@ struct LabeledResult
 {
     std::vector<QueryTally> rows;
     std::vector<int> game_steps;  ///< per correct FirmUp match (Fig. 9)
+    /** Coverage snapshot (driver.health()) taken after the run. */
+    ScanHealth health;
 
     Tally firmup_total() const;
     Tally bindiff_total() const;

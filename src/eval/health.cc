@@ -1,0 +1,114 @@
+#include "eval/health.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/str.h"
+
+namespace firmup::eval {
+
+void
+ScanHealth::note_error(ErrorCode code)
+{
+    ++errors[static_cast<std::size_t>(code)];
+}
+
+void
+ScanHealth::note_unpack(const firmware::UnpackResult &unpacked)
+{
+    ++images_seen;
+    members_damaged +=
+        static_cast<std::size_t>(unpacked.damaged_members);
+    for (std::size_t c = 0; c < kErrorCodeCount; ++c) {
+        errors[c] += static_cast<std::size_t>(unpacked.damage[c]);
+    }
+}
+
+void
+ScanHealth::note_unpack_failure(ErrorCode code)
+{
+    ++images_seen;
+    ++images_rejected;
+    note_error(code);
+}
+
+void
+ScanHealth::note_quarantine(const std::string &exe_name, ErrorCode code,
+                            const std::string &message)
+{
+    ++quarantined;
+    note_error(code);
+    if (quarantine_log.size() < kMaxQuarantineLog) {
+        quarantine_log.push_back({exe_name, code, message});
+    }
+}
+
+void
+ScanHealth::merge(const ScanHealth &other)
+{
+    images_seen += other.images_seen;
+    images_rejected += other.images_rejected;
+    members_damaged += other.members_damaged;
+    executables_seen += other.executables_seen;
+    lifted_ok += other.lifted_ok;
+    quarantined += other.quarantined;
+    games_unresolved += other.games_unresolved;
+    for (std::size_t c = 0; c < kErrorCodeCount; ++c) {
+        errors[c] += other.errors[c];
+    }
+    for (const QuarantineEntry &entry : other.quarantine_log) {
+        if (quarantine_log.size() >= kMaxQuarantineLog) {
+            break;
+        }
+        quarantine_log.push_back(entry);
+    }
+}
+
+bool
+ScanHealth::sane() const
+{
+    if (lifted_ok + quarantined != executables_seen) {
+        return false;
+    }
+    if (images_rejected > images_seen) {
+        return false;
+    }
+    if (quarantine_log.size() >
+        std::min(quarantined, kMaxQuarantineLog)) {
+        return false;
+    }
+    const std::size_t histogram_total =
+        std::accumulate(errors.begin(), errors.end(), std::size_t{0});
+    // Every rejection, damaged member and quarantine left a histogram
+    // mark (unresolved games are counted by the caller, so >=).
+    return histogram_total >=
+           images_rejected + members_damaged + quarantined;
+}
+
+std::string
+ScanHealth::summary() const
+{
+    std::string out = strprintf(
+        "scan health: %zu/%zu image(s) unpacked, %zu damaged member(s); "
+        "%zu executable(s): %zu lifted, %zu quarantined; "
+        "%zu unresolved game(s)",
+        images_seen - images_rejected, images_seen, members_damaged,
+        executables_seen, lifted_ok, quarantined, games_unresolved);
+    bool first = true;
+    for (std::size_t c = 0; c < kErrorCodeCount; ++c) {
+        if (errors[c] == 0) {
+            continue;
+        }
+        out += first ? " [" : ", ";
+        first = false;
+        out += strprintf("%s=%zu",
+                         error_code_name(static_cast<ErrorCode>(c)),
+                         errors[c]);
+    }
+    if (!first) {
+        out += "]";
+    }
+    return out;
+}
+
+}  // namespace firmup::eval

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * ScanHealth — coverage accounting for fault-tolerant corpus scans.
+ *
+ * FirmUp's accuracy numbers are meaningless without knowing how much of
+ * the corpus was actually analyzed: real vendor blobs are routinely
+ * truncated or repacked, and a scan that silently drops members
+ * over-reports precision. Every Driver carries a ScanHealth that records
+ * what was seen, what lifted, what was quarantined and why (an ErrorCode
+ * histogram), so experiments print coverage alongside accuracy.
+ */
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "firmware/image.h"
+#include "support/error.h"
+
+namespace firmup::eval {
+
+/** One quarantined executable: who, and why. */
+struct QuarantineEntry
+{
+    std::string exe_name;
+    ErrorCode code = ErrorCode::Unknown;
+    std::string message;
+};
+
+/** Per-image / per-corpus degradation record. */
+struct ScanHealth
+{
+    std::size_t images_seen = 0;       ///< blobs handed to the unpacker
+    std::size_t images_rejected = 0;   ///< blobs the unpacker refused
+    std::size_t members_damaged = 0;   ///< members the unpacker skipped
+    std::size_t executables_seen = 0;  ///< distinct executables lifted
+    std::size_t lifted_ok = 0;
+    std::size_t quarantined = 0;       ///< lift/index failures isolated
+    std::size_t games_unresolved = 0;  ///< budget-exhausted games
+
+    /** errors[code] = failures of that class, across all stages. */
+    std::array<std::size_t, kErrorCodeCount> errors{};
+
+    /** First quarantined executables (capped at kMaxQuarantineLog). */
+    std::vector<QuarantineEntry> quarantine_log;
+    static constexpr std::size_t kMaxQuarantineLog = 64;
+
+    /** Count one failure of class @p code in the histogram. */
+    void note_error(ErrorCode code);
+
+    /** Record a successfully unpacked blob (damage counters merged). */
+    void note_unpack(const firmware::UnpackResult &unpacked);
+
+    /** Record a blob the unpacker rejected outright. */
+    void note_unpack_failure(ErrorCode code);
+
+    /** Record one quarantined executable. */
+    void note_quarantine(const std::string &exe_name, ErrorCode code,
+                         const std::string &message);
+
+    /** Fold another record into this one (corpus-level aggregation). */
+    void merge(const ScanHealth &other);
+
+    /**
+     * Internal consistency: every lifted executable is either healthy or
+     * quarantined, and the histogram covers at least the quarantined +
+     * damaged counts. The fault-injection harness asserts this after
+     * every mutated image.
+     */
+    bool sane() const;
+
+    /** One-line coverage summary for scan footers. */
+    std::string summary() const;
+};
+
+}  // namespace firmup::eval

@@ -56,4 +56,40 @@ percent(double fraction)
     return strprintf("%.1f%%", fraction * 100.0);
 }
 
+std::string
+render_health(const ScanHealth &health)
+{
+    std::string out = health.summary() + "\n";
+    bool any_error = false;
+    for (std::size_t c = 0; c < kErrorCodeCount; ++c) {
+        any_error |= health.errors[c] != 0;
+    }
+    if (any_error) {
+        Table histogram({"error class", "count"});
+        for (std::size_t c = 0; c < kErrorCodeCount; ++c) {
+            if (health.errors[c] == 0) {
+                continue;
+            }
+            histogram.add_row(
+                {error_code_name(static_cast<ErrorCode>(c)),
+                 std::to_string(health.errors[c])});
+        }
+        out += histogram.render();
+    }
+    for (const QuarantineEntry &entry : health.quarantine_log) {
+        out += strprintf("quarantined: %s (%s): %s\n",
+                         entry.exe_name.empty()
+                             ? "<unnamed>"
+                             : entry.exe_name.c_str(),
+                         error_code_name(entry.code),
+                         entry.message.c_str());
+    }
+    if (health.quarantined > health.quarantine_log.size()) {
+        out += strprintf(
+            "... and %zu more quarantined executable(s)\n",
+            health.quarantined - health.quarantine_log.size());
+    }
+    return out;
+}
+
 }  // namespace firmup::eval

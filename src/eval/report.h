@@ -1,11 +1,14 @@
 /**
  * @file
- * Plain-text table rendering for the benchmark binaries.
+ * Plain-text table rendering for the benchmark binaries, plus the
+ * coverage footer every experiment prints alongside its accuracy.
  */
 #pragma once
 
 #include <string>
 #include <vector>
+
+#include "eval/health.h"
 
 namespace firmup::eval {
 
@@ -28,5 +31,11 @@ class Table
 
 /** "12.3%" style formatting. */
 std::string percent(double fraction);
+
+/**
+ * Multi-line coverage report: the one-line summary plus, when anything
+ * degraded, an error-code histogram table and the quarantine log.
+ */
+std::string render_health(const ScanHealth &health);
 
 }  // namespace firmup::eval

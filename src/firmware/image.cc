@@ -12,6 +12,9 @@ constexpr std::uint8_t kContentMagic[4] = {'C', 'F', 'G', '0'};
 void
 append_string(ByteBuffer &out, const std::string &s)
 {
+    FIRMUP_ASSERT(s.size() <= 0xffff,
+                  "pack_firmware: string exceeds u16 length field: " +
+                      s.substr(0, 32));
     append_u16_le(out, static_cast<std::uint16_t>(s.size()));
     out.insert(out.end(), s.begin(), s.end());
 }
@@ -63,6 +66,9 @@ pack_firmware(const FirmwareImage &image, Rng &rng)
         // The duplicated length makes backward carving from the FWEX
         // magic unambiguous.
         const ByteBuffer payload = loader::write_fwelf(exe);
+        FIRMUP_ASSERT(payload.size() <= 0xffffffffull,
+                      "pack_firmware: member exceeds u32 size field: " +
+                          exe.name);
         append_string(out, exe.name);
         append_u16_le(out, static_cast<std::uint16_t>(exe.name.size()));
         append_u32_le(out, static_cast<std::uint32_t>(payload.size()));
@@ -84,7 +90,8 @@ unpack_firmware(const ByteBuffer &blob)
 {
     if (blob.size() < sizeof(kImageMagic) ||
         std::memcmp(blob.data(), kImageMagic, sizeof(kImageMagic)) != 0) {
-        return Result<UnpackResult>::error("not a firmware image");
+        return Result<UnpackResult>::error(
+            ErrorCode::MalformedContainer, "not a firmware image");
     }
     UnpackResult result;
     std::size_t pos = sizeof(kImageMagic);
@@ -92,7 +99,8 @@ unpack_firmware(const ByteBuffer &blob)
         !read_string(blob, pos, result.image.device) ||
         !read_string(blob, pos, result.image.version) ||
         pos >= blob.size()) {
-        return Result<UnpackResult>::error("corrupt image header");
+        return Result<UnpackResult>::error(
+            ErrorCode::MalformedContainer, "corrupt image header");
     }
     result.image.is_latest = blob[pos++] != 0;
 
@@ -106,12 +114,12 @@ unpack_firmware(const ByteBuffer &blob)
             }
             const std::uint32_t size = read_u32_le(blob.data() + i - 4);
             if (i + size > blob.size()) {
-                ++result.damaged_members;  // truncated member
+                result.note_damage(ErrorCode::TruncatedMember);
                 continue;
             }
             auto exe = loader::parse_fwelf(blob.data() + i, size);
             if (!exe.ok()) {
-                ++result.damaged_members;
+                result.note_damage(exe.error_code());
                 continue;
             }
             // Member name sits before the size field, bracketed by two

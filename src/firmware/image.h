@@ -12,6 +12,7 @@
  */
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -31,17 +32,33 @@ struct FirmwareImage
     std::vector<std::string> content_files;  ///< config blobs etc.
 };
 
-/** Serialize @p image into a vendor blob with seeded padding/garbage. */
+/**
+ * Serialize @p image into a vendor blob with seeded padding/garbage.
+ * Member names and header strings must fit their u16 length fields and
+ * member payloads their u32 size field — pack_firmware asserts rather
+ * than silently truncating, so carving stays unambiguous.
+ */
 ByteBuffer pack_firmware(const FirmwareImage &image, Rng &rng);
 
 /**
  * Carve a firmware blob: scan for FWELF members and the vendor header.
- * Unparsable members are skipped (counted in `damaged_members`).
+ * Unparsable members are skipped (counted in `damaged_members`, with a
+ * per-ErrorCode breakdown in `damage` for ScanHealth reporting).
  */
 struct UnpackResult
 {
     FirmwareImage image;
     int damaged_members = 0;
+    /** damage[code] = members lost to that failure class. */
+    std::array<int, kErrorCodeCount> damage{};
+
+    /** Record one damaged member. */
+    void
+    note_damage(ErrorCode code)
+    {
+        ++damaged_members;
+        ++damage[static_cast<std::size_t>(code)];
+    }
 };
 Result<UnpackResult> unpack_firmware(const ByteBuffer &blob);
 

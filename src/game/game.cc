@@ -1,6 +1,7 @@
 #include "game/game.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "support/str.h"
@@ -49,7 +50,25 @@ class Game
             }
         };
 
-        while (result.steps < opt_.max_steps && !stack.empty()) {
+        const bool deadline_set = opt_.max_seconds > 0.0;
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(
+                    deadline_set ? opt_.max_seconds : 0.0));
+        while (!stack.empty()) {
+            if (result.steps >= opt_.max_steps) {
+                result.ending = GameEnding::Unresolved;
+                note("budget: step limit reached, game unresolved");
+                break;
+            }
+            if (deadline_set &&
+                std::chrono::steady_clock::now() >= deadline) {
+                result.ending = GameEnding::Unresolved;
+                note("budget: deadline reached, game unresolved");
+                break;
+            }
             const Ref m = stack.back();
             if (is_matched(m)) {
                 stack.pop_back();
@@ -89,6 +108,7 @@ class Game
                 record(m, fwd);
                 if (m == qv || fwd == qv) {
                     result.matched = true;
+                    result.ending = GameEnding::Matched;
                     const int t_index = m == qv ? forward : m.index;
                     result.target_index = t_index;
                     result.target_entry =
@@ -98,7 +118,9 @@ class Game
                 }
                 stack.pop_back();
                 if (matches_q_.size() >= opt_.max_matches) {
-                    break;  // heuristic cut-off (paper's third condition)
+                    // Heuristic cut-off (paper's third condition).
+                    result.ending = GameEnding::Unresolved;
+                    break;
                 }
                 continue;
             }

@@ -25,19 +25,34 @@
 
 namespace firmup::game {
 
-/** Game cut-off heuristics (the paper's third ending condition). */
+/**
+ * Game budgets and cut-off heuristics (the paper's third ending
+ * condition, GameDidntEnd). Every budget ends the game with a graceful
+ * `Unresolved` outcome rather than unbounded iteration — a corpus scan
+ * must never hang on one pathological executable pair.
+ */
 struct GameOptions
 {
-    int max_steps = 512;
-    std::size_t max_matches = 128;
+    int max_steps = 512;        ///< step budget; always enforced
+    std::size_t max_matches = 128;  ///< partial-matching size budget
+    /** Wall-clock budget in seconds; 0 disables the deadline. */
+    double max_seconds = 0.0;
     int min_sim = 1;  ///< below this, a pair shares nothing usable
     bool record_trace = false;  ///< narrate moves (Table 1 style)
+};
+
+/** How a game ended. */
+enum class GameEnding : std::uint8_t {
+    Matched,     ///< qv acquired a consistent match
+    NoMatch,     ///< fixed state: no consistent match exists
+    Unresolved,  ///< a step/match/deadline budget expired first
 };
 
 /** Outcome of one query-vs-executable game. */
 struct GameResult
 {
     bool matched = false;
+    GameEnding ending = GameEnding::NoMatch;
     int target_index = -1;       ///< index into T.procs when matched
     std::uint64_t target_entry = 0;
     int sim = 0;                 ///< Sim(qv, match)

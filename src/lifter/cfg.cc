@@ -31,14 +31,16 @@ decode_classify(const isa::Target &target, const loader::Executable &exe,
 {
     if (addr < exe.text_addr ||
         addr >= exe.text_addr + exe.text.size()) {
-        return Result<DecodedInst>::error("address outside text");
+        return Result<DecodedInst>::error(ErrorCode::UndecodableInsn,
+                                          "address outside text");
     }
     const std::size_t offset =
         static_cast<std::size_t>(addr - exe.text_addr);
     auto decoded = target.decode(exe.text.data() + offset,
                                  exe.text.size() - offset, addr);
     if (!decoded.ok()) {
-        return Result<DecodedInst>::error(decoded.error_message());
+        return Result<DecodedInst>::error(ErrorCode::UndecodableInsn,
+                                          decoded.error_message());
     }
     DecodedInst out;
     out.inst = decoded.value().inst;
@@ -180,7 +182,7 @@ class ProcLifter
         }
         if (proc.blocks.empty()) {
             return Result<ir::Procedure>::error(
-                "no decodable block at entry");
+                ErrorCode::LiftBailout, "no decodable block at entry");
         }
         for (const auto &[addr, di] : insts_) {
             claimed.insert(addr);

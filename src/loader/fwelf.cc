@@ -55,19 +55,24 @@ parse_fwelf(const std::uint8_t *bytes, std::size_t size)
 {
     constexpr std::size_t kHeaderSize = 4 + 2 + 1 + 1 + 4 * 6;
     if (size < kHeaderSize) {
-        return Result<Executable>::error("fwelf: too small");
+        return Result<Executable>::error(
+            ErrorCode::TruncatedMember, "fwelf: too small");
     }
     if (std::memcmp(bytes, kMagic, 4) != 0) {
-        return Result<Executable>::error("fwelf: bad magic");
+        return Result<Executable>::error(
+            ErrorCode::MalformedContainer, "fwelf: bad magic");
     }
     const std::uint16_t version = read_u16_le(bytes + 4);
     if (version != kVersion) {
-        return Result<Executable>::error("fwelf: unsupported version");
+        return Result<Executable>::error(
+            ErrorCode::MalformedContainer,
+            "fwelf: unsupported version");
     }
     Executable exe;
     const std::uint8_t arch_byte = bytes[6];
     if (arch_byte > static_cast<std::uint8_t>(isa::Arch::X86)) {
-        return Result<Executable>::error("fwelf: bad arch byte");
+        return Result<Executable>::error(
+            ErrorCode::MalformedContainer, "fwelf: bad arch byte");
     }
     exe.declared_arch = static_cast<isa::Arch>(arch_byte);
     exe.arch = exe.declared_arch;
@@ -82,7 +87,9 @@ parse_fwelf(const std::uint8_t *bytes, std::size_t size)
     std::size_t pos = kHeaderSize;
     for (std::uint32_t i = 0; i < sym_count; ++i) {
         if (pos + 7 > size) {
-            return Result<Executable>::error("fwelf: truncated symtab");
+            return Result<Executable>::error(
+                ErrorCode::TruncatedMember,
+                "fwelf: truncated symtab");
         }
         Symbol sym;
         sym.addr = read_u32_le(bytes + pos);
@@ -90,7 +97,9 @@ parse_fwelf(const std::uint8_t *bytes, std::size_t size)
         const std::uint16_t name_len = read_u16_le(bytes + pos + 5);
         pos += 7;
         if (pos + name_len > size) {
-            return Result<Executable>::error("fwelf: truncated sym name");
+            return Result<Executable>::error(
+                ErrorCode::TruncatedMember,
+                "fwelf: truncated sym name");
         }
         sym.name.assign(reinterpret_cast<const char *>(bytes + pos),
                         name_len);
@@ -98,7 +107,8 @@ parse_fwelf(const std::uint8_t *bytes, std::size_t size)
         exe.symbols.push_back(std::move(sym));
     }
     if (pos + text_size + data_size > size) {
-        return Result<Executable>::error("fwelf: truncated sections");
+        return Result<Executable>::error(
+            ErrorCode::TruncatedMember, "fwelf: truncated sections");
     }
     exe.text.assign(bytes + pos, bytes + pos + text_size);
     pos += text_size;

@@ -7,6 +7,12 @@
  * reported through FIRMUP_ASSERT which aborts. This mirrors the gem5
  * fatal()/panic() split: user-input problems return errors, internal
  * invariant violations abort.
+ *
+ * Every Result error carries an ErrorCode so that corpus-scale pipelines
+ * can aggregate failures into a histogram (eval::ScanHealth) instead of
+ * collapsing everything into opaque strings. The taxonomy is deliberately
+ * coarse: each code names a *stage* of the untrusted-input pipeline, not
+ * an individual defect.
  */
 #pragma once
 
@@ -19,6 +25,28 @@
 
 namespace firmup {
 
+/**
+ * Failure taxonomy for untrusted-input paths. Codes are stable values so
+ * histograms serialize deterministically.
+ */
+enum class ErrorCode : std::uint8_t {
+    Unknown = 0,            ///< legacy / uncategorized failure
+    MalformedContainer,     ///< blob or member header fails validation
+    TruncatedMember,        ///< declared size overruns the available bytes
+    UndecodableInsn,        ///< machine bytes decode on no supported ISA
+    LiftBailout,            ///< lifter gave up (no liftable procedure)
+    BudgetExhausted,        ///< step/deadline budget hit before an answer
+    MissingProcedure,       ///< expected procedure absent from an index
+    IoError,                ///< file could not be read or written
+};
+
+/** Stable human-readable name, e.g. "truncated-member". */
+const char *error_code_name(ErrorCode code);
+
+/** Number of distinct ErrorCode values (for dense histograms). */
+inline constexpr std::size_t kErrorCodeCount =
+    static_cast<std::size_t>(ErrorCode::IoError) + 1;
+
 /** Value-or-error-message return type for recoverable failures. */
 template <typename T>
 class Result
@@ -30,9 +58,25 @@ class Result
     static Result
     error(std::string message)
     {
+        return error(ErrorCode::Unknown, std::move(message));
+    }
+
+    /** Construct a failed result with a taxonomy code. */
+    static Result
+    error(ErrorCode code, std::string message)
+    {
         Result r;
+        r.code_ = code;
         r.error_ = std::move(message);
         return r;
+    }
+
+    /** Re-wrap another Result's failure, preserving its code. */
+    template <typename U>
+    static Result
+    error_from(const Result<U> &other)
+    {
+        return error(other.error_code(), other.error_message());
     }
 
     bool ok() const { return value_.has_value(); }
@@ -46,10 +90,14 @@ class Result
     /** Diagnostic message; requires !ok(). */
     const std::string &error_message() const { assert(!ok()); return error_; }
 
+    /** Taxonomy code; requires !ok(). */
+    ErrorCode error_code() const { assert(!ok()); return code_; }
+
   private:
     Result() = default;
     std::optional<T> value_;
     std::string error_;
+    ErrorCode code_ = ErrorCode::Unknown;
 };
 
 [[noreturn]] void assert_fail(const char *expr, const char *file, int line,

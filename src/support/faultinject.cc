@@ -1,0 +1,175 @@
+#include "support/faultinject.h"
+
+#include <algorithm>
+
+namespace firmup::fault {
+
+namespace {
+
+/** Offsets of @p token occurrences in @p blob. */
+std::vector<std::size_t>
+find_token(const ByteBuffer &blob, const ByteBuffer &token)
+{
+    std::vector<std::size_t> hits;
+    if (token.empty() || blob.size() < token.size()) {
+        return hits;
+    }
+    for (std::size_t i = 0; i + token.size() <= blob.size(); ++i) {
+        if (std::equal(token.begin(), token.end(), blob.begin() + i)) {
+            hits.push_back(i);
+        }
+    }
+    return hits;
+}
+
+ByteBuffer
+truncate(const ByteBuffer &blob, Rng &rng)
+{
+    ByteBuffer out = blob;
+    out.resize(rng.index(blob.size() + 1));
+    return out;
+}
+
+ByteBuffer
+bit_flip(const ByteBuffer &blob, Rng &rng, const InjectOptions &options)
+{
+    ByteBuffer out = blob;
+    if (out.empty()) {
+        return out;
+    }
+    const int flips =
+        1 + static_cast<int>(rng.index(static_cast<std::size_t>(
+                std::max(1, options.max_bit_flips))));
+    for (int i = 0; i < flips; ++i) {
+        out[rng.index(out.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.index(8));
+    }
+    return out;
+}
+
+ByteBuffer
+splice_garbage(const ByteBuffer &blob, Rng &rng,
+               const InjectOptions &options)
+{
+    ByteBuffer out;
+    const std::size_t at = rng.index(blob.size() + 1);
+    const std::size_t n = 1 + rng.index(std::max<std::size_t>(
+                                  1, options.max_garbage));
+    out.reserve(blob.size() + n);
+    out.insert(out.end(), blob.begin(),
+               blob.begin() + static_cast<std::ptrdiff_t>(at));
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(static_cast<std::uint8_t>(rng.index(256)));
+    }
+    out.insert(out.end(),
+               blob.begin() + static_cast<std::ptrdiff_t>(at),
+               blob.end());
+    return out;
+}
+
+ByteBuffer
+duplicate_magic(const ByteBuffer &blob, Rng &rng,
+                const InjectOptions &options)
+{
+    ByteBuffer out = blob;
+    const std::size_t at = rng.index(out.size() + 1);
+    out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+               options.magic.begin(), options.magic.end());
+    return out;
+}
+
+ByteBuffer
+zero_length_name(const ByteBuffer &blob, Rng &rng,
+                 const InjectOptions &options)
+{
+    // The FWIMG member header brackets the name with two length copies:
+    // [u16 len][name][u16 len][u32 size][magic...]. Zeroing the copy
+    // just before the size field desynchronizes the bracket check.
+    ByteBuffer out = blob;
+    const auto hits = find_token(out, options.magic);
+    if (hits.empty()) {
+        return out;
+    }
+    const std::size_t magic_at = hits[rng.index(hits.size())];
+    if (magic_at >= 6) {
+        out[magic_at - 6] = 0;
+        out[magic_at - 5] = 0;
+    }
+    return out;
+}
+
+ByteBuffer
+drop_header(const ByteBuffer &blob, Rng &rng)
+{
+    ByteBuffer out = blob;
+    // Clobber a short prefix run: image magic and/or the vendor strings.
+    const std::size_t n = std::min<std::size_t>(out.size(),
+                                                1 + rng.index(16));
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(rng.index(256));
+    }
+    return out;
+}
+
+}  // namespace
+
+const char *
+mutation_name(Mutation kind)
+{
+    switch (kind) {
+      case Mutation::Truncate:
+        return "truncate";
+      case Mutation::BitFlip:
+        return "bit-flip";
+      case Mutation::SpliceGarbage:
+        return "splice-garbage";
+      case Mutation::DuplicateMagic:
+        return "duplicate-magic";
+      case Mutation::ZeroLengthName:
+        return "zero-length-name";
+      case Mutation::DropHeader:
+        return "drop-header";
+    }
+    return "invalid";
+}
+
+ByteBuffer
+apply_mutation(const ByteBuffer &blob, Mutation kind, Rng &rng,
+               const InjectOptions &options)
+{
+    if (blob.empty()) {
+        return blob;
+    }
+    switch (kind) {
+      case Mutation::Truncate:
+        return truncate(blob, rng);
+      case Mutation::BitFlip:
+        return bit_flip(blob, rng, options);
+      case Mutation::SpliceGarbage:
+        return splice_garbage(blob, rng, options);
+      case Mutation::DuplicateMagic:
+        return duplicate_magic(blob, rng, options);
+      case Mutation::ZeroLengthName:
+        return zero_length_name(blob, rng, options);
+      case Mutation::DropHeader:
+        return drop_header(blob, rng);
+    }
+    return blob;
+}
+
+ByteBuffer
+mutate(const ByteBuffer &blob, Rng &rng, const InjectOptions &options)
+{
+    ByteBuffer out = blob;
+    const int rounds =
+        1 + static_cast<int>(rng.index(static_cast<std::size_t>(
+                std::max(1, options.max_mutations))));
+    for (int i = 0; i < rounds; ++i) {
+        const auto kind =
+            static_cast<Mutation>(rng.index(kMutationCount));
+        out = apply_mutation(out, kind, rng, options);
+    }
+    return out;
+}
+
+}  // namespace firmup::fault

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic fault injection for packed firmware blobs.
+ *
+ * Real vendor firmware is routinely truncated, repacked or partially
+ * corrupt (the paper's crawl lost ~3000 images to unpack failures,
+ * section 5.1). The mutators here reproduce those damage classes on a
+ * packed byte buffer so the unpack→lift→index→match pipeline can be
+ * driven over thousands of hostile inputs and proven abort-free
+ * (tests/test_faultinject.cc, `firmup fuzz-unpack`).
+ *
+ * Everything is driven by a seeded Rng: the same (blob, seed) pair always
+ * produces the same mutant, so a crash found by the harness is a one-line
+ * reproduction. The library is byte-level and container-agnostic; the
+ * magic token used by structure-aware mutators is a parameter (defaulting
+ * to the FWELF member magic) so support/ stays below loader/ in the
+ * layering.
+ */
+#pragma once
+
+#include "support/bytes.h"
+#include "support/rng.h"
+
+namespace firmup::fault {
+
+/** One damage class applied to a packed blob. */
+enum class Mutation : std::uint8_t {
+    Truncate,        ///< cut the blob at a random offset
+    BitFlip,         ///< flip 1..N random bits anywhere
+    SpliceGarbage,   ///< insert a run of random bytes at a random offset
+    DuplicateMagic,  ///< insert a stray copy of the member magic token
+    ZeroLengthName,  ///< zero a member's name-length bracket
+    DropHeader,      ///< overwrite part of the leading image header
+};
+
+/** Number of distinct Mutation values. */
+inline constexpr std::size_t kMutationCount =
+    static_cast<std::size_t>(Mutation::DropHeader) + 1;
+
+/** Stable human-readable name, e.g. "bit-flip". */
+const char *mutation_name(Mutation kind);
+
+/** Mutator knobs. */
+struct InjectOptions
+{
+    /** Member magic token for structure-aware mutators (FWELF "FWEX"). */
+    ByteBuffer magic = {'F', 'W', 'E', 'X'};
+    std::size_t max_garbage = 64;  ///< SpliceGarbage run length cap
+    int max_bit_flips = 16;        ///< BitFlip count cap
+    int max_mutations = 3;         ///< mutations per mutate() call
+};
+
+/** Apply one specific mutation; deterministic given the Rng state. */
+ByteBuffer apply_mutation(const ByteBuffer &blob, Mutation kind, Rng &rng,
+                          const InjectOptions &options = {});
+
+/**
+ * Apply 1..max_mutations randomly chosen mutations in sequence — the
+ * harness entry point. Deterministic given the Rng state.
+ */
+ByteBuffer mutate(const ByteBuffer &blob, Rng &rng,
+                  const InjectOptions &options = {});
+
+}  // namespace firmup::fault

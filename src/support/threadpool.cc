@@ -1,7 +1,7 @@
 #include "support/threadpool.h"
 
 #include <algorithm>
-#include <atomic>
+#include <utility>
 
 namespace firmup {
 
@@ -39,9 +39,16 @@ ThreadPool::submit(std::function<void()> task)
 void
 ThreadPool::wait_idle()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock,
-               [this] { return queue_.empty() && in_flight_ == 0; });
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock,
+                   [this] { return queue_.empty() && in_flight_ == 0; });
+        error = std::exchange(first_error_, nullptr);
+    }
+    if (error) {
+        std::rethrow_exception(error);
+    }
 }
 
 void
@@ -60,7 +67,15 @@ ThreadPool::worker()
             queue_.pop();
             ++in_flight_;
         }
-        task();
+        try {
+            task();
+        } catch (...) {
+            cancelled_.store(true);
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (!first_error_) {
+                first_error_ = std::current_exception();
+            }
+        }
         {
             std::unique_lock<std::mutex> lock(mutex_);
             --in_flight_;
@@ -82,8 +97,11 @@ ThreadPool::parallel_for(unsigned num_threads, std::size_t count,
     std::atomic<std::size_t> next{0};
     for (std::size_t t = 0; t < std::max<std::size_t>(1, num_threads);
          ++t) {
-        pool.submit([&next, count, &fn] {
-            while (true) {
+        pool.submit([&pool, &next, count, &fn] {
+            // After a sibling throws, abandon the remaining indices so
+            // the caller sees the failure promptly instead of paying for
+            // the rest of the sweep.
+            while (!pool.cancelled()) {
                 const std::size_t i = next.fetch_add(1);
                 if (i >= count) {
                     return;

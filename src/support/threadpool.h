@@ -6,10 +6,18 @@
  * memory (section 5.1); the corpus-indexing phase here is embarrassingly
  * parallel (one executable per task, no shared state until the merge), so
  * a plain worker pool with a shared queue suffices.
+ *
+ * A task that throws does not terminate the process: the first exception
+ * is captured and rethrown from wait_idle() (and therefore from
+ * parallel_for) on the submitting thread; the pool is marked cancelled so
+ * cooperative loops can stop early. An exception never retrieved before
+ * destruction is dropped — destructors must not throw.
  */
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -34,12 +42,20 @@ class ThreadPool
     /** Enqueue a task. */
     void submit(std::function<void()> task);
 
-    /** Block until every submitted task has finished. */
+    /**
+     * Block until every submitted task has finished. If any task threw,
+     * rethrows the first captured exception (once).
+     */
     void wait_idle();
+
+    /** True once a task has thrown; long-running tasks should yield. */
+    bool cancelled() const { return cancelled_.load(); }
 
     /**
      * Run @p fn(i) for i in [0, count) across the pool and wait.
-     * @p fn must be safe to call concurrently for distinct i.
+     * @p fn must be safe to call concurrently for distinct i. If any
+     * invocation throws, remaining indices are abandoned and the first
+     * exception is rethrown on the calling thread.
      */
     static void parallel_for(unsigned num_threads, std::size_t count,
                              const std::function<void(std::size_t)> &fn);
@@ -54,6 +70,8 @@ class ThreadPool
     std::queue<std::function<void()>> queue_;
     std::size_t in_flight_ = 0;
     bool stopping_ = false;
+    std::exception_ptr first_error_;
+    std::atomic<bool> cancelled_{false};
 };
 
 }  // namespace firmup

@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "codegen/build.h"
 #include "eval/experiments.h"
 #include "eval/report.h"
@@ -82,9 +84,12 @@ TEST(Driver, IndexCacheReturnsSameObject)
     request.arch = isa::Arch::X86;
     request.profile = compiler::gcc_like_toolchain();
     const auto exe = codegen::build_executable(source, request);
-    const sim::ExecutableIndex &a = driver.index_target(exe);
-    const sim::ExecutableIndex &b = driver.index_target(exe);
-    EXPECT_EQ(&a, &b);
+    const sim::ExecutableIndex *a = driver.index_target(exe);
+    const sim::ExecutableIndex *b = driver.index_target(exe);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(driver.health().executables_seen, 1u);
+    EXPECT_EQ(driver.health().lifted_ok, 1u);
 }
 
 TEST(Experiments, StepHistogramBuckets)
@@ -141,16 +146,77 @@ TEST(Driver, PreindexMatchesSequentialIndexing)
     Driver sequential;
     for (const auto &image : corpus.images) {
         for (const auto &exe : image.executables) {
-            const sim::ExecutableIndex &a = sequential.index_target(exe);
-            const sim::ExecutableIndex &b = parallel.index_target(exe);
-            ASSERT_EQ(a.procs.size(), b.procs.size()) << exe.name;
-            for (std::size_t i = 0; i < a.procs.size(); ++i) {
-                EXPECT_EQ(a.procs[i].entry, b.procs[i].entry);
-                EXPECT_EQ(a.procs[i].repr.hashes,
-                          b.procs[i].repr.hashes);
+            const sim::ExecutableIndex *a = sequential.index_target(exe);
+            const sim::ExecutableIndex *b = parallel.index_target(exe);
+            ASSERT_NE(a, nullptr) << exe.name;
+            ASSERT_NE(b, nullptr) << exe.name;
+            ASSERT_EQ(a->procs.size(), b->procs.size()) << exe.name;
+            for (std::size_t i = 0; i < a->procs.size(); ++i) {
+                EXPECT_EQ(a->procs[i].entry, b->procs[i].entry);
+                EXPECT_EQ(a->procs[i].repr.hashes,
+                          b->procs[i].repr.hashes);
             }
         }
     }
+    EXPECT_TRUE(parallel.health().sane());
+    EXPECT_TRUE(sequential.health().sane());
+    EXPECT_EQ(parallel.health().quarantined, 0u);
+}
+
+TEST(Driver, CorruptedExecutableIsQuarantinedScanContinues)
+{
+    // A corpus-like scan where one member's text is garbage: the scan
+    // must complete, the bad member must land in health(), and the good
+    // members must still index.
+    firmware::FirmwareImage image;
+    image.vendor = "acme";
+    image.device = "router";
+    image.version = "1.0";
+
+    const auto &pkg = firmware::package_by_name("bftpd");
+    const auto source = firmware::generate_package_source(pkg, "2.3");
+    codegen::BuildRequest request;
+    request.arch = isa::Arch::X86;
+    request.profile = compiler::gcc_like_toolchain();
+    image.executables.push_back(
+        codegen::build_executable(source, request));
+
+    loader::Executable corrupt = image.executables[0];
+    corrupt.name = "corrupt.bin";
+    std::fill(corrupt.text.begin(), corrupt.text.end(),
+              std::uint8_t{0xff});  // undecodable on every ISA
+    image.executables.push_back(corrupt);
+
+    Driver driver;
+    int indexed = 0, skipped = 0;
+    for (const loader::Executable &exe : image.executables) {
+        const sim::ExecutableIndex *target = driver.index_target(exe);
+        if (target == nullptr) {
+            ++skipped;
+        } else {
+            ++indexed;
+            EXPECT_FALSE(target->procs.empty());
+        }
+    }
+    EXPECT_EQ(indexed, 1);
+    EXPECT_EQ(skipped, 1);
+    const ScanHealth &health = driver.health();
+    EXPECT_TRUE(health.sane());
+    EXPECT_EQ(health.executables_seen, 2u);
+    EXPECT_EQ(health.lifted_ok, 1u);
+    EXPECT_EQ(health.quarantined, 1u);
+    ASSERT_EQ(health.quarantine_log.size(), 1u);
+    EXPECT_EQ(health.quarantine_log[0].exe_name, "corrupt.bin");
+
+    // Repeat visits stay quarantined without re-counting the executable.
+    EXPECT_EQ(driver.index_target(corrupt), nullptr);
+    EXPECT_EQ(driver.graph_target(corrupt), nullptr);
+    EXPECT_EQ(driver.health().executables_seen, 2u);
+    EXPECT_EQ(driver.health().quarantined, 1u);
+
+    // The health report renders the quarantine.
+    const std::string report = render_health(health);
+    EXPECT_NE(report.find("corrupt.bin"), std::string::npos);
 }
 
 TEST(Report, TableRendersAligned)

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Fault-injection tests: mutator determinism and shape, plus the harness
+ * the issue demands — thousands of deterministically mutated firmware
+ * images driven through unpack → lift → index → match with zero aborts
+ * and a ScanHealth that stays internally consistent throughout.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "codegen/build.h"
+#include "eval/driver.h"
+#include "firmware/catalog.h"
+#include "firmware/image.h"
+#include "support/faultinject.h"
+
+namespace firmup {
+namespace {
+
+ByteBuffer
+reference_blob()
+{
+    firmware::FirmwareImage image;
+    image.vendor = "ACME";
+    image.device = "R1";
+    image.version = "2.0";
+
+    // One real executable (so lift/index/match have something to chew
+    // on) and one tiny synthetic member.
+    const auto &pkg = firmware::package_by_name("bftpd");
+    const auto source = firmware::generate_package_source(pkg, "2.3");
+    codegen::BuildRequest request;
+    request.arch = isa::Arch::X86;
+    request.profile = compiler::gcc_like_toolchain();
+    request.strip = true;
+    image.executables.push_back(
+        codegen::build_executable(source, request));
+    image.executables[0].name = "app";
+
+    loader::Executable tiny;
+    tiny.name = "tiny";
+    tiny.text.assign(64, 0xff);  // undecodable on every ISA
+    image.executables.push_back(std::move(tiny));
+    image.content_files = {"etc/board.cfg"};
+
+    Rng rng(21);
+    return firmware::pack_firmware(image, rng);
+}
+
+TEST(FaultInject, SameSeedSameMutant)
+{
+    const ByteBuffer blob = reference_blob();
+    for (std::uint64_t seed = 0; seed < 32; ++seed) {
+        Rng a(seed), b(seed);
+        EXPECT_EQ(fault::mutate(blob, a), fault::mutate(blob, b))
+            << "seed " << seed;
+    }
+    for (std::size_t k = 0; k < fault::kMutationCount; ++k) {
+        const auto kind = static_cast<fault::Mutation>(k);
+        Rng a(99), b(99);
+        EXPECT_EQ(fault::apply_mutation(blob, kind, a),
+                  fault::apply_mutation(blob, kind, b))
+            << fault::mutation_name(kind);
+    }
+}
+
+TEST(FaultInject, MutationNamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (std::size_t k = 0; k < fault::kMutationCount; ++k) {
+        names.insert(
+            fault::mutation_name(static_cast<fault::Mutation>(k)));
+    }
+    EXPECT_EQ(names.size(), fault::kMutationCount);
+}
+
+TEST(FaultInject, MutatorsHaveTheirAdvertisedShape)
+{
+    const ByteBuffer blob = reference_blob();
+    Rng rng(5);
+    const ByteBuffer truncated =
+        fault::apply_mutation(blob, fault::Mutation::Truncate, rng);
+    EXPECT_LE(truncated.size(), blob.size());
+
+    const ByteBuffer flipped =
+        fault::apply_mutation(blob, fault::Mutation::BitFlip, rng);
+    EXPECT_EQ(flipped.size(), blob.size());
+    EXPECT_NE(flipped, blob);
+
+    const ByteBuffer spliced =
+        fault::apply_mutation(blob, fault::Mutation::SpliceGarbage, rng);
+    EXPECT_GT(spliced.size(), blob.size());
+
+    const ByteBuffer duplicated =
+        fault::apply_mutation(blob, fault::Mutation::DuplicateMagic, rng);
+    EXPECT_EQ(duplicated.size(), blob.size() + 4);
+
+    const ByteBuffer zeroed =
+        fault::apply_mutation(blob, fault::Mutation::ZeroLengthName, rng);
+    EXPECT_EQ(zeroed.size(), blob.size());
+
+    const ByteBuffer headerless =
+        fault::apply_mutation(blob, fault::Mutation::DropHeader, rng);
+    EXPECT_EQ(headerless.size(), blob.size());
+
+    const ByteBuffer empty;
+    EXPECT_TRUE(
+        fault::apply_mutation(empty, fault::Mutation::BitFlip, rng)
+            .empty());
+}
+
+/**
+ * The acceptance harness: >= 1000 deterministic mutants of a packed
+ * firmware image, each run through the full unpack → lift → index →
+ * match pipeline. No mutant may abort the process, and ScanHealth must
+ * satisfy its invariants after every single image.
+ */
+TEST(FaultInject, ThousandMutantPipelineNeverAborts)
+{
+    const ByteBuffer blob = reference_blob();
+    constexpr int kIterations = 1200;
+    constexpr std::uint64_t kBaseSeed = 0xf117;
+
+    eval::Driver driver;
+    const firmware::CveRecord &cve = firmware::cve_database().front();
+    std::map<isa::Arch, eval::Query> queries;
+    int rejected = 0, members_carved = 0, members_matched = 0;
+
+    for (int i = 0; i < kIterations; ++i) {
+        Rng rng(kBaseSeed + static_cast<std::uint64_t>(i));
+        const ByteBuffer mutant = fault::mutate(blob, rng);
+        auto unpacked = firmware::unpack_firmware(mutant);
+        if (!unpacked.ok()) {
+            ++rejected;
+            driver.health().note_unpack_failure(unpacked.error_code());
+        } else {
+            driver.health().note_unpack(unpacked.value());
+            for (const loader::Executable &exe :
+                 unpacked.value().image.executables) {
+                ++members_carved;
+                const sim::ExecutableIndex *target =
+                    driver.index_target(exe);
+                if (target == nullptr) {
+                    continue;  // quarantined
+                }
+                auto qit = queries.find(target->arch);
+                if (qit == queries.end()) {
+                    qit = queries
+                              .emplace(target->arch,
+                                       driver.build_query(cve,
+                                                          target->arch))
+                              .first;
+                }
+                driver.search(qit->second, *target);
+                ++members_matched;
+            }
+        }
+        ASSERT_TRUE(driver.health().sane())
+            << "after mutant " << i << ": "
+            << driver.health().summary();
+    }
+
+    const eval::ScanHealth &health = driver.health();
+    EXPECT_EQ(health.images_seen, static_cast<std::size_t>(kIterations));
+    EXPECT_EQ(health.images_rejected, static_cast<std::size_t>(rejected));
+    // The mutation mix must exercise both fates: some mutants die at the
+    // container check, some carve members that survive all the way to a
+    // game. Deterministic seeds make these hard assertions, not flakes.
+    EXPECT_GT(rejected, 0);
+    EXPECT_LT(rejected, kIterations);
+    EXPECT_GT(members_carved, 0);
+    EXPECT_GT(members_matched, 0);
+    EXPECT_GT(health.quarantined, 0u);
+    EXPECT_EQ(health.lifted_ok + health.quarantined,
+              health.executables_seen);
+}
+
+}  // namespace
+}  // namespace firmup

@@ -189,7 +189,115 @@ TEST(Image, TruncatedMemberIsSkippedNotFatal)
 TEST(Image, RejectsForeignBlob)
 {
     ByteBuffer junk = {'n', 'o', 't', 'f', 'w'};
-    EXPECT_FALSE(unpack_firmware(junk).ok());
+    auto unpacked = unpack_firmware(junk);
+    EXPECT_FALSE(unpacked.ok());
+    EXPECT_EQ(unpacked.error_code(), ErrorCode::MalformedContainer);
+}
+
+namespace {
+
+/** A one-executable image packed with @p seed, for hostile mutation. */
+ByteBuffer
+packed_test_blob(std::uint64_t seed = 3)
+{
+    FirmwareImage image;
+    image.vendor = "V";
+    image.device = "D";
+    image.version = "1";
+    loader::Executable exe;
+    exe.name = "app";
+    exe.text.assign(64, 0xaa);
+    image.executables.push_back(std::move(exe));
+    Rng rng(seed);
+    return pack_firmware(image, rng);
+}
+
+/** Offset of the first FWEX member magic in @p blob (0 if absent). */
+std::size_t
+find_member_magic(const ByteBuffer &blob)
+{
+    for (std::size_t i = 0; i + 4 <= blob.size(); ++i) {
+        if (std::equal(std::begin(loader::kMagic),
+                       std::end(loader::kMagic), blob.begin() + i)) {
+            return i;
+        }
+    }
+    return 0;
+}
+
+}  // namespace
+
+TEST(Image, TruncatedImageHeaderIsRejected)
+{
+    const ByteBuffer blob = packed_test_blob();
+    // Every cut inside the image header must yield a structured error,
+    // never a crash: the header is magic + three strings + a flag.
+    for (std::size_t cut = 0; cut < 14; ++cut) {
+        ByteBuffer hostile(blob.begin(),
+                           blob.begin() + static_cast<long>(cut));
+        auto unpacked = unpack_firmware(hostile);
+        ASSERT_FALSE(unpacked.ok()) << "cut at " << cut;
+        EXPECT_EQ(unpacked.error_code(), ErrorCode::MalformedContainer)
+            << "cut at " << cut;
+    }
+}
+
+TEST(Image, MemberSizeOverrunningBlobIsDamage)
+{
+    ByteBuffer blob = packed_test_blob();
+    const std::size_t magic_pos = find_member_magic(blob);
+    ASSERT_GT(magic_pos, 4u);
+    // Declare a member size far past the end of the blob.
+    blob[magic_pos - 4] = 0xff;
+    blob[magic_pos - 3] = 0xff;
+    blob[magic_pos - 2] = 0xff;
+    blob[magic_pos - 1] = 0x00;
+    auto unpacked = unpack_firmware(blob);
+    ASSERT_TRUE(unpacked.ok());
+    EXPECT_EQ(unpacked.value().image.executables.size(), 0u);
+    EXPECT_EQ(unpacked.value().damaged_members, 1);
+    EXPECT_EQ(unpacked.value().damage[static_cast<std::size_t>(
+                  ErrorCode::TruncatedMember)],
+              1);
+}
+
+TEST(Image, MismatchedNameBracketDropsNameNotMember)
+{
+    ByteBuffer blob = packed_test_blob();
+    const std::size_t magic_pos = find_member_magic(blob);
+    ASSERT_GT(magic_pos, 0u);
+    const std::uint16_t name_len = read_u16_le(blob.data() + magic_pos - 6);
+    ASSERT_EQ(name_len, 3u);  // "app"
+    // Corrupt the FIRST copy of the bracketed name length; the carver
+    // must notice the bracket mismatch and carve an anonymous member.
+    const std::size_t first_copy = magic_pos - 6 - name_len - 2;
+    blob[first_copy] = 0x77;
+    auto unpacked = unpack_firmware(blob);
+    ASSERT_TRUE(unpacked.ok());
+    ASSERT_EQ(unpacked.value().image.executables.size(), 1u);
+    EXPECT_EQ(unpacked.value().image.executables[0].name, "");
+    EXPECT_EQ(unpacked.value().damaged_members, 0);
+}
+
+TEST(Image, GarbageOnlyBlobYieldsEmptyImage)
+{
+    // A well-formed header followed by pure garbage: no members, no
+    // content files, no damage — just an empty image.
+    FirmwareImage empty;
+    empty.vendor = "V";
+    empty.device = "D";
+    empty.version = "1";
+    Rng rng(11);
+    ByteBuffer blob = pack_firmware(empty, rng);
+    Rng garbage_rng(12);
+    for (int i = 0; i < 4096; ++i) {
+        blob.push_back(
+            static_cast<std::uint8_t>(garbage_rng.index(256)));
+    }
+    auto unpacked = unpack_firmware(blob);
+    ASSERT_TRUE(unpacked.ok());
+    EXPECT_EQ(unpacked.value().image.executables.size(), 0u);
+    EXPECT_EQ(unpacked.value().damaged_members, 0);
 }
 
 TEST(Corpus, InvariantsHold)

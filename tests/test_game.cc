@@ -132,6 +132,40 @@ TEST(Game, TerminatesWithinStepBudget)
     EXPECT_LE(result.steps, 100);
 }
 
+TEST(Game, ExhaustedStepBudgetIsUnresolved)
+{
+    // A one-step budget on a contested pair: the game must come back
+    // with the graceful Unresolved ending, not Matched or NoMatch.
+    const auto Q = make_index("Q", {{"q1", {1, 2, 3}},
+                                    {"q2", {1, 3, 4, 5}}});
+    const auto T = make_index("T", {{"t1", {1, 2, 3, 4, 5}},
+                                    {"t2", {2, 3}}});
+    GameOptions options;
+    options.max_steps = 1;
+    const GameResult result = match_query(Q, 0, T, options);
+    EXPECT_FALSE(result.matched);
+    EXPECT_EQ(result.ending, GameEnding::Unresolved);
+
+    // With the default budget the same pair resolves.
+    const GameResult full = match_query(Q, 0, T);
+    EXPECT_TRUE(full.matched);
+    EXPECT_EQ(full.ending, GameEnding::Matched);
+}
+
+TEST(Game, ExpiredDeadlineIsUnresolved)
+{
+    const auto Q = make_index("Q", {{"q1", {1, 2, 3}},
+                                    {"q2", {1, 3, 4, 5}}});
+    const auto T = make_index("T", {{"t1", {1, 2, 3, 4, 5}},
+                                    {"t2", {2, 3}}});
+    GameOptions options;
+    options.max_seconds = 1e-12;  // expires before the first step
+    const GameResult result = match_query(Q, 0, T, options);
+    EXPECT_FALSE(result.matched);
+    EXPECT_EQ(result.ending, GameEnding::Unresolved);
+    EXPECT_EQ(result.steps, 0);
+}
+
 TEST(Game, Deterministic)
 {
     const auto Q = make_index(

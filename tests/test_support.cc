@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
 
 #include "support/error.h"
 #include "support/hash.h"
@@ -197,6 +198,47 @@ TEST(ThreadPool, DestructionDrainsQueue)
         // No wait_idle: the destructor must drain before joining.
     }
     EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstWorkerException)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+    EXPECT_TRUE(pool.cancelled());
+    // The exception is delivered once; a second wait is clean.
+    pool.wait_idle();
+}
+
+TEST(ThreadPool, ParallelForPropagatesException)
+{
+    try {
+        ThreadPool::parallel_for(4, 10000, [](std::size_t i) {
+            if (i == 17) {
+                throw std::runtime_error("index 17 is cursed");
+            }
+        });
+        FAIL() << "parallel_for swallowed the worker exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "index 17 is cursed");
+    }
+}
+
+TEST(ThreadPool, ExceptionDoesNotLoseOtherTasks)
+{
+    std::atomic<int> counter{0};
+    ThreadPool pool(4);
+    for (int i = 0; i < 32; ++i) {
+        pool.submit([&counter, i] {
+            if (i == 5) {
+                throw std::runtime_error("boom");
+            }
+            ++counter;
+        });
+    }
+    EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+    // submit()ed tasks are independent: all non-throwing ones ran.
+    EXPECT_EQ(counter.load(), 31);
 }
 
 }  // namespace

@@ -12,6 +12,10 @@
  *   firmup exec BLOB EXE PROC [ARGS..]   run a procedure in the µIR
  *                                        interpreter (PROC is a symbol
  *                                        name or @hex entry address)
+ *   firmup fuzz-unpack BLOB [--iters N] [--seed S]
+ *                                        drive unpack→lift→index→match
+ *                                        over N deterministic mutants of
+ *                                        BLOB; prints the ScanHealth
  *
  * Blobs are the FWIMG containers produced by `firmup corpus` (or any
  * firmware::pack_firmware caller).
@@ -27,6 +31,7 @@
 #include "firmware/corpus.h"
 #include "firmware/image.h"
 #include "lifter/interp.h"
+#include "support/faultinject.h"
 
 using namespace firmup;
 
@@ -45,8 +50,45 @@ usage()
         "  index BLOB                          lift & index every executable\n"
         "  disasm BLOB EXE [N]                 disassemble first N insts\n"
         "  search CVE-ID BLOB...               hunt a CVE across blobs\n"
-        "  exec BLOB EXE PROC [ARGS...]        interpret a procedure\n");
+        "  exec BLOB EXE PROC [ARGS...]        interpret a procedure\n"
+        "  fuzz-unpack BLOB [--iters N] [--seed S]\n"
+        "                                      fault-inject the pipeline\n");
     return 2;
+}
+
+// Tolerant numeric flag parsing: a non-numeric or out-of-range value
+// leaves `out` untouched and returns false so the caller can fall back
+// to usage() instead of aborting on an uncaught std::stoi exception.
+bool
+parse_int(const std::string &text, int &out)
+{
+    try {
+        std::size_t used = 0;
+        const int value = std::stoi(text, &used);
+        if (used != text.size()) {
+            return false;
+        }
+        out = value;
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+bool
+parse_u64(const std::string &text, std::uint64_t &out)
+{
+    try {
+        std::size_t used = 0;
+        const std::uint64_t value = std::stoull(text, &used);
+        if (used != text.size()) {
+            return false;
+        }
+        out = value;
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
 }
 
 Result<ByteBuffer>
@@ -54,7 +96,8 @@ read_file(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
-        return Result<ByteBuffer>::error("cannot open " + path);
+        return Result<ByteBuffer>::error(ErrorCode::IoError,
+                                         "cannot open " + path);
     }
     ByteBuffer bytes((std::istreambuf_iterator<char>(in)),
                      std::istreambuf_iterator<char>());
@@ -91,9 +134,13 @@ cmd_corpus(const std::vector<std::string> &args)
         if (args[i] == "--out" && i + 1 < args.size()) {
             out_dir = args[++i];
         } else if (args[i] == "--devices" && i + 1 < args.size()) {
-            options.num_devices = std::stoi(args[++i]);
+            if (!parse_int(args[++i], options.num_devices)) {
+                return usage();
+            }
         } else if (args[i] == "--seed" && i + 1 < args.size()) {
-            options.seed = std::stoull(args[++i]);
+            if (!parse_u64(args[++i], options.seed)) {
+                return usage();
+            }
         } else {
             return usage();
         }
@@ -127,8 +174,7 @@ load_blob(const std::string &path)
 {
     auto bytes = read_file(path);
     if (!bytes.ok()) {
-        return Result<firmware::UnpackResult>::error(
-            bytes.error_message());
+        return Result<firmware::UnpackResult>::error_from(bytes);
     }
     return firmware::unpack_firmware(bytes.value());
 }
@@ -176,21 +222,28 @@ cmd_index(const std::string &path)
         return 1;
     }
     eval::Driver driver;
+    driver.health().note_unpack(unpacked.value());
     eval::Table table({"member", "arch", "procedures", "blocks",
                        "strands"});
     for (const loader::Executable &exe :
          unpacked.value().image.executables) {
-        const sim::ExecutableIndex &index = driver.index_target(exe);
+        const sim::ExecutableIndex *index = driver.index_target(exe);
+        if (index == nullptr) {
+            continue;  // quarantined; shown in the health report
+        }
         std::size_t blocks = 0, strands = 0;
-        for (const sim::ProcEntry &proc : index.procs) {
+        for (const sim::ProcEntry &proc : index->procs) {
             blocks += proc.repr.block_count;
             strands += proc.repr.hashes.size();
         }
-        table.add_row({exe.name, isa::arch_name(index.arch),
-                       std::to_string(index.procs.size()),
+        table.add_row({exe.name, isa::arch_name(index->arch),
+                       std::to_string(index->procs.size()),
                        std::to_string(blocks), std::to_string(strands)});
     }
     std::printf("%s", table.render().c_str());
+    if (driver.health().quarantined > 0) {
+        std::printf("%s", eval::render_health(driver.health()).c_str());
+    }
     return 0;
 }
 
@@ -268,21 +321,26 @@ cmd_search(const std::string &cve_id,
         if (!unpacked.ok()) {
             std::fprintf(stderr, "firmup: %s: %s\n", path.c_str(),
                          unpacked.error_message().c_str());
+            driver.health().note_unpack_failure(unpacked.error_code());
             continue;
         }
+        driver.health().note_unpack(unpacked.value());
         for (const loader::Executable &exe :
              unpacked.value().image.executables) {
-            const sim::ExecutableIndex &target =
+            const sim::ExecutableIndex *target =
                 driver.index_target(exe);
-            auto qit = queries.find(target.arch);
+            if (target == nullptr) {
+                continue;  // quarantined; shown in the health report
+            }
+            auto qit = queries.find(target->arch);
             if (qit == queries.end()) {
                 qit = queries
-                          .emplace(target.arch,
-                                   driver.build_query(*cve, target.arch))
+                          .emplace(target->arch,
+                                   driver.build_query(*cve, target->arch))
                           .first;
             }
             const eval::SearchOutcome outcome =
-                driver.search(qit->second, target);
+                driver.search(qit->second, *target);
             if (outcome.detected) {
                 ++findings;
                 std::printf("%s: %s: VULNERABLE — %s at 0x%llx "
@@ -296,7 +354,91 @@ cmd_search(const std::string &cve_id,
         }
     }
     std::printf("\n%d finding(s)\n", findings);
+    if (driver.health().quarantined > 0 ||
+        driver.health().games_unresolved > 0) {
+        std::printf("%s", eval::render_health(driver.health()).c_str());
+    }
     return findings > 0 ? 0 : 3;
+}
+
+/**
+ * Fault-injection harness: feed deterministic mutants of a known-good
+ * blob through the whole unpack → lift → index → match pipeline and
+ * prove the pipeline degrades instead of aborting.
+ */
+int
+cmd_fuzz_unpack(const std::vector<std::string> &args)
+{
+    std::string path;
+    int iters = 1000;
+    std::uint64_t seed = 0x5eed;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--iters" && i + 1 < args.size()) {
+            if (!parse_int(args[++i], iters)) {
+                return usage();
+            }
+        } else if (args[i] == "--seed" && i + 1 < args.size()) {
+            if (!parse_u64(args[++i], seed)) {
+                return usage();
+            }
+        } else if (path.empty()) {
+            path = args[i];
+        } else {
+            return usage();
+        }
+    }
+    if (path.empty() || iters <= 0) {
+        return usage();
+    }
+    auto bytes = read_file(path);
+    if (!bytes.ok()) {
+        std::fprintf(stderr, "firmup: %s\n",
+                     bytes.error_message().c_str());
+        return 1;
+    }
+
+    eval::Driver driver;
+    const firmware::CveRecord &cve = firmware::cve_database().front();
+    std::map<isa::Arch, eval::Query> queries;
+    int unpack_failed = 0;
+    int members_survived = 0;
+    for (int i = 0; i < iters; ++i) {
+        Rng rng(seed + static_cast<std::uint64_t>(i));
+        const ByteBuffer mutant = fault::mutate(bytes.value(), rng);
+        auto unpacked = firmware::unpack_firmware(mutant);
+        if (!unpacked.ok()) {
+            ++unpack_failed;
+            driver.health().note_unpack_failure(unpacked.error_code());
+            continue;
+        }
+        driver.health().note_unpack(unpacked.value());
+        for (const loader::Executable &exe :
+             unpacked.value().image.executables) {
+            const sim::ExecutableIndex *target =
+                driver.index_target(exe);
+            if (target == nullptr) {
+                continue;
+            }
+            ++members_survived;
+            auto qit = queries.find(target->arch);
+            if (qit == queries.end()) {
+                qit = queries
+                          .emplace(target->arch,
+                                   driver.build_query(cve, target->arch))
+                          .first;
+            }
+            driver.search(qit->second, *target);
+        }
+    }
+    std::printf("%d mutant(s): %d rejected at unpack, %d member "
+                "lift+index+match survivals\n",
+                iters, unpack_failed, members_survived);
+    std::printf("%s", eval::render_health(driver.health()).c_str());
+    if (!driver.health().sane()) {
+        std::fprintf(stderr, "firmup: ScanHealth invariant violated\n");
+        return 1;
+    }
+    return 0;
 }
 
 int
@@ -383,14 +525,20 @@ main(int argc, char **argv)
         return cmd_index(args[1]);
     }
     if (command == "disasm" && args.size() >= 3) {
-        return cmd_disasm(args[1], args[2],
-                          args.size() > 3 ? std::stoi(args[3]) : 16);
+        int count = 16;
+        if (args.size() > 3 && !parse_int(args[3], count)) {
+            return usage();
+        }
+        return cmd_disasm(args[1], args[2], count);
     }
     if (command == "search" && args.size() >= 3) {
         return cmd_search(args[1], {args.begin() + 2, args.end()});
     }
     if (command == "exec" && args.size() >= 4) {
         return cmd_exec({args.begin() + 1, args.end()});
+    }
+    if (command == "fuzz-unpack" && args.size() >= 2) {
+        return cmd_fuzz_unpack({args.begin() + 1, args.end()});
     }
     return usage();
 }
