@@ -29,9 +29,10 @@ make_index(const char *name,
         pe.entry = entry;
         entry += 0x100;
         pe.name = proc_name;
-        pe.repr.hashes.insert(strands.begin(), strands.end());
+        pe.repr = strand::strand_set(strands);
         index.procs.push_back(std::move(pe));
     }
+    index.finalize();
     return index;
 }
 

@@ -8,7 +8,11 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <thread>
+
 #include "codegen/build.h"
+#include "eval/driver.h"
 #include "firmware/catalog.h"
 #include "game/game.h"
 #include "lifter/cfg.h"
@@ -137,6 +141,34 @@ BM_PairwiseSim(benchmark::State &state)
 BENCHMARK(BM_PairwiseSim);
 
 void
+BM_PostingBestMatch(benchmark::State &state)
+{
+    // The pruned counterpart of BM_PairwiseSim: one posting-list
+    // accumulation per query procedure instead of |Q|x|T| pairwise
+    // scores. The items/s ratio between the two is the per-query
+    // speedup of the inverted index.
+    const auto &q = wget_index();
+    const auto &t = vendor_index();
+    sim::ScoringStats stats;
+    for (auto _ : state) {
+        for (const auto &qp : q.procs) {
+            benchmark::DoNotOptimize(
+                sim::shared_candidates(t, qp.repr, &stats));
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(q.procs.size() * t.procs.size()));
+    state.counters["pairs_scored_per_query"] = benchmark::Counter(
+        static_cast<double>(stats.pairs_scored) /
+        static_cast<double>(state.iterations() * q.procs.size()));
+    state.counters["elem_ops_per_query"] = benchmark::Counter(
+        static_cast<double>(stats.elem_ops) /
+        static_cast<double>(state.iterations() * q.procs.size()));
+}
+BENCHMARK(BM_PostingBestMatch);
+
+void
 BM_GameSearch(benchmark::State &state)
 {
     const auto &q = wget_index();
@@ -147,6 +179,32 @@ BM_GameSearch(benchmark::State &state)
     }
 }
 BENCHMARK(BM_GameSearch)->Unit(benchmark::kMillisecond);
+
+void
+BM_SearchCorpus(benchmark::State &state)
+{
+    // Full corpus fan-out at N worker threads (Arg). Thread 1 is the
+    // serial reference; the hardware-concurrency row shows the
+    // parallel_for scaling of eval::Driver::search_corpus.
+    static const firmware::Corpus corpus = firmware::build_corpus();
+    static const std::vector<eval::CorpusTarget> targets =
+        eval::corpus_targets(corpus);
+    const auto &cve = firmware::cve_database().front();
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        eval::Driver driver;  // fresh caches: times indexing + games
+        benchmark::DoNotOptimize(
+            driver.search_corpus(cve, targets, threads));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(targets.size()));
+}
+BENCHMARK(BM_SearchCorpus)
+    ->Arg(1)
+    ->Arg(static_cast<int>(
+        std::max(2u, std::thread::hardware_concurrency())))
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -47,7 +47,7 @@ main()
                 "threads\n\n",
                 indexed, index_seconds, threads);
 
-    const auto rows = eval::run_cve_hunt(driver, corpus);
+    const auto rows = eval::run_cve_hunt(driver, corpus, threads);
 
     eval::Table table({"CVE", "Package", "Procedure", "Confirmed", "FPs",
                        "Missed", "Affected Vendors", "Latest", "Time"});

@@ -1,7 +1,9 @@
 #include "eval/driver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "baseline/gitz_like.h"
 #include "codegen/build.h"
@@ -165,22 +167,68 @@ Driver::graph_target(const loader::Executable &exe)
     return &it->second;
 }
 
+namespace {
+
+double
+seconds_since(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+unsigned
+resolve_threads(unsigned threads)
+{
+    if (threads != 0) {
+        return threads;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+}  // namespace
+
+std::vector<CorpusTarget>
+corpus_targets(const firmware::Corpus &corpus)
+{
+    std::vector<CorpusTarget> targets;
+    for (std::size_t i = 0; i < corpus.images.size(); ++i) {
+        for (const loader::Executable &exe :
+             corpus.images[i].executables) {
+            targets.push_back({&exe, static_cast<int>(i)});
+        }
+    }
+    return targets;
+}
+
+std::vector<const loader::Executable *>
+Driver::unseen_executables(const std::vector<CorpusTarget> &targets) const
+{
+    std::vector<const loader::Executable *> work;
+    std::set<std::uint64_t> seen;
+    for (const CorpusTarget &target : targets) {
+        const std::uint64_t key = content_key(*target.exe);
+        if (seen.insert(key).second && !index_cache_.contains(key) &&
+            !quarantined_.contains(key)) {
+            work.push_back(target.exe);
+        }
+    }
+    return work;
+}
+
 std::size_t
 Driver::preindex(const firmware::Corpus &corpus, unsigned threads)
 {
-    // Collect distinct executables by content key.
-    std::vector<const loader::Executable *> work;
-    std::set<std::uint64_t> seen;
-    for (const firmware::FirmwareImage &image : corpus.images) {
-        for (const loader::Executable &exe : image.executables) {
-            const std::uint64_t key = content_key(exe);
-            if (seen.insert(key).second &&
-                !index_cache_.contains(key) &&
-                !quarantined_.contains(key)) {
-                work.push_back(&exe);
-            }
-        }
-    }
+    return index_many(unseen_executables(corpus_targets(corpus)),
+                      threads);
+}
+
+std::size_t
+Driver::index_many(const std::vector<const loader::Executable *> &work,
+                   unsigned threads)
+{
+    const auto start = std::chrono::steady_clock::now();
     // Lift + index in parallel with no shared state, merge at the end.
     // Failures stay in their slot; only the merge loop (single-threaded)
     // touches caches, quarantine and health.
@@ -195,7 +243,7 @@ Driver::preindex(const firmware::Corpus &corpus, unsigned threads)
     std::vector<Slot> slots(work.size());
     const strand::CanonOptions canon = options_.canon;
     ThreadPool::parallel_for(
-        threads, work.size(), [&](std::size_t i) {
+        resolve_threads(threads), work.size(), [&](std::size_t i) {
             auto result = lift_untrusted(*work[i]);
             if (!result.ok()) {
                 slots[i].code = result.error_code();
@@ -223,16 +271,19 @@ Driver::preindex(const firmware::Corpus &corpus, unsigned threads)
         lift_cache_.emplace(key, std::move(slots[i].lifted));
         index_cache_.emplace(key, std::move(slots[i].index));
     }
+    health_.index_seconds += seconds_since(start);
     return indexed;
 }
 
 SearchOutcome
-Driver::match(const Query &query, const sim::ExecutableIndex &target)
+Driver::match_outcome(const Query &query,
+                      const sim::ExecutableIndex &target) const
 {
     SearchOutcome outcome;
     if (target.procs.empty()) {
         return outcome;
     }
+    const auto start = std::chrono::steady_clock::now();
     if (options_.use_game) {
         const game::GameResult result =
             game::match_query(query.index, query.qv, target,
@@ -240,14 +291,13 @@ Driver::match(const Query &query, const sim::ExecutableIndex &target)
         outcome.steps = result.steps;
         if (result.ending == game::GameEnding::Unresolved) {
             outcome.unresolved = true;
-            ++health_.games_unresolved;
-            health_.note_error(ErrorCode::BudgetExhausted);
         }
         if (result.matched) {
             outcome.detected = true;
             outcome.matched_entry = result.target_entry;
             outcome.sim = result.sim;
         }
+        outcome.game_seconds = seconds_since(start);
         return outcome;
     }
     // Ablation: procedure-centric top-1 (no executable context).
@@ -262,16 +312,38 @@ Driver::match(const Query &query, const sim::ExecutableIndex &target)
             query.index.procs[static_cast<std::size_t>(query.qv)].repr,
             proc.repr);
     }
+    outcome.game_seconds = seconds_since(start);
+    return outcome;
+}
+
+void
+Driver::note_outcome(const SearchOutcome &outcome)
+{
+    if (outcome.unresolved) {
+        ++health_.games_unresolved;
+        health_.note_error(ErrorCode::BudgetExhausted);
+    }
+    health_.game_seconds += outcome.game_seconds;
+    health_.confirm_seconds += outcome.confirm_seconds;
+}
+
+SearchOutcome
+Driver::match(const Query &query, const sim::ExecutableIndex &target)
+{
+    const SearchOutcome outcome = match_outcome(query, target);
+    note_outcome(outcome);
     return outcome;
 }
 
 SearchOutcome
-Driver::search(const Query &query, const sim::ExecutableIndex &target)
+Driver::search_outcome(const Query &query,
+                       const sim::ExecutableIndex &target) const
 {
-    SearchOutcome outcome = match(query, target);
+    SearchOutcome outcome = match_outcome(query, target);
     if (!outcome.detected) {
         return outcome;
     }
+    const auto confirm_start = std::chrono::steady_clock::now();
     const auto &q_repr =
         query.index.procs[static_cast<std::size_t>(query.qv)].repr;
     const auto q_strands = static_cast<double>(q_repr.hashes.size());
@@ -300,7 +372,90 @@ Driver::search(const Query &query, const sim::ExecutableIndex &target)
         outcome.matched_entry = 0;
         outcome.sim = 0;
     }
+    outcome.confirm_seconds = seconds_since(confirm_start);
     return outcome;
+}
+
+SearchOutcome
+Driver::search(const Query &query, const sim::ExecutableIndex &target)
+{
+    const SearchOutcome outcome = search_outcome(query, target);
+    note_outcome(outcome);
+    return outcome;
+}
+
+std::map<isa::Arch, Query>
+Driver::build_queries(const firmware::CveRecord &cve,
+                      const std::vector<CorpusTarget> &targets,
+                      unsigned threads)
+{
+    index_many(unseen_executables(targets), threads);
+    // After indexing, index_target is a pure cache/quarantine lookup, so
+    // this lazily builds exactly the query set of the serial scan loop.
+    std::map<isa::Arch, Query> queries;
+    for (const CorpusTarget &target : targets) {
+        const sim::ExecutableIndex *index = index_target(*target.exe);
+        if (index != nullptr && !queries.contains(index->arch)) {
+            queries.emplace(index->arch, build_query(cve, index->arch));
+        }
+    }
+    return queries;
+}
+
+std::vector<CorpusOutcome>
+Driver::search_corpus(const firmware::CveRecord &cve,
+                      const std::vector<CorpusTarget> &targets,
+                      unsigned threads, bool confirm)
+{
+    return search_corpus(build_queries(cve, targets, threads), targets,
+                         threads, confirm);
+}
+
+std::vector<CorpusOutcome>
+Driver::search_corpus(const std::map<isa::Arch, Query> &queries,
+                      const std::vector<CorpusTarget> &targets,
+                      unsigned threads, bool confirm)
+{
+    index_many(unseen_executables(targets), threads);
+
+    // Resolve targets against the now-complete caches (serial: this
+    // still mutates health for executables first seen here).
+    std::vector<CorpusOutcome> out(targets.size());
+    std::vector<const sim::ExecutableIndex *> resolved(targets.size(),
+                                                       nullptr);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        out[i].target = targets[i];
+        resolved[i] = index_target(*targets[i].exe);
+        out[i].indexed = resolved[i] != nullptr;
+    }
+
+    // The games are embarrassingly parallel: workers read the frozen
+    // caches and write disjoint slots. A worker exception propagates
+    // out of parallel_for (via ThreadPool::wait_idle).
+    ThreadPool::parallel_for(
+        resolve_threads(threads), targets.size(), [&](std::size_t i) {
+            const sim::ExecutableIndex *target = resolved[i];
+            if (target == nullptr) {
+                return;
+            }
+            const auto qit = queries.find(target->arch);
+            if (qit == queries.end()) {
+                out[i].indexed = false;  // no query for this ISA
+                return;
+            }
+            out[i].outcome = confirm
+                                 ? search_outcome(qit->second, *target)
+                                 : match_outcome(qit->second, *target);
+        });
+
+    // Merge the accounting single-threaded, in target order — the same
+    // order the serial loop would have produced.
+    for (const CorpusOutcome &co : out) {
+        if (co.indexed) {
+            note_outcome(co.outcome);
+        }
+    }
+    return out;
 }
 
 }  // namespace firmup::eval

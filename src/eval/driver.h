@@ -75,7 +75,29 @@ struct SearchOutcome
     int steps = 0;
     /** True when the game expired a budget before reaching an answer. */
     bool unresolved = false;
+    /** Per-stage wall-clock of this outcome, in seconds. */
+    double game_seconds = 0.0;
+    double confirm_seconds = 0.0;
 };
+
+/** One corpus executable addressed for a scan. */
+struct CorpusTarget
+{
+    const loader::Executable *exe = nullptr;
+    int image_index = -1;  ///< into Corpus::images; -1 = standalone
+};
+
+/** Per-target result of a corpus-wide search. */
+struct CorpusOutcome
+{
+    CorpusTarget target;
+    /** False when the executable is quarantined (outcome is empty). */
+    bool indexed = false;
+    SearchOutcome outcome;
+};
+
+/** Flatten every executable of @p corpus into scan targets. */
+std::vector<CorpusTarget> corpus_targets(const firmware::Corpus &corpus);
 
 /**
  * Content identity of an executable: name + text bytes. Byte-identical
@@ -150,6 +172,50 @@ class Driver
     SearchOutcome match(const Query &query,
                         const sim::ExecutableIndex &target);
 
+    /**
+     * Pure variants of search()/match(): no health mutation, safe to
+     * call concurrently from worker threads against the (frozen) caches.
+     * Feed the result to note_outcome() on the owning thread to keep the
+     * health record identical to the serial path.
+     */
+    SearchOutcome search_outcome(const Query &query,
+                                 const sim::ExecutableIndex &target) const;
+    SearchOutcome match_outcome(const Query &query,
+                                const sim::ExecutableIndex &target) const;
+
+    /** Fold one outcome's budget/timing accounting into health(). */
+    void note_outcome(const SearchOutcome &outcome);
+
+    /**
+     * Corpus-scale fan-out: lift+index the distinct unseen targets in
+     * parallel, build one query per target ISA, then run every game on
+     * the thread pool — the games are embarrassingly parallel — and
+     * merge health/outcome accounting single-threaded afterwards, in
+     * target order, so the result (including health()) is identical to
+     * the serial loop. Worker exceptions propagate via
+     * ThreadPool::wait_idle. @p threads 0 means hardware concurrency.
+     * @p confirm false runs match() semantics instead of search().
+     */
+    std::vector<CorpusOutcome> search_corpus(
+        const firmware::CveRecord &cve,
+        const std::vector<CorpusTarget> &targets, unsigned threads = 0,
+        bool confirm = true);
+
+    /** As above with prebuilt per-ISA queries (see build_queries). */
+    std::vector<CorpusOutcome> search_corpus(
+        const std::map<isa::Arch, Query> &queries,
+        const std::vector<CorpusTarget> &targets, unsigned threads = 0,
+        bool confirm = true);
+
+    /**
+     * Index @p targets (parallel) and build one query per ISA that
+     * actually occurs among the indexable ones, in target order —
+     * exactly the lazily-built query set of the serial scan loop.
+     */
+    std::map<isa::Arch, Query> build_queries(
+        const firmware::CveRecord &cve,
+        const std::vector<CorpusTarget> &targets, unsigned threads = 0);
+
     /** Degradation record for everything this driver has scanned. */
     const ScanHealth &health() const { return health_; }
     ScanHealth &health() { return health_; }
@@ -165,6 +231,20 @@ class Driver
 
     const lifter::LiftedExecutable *lift_cached(
         const loader::Executable &exe);
+
+    /**
+     * Parallel lift+index of distinct, not-yet-cached executables; the
+     * cache/health merge runs single-threaded in @p work order. Records
+     * the phase wall-clock in health().index_seconds.
+     * @return number successfully indexed.
+     */
+    std::size_t index_many(
+        const std::vector<const loader::Executable *> &work,
+        unsigned threads);
+
+    /** Dedupe @p targets down to executables the caches have not seen. */
+    std::vector<const loader::Executable *> unseen_executables(
+        const std::vector<CorpusTarget> &targets) const;
 };
 
 /** The newest version of @p package that @p cve still affects. */

@@ -63,68 +63,58 @@ cve_by_id(const std::string &cve_id)
 }  // namespace
 
 std::vector<CveHuntRow>
-run_cve_hunt(Driver &driver, const firmware::Corpus &corpus)
+run_cve_hunt(Driver &driver, const firmware::Corpus &corpus,
+             unsigned threads)
 {
     std::vector<CveHuntRow> rows;
+    // The wild hunt scans *every* executable in every image; the
+    // detection threshold rejects executables that do not contain the
+    // package at all.
+    const std::vector<CorpusTarget> targets = corpus_targets(corpus);
     for (const firmware::CveRecord &cve : firmware::cve_database()) {
         CveHuntRow row;
         row.cve = cve;
         const auto start = std::chrono::steady_clock::now();
 
-        // Queries are compiled per target ISA on demand.
-        std::map<isa::Arch, Query> queries;
+        const std::vector<CorpusOutcome> outcomes =
+            driver.search_corpus(cve, targets, threads);
+        for (const CorpusOutcome &co : outcomes) {
+            if (!co.indexed) {
+                ++row.skipped;  // quarantined; scan continues
+                continue;
+            }
+            const firmware::FirmwareImage &image =
+                corpus.images[static_cast<std::size_t>(
+                    co.target.image_index)];
+            const SearchOutcome &outcome = co.outcome;
 
-        // The wild hunt scans *every* executable in every image; the
-        // detection threshold rejects executables that do not contain
-        // the package at all.
-        for (std::size_t i = 0; i < corpus.images.size(); ++i) {
-            const firmware::FirmwareImage &image = corpus.images[i];
-            for (const loader::Executable &exe : image.executables) {
-                const sim::ExecutableIndex *target =
-                    driver.index_target(exe);
-                if (target == nullptr) {
-                    ++row.skipped;  // quarantined; scan continues
-                    continue;
-                }
-                auto qit = queries.find(target->arch);
-                if (qit == queries.end()) {
-                    qit = queries
-                              .emplace(target->arch,
-                                       driver.build_query(cve,
-                                                          target->arch))
-                              .first;
-                }
-                const SearchOutcome outcome =
-                    driver.search(qit->second, *target);
-
-                const firmware::TruthExe *truth = corpus.find_truth(
-                    static_cast<int>(i), exe.name);
-                const std::uint32_t truth_entry =
-                    truth != nullptr && truth->package == cve.package
-                        ? truth->entry_of(cve.procedure)
-                        : 0;
-                const bool vulnerable =
-                    truth_entry != 0 &&
-                    cve.affects(firmware::package_by_name(cve.package),
-                                truth->pkg_version);
-                if (outcome.detected) {
-                    if (truth_entry != 0 &&
-                        outcome.matched_entry == truth_entry) {
-                        if (vulnerable) {
-                            ++row.confirmed;
-                            row.vendors.insert(image.vendor);
-                            if (image.is_latest) {
-                                ++row.latest;
-                            }
-                        } else {
-                            ++row.benign;
+            const firmware::TruthExe *truth = corpus.find_truth(
+                co.target.image_index, co.target.exe->name);
+            const std::uint32_t truth_entry =
+                truth != nullptr && truth->package == cve.package
+                    ? truth->entry_of(cve.procedure)
+                    : 0;
+            const bool vulnerable =
+                truth_entry != 0 &&
+                cve.affects(firmware::package_by_name(cve.package),
+                            truth->pkg_version);
+            if (outcome.detected) {
+                if (truth_entry != 0 &&
+                    outcome.matched_entry == truth_entry) {
+                    if (vulnerable) {
+                        ++row.confirmed;
+                        row.vendors.insert(image.vendor);
+                        if (image.is_latest) {
+                            ++row.latest;
                         }
                     } else {
-                        ++row.fps;
+                        ++row.benign;
                     }
-                } else if (vulnerable) {
-                    ++row.missed;
+                } else {
+                    ++row.fps;
                 }
+            } else if (vulnerable) {
+                ++row.missed;
             }
         }
         row.seconds = std::chrono::duration<double>(
@@ -193,34 +183,44 @@ run_labeled(Driver &driver, const firmware::Corpus &corpus,
         QueryTally tally;
         tally.query = cve.procedure;
 
-        std::map<isa::Arch, Query> queries;
+        // The labeled experiment runs on name-less copies so no tool
+        // can cheat (the paper's group-1 protocol). Copies must outlive
+        // the parallel fan-out, so they live in one stable vector.
+        std::vector<Trial> trials;
         for (const Trial &trial : collect_trials(corpus, cve)) {
-            if (trial.truth_entry == 0) {
-                continue;  // procedure compiled out of this build
+            if (trial.truth_entry != 0) {
+                trials.push_back(trial);
             }
-            // The labeled experiment runs on name-less copies so no
-            // tool can cheat (the paper's group-1 protocol).
-            loader::Executable stripped = *trial.exe;
-            loader::strip_executable(stripped,
+            // else: procedure compiled out of this build
+        }
+        std::vector<loader::Executable> stripped;
+        stripped.reserve(trials.size());
+        std::vector<CorpusTarget> targets;
+        targets.reserve(trials.size());
+        for (const Trial &trial : trials) {
+            stripped.push_back(*trial.exe);
+            loader::strip_executable(stripped.back(),
                                      !options.strip_all_names);
+            targets.push_back({&stripped.back(), trial.image_index});
+        }
 
-            const sim::ExecutableIndex *target =
-                driver.index_target(stripped);
-            if (target == nullptr) {
+        // ---- FirmUp (parallel fan-out, no detection threshold) ----
+        const std::map<isa::Arch, Query> queries =
+            driver.build_queries(cve, targets, options.threads);
+        const std::vector<CorpusOutcome> outcomes = driver.search_corpus(
+            queries, targets, options.threads, /*confirm=*/false);
+
+        for (std::size_t t = 0; t < trials.size(); ++t) {
+            const Trial &trial = trials[t];
+            if (!outcomes[t].indexed) {
                 continue;  // quarantined; reported via health
             }
+            const sim::ExecutableIndex *target =
+                driver.index_target(stripped[t]);
             ++tally.targets;
-            auto qit = queries.find(target->arch);
-            if (qit == queries.end()) {
-                qit = queries
-                          .emplace(target->arch,
-                                   driver.build_query(cve, target->arch))
-                          .first;
-            }
-            const Query &query = qit->second;
+            const Query &query = queries.at(target->arch);
 
-            // ---- FirmUp ----
-            const SearchOutcome outcome = driver.match(query, *target);
+            const SearchOutcome &outcome = outcomes[t].outcome;
             if (!outcome.detected) {
                 ++tally.firmup.fn;
             } else if (outcome.matched_entry == trial.truth_entry) {
@@ -235,7 +235,7 @@ run_labeled(Driver &driver, const firmware::Corpus &corpus,
                 // The lift already succeeded (target != nullptr), so the
                 // graph index cannot be quarantined here.
                 const baseline::GraphIndex &tgraph =
-                    *driver.graph_target(stripped);
+                    *driver.graph_target(stripped[t]);
                 const auto matches =
                     baseline::bindiff_match(query.graph, tgraph);
                 const std::uint64_t q_entry =

@@ -47,12 +47,15 @@ struct CveHuntRow
 };
 
 /**
- * Run the Table 2 hunt: every CVE against every corpus executable.
- * Quarantined executables are skipped (per-row `skipped`); coverage for
- * the whole scan is in driver.health().
+ * Run the Table 2 hunt: every CVE against every corpus executable, via
+ * the driver's parallel search_corpus fan-out (@p threads 0 = hardware
+ * concurrency; results are identical at any thread count). Quarantined
+ * executables are skipped (per-row `skipped`); coverage for the whole
+ * scan is in driver.health().
  */
 std::vector<CveHuntRow> run_cve_hunt(Driver &driver,
-                                     const firmware::Corpus &corpus);
+                                     const firmware::Corpus &corpus,
+                                     unsigned threads = 0);
 
 /** Per-query outcome of the controlled experiment. */
 struct QueryTally
@@ -76,6 +79,8 @@ struct LabeledOptions
      * left in place (group-2 setup).
      */
     bool strip_all_names = true;
+    /** FirmUp game fan-out width; 0 = hardware concurrency. */
+    unsigned threads = 0;
 };
 
 /** Result of the controlled experiment. */

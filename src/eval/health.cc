@@ -53,6 +53,9 @@ ScanHealth::merge(const ScanHealth &other)
     lifted_ok += other.lifted_ok;
     quarantined += other.quarantined;
     games_unresolved += other.games_unresolved;
+    index_seconds += other.index_seconds;
+    game_seconds += other.game_seconds;
+    confirm_seconds += other.confirm_seconds;
     for (std::size_t c = 0; c < kErrorCodeCount; ++c) {
         errors[c] += other.errors[c];
     }
@@ -94,6 +97,11 @@ ScanHealth::summary() const
         "%zu unresolved game(s)",
         images_seen - images_rejected, images_seen, members_damaged,
         executables_seen, lifted_ok, quarantined, games_unresolved);
+    if (index_seconds + game_seconds + confirm_seconds > 0.0) {
+        out += strprintf("; stages: index %.3fs, games %.3fs, "
+                         "confirm %.3fs",
+                         index_seconds, game_seconds, confirm_seconds);
+    }
     bool first = true;
     for (std::size_t c = 0; c < kErrorCodeCount; ++c) {
         if (errors[c] == 0) {

@@ -39,6 +39,16 @@ struct ScanHealth
     std::size_t quarantined = 0;       ///< lift/index failures isolated
     std::size_t games_unresolved = 0;  ///< budget-exhausted games
 
+    /**
+     * Per-stage time totals in seconds. Indexing is wall-clock for the
+     * (parallel) lift+index phase; game/confirm seconds are summed per
+     * outcome, so on a parallel scan they read as CPU-seconds across
+     * workers rather than elapsed time.
+     */
+    double index_seconds = 0.0;
+    double game_seconds = 0.0;
+    double confirm_seconds = 0.0;
+
     /** errors[code] = failures of that class, across all stages. */
     std::array<std::size_t, kErrorCodeCount> errors{};
 

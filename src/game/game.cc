@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <set>
 
 #include "support/str.h"
 
@@ -20,14 +19,33 @@ struct Ref
     auto operator<=>(const Ref &) const = default;
 };
 
-/** Player state for one game. */
+/**
+ * Player state for one game. All bookkeeping is flat, sized to the two
+ * executables: match arrays (-1 = unmatched), unmatchable byte arrays,
+ * and a per-game memo of candidate lists. Candidate lists come from the
+ * target's inverted index and never change during a game — only the
+ * exclusion state does — so GetBestMatch is a cheap re-argmax over a
+ * cached list instead of a full rescore of the other side.
+ */
 class Game
 {
   public:
     Game(const sim::ExecutableIndex &Q, const sim::ExecutableIndex &T,
          const GameOptions &options)
-        : q_(Q), t_(T), opt_(options)
+        : q_(Q), t_(T), opt_(options),
+          match_q_(Q.procs.size(), -1), match_t_(T.procs.size(), -1),
+          unmatchable_q_(Q.procs.size(), 0),
+          unmatchable_t_(T.procs.size(), 0),
+          cand_q_(Q.procs.size()), cand_t_(T.procs.size()),
+          cand_ready_q_(Q.procs.size(), 0),
+          cand_ready_t_(T.procs.size(), 0)
     {
+        for (const sim::ProcEntry &p : Q.procs) {
+            total_hashes_q_ += p.repr.hashes.size();
+        }
+        for (const sim::ProcEntry &p : T.procs) {
+            total_hashes_t_ += p.repr.hashes.size();
+        }
     }
 
     GameResult
@@ -57,13 +75,17 @@ class Game
                 std::chrono::steady_clock::duration>(
                 std::chrono::duration<double>(
                     deadline_set ? opt_.max_seconds : 0.0));
+        std::uint64_t loop_iter = 0;
         while (!stack.empty()) {
             if (result.steps >= opt_.max_steps) {
                 result.ending = GameEnding::Unresolved;
                 note("budget: step limit reached, game unresolved");
                 break;
             }
-            if (deadline_set &&
+            // The clock syscall would dominate a cheap step; sample it
+            // every 64 iterations (and always on the first, so a
+            // pre-expired deadline still ends the game at step 0).
+            if (deadline_set && (loop_iter++ & 63) == 0 &&
                 std::chrono::steady_clock::now() >= deadline) {
                 result.ending = GameEnding::Unresolved;
                 note("budget: deadline reached, game unresolved");
@@ -84,7 +106,7 @@ class Game
                 if (m == qv) {
                     break;
                 }
-                unmatchable_.insert(m);
+                mark_unmatchable(m);
                 stack.pop_back();
                 continue;
             }
@@ -117,7 +139,7 @@ class Game
                     break;
                 }
                 stack.pop_back();
-                if (matches_q_.size() >= opt_.max_matches) {
+                if (matched_count_ >= opt_.max_matches) {
                     // Heuristic cut-off (paper's third condition).
                     result.ending = GameEnding::Unresolved;
                     break;
@@ -143,7 +165,15 @@ class Game
             }
         }
 
-        result.q_to_t = matches_q_;
+        for (std::size_t qi = 0; qi < match_q_.size(); ++qi) {
+            if (match_q_[qi] >= 0) {
+                result.q_to_t.emplace(static_cast<int>(qi), match_q_[qi]);
+            }
+        }
+        result.pairs_scored = stats_.pairs_scored;
+        result.pairs_pruned = pairs_pruned_;
+        result.scoring_elem_ops = stats_.elem_ops;
+        result.dense_elem_ops = dense_elem_ops_;
         return result;
     }
 
@@ -155,44 +185,86 @@ class Game
         return procs[static_cast<std::size_t>(r.index)].repr;
     }
 
-    int
-    sim_of(const Ref &m, int other_index) const
-    {
-        const Ref other{!m.in_q, other_index};
-        return sim::sim_score(repr(m), repr(other));
-    }
-
     bool
     is_matched(const Ref &r) const
     {
-        const auto &matched = r.in_q ? matches_q_ : matches_t_;
-        return matched.contains(r.index);
+        const auto &matched = r.in_q ? match_q_ : match_t_;
+        return matched[static_cast<std::size_t>(r.index)] >= 0;
+    }
+
+    void
+    mark_unmatchable(const Ref &r)
+    {
+        auto &unmatchable = r.in_q ? unmatchable_q_ : unmatchable_t_;
+        unmatchable[static_cast<std::size_t>(r.index)] = 1;
+    }
+
+    /**
+     * Candidate list of @p m against the other executable, computed at
+     * most once per game (exclusion state changes between calls, the raw
+     * Sim counts never do).
+     */
+    const std::vector<sim::Candidate> &
+    candidates_of(const Ref &m)
+    {
+        auto &memo = m.in_q ? cand_q_ : cand_t_;
+        auto &ready = m.in_q ? cand_ready_q_ : cand_ready_t_;
+        const std::size_t i = static_cast<std::size_t>(m.index);
+        if (!ready[i]) {
+            memo[i] = sim::shared_candidates(m.in_q ? t_ : q_, repr(m),
+                                             &stats_);
+            ready[i] = 1;
+        }
+        return memo[i];
     }
 
     /**
      * GetBestMatch: the highest-Sim procedure on the other side that is
-     * not already matched. Ties break to the lowest index.
+     * not already matched. Ties break to the lowest index. Procedures
+     * sharing zero strands are never touched; when every candidate is
+     * excluded, the dense semantics are preserved by falling back to the
+     * lowest eligible index with Sim 0.
      */
     int
-    best_match(const Ref &m, int &best_sim) const
+    best_match(const Ref &m, int &best_sim)
     {
         const auto &others = m.in_q ? t_.procs : q_.procs;
-        const auto &matched_other = m.in_q ? matches_t_ : matches_q_;
+        const auto &match_other = m.in_q ? match_t_ : match_q_;
+        const auto &unmatchable_other =
+            m.in_q ? unmatchable_t_ : unmatchable_q_;
+        const auto &ready = m.in_q ? cand_ready_q_ : cand_ready_t_;
+        const bool fresh = !ready[static_cast<std::size_t>(m.index)];
+        const std::vector<sim::Candidate> &cands = candidates_of(m);
+        // Dense GetBestMatch rescored every procedure on every call —
+        // a full (|m|+|other|)-element merge per pair; this path pays
+        // only for candidates, and only on a memo miss.
+        pairs_pruned_ += others.size() - (fresh ? cands.size() : 0);
+        dense_elem_ops_ +=
+            others.size() * repr(m).hashes.size() +
+            (m.in_q ? total_hashes_t_ : total_hashes_q_);
         best_sim = -1;
         int best = -1;
-        for (std::size_t i = 0; i < others.size(); ++i) {
-            const int index = static_cast<int>(i);
-            if (matched_other.contains(index) ||
-                unmatchable_.contains(Ref{!m.in_q, index})) {
+        for (const sim::Candidate &c : cands) {
+            const std::size_t i = static_cast<std::size_t>(c.index);
+            if (match_other[i] >= 0 || unmatchable_other[i]) {
                 continue;
             }
-            const int s = sim::sim_score(repr(m), others[i].repr);
-            if (s > best_sim) {
-                best_sim = s;
-                best = index;
+            if (c.sim > best_sim) {
+                best_sim = c.sim;
+                best = c.index;
             }
         }
-        return best;
+        if (best >= 0) {
+            return best;
+        }
+        for (std::size_t i = 0; i < others.size(); ++i) {
+            if (match_other[i] < 0 && !unmatchable_other[i]) {
+                best_sim = 0;
+                return static_cast<int>(i);
+            }
+        }
+        best_sim = -1;
+        return -1;
     }
 
     void
@@ -200,16 +272,28 @@ class Game
     {
         const int qi = m.in_q ? m.index : other.index;
         const int ti = m.in_q ? other.index : m.index;
-        matches_q_[qi] = ti;
-        matches_t_[ti] = qi;
+        match_q_[static_cast<std::size_t>(qi)] = ti;
+        match_t_[static_cast<std::size_t>(ti)] = qi;
+        ++matched_count_;
     }
 
     const sim::ExecutableIndex &q_;
     const sim::ExecutableIndex &t_;
     const GameOptions &opt_;
-    std::map<int, int> matches_q_;  ///< Q index -> T index
-    std::map<int, int> matches_t_;  ///< T index -> Q index
-    std::set<Ref> unmatchable_;
+    std::vector<int> match_q_;  ///< Q index -> T index, -1 = unmatched
+    std::vector<int> match_t_;  ///< T index -> Q index, -1 = unmatched
+    std::vector<std::uint8_t> unmatchable_q_;
+    std::vector<std::uint8_t> unmatchable_t_;
+    std::vector<std::vector<sim::Candidate>> cand_q_;  ///< memo: Q vs T
+    std::vector<std::vector<sim::Candidate>> cand_t_;  ///< memo: T vs Q
+    std::vector<std::uint8_t> cand_ready_q_;
+    std::vector<std::uint8_t> cand_ready_t_;
+    std::size_t matched_count_ = 0;
+    std::size_t total_hashes_q_ = 0;  ///< Σ strand-set sizes, Q side
+    std::size_t total_hashes_t_ = 0;  ///< Σ strand-set sizes, T side
+    sim::ScoringStats stats_;         ///< actual scoring work
+    std::uint64_t pairs_pruned_ = 0;
+    std::uint64_t dense_elem_ops_ = 0;  ///< what dense would have paid
 };
 
 }  // namespace

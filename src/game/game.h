@@ -57,6 +57,30 @@ struct GameResult
     std::uint64_t target_entry = 0;
     int sim = 0;                 ///< Sim(qv, match)
     int steps = 0;               ///< loop iterations (Fig. 9 metric)
+    /**
+     * Pairwise similarity scores actually computed: one per candidate
+     * pair on a candidate-list memo miss (lists are memoized per game).
+     */
+    std::uint64_t pairs_scored = 0;
+    /**
+     * Pair scores a dense GetBestMatch (rescoring every procedure on
+     * every call) would have computed but this game skipped, via the
+     * inverted index's zero-share pruning and the per-game memo.
+     * pairs_scored + pairs_pruned is the dense-equivalent pair count.
+     */
+    std::uint64_t pairs_pruned = 0;
+    /**
+     * Element-level scoring operations actually performed (posting
+     * accumulations + query-hash probes; see sim::ScoringStats).
+     */
+    std::uint64_t scoring_elem_ops = 0;
+    /**
+     * Element ops a dense GetBestMatch would have spent: a full
+     * (|m|+|other|) merge per procedure per call. The ratio
+     * dense_elem_ops / scoring_elem_ops is the measured saving of
+     * posting-list pruning + per-game memoization.
+     */
+    std::uint64_t dense_elem_ops = 0;
     /** The partial matching built along the way: Q index ↔ T index. */
     std::map<int, int> q_to_t;
     /** Player/rival narration when GameOptions::record_trace is set. */

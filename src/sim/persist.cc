@@ -126,12 +126,15 @@ parse_index(const std::uint8_t *bytes, std::size_t size)
             return Result<ExecutableIndex>::error(
                 "fwix: truncated strand hashes");
         }
+        proc.repr.hashes.reserve(hash_count);
         for (std::uint32_t h = 0; h < hash_count; ++h) {
-            proc.repr.hashes.insert(read_u64_le(bytes + pos));
+            proc.repr.add(read_u64_le(bytes + pos));
             pos += 8;
         }
+        proc.repr.finalize();
         index.procs.push_back(std::move(proc));
     }
+    index.finalize();
     return index;
 }
 

@@ -5,9 +5,124 @@
 
 namespace firmup::sim {
 
+namespace {
+
+/**
+ * First position in [first, last) not less than @p key, found by
+ * exponential (galloping) probing followed by a bounded binary search.
+ * Beats std::lower_bound when the answer is near the front — which it
+ * is when intersecting a small sorted set against a huge one.
+ */
+const std::uint64_t *
+gallop_lower_bound(const std::uint64_t *first, const std::uint64_t *last,
+                   std::uint64_t key)
+{
+    const std::size_t n = static_cast<std::size_t>(last - first);
+    std::size_t bound = 1;
+    while (bound < n && first[bound] < key) {
+        bound <<= 1;
+    }
+    return std::lower_bound(first + (bound >> 1),
+                            first + std::min(bound + 1, n), key);
+}
+
+/**
+ * Visit every hash shared by two flat strand sets, in ascending hash
+ * order (the order matters: weighted_sim must accumulate bit-identically
+ * no matter which side is smaller). Linear two-pointer merge for
+ * comparable sizes, galloping from the smaller side when lopsided.
+ */
+template <typename OnShared>
+void
+for_each_shared(const std::vector<std::uint64_t> &a,
+                const std::vector<std::uint64_t> &b, OnShared &&on)
+{
+    const std::vector<std::uint64_t> *small = &a;
+    const std::vector<std::uint64_t> *large = &b;
+    if (small->size() > large->size()) {
+        std::swap(small, large);
+    }
+    if (small->empty()) {
+        return;
+    }
+    const std::uint64_t *s = small->data();
+    const std::uint64_t *se = s + small->size();
+    const std::uint64_t *l = large->data();
+    const std::uint64_t *le = l + large->size();
+    constexpr std::size_t kGallopRatio = 16;
+    if (large->size() / small->size() >= kGallopRatio) {
+        for (; s != se && l != le; ++s) {
+            l = gallop_lower_bound(l, le, *s);
+            if (l != le && *l == *s) {
+                on(*s);
+                ++l;
+            }
+        }
+        return;
+    }
+    while (s != se && l != le) {
+        if (*s < *l) {
+            ++s;
+        } else if (*l < *s) {
+            ++l;
+        } else {
+            on(*s);
+            ++s;
+            ++l;
+        }
+    }
+}
+
+}  // namespace
+
+void
+ExecutableIndex::finalize()
+{
+    entry_map.clear();
+    name_map.clear();
+    entry_map.reserve(procs.size());
+    name_map.reserve(procs.size());
+    std::size_t total_hashes = 0;
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+        // First occurrence wins, matching the linear-scan semantics.
+        entry_map.emplace(procs[i].entry, static_cast<int>(i));
+        name_map.emplace(procs[i].name, static_cast<int>(i));
+        total_hashes += procs[i].repr.hashes.size();
+    }
+    // CSR inverted index: one (hash, proc) incidence per strand, sorted
+    // by hash then procedure so every posting list is ascending.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> incidences;
+    incidences.reserve(total_hashes);
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+        for (std::uint64_t h : procs[i].repr.hashes) {
+            incidences.emplace_back(h, static_cast<std::uint32_t>(i));
+        }
+    }
+    std::sort(incidences.begin(), incidences.end());
+    posting_hashes.clear();
+    posting_offsets.clear();
+    posting_procs.clear();
+    posting_procs.reserve(incidences.size());
+    for (const auto &[hash, proc] : incidences) {
+        if (posting_hashes.empty() || posting_hashes.back() != hash) {
+            posting_hashes.push_back(hash);
+            posting_offsets.push_back(
+                static_cast<std::uint32_t>(posting_procs.size()));
+        }
+        posting_procs.push_back(proc);
+    }
+    posting_offsets.push_back(
+        static_cast<std::uint32_t>(posting_procs.size()));
+    search_ready = true;
+}
+
 int
 ExecutableIndex::find_by_entry(std::uint64_t addr) const
 {
+    if (search_ready) {
+        const auto it = entry_map.find(addr);
+        return it != entry_map.end() ? it->second : -1;
+    }
     for (std::size_t i = 0; i < procs.size(); ++i) {
         if (procs[i].entry == addr) {
             return static_cast<int>(i);
@@ -19,6 +134,10 @@ ExecutableIndex::find_by_entry(std::uint64_t addr) const
 int
 ExecutableIndex::find_by_name(const std::string &proc_name) const
 {
+    if (search_ready) {
+        const auto it = name_map.find(proc_name);
+        return it != name_map.end() ? it->second : -1;
+    }
     for (std::size_t i = 0; i < procs.size(); ++i) {
         if (procs[i].name == proc_name) {
             return static_cast<int>(i);
@@ -47,6 +166,7 @@ index_executable(const lifter::LiftedExecutable &lifted,
         pe.repr = strand::represent_procedure(proc, options);
         index.procs.push_back(std::move(pe));
     }
+    index.finalize();
     return index;
 }
 
@@ -54,14 +174,77 @@ int
 sim_score(const strand::ProcedureStrands &q,
           const strand::ProcedureStrands &t)
 {
-    // Iterate the smaller set against the larger.
-    const auto &small = q.hashes.size() <= t.hashes.size() ? q : t;
-    const auto &large = q.hashes.size() <= t.hashes.size() ? t : q;
     int shared = 0;
-    for (std::uint64_t h : small.hashes) {
-        shared += large.hashes.contains(h) ? 1 : 0;
-    }
+    for_each_shared(q.hashes, t.hashes,
+                    [&shared](std::uint64_t) { ++shared; });
     return shared;
+}
+
+std::vector<Candidate>
+shared_candidates(const ExecutableIndex &T,
+                  const strand::ProcedureStrands &q,
+                  ScoringStats *stats)
+{
+    std::vector<Candidate> out;
+    if (T.procs.empty() || q.hashes.empty()) {
+        return out;
+    }
+    ScoringStats local;
+    if (!T.search_ready) {
+        // Dense fallback for hand-assembled indexes: score every pair.
+        for (std::size_t i = 0; i < T.procs.size(); ++i) {
+            const int s = sim_score(q, T.procs[i].repr);
+            ++local.pairs_scored;
+            local.elem_ops +=
+                q.hashes.size() + T.procs[i].repr.hashes.size();
+            if (s > 0) {
+                out.push_back({static_cast<int>(i), s});
+            }
+        }
+        if (stats != nullptr) {
+            stats->pairs_scored += local.pairs_scored;
+            stats->elem_ops += local.elem_ops;
+        }
+        return out;
+    }
+    // Accumulate shared counts over the posting lists of q's strands:
+    // only procedures sharing at least one strand are ever touched.
+    std::vector<int> counts(T.procs.size(), 0);
+    std::vector<std::uint32_t> touched;
+    const std::uint64_t *base = T.posting_hashes.data();
+    const std::uint64_t *ph = base;
+    const std::uint64_t *pe = base + T.posting_hashes.size();
+    for (std::uint64_t h : q.hashes) {
+        ++local.elem_ops;  // one probe per query hash
+        ph = gallop_lower_bound(ph, pe, h);
+        if (ph == pe) {
+            break;
+        }
+        if (*ph != h) {
+            continue;
+        }
+        const std::size_t row = static_cast<std::size_t>(ph - base);
+        const std::uint32_t lo = T.posting_offsets[row];
+        const std::uint32_t hi = T.posting_offsets[row + 1];
+        for (std::uint32_t j = lo; j < hi; ++j) {
+            const std::uint32_t proc = T.posting_procs[j];
+            ++local.elem_ops;  // one accumulation per incidence
+            if (counts[proc]++ == 0) {
+                touched.push_back(proc);
+                ++local.pairs_scored;
+            }
+        }
+    }
+    std::sort(touched.begin(), touched.end());
+    out.reserve(touched.size());
+    for (std::uint32_t proc : touched) {
+        out.push_back({static_cast<int>(proc), counts[proc]});
+    }
+    if (stats != nullptr) {
+        stats->pairs_scored += local.pairs_scored;
+        stats->elem_ops += local.elem_ops;
+    }
+    return out;
 }
 
 double
@@ -105,14 +288,10 @@ weighted_sim(const strand::ProcedureStrands &q,
              const strand::ProcedureStrands &t,
              const GlobalContext &context)
 {
-    const auto &small = q.hashes.size() <= t.hashes.size() ? q : t;
-    const auto &large = q.hashes.size() <= t.hashes.size() ? t : q;
     double score = 0.0;
-    for (std::uint64_t h : small.hashes) {
-        if (large.hashes.contains(h)) {
-            score += context.weight_of(h);
-        }
-    }
+    for_each_shared(q.hashes, t.hashes, [&](std::uint64_t h) {
+        score += context.weight_of(h);
+    });
     return score;
 }
 

@@ -5,14 +5,24 @@
  *
  * Sim(q, t) = |Strands(q) ∩ Strands(t)| over hashed canonical strands —
  * a plain set intersection with no counts, exactly as the paper defines
- * it. An ExecutableIndex is the unit both the game and the baselines
- * operate on: every procedure of one executable, represented as strand
- * hash sets.
+ * it. Strand sets are sorted flat vectors, so the intersection is a
+ * two-pointer merge (with galloping when the sizes are lopsided) rather
+ * than per-hash tree lookups.
+ *
+ * An ExecutableIndex is the unit both the game and the baselines operate
+ * on: every procedure of one executable, represented as strand hash
+ * sets, plus — once finalize() has run — the search acceleration
+ * structures that make corpus-scale matching cheap: a CSR inverted index
+ * (strand hash → posting list of procedure indices) and hashed
+ * entry/name lookup maps. Most (q, t) procedure pairs in a corpus share
+ * zero strands; the posting lists let GetBestMatch touch only the pairs
+ * that share at least one.
  */
 #pragma once
 
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "lifter/cfg.h"
@@ -28,12 +38,43 @@ struct ProcEntry
     strand::ProcedureStrands repr;
 };
 
+/** One candidate from the inverted index: a procedure and its exact Sim. */
+struct Candidate
+{
+    int index = -1;  ///< into ExecutableIndex::procs
+    int sim = 0;     ///< |shared strands| — exact, not an estimate
+};
+
 /** All procedures of one executable, represented for similarity search. */
 struct ExecutableIndex
 {
     std::string name;
     isa::Arch arch = isa::Arch::Mips32;
     std::vector<ProcEntry> procs;
+
+    /**
+     * CSR inverted index, built by finalize(): posting_hashes is the
+     * sorted union of all strand hashes; the procedures containing
+     * posting_hashes[i] are posting_procs[posting_offsets[i] ..
+     * posting_offsets[i+1]), in ascending procedure order. Hand-built
+     * indexes that never call finalize() still work — every consumer
+     * falls back to a dense scan — but corpus-scale search wants this.
+     */
+    std::vector<std::uint64_t> posting_hashes;
+    std::vector<std::uint32_t> posting_offsets;
+    std::vector<std::uint32_t> posting_procs;
+    bool search_ready = false;  ///< postings + lookup maps are built
+
+    /** Hashed lookup maps (satellite of the posting build). */
+    std::unordered_map<std::uint64_t, int> entry_map;
+    std::unordered_map<std::string, int> name_map;
+
+    /**
+     * Build the posting lists and lookup maps. Called by
+     * index_executable() and parse_index(); call it yourself after
+     * assembling an index by hand to get the fast paths.
+     */
+    void finalize();
 
     /** Index of the procedure whose entry is @p addr, or -1. */
     int find_by_entry(std::uint64_t addr) const;
@@ -51,6 +92,32 @@ ExecutableIndex index_executable(const lifter::LiftedExecutable &lifted,
 /** Sim(q, t): the number of shared canonical strands. */
 int sim_score(const strand::ProcedureStrands &q,
               const strand::ProcedureStrands &t);
+
+/** Work accounting for one or more shared_candidates calls. */
+struct ScoringStats
+{
+    /** Pair scores produced: one per procedure whose Sim was computed. */
+    std::uint64_t pairs_scored = 0;
+    /**
+     * Element-level scoring operations: posting-list accumulations plus
+     * query-hash probes on the fast path; merge-length (|q|+|t|) per
+     * pair on the dense fallback. This is the unit in which the old
+     * dense GetBestMatch paid |q|+|t| per pair per call.
+     */
+    std::uint64_t elem_ops = 0;
+};
+
+/**
+ * Every procedure of @p T sharing at least one strand with @p q, with
+ * its exact Sim, in ascending procedure-index order. Uses the posting
+ * lists when built (touching only procedures that share a strand, the
+ * VulMatch-style signature pruning); otherwise scores every procedure.
+ * @param stats when non-null, accumulates the scoring work performed —
+ *        the game's "pairwise scoring operations" metric.
+ */
+std::vector<Candidate> shared_candidates(
+    const ExecutableIndex &T, const strand::ProcedureStrands &q,
+    ScoringStats *stats = nullptr);
 
 /**
  * Statistical strand weights trained from a sample of procedures — the

@@ -1,5 +1,6 @@
 #include "strand/canon.h"
 
+#include <algorithm>
 #include <map>
 
 #include "support/error.h"
@@ -553,6 +554,29 @@ strand_hash(const Strand &strand, const CanonOptions &options)
     return fnv1a64(canonical_strand(strand, options));
 }
 
+void
+ProcedureStrands::finalize()
+{
+    std::sort(hashes.begin(), hashes.end());
+    hashes.erase(std::unique(hashes.begin(), hashes.end()),
+                 hashes.end());
+}
+
+bool
+ProcedureStrands::contains(std::uint64_t h) const
+{
+    return std::binary_search(hashes.begin(), hashes.end(), h);
+}
+
+ProcedureStrands
+strand_set(std::vector<std::uint64_t> hashes)
+{
+    ProcedureStrands out;
+    out.hashes = std::move(hashes);
+    out.finalize();
+    return out;
+}
+
 ProcedureStrands
 represent_procedure(const ir::Procedure &proc, const CanonOptions &options)
 {
@@ -561,9 +585,10 @@ represent_procedure(const ir::Procedure &proc, const CanonOptions &options)
     for (const auto &[addr, block] : proc.blocks) {
         out.stmt_count += block.stmts.size();
         for (const Strand &strand : decompose_block(block)) {
-            out.hashes.insert(strand_hash(strand, options));
+            out.add(strand_hash(strand, options));
         }
     }
+    out.finalize();
     return out;
 }
 

@@ -28,7 +28,6 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -68,13 +67,36 @@ std::string canonical_strand(const Strand &strand,
 std::uint64_t strand_hash(const Strand &strand,
                           const CanonOptions &options);
 
-/** A procedure represented as its set of hashed canonical strands. */
+/**
+ * A procedure represented as its set of hashed canonical strands.
+ *
+ * The set is stored flat — a sorted, deduplicated vector — so that
+ * Sim(q, t) is a cache-friendly merge intersection instead of per-hash
+ * tree lookups. Mutate via add() and restore the invariant with
+ * finalize(); represent_procedure() and the index loaders do this for
+ * you.
+ */
 struct ProcedureStrands
 {
-    std::set<std::uint64_t> hashes;
+    /** Sorted, unique strand hashes (flat set; see finalize()). */
+    std::vector<std::uint64_t> hashes;
     std::size_t block_count = 0;
     std::size_t stmt_count = 0;
+
+    /** Append a hash; the set is unordered until finalize() runs. */
+    void add(std::uint64_t h) { hashes.push_back(h); }
+
+    /** Sort + deduplicate — restores the flat-set invariant. */
+    void finalize();
+
+    /** Membership by binary search (requires the flat-set invariant). */
+    bool contains(std::uint64_t h) const;
+
+    std::size_t size() const { return hashes.size(); }
 };
+
+/** Flat strand set from arbitrary, possibly duplicated hashes. */
+ProcedureStrands strand_set(std::vector<std::uint64_t> hashes);
 
 /** Decompose, canonicalize and hash every block of @p proc (section 3.3). */
 ProcedureStrands represent_procedure(const ir::Procedure &proc,

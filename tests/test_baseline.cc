@@ -24,9 +24,10 @@ make_index(std::vector<std::vector<std::uint64_t>> strand_sets)
         sim::ProcEntry pe;
         pe.entry = entry;
         entry += 0x100;
-        pe.repr.hashes.insert(strands.begin(), strands.end());
+        pe.repr = strand::strand_set(strands);
         index.procs.push_back(std::move(pe));
     }
+    index.finalize();
     return index;
 }
 

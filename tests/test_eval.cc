@@ -219,6 +219,81 @@ TEST(Driver, CorruptedExecutableIsQuarantinedScanContinues)
     EXPECT_NE(report.find("corrupt.bin"), std::string::npos);
 }
 
+TEST(Driver, SearchCorpusParallelMatchesSerial)
+{
+    firmware::CorpusOptions corpus_options;
+    corpus_options.num_devices = 3;
+    const firmware::Corpus corpus =
+        firmware::build_corpus(corpus_options);
+    const std::vector<CorpusTarget> targets = corpus_targets(corpus);
+    ASSERT_FALSE(targets.empty());
+    const firmware::CveRecord &cve = firmware::cve_database()[0];
+
+    Driver serial_driver;
+    const auto serial = serial_driver.search_corpus(cve, targets, 1);
+    Driver parallel_driver;
+    const auto parallel = parallel_driver.search_corpus(cve, targets, 4);
+
+    ASSERT_EQ(serial.size(), targets.size());
+    ASSERT_EQ(parallel.size(), targets.size());
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        EXPECT_EQ(parallel[i].target.exe, targets[i].exe);
+        EXPECT_EQ(parallel[i].target.image_index,
+                  targets[i].image_index);
+        EXPECT_EQ(parallel[i].indexed, serial[i].indexed) << i;
+        EXPECT_EQ(parallel[i].outcome.detected, serial[i].outcome.detected)
+            << i;
+        EXPECT_EQ(parallel[i].outcome.matched_entry,
+                  serial[i].outcome.matched_entry)
+            << i;
+        EXPECT_EQ(parallel[i].outcome.sim, serial[i].outcome.sim) << i;
+        EXPECT_EQ(parallel[i].outcome.steps, serial[i].outcome.steps)
+            << i;
+        EXPECT_EQ(parallel[i].outcome.unresolved,
+                  serial[i].outcome.unresolved)
+            << i;
+    }
+
+    // Health bookkeeping merges to the same counts regardless of the
+    // worker-thread fan-out.
+    const ScanHealth &sh = serial_driver.health();
+    const ScanHealth &ph = parallel_driver.health();
+    EXPECT_EQ(ph.executables_seen, sh.executables_seen);
+    EXPECT_EQ(ph.lifted_ok, sh.lifted_ok);
+    EXPECT_EQ(ph.quarantined, sh.quarantined);
+    EXPECT_EQ(ph.games_unresolved, sh.games_unresolved);
+    EXPECT_TRUE(ph.sane());
+    // Stage timers ran on both drivers.
+    EXPECT_GT(ph.index_seconds, 0.0);
+    EXPECT_GT(ph.game_seconds + ph.confirm_seconds, 0.0);
+}
+
+TEST(Driver, SearchCorpusSkipsTargetsWithoutQueryArch)
+{
+    // Prebuilt-queries entry point: a target whose ISA has no query in
+    // the map must come back indexed=false, exactly like the serial
+    // lazily-built loop would have skipped it.
+    firmware::CorpusOptions corpus_options;
+    corpus_options.num_devices = 2;
+    const firmware::Corpus corpus =
+        firmware::build_corpus(corpus_options);
+    const std::vector<CorpusTarget> targets = corpus_targets(corpus);
+    ASSERT_FALSE(targets.empty());
+    Driver driver;
+    const std::map<isa::Arch, Query> empty_queries;
+    const auto outcomes =
+        driver.search_corpus(empty_queries, targets, 2);
+    ASSERT_EQ(outcomes.size(), targets.size());
+    for (const CorpusOutcome &co : outcomes) {
+        EXPECT_FALSE(co.indexed);
+        EXPECT_FALSE(co.outcome.detected);
+    }
+    // Indexing still happened (and was timed) even though no games ran.
+    EXPECT_GT(driver.health().executables_seen, 0u);
+    EXPECT_GT(driver.health().index_seconds, 0.0);
+    EXPECT_EQ(driver.health().game_seconds, 0.0);
+}
+
 TEST(Report, TableRendersAligned)
 {
     Table table({"a", "long-header"});

@@ -17,9 +17,7 @@ namespace {
 strand::ProcedureStrands
 strands(std::initializer_list<std::uint64_t> hashes)
 {
-    strand::ProcedureStrands repr;
-    repr.hashes.insert(hashes.begin(), hashes.end());
-    return repr;
+    return strand::strand_set(std::vector<std::uint64_t>(hashes));
 }
 
 TEST(Sim, CountsSharedUniqueStrands)
@@ -52,7 +50,7 @@ TEST(GlobalContext, RareStrandsWeighMore)
     auto add = [&pool](std::initializer_list<std::uint64_t> hashes) {
         ProcEntry pe;
         pe.entry = 0x1000 + 0x100 * pool.procs.size();
-        pe.repr.hashes.insert(hashes.begin(), hashes.end());
+        pe.repr = strand::strand_set(std::vector<std::uint64_t>(hashes));
         pool.procs.push_back(std::move(pe));
     };
     add({1, 2});

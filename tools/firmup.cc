@@ -16,22 +16,30 @@
  *                                        drive unpack→lift→index→match
  *                                        over N deterministic mutants of
  *                                        BLOB; prints the ScanHealth
+ *   firmup bench-json [--out FILE] [--devices N]
+ *                                        run the matching micro-
+ *                                        benchmarks, write BENCH_micro.json
  *
  * Blobs are the FWIMG containers produced by `firmup corpus` (or any
  * firmware::pack_firmware caller).
  */
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "eval/driver.h"
 #include "eval/report.h"
 #include "firmware/corpus.h"
 #include "firmware/image.h"
+#include "game/game.h"
 #include "lifter/interp.h"
 #include "support/faultinject.h"
+#include "support/str.h"
 
 using namespace firmup;
 
@@ -52,7 +60,9 @@ usage()
         "  search CVE-ID BLOB...               hunt a CVE across blobs\n"
         "  exec BLOB EXE PROC [ARGS...]        interpret a procedure\n"
         "  fuzz-unpack BLOB [--iters N] [--seed S]\n"
-        "                                      fault-inject the pipeline\n");
+        "                                      fault-inject the pipeline\n"
+        "  bench-json [--out FILE] [--devices N]\n"
+        "                                      write BENCH_micro.json\n");
     return 2;
 }
 
@@ -314,8 +324,13 @@ cmd_search(const std::string &cve_id,
                 cve->package.c_str(),
                 eval::latest_vulnerable_version(*cve).c_str());
     eval::Driver driver;
-    std::map<isa::Arch, eval::Query> queries;
-    int findings = 0;
+
+    // Unpack everything first; the blobs must stay alive across the
+    // parallel fan-out, so they live in one stable vector. image_index
+    // addresses this vector (and therefore blob_paths).
+    std::vector<firmware::UnpackResult> blobs;
+    std::vector<std::string> blob_paths;
+    std::vector<eval::CorpusTarget> targets;
     for (const std::string &path : paths) {
         auto unpacked = load_blob(path);
         if (!unpacked.ok()) {
@@ -325,33 +340,33 @@ cmd_search(const std::string &cve_id,
             continue;
         }
         driver.health().note_unpack(unpacked.value());
-        for (const loader::Executable &exe :
-             unpacked.value().image.executables) {
-            const sim::ExecutableIndex *target =
-                driver.index_target(exe);
-            if (target == nullptr) {
-                continue;  // quarantined; shown in the health report
-            }
-            auto qit = queries.find(target->arch);
-            if (qit == queries.end()) {
-                qit = queries
-                          .emplace(target->arch,
-                                   driver.build_query(*cve, target->arch))
-                          .first;
-            }
-            const eval::SearchOutcome outcome =
-                driver.search(qit->second, *target);
-            if (outcome.detected) {
-                ++findings;
-                std::printf("%s: %s: VULNERABLE — %s at 0x%llx "
-                            "(Sim=%d, %d game steps)\n",
-                            path.c_str(), exe.name.c_str(),
-                            cve->procedure.c_str(),
-                            static_cast<unsigned long long>(
-                                outcome.matched_entry),
-                            outcome.sim, outcome.steps);
-            }
+        blobs.push_back(std::move(unpacked).take());
+        blob_paths.push_back(path);
+    }
+    for (std::size_t b = 0; b < blobs.size(); ++b) {
+        for (const loader::Executable &exe : blobs[b].image.executables) {
+            targets.push_back({&exe, static_cast<int>(b)});
         }
+    }
+
+    // The whole hunt — parallel index, per-ISA queries, parallel games —
+    // in one fan-out; findings print in target order afterwards.
+    int findings = 0;
+    for (const eval::CorpusOutcome &co :
+         driver.search_corpus(*cve, targets)) {
+        if (!co.indexed || !co.outcome.detected) {
+            continue;  // quarantined targets show in the health report
+        }
+        ++findings;
+        std::printf("%s: %s: VULNERABLE — %s at 0x%llx "
+                    "(Sim=%d, %d game steps)\n",
+                    blob_paths[static_cast<std::size_t>(
+                                   co.target.image_index)]
+                        .c_str(),
+                    co.target.exe->name.c_str(), cve->procedure.c_str(),
+                    static_cast<unsigned long long>(
+                        co.outcome.matched_entry),
+                    co.outcome.sim, co.outcome.steps);
     }
     std::printf("\n%d finding(s)\n", findings);
     if (driver.health().quarantined > 0 ||
@@ -359,6 +374,204 @@ cmd_search(const std::string &cve_id,
         std::printf("%s", eval::render_health(driver.health()).c_str());
     }
     return findings > 0 ? 0 : 3;
+}
+
+/**
+ * Machine-readable perf snapshot (BENCH_micro.json): intersection-kernel
+ * throughput, posting-list vs dense GetBestMatch, per-game scoring-op
+ * reduction on the Table 2 workload, and serial vs parallel
+ * search_corpus — so the perf trajectory is tracked from run to run.
+ */
+int
+cmd_bench_json(const std::vector<std::string> &args)
+{
+    std::string out_path = "BENCH_micro.json";
+    firmware::CorpusOptions copt;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--out" && i + 1 < args.size()) {
+            out_path = args[++i];
+        } else if (args[i] == "--devices" && i + 1 < args.size()) {
+            if (!parse_int(args[++i], copt.num_devices)) {
+                return usage();
+            }
+        } else {
+            return usage();
+        }
+    }
+    const firmware::Corpus corpus = firmware::build_corpus(copt);
+    const std::vector<eval::CorpusTarget> targets =
+        eval::corpus_targets(corpus);
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    auto now = [] { return std::chrono::steady_clock::now(); };
+    auto secs = [](auto a, auto b) {
+        return std::chrono::duration<double>(b - a).count();
+    };
+
+    eval::Driver driver;
+    driver.preindex(corpus, hw);
+    std::vector<const sim::ExecutableIndex *> indexes;
+    for (const eval::CorpusTarget &t : targets) {
+        if (const sim::ExecutableIndex *index =
+                driver.index_target(*t.exe)) {
+            indexes.push_back(index);
+        }
+    }
+    if (indexes.empty()) {
+        std::fprintf(stderr, "firmup: bench-json: empty corpus\n");
+        return 1;
+    }
+
+    // --- intersection kernel: Sim over sampled procedure pairs ---
+    std::vector<const strand::ProcedureStrands *> reprs;
+    for (const sim::ExecutableIndex *index : indexes) {
+        for (const sim::ProcEntry &proc : index->procs) {
+            reprs.push_back(&proc.repr);
+        }
+    }
+    Rng rng(0xbe9c);
+    constexpr int kPairs = 200000;
+    std::uint64_t checksum = 0;
+    const auto k0 = now();
+    for (int i = 0; i < kPairs; ++i) {
+        const auto &a = *reprs[rng.index(reprs.size())];
+        const auto &b = *reprs[rng.index(reprs.size())];
+        checksum += static_cast<std::uint64_t>(sim::sim_score(a, b));
+    }
+    const double kernel_seconds = secs(k0, now());
+
+    // --- posting-list vs dense GetBestMatch over the biggest target ---
+    const sim::ExecutableIndex *big = indexes.front();
+    for (const sim::ExecutableIndex *index : indexes) {
+        if (index->procs.size() > big->procs.size()) {
+            big = index;
+        }
+    }
+    std::uint64_t best_checksum = 0;
+    const auto p0 = now();
+    for (const auto &repr : reprs) {
+        for (const sim::Candidate &c : sim::shared_candidates(*big,
+                                                              *repr)) {
+            best_checksum += static_cast<std::uint64_t>(c.sim);
+            break;  // existence is enough; count the first
+        }
+    }
+    const double posting_seconds = secs(p0, now());
+    const auto d0 = now();
+    for (const auto &repr : reprs) {
+        for (const sim::ProcEntry &proc : big->procs) {
+            best_checksum +=
+                static_cast<std::uint64_t>(sim::sim_score(*repr,
+                                                          proc.repr));
+        }
+    }
+    const double dense_seconds = secs(d0, now());
+
+    // --- per-game scoring ops on the Table 2 workload ---
+    std::uint64_t pairs_scored = 0, pairs_pruned = 0;
+    std::uint64_t elem_ops = 0, dense_elem_ops = 0;
+    std::size_t games = 0;
+    for (const firmware::CveRecord &cve : firmware::cve_database()) {
+        const std::map<isa::Arch, eval::Query> queries =
+            driver.build_queries(cve, targets, hw);
+        for (const sim::ExecutableIndex *index : indexes) {
+            const auto qit = queries.find(index->arch);
+            if (qit == queries.end()) {
+                continue;
+            }
+            const game::GameResult result = game::match_query(
+                qit->second.index, qit->second.qv, *index,
+                driver.options().game);
+            pairs_scored += result.pairs_scored;
+            pairs_pruned += result.pairs_pruned;
+            elem_ops += result.scoring_elem_ops;
+            dense_elem_ops += result.dense_elem_ops;
+            ++games;
+        }
+    }
+    const std::uint64_t dense_pairs = pairs_scored + pairs_pruned;
+    const double pair_reduction =
+        pairs_scored == 0 ? 0.0
+                          : static_cast<double>(dense_pairs) /
+                                static_cast<double>(pairs_scored);
+    // Element-level operations are the honest cost unit: dense rescoring
+    // paid a (|q|+|t|)-element merge per pair per call, the posting path
+    // pays one op per probe/incidence on a memo miss.
+    const double reduction =
+        elem_ops == 0 ? 0.0
+                      : static_cast<double>(dense_elem_ops) /
+                            static_cast<double>(elem_ops);
+
+    // --- serial vs parallel search_corpus, first CVE ---
+    const firmware::CveRecord &cve0 = firmware::cve_database().front();
+    eval::Driver serial_driver, parallel_driver;
+    const auto s0 = now();
+    const auto serial = serial_driver.search_corpus(cve0, targets, 1);
+    const double serial_seconds = secs(s0, now());
+    const auto s1 = now();
+    const auto parallel =
+        parallel_driver.search_corpus(cve0, targets, hw);
+    const double parallel_seconds = secs(s1, now());
+    bool identical = serial.size() == parallel.size();
+    for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+        identical =
+            serial[i].indexed == parallel[i].indexed &&
+            serial[i].outcome.detected == parallel[i].outcome.detected &&
+            serial[i].outcome.matched_entry ==
+                parallel[i].outcome.matched_entry &&
+            serial[i].outcome.sim == parallel[i].outcome.sim &&
+            serial[i].outcome.steps == parallel[i].outcome.steps &&
+            serial[i].outcome.unresolved ==
+                parallel[i].outcome.unresolved;
+    }
+    const eval::ScanHealth &stages = parallel_driver.health();
+
+    const std::string json = strprintf(
+        "{\n"
+        "  \"corpus\": {\"devices\": %d, \"executables\": %zu, "
+        "\"procedures\": %zu},\n"
+        "  \"intersect_kernel\": {\"pairs\": %d, \"seconds\": %.6f, "
+        "\"ns_per_pair\": %.1f, \"checksum\": %llu},\n"
+        "  \"best_match\": {\"queries\": %zu, \"target_procs\": %zu, "
+        "\"posting_seconds\": %.6f, \"dense_seconds\": %.6f, "
+        "\"speedup\": %.2f, \"checksum\": %llu},\n"
+        "  \"game_workload\": {\"games\": %zu, \"pairs_scored\": %llu, "
+        "\"pairs_pruned\": %llu, \"dense_pairs\": %llu, "
+        "\"pair_reduction\": %.2f, \"scoring_elem_ops\": %llu, "
+        "\"dense_elem_ops\": %llu, \"scoring_reduction\": %.2f},\n"
+        "  \"search_corpus\": {\"targets\": %zu, "
+        "\"serial_seconds\": %.6f, \"parallel_seconds\": %.6f, "
+        "\"threads\": %u, \"speedup\": %.2f, \"identical\": %s},\n"
+        "  \"stage_seconds\": {\"index\": %.6f, \"games\": %.6f, "
+        "\"confirm\": %.6f}\n"
+        "}\n",
+        copt.num_devices, corpus.executable_count(),
+        corpus.procedure_count(), kPairs, kernel_seconds,
+        kernel_seconds / kPairs * 1e9,
+        static_cast<unsigned long long>(checksum), reprs.size(),
+        big->procs.size(), posting_seconds, dense_seconds,
+        posting_seconds > 0.0 ? dense_seconds / posting_seconds : 0.0,
+        static_cast<unsigned long long>(best_checksum), games,
+        static_cast<unsigned long long>(pairs_scored),
+        static_cast<unsigned long long>(pairs_pruned),
+        static_cast<unsigned long long>(dense_pairs), pair_reduction,
+        static_cast<unsigned long long>(elem_ops),
+        static_cast<unsigned long long>(dense_elem_ops), reduction,
+        targets.size(), serial_seconds, parallel_seconds, hw,
+        parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0,
+        identical ? "true" : "false", stages.index_seconds,
+        stages.game_seconds, stages.confirm_seconds);
+
+    std::ofstream out(out_path, std::ios::binary);
+    out << json;
+    if (!out) {
+        std::fprintf(stderr, "firmup: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::printf("%s", json.c_str());
+    std::printf("wrote %s\n", out_path.c_str());
+    return identical ? 0 : 1;
 }
 
 /**
@@ -539,6 +752,9 @@ main(int argc, char **argv)
     }
     if (command == "fuzz-unpack" && args.size() >= 2) {
         return cmd_fuzz_unpack({args.begin() + 1, args.end()});
+    }
+    if (command == "bench-json") {
+        return cmd_bench_json({args.begin() + 1, args.end()});
     }
     return usage();
 }
