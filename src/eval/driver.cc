@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <set>
 #include <thread>
 
@@ -10,6 +11,7 @@
 #include "support/error.h"
 #include "support/hash.h"
 #include "support/threadpool.h"
+#include "support/trace.h"
 
 namespace firmup::eval {
 
@@ -183,8 +185,23 @@ resolve_threads(unsigned threads)
     if (threads != 0) {
         return threads;
     }
+    // FIRMUP_THREADS overrides hardware concurrency for threads == 0;
+    // the determinism tests use it to pin the worker count externally.
+    if (const char *env = std::getenv("FIRMUP_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0) {
+            return static_cast<unsigned>(parsed);
+        }
+    }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw != 0 ? hw : 1;
+}
+
+/** Thread-CPU delta in seconds since @p start_ns. */
+double
+cpu_seconds_since(std::uint64_t start_ns)
+{
+    return static_cast<double>(trace::thread_cpu_ns() - start_ns) * 1e-9;
 }
 
 }  // namespace
@@ -229,6 +246,7 @@ Driver::index_many(const std::vector<const loader::Executable *> &work,
                    unsigned threads)
 {
     const auto start = std::chrono::steady_clock::now();
+    const std::uint64_t cpu_start = trace::process_cpu_ns();
     // Lift + index in parallel with no shared state, merge at the end.
     // Failures stay in their slot; only the merge loop (single-threaded)
     // touches caches, quarantine and health.
@@ -272,6 +290,8 @@ Driver::index_many(const std::vector<const loader::Executable *> &work,
         index_cache_.emplace(key, std::move(slots[i].index));
     }
     health_.index_seconds += seconds_since(start);
+    health_.index_cpu_seconds +=
+        static_cast<double>(trace::process_cpu_ns() - cpu_start) * 1e-9;
     return indexed;
 }
 
@@ -284,6 +304,7 @@ Driver::match_outcome(const Query &query,
         return outcome;
     }
     const auto start = std::chrono::steady_clock::now();
+    const std::uint64_t cpu_start = trace::thread_cpu_ns();
     if (options_.use_game) {
         const game::GameResult result =
             game::match_query(query.index, query.qv, target,
@@ -298,6 +319,7 @@ Driver::match_outcome(const Query &query,
             outcome.sim = result.sim;
         }
         outcome.game_seconds = seconds_since(start);
+        outcome.game_cpu_seconds = cpu_seconds_since(cpu_start);
         return outcome;
     }
     // Ablation: procedure-centric top-1 (no executable context).
@@ -313,18 +335,22 @@ Driver::match_outcome(const Query &query,
             proc.repr);
     }
     outcome.game_seconds = seconds_since(start);
+    outcome.game_cpu_seconds = cpu_seconds_since(cpu_start);
     return outcome;
 }
 
 void
 Driver::note_outcome(const SearchOutcome &outcome)
 {
+    ++health_.games_played;
     if (outcome.unresolved) {
         ++health_.games_unresolved;
         health_.note_error(ErrorCode::BudgetExhausted);
     }
     health_.game_seconds += outcome.game_seconds;
+    health_.game_cpu_seconds += outcome.game_cpu_seconds;
     health_.confirm_seconds += outcome.confirm_seconds;
+    health_.confirm_cpu_seconds += outcome.confirm_cpu_seconds;
 }
 
 SearchOutcome
@@ -344,6 +370,8 @@ Driver::search_outcome(const Query &query,
         return outcome;
     }
     const auto confirm_start = std::chrono::steady_clock::now();
+    const std::uint64_t confirm_cpu_start = trace::thread_cpu_ns();
+    const trace::TraceSpan span("confirm");
     const auto &q_repr =
         query.index.procs[static_cast<std::size_t>(query.qv)].repr;
     const auto q_strands = static_cast<double>(q_repr.hashes.size());
@@ -373,6 +401,7 @@ Driver::search_outcome(const Query &query,
         outcome.sim = 0;
     }
     outcome.confirm_seconds = seconds_since(confirm_start);
+    outcome.confirm_cpu_seconds = cpu_seconds_since(confirm_cpu_start);
     return outcome;
 }
 
@@ -432,6 +461,7 @@ Driver::search_corpus(const std::map<isa::Arch, Query> &queries,
     // The games are embarrassingly parallel: workers read the frozen
     // caches and write disjoint slots. A worker exception propagates
     // out of parallel_for (via ThreadPool::wait_idle).
+    const auto match_start = std::chrono::steady_clock::now();
     ThreadPool::parallel_for(
         resolve_threads(threads), targets.size(), [&](std::size_t i) {
             const sim::ExecutableIndex *target = resolved[i];
@@ -443,10 +473,13 @@ Driver::search_corpus(const std::map<isa::Arch, Query> &queries,
                 out[i].indexed = false;  // no query for this ISA
                 return;
             }
+            const trace::TraceSpan span("search_target",
+                                        targets[i].exe->name);
             out[i].outcome = confirm
                                  ? search_outcome(qit->second, *target)
                                  : match_outcome(qit->second, *target);
         });
+    health_.match_wall_seconds += seconds_since(match_start);
 
     // Merge the accounting single-threaded, in target order — the same
     // order the serial loop would have produced.

@@ -78,6 +78,9 @@ struct SearchOutcome
     /** Per-stage wall-clock of this outcome, in seconds. */
     double game_seconds = 0.0;
     double confirm_seconds = 0.0;
+    /** Per-stage thread-CPU time of this outcome, in seconds. */
+    double game_cpu_seconds = 0.0;
+    double confirm_cpu_seconds = 0.0;
 };
 
 /** One corpus executable addressed for a scan. */

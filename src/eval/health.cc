@@ -52,10 +52,15 @@ ScanHealth::merge(const ScanHealth &other)
     executables_seen += other.executables_seen;
     lifted_ok += other.lifted_ok;
     quarantined += other.quarantined;
+    games_played += other.games_played;
     games_unresolved += other.games_unresolved;
     index_seconds += other.index_seconds;
+    index_cpu_seconds += other.index_cpu_seconds;
     game_seconds += other.game_seconds;
+    game_cpu_seconds += other.game_cpu_seconds;
     confirm_seconds += other.confirm_seconds;
+    confirm_cpu_seconds += other.confirm_cpu_seconds;
+    match_wall_seconds += other.match_wall_seconds;
     for (std::size_t c = 0; c < kErrorCodeCount; ++c) {
         errors[c] += other.errors[c];
     }
@@ -74,6 +79,9 @@ ScanHealth::sane() const
         return false;
     }
     if (images_rejected > images_seen) {
+        return false;
+    }
+    if (games_unresolved > games_played) {
         return false;
     }
     if (quarantine_log.size() >
@@ -98,8 +106,11 @@ ScanHealth::summary() const
         images_seen - images_rejected, images_seen, members_damaged,
         executables_seen, lifted_ok, quarantined, games_unresolved);
     if (index_seconds + game_seconds + confirm_seconds > 0.0) {
-        out += strprintf("; stages: index %.3fs, games %.3fs, "
-                         "confirm %.3fs",
+        // Wall is elapsed for index, summed-per-outcome for games and
+        // confirm (busy time across workers on a parallel scan); the
+        // full wall/CPU breakdown is the render_health stage table.
+        out += strprintf("; stages: index %.3fs wall, games %.3fs busy, "
+                         "confirm %.3fs busy",
                          index_seconds, game_seconds, confirm_seconds);
     }
     bool first = true;

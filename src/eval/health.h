@@ -37,17 +37,33 @@ struct ScanHealth
     std::size_t executables_seen = 0;  ///< distinct executables lifted
     std::size_t lifted_ok = 0;
     std::size_t quarantined = 0;       ///< lift/index failures isolated
+    std::size_t games_played = 0;      ///< outcomes folded into health
     std::size_t games_unresolved = 0;  ///< budget-exhausted games
 
     /**
-     * Per-stage time totals in seconds. Indexing is wall-clock for the
-     * (parallel) lift+index phase; game/confirm seconds are summed per
-     * outcome, so on a parallel scan they read as CPU-seconds across
-     * workers rather than elapsed time.
+     * Per-stage time totals in seconds, wall and CPU recorded
+     * separately (and labeled in render_health) so a parallel scan's
+     * numbers are unambiguous:
+     *
+     *  - `index_seconds` is the *elapsed* wall clock of the (parallel)
+     *    lift+index phase; `index_cpu_seconds` is the process-CPU time
+     *    the phase consumed across all workers.
+     *  - `game_seconds`/`confirm_seconds` are per-outcome wall clock
+     *    *summed over outcomes* — on a parallel scan that is busy time
+     *    across workers, not elapsed time. The matching
+     *    `*_cpu_seconds` sums are per-outcome thread-CPU time.
+     *  - `match_wall_seconds` is the elapsed wall clock of the
+     *    game+confirm fan-out phases of search_corpus (0 for purely
+     *    serial search()/match() callers, where `game_seconds` already
+     *    is elapsed time).
      */
     double index_seconds = 0.0;
+    double index_cpu_seconds = 0.0;
     double game_seconds = 0.0;
+    double game_cpu_seconds = 0.0;
     double confirm_seconds = 0.0;
+    double confirm_cpu_seconds = 0.0;
+    double match_wall_seconds = 0.0;
 
     /** errors[code] = failures of that class, across all stages. */
     std::array<std::size_t, kErrorCodeCount> errors{};

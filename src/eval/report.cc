@@ -56,10 +56,43 @@ percent(double fraction)
     return strprintf("%.1f%%", fraction * 100.0);
 }
 
+namespace {
+
+/** One row of the stage table; skipped when the stage never ran. */
+void
+add_stage_row(Table &table, const char *stage, const char *wall_kind,
+              double wall_seconds, double cpu_seconds)
+{
+    if (wall_seconds <= 0.0 && cpu_seconds <= 0.0) {
+        return;
+    }
+    table.add_row({stage, strprintf("%.3f (%s)", wall_seconds, wall_kind),
+                   strprintf("%.3f", cpu_seconds)});
+}
+
+}  // namespace
+
 std::string
 render_health(const ScanHealth &health)
 {
     std::string out = health.summary() + "\n";
+    if (health.index_seconds + health.game_seconds +
+            health.confirm_seconds + health.match_wall_seconds >
+        0.0) {
+        // Wall semantics differ per stage (see ScanHealth): index and
+        // match-phase are elapsed clocks; game/confirm are per-outcome
+        // sums, i.e. busy time across workers on a parallel scan.
+        Table stages({"stage", "wall s", "cpu s"});
+        add_stage_row(stages, "lift+index", "elapsed",
+                      health.index_seconds, health.index_cpu_seconds);
+        add_stage_row(stages, "games", "busy", health.game_seconds,
+                      health.game_cpu_seconds);
+        add_stage_row(stages, "confirm", "busy", health.confirm_seconds,
+                      health.confirm_cpu_seconds);
+        add_stage_row(stages, "match phase", "elapsed",
+                      health.match_wall_seconds, 0.0);
+        out += stages.render();
+    }
     bool any_error = false;
     for (std::size_t c = 0; c < kErrorCodeCount; ++c) {
         any_error |= health.errors[c] != 0;
@@ -88,6 +121,27 @@ render_health(const ScanHealth &health)
         out += strprintf(
             "... and %zu more quarantined executable(s)\n",
             health.quarantined - health.quarantine_log.size());
+    }
+    return out;
+}
+
+std::string
+render_health(const ScanHealth &health, const trace::Snapshot &metrics)
+{
+    std::string out = render_health(health);
+    if (!metrics.counters.empty()) {
+        Table work({"metric", "count"});
+        for (const auto &[name, value] : metrics.counters) {
+            if (value != 0) {
+                work.add_row({name, std::to_string(value)});
+            }
+        }
+        out += work.render();
+    }
+    if (metrics.events_dropped != 0) {
+        out += strprintf("trace ring overflow: %llu event(s) dropped\n",
+                         static_cast<unsigned long long>(
+                             metrics.events_dropped));
     }
     return out;
 }

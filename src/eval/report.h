@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "eval/health.h"
+#include "support/trace.h"
 
 namespace firmup::eval {
 
@@ -33,9 +34,22 @@ class Table
 std::string percent(double fraction);
 
 /**
- * Multi-line coverage report: the one-line summary plus, when anything
+ * Multi-line coverage report: the one-line summary plus a per-stage
+ * wall/CPU timing table (when any stage ran) and, when anything
  * degraded, an error-code histogram table and the quarantine log.
+ * "wall" cells are labeled elapsed vs busy per the ScanHealth field
+ * semantics so parallel-scan numbers read unambiguously.
  */
 std::string render_health(const ScanHealth &health);
+
+/**
+ * As render_health, followed by a work-counter table distilled from a
+ * metrics snapshot (pairs scored/pruned, strands extracted, tasks run,
+ * ...). Pass trace::MetricsRegistry::global().snapshot() after a scan
+ * with tracing at Level::Metrics or above; an empty snapshot adds
+ * nothing.
+ */
+std::string render_health(const ScanHealth &health,
+                          const trace::Snapshot &metrics);
 
 }  // namespace firmup::eval

@@ -2,12 +2,19 @@
 
 #include <cstring>
 
+#include "support/trace.h"
+
 namespace firmup::firmware {
 
 namespace {
 
 constexpr std::uint8_t kImageMagic[6] = {'F', 'W', 'I', 'M', 'G', '1'};
 constexpr std::uint8_t kContentMagic[4] = {'C', 'F', 'G', '0'};
+
+const trace::Counter c_images("unpack.images");
+const trace::Counter c_members_walked("unpack.members_walked");
+const trace::Counter c_members_damaged("unpack.members_damaged");
+const trace::Counter c_content_files("unpack.content_files");
 
 void
 append_string(ByteBuffer &out, const std::string &s)
@@ -88,6 +95,7 @@ pack_firmware(const FirmwareImage &image, Rng &rng)
 Result<UnpackResult>
 unpack_firmware(const ByteBuffer &blob)
 {
+    const trace::TraceSpan span("unpack");
     if (blob.size() < sizeof(kImageMagic) ||
         std::memcmp(blob.data(), kImageMagic, sizeof(kImageMagic)) != 0) {
         return Result<UnpackResult>::error(
@@ -149,6 +157,11 @@ unpack_firmware(const ByteBuffer &blob)
             }
         }
     }
+    c_images.add();
+    c_members_walked.add(result.image.executables.size());
+    c_members_damaged.add(
+        static_cast<std::uint64_t>(result.damaged_members));
+    c_content_files.add(result.image.content_files.size());
     return result;
 }
 

@@ -4,10 +4,26 @@
 #include <chrono>
 
 #include "support/str.h"
+#include "support/trace.h"
 
 namespace firmup::game {
 
 namespace {
+
+// Registry-backed mirrors of the per-game GameResult accounting: the
+// corpus-wide totals every scan accumulates, readable via one
+// MetricsRegistry snapshot instead of threading sums by hand. Flushed
+// once per game (not per iteration) to keep the enabled path cheap.
+const trace::Counter c_games("game.games");
+const trace::Counter c_steps("game.steps");
+const trace::Counter c_pairs_scored("game.pairs_scored");
+const trace::Counter c_pairs_pruned("game.pairs_pruned");
+const trace::Counter c_elem_ops("game.scoring_elem_ops");
+const trace::Counter c_rival_turns("game.rival_turns");
+const trace::Counter c_deadline_samples("game.deadline_samples");
+const trace::Counter c_matched("game.matched");
+const trace::Counter c_unresolved("game.unresolved");
+const trace::Histogram h_steps("game.steps_per_game");
 
 /** A procedure reference: which executable, which index. */
 struct Ref
@@ -85,11 +101,13 @@ class Game
             // The clock syscall would dominate a cheap step; sample it
             // every 64 iterations (and always on the first, so a
             // pre-expired deadline still ends the game at step 0).
-            if (deadline_set && (loop_iter++ & 63) == 0 &&
-                std::chrono::steady_clock::now() >= deadline) {
-                result.ending = GameEnding::Unresolved;
-                note("budget: deadline reached, game unresolved");
-                break;
+            if (deadline_set && (loop_iter++ & 63) == 0) {
+                ++deadline_samples_;
+                if (std::chrono::steady_clock::now() >= deadline) {
+                    result.ending = GameEnding::Unresolved;
+                    note("budget: deadline reached, game unresolved");
+                    break;
+                }
             }
             const Ref m = stack.back();
             if (is_matched(m)) {
@@ -149,6 +167,7 @@ class Game
             // Rival found a strictly better owner for `forward`; push the
             // contested procedures and retry from the top of the stack.
             const Ref bck{m.in_q, back};
+            ++rival_turns_;
             note(strprintf("rival: counters with %s (Sim=%d > %d)",
                            name_of(bck).c_str(), back_sim, forward_sim));
             bool pushed = false;
@@ -174,6 +193,24 @@ class Game
         result.pairs_pruned = pairs_pruned_;
         result.scoring_elem_ops = stats_.elem_ops;
         result.dense_elem_ops = dense_elem_ops_;
+        // One registry flush per game: the hot loop only bumps plain
+        // locals, so the Level::Off cost of a game is this single check.
+        if (trace::level() != trace::Level::Off) {
+            c_games.add();
+            c_steps.add(static_cast<std::uint64_t>(result.steps));
+            c_pairs_scored.add(result.pairs_scored);
+            c_pairs_pruned.add(result.pairs_pruned);
+            c_elem_ops.add(result.scoring_elem_ops);
+            c_rival_turns.add(rival_turns_);
+            c_deadline_samples.add(deadline_samples_);
+            if (result.matched) {
+                c_matched.add();
+            }
+            if (result.ending == GameEnding::Unresolved) {
+                c_unresolved.add();
+            }
+            h_steps.observe(static_cast<std::uint64_t>(result.steps));
+        }
         return result;
     }
 
@@ -294,6 +331,8 @@ class Game
     sim::ScoringStats stats_;         ///< actual scoring work
     std::uint64_t pairs_pruned_ = 0;
     std::uint64_t dense_elem_ops_ = 0;  ///< what dense would have paid
+    std::uint64_t rival_turns_ = 0;      ///< back-and-forth counters
+    std::uint64_t deadline_samples_ = 0; ///< deadline clock reads
 };
 
 }  // namespace
@@ -302,6 +341,7 @@ GameResult
 match_query(const sim::ExecutableIndex &Q, int qv_index,
             const sim::ExecutableIndex &T, const GameOptions &options)
 {
+    const trace::TraceSpan span("game", T.name);
     Game game(Q, T, options);
     return game.run(qv_index);
 }

@@ -9,10 +9,15 @@
 #include "isa/ppc.h"
 #include "isa/x86.h"
 #include "support/error.h"
+#include "support/trace.h"
 
 namespace firmup::lifter {
 
 namespace {
+
+const trace::Counter c_executables("lift.executables");
+const trace::Counter c_procedures("lift.procedures");
+const trace::Counter c_blocks("lift.blocks");
 
 /** One decoded instruction with its lifted control-flow class. */
 struct DecodedInst
@@ -299,6 +304,7 @@ detect_arch(const loader::Executable &exe)
 Result<LiftedExecutable>
 lift_executable(const loader::Executable &exe, const LiftOptions &options)
 {
+    const trace::TraceSpan span("lift", exe.name);
     LiftedExecutable out;
     out.name = exe.name;
     out.arch = options.sniff_arch ? detect_arch(exe) : exe.declared_arch;
@@ -363,6 +369,15 @@ lift_executable(const loader::Executable &exe, const LiftOptions &options)
                 drain();
             }
         }
+    }
+    c_executables.add();
+    c_procedures.add(out.procs.size());
+    if (trace::level() != trace::Level::Off) {
+        std::uint64_t blocks = 0;
+        for (const auto &[entry, proc] : out.procs) {
+            blocks += proc.blocks.size();
+        }
+        c_blocks.add(blocks);
     }
     return out;
 }

@@ -3,9 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/trace.h"
+
 namespace firmup::sim {
 
 namespace {
+
+const trace::Counter c_finalize_calls("index.finalize_calls");
+const trace::Counter c_posting_hashes("index.posting_hashes");
+const trace::Counter c_posting_incidences("index.posting_incidences");
+const trace::Counter c_indexed_procs("index.procedures");
 
 /**
  * First position in [first, last) not less than @p key, found by
@@ -114,6 +121,10 @@ ExecutableIndex::finalize()
     posting_offsets.push_back(
         static_cast<std::uint32_t>(posting_procs.size()));
     search_ready = true;
+    c_finalize_calls.add();
+    c_posting_hashes.add(posting_hashes.size());
+    c_posting_incidences.add(posting_procs.size());
+    c_indexed_procs.add(procs.size());
 }
 
 int
@@ -150,6 +161,7 @@ ExecutableIndex
 index_executable(const lifter::LiftedExecutable &lifted,
                  strand::CanonOptions options)
 {
+    const trace::TraceSpan span("index", lifted.name);
     options.sections.text_lo = lifted.text_addr;
     options.sections.text_hi = lifted.text_end;
     options.sections.data_lo = lifted.data_addr;

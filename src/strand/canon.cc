@@ -6,8 +6,17 @@
 #include "support/error.h"
 #include "support/hash.h"
 #include "support/str.h"
+#include "support/trace.h"
 
 namespace firmup::strand {
+
+namespace {
+
+const trace::Counter c_procedures("canon.procedures");
+const trace::Counter c_strands("canon.strands_extracted");
+const trace::Counter c_passes("canon.passes_applied");
+
+}  // namespace
 
 using ir::BinOp;
 using ir::Operand;
@@ -170,13 +179,16 @@ class Builder
         if (ir::is_commutative(op) && is_const(a) && !is_const(b)) {
             std::swap(a, b);
         }
-        // Reassociate (x + c1) + c2.
+        // Reassociate (x + c1) + c2. Copy the child indexes out first:
+        // the nested constant() may grow the arena and invalidate any
+        // reference into it while the argument list is evaluated.
         if (op == BinOp::Add && is_const(b)) {
             const Expr &ea = at(a);
             if (ea.kind == Expr::Kind::Bin && ea.bin == BinOp::Add &&
                 is_const(ea.b)) {
-                return binop(BinOp::Add, ea.a,
-                             constant(cval(ea.b) + cval(b)));
+                const int x = ea.a;
+                const std::uint32_t folded = cval(ea.b) + cval(b);
+                return binop(BinOp::Add, x, constant(folded));
             }
         }
         // Identities with a constant rhs.
@@ -582,13 +594,23 @@ represent_procedure(const ir::Procedure &proc, const CanonOptions &options)
 {
     ProcedureStrands out;
     out.block_count = proc.blocks.size();
+    std::uint64_t strands = 0;
     for (const auto &[addr, block] : proc.blocks) {
         out.stmt_count += block.stmts.size();
         for (const Strand &strand : decompose_block(block)) {
             out.add(strand_hash(strand, options));
+            ++strands;
         }
     }
     out.finalize();
+    c_procedures.add();
+    c_strands.add(strands);
+    // Each strand runs the enabled canonicalization passes (offset
+    // elimination, symbolic re-optimization, name normalization).
+    const std::uint64_t enabled_passes =
+        (options.eliminate_offsets ? 1u : 0u) +
+        (options.optimize ? 1u : 0u) + (options.normalize_names ? 1u : 0u);
+    c_passes.add(strands * enabled_passes);
     return out;
 }
 

@@ -3,10 +3,22 @@
 #include <algorithm>
 #include <utility>
 
+#include "support/trace.h"
+
 namespace firmup {
+
+namespace {
+
+const trace::Counter c_tasks_queued("threadpool.tasks_queued");
+const trace::Counter c_tasks_run("threadpool.tasks_run");
+const trace::Counter c_pools("threadpool.pools_created");
+const trace::Histogram h_idle_ns("threadpool.worker_idle_ns");
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned num_threads)
 {
+    c_pools.add();
     const unsigned n = std::max(1u, num_threads);
     threads_.reserve(n);
     for (unsigned i = 0; i < n; ++i) {
@@ -29,6 +41,7 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(std::function<void()> task)
 {
+    c_tasks_queued.add();
     {
         std::unique_lock<std::mutex> lock(mutex_);
         queue_.push(std::move(task));
@@ -56,10 +69,17 @@ ThreadPool::worker()
 {
     while (true) {
         std::function<void()> task;
+        // Idle accounting: wall time from "ready for work" to "got a
+        // task" (or shutdown), observed per wait when metrics are on.
+        const bool metered = trace::level() != trace::Level::Off;
+        const std::uint64_t idle_start = metered ? trace::wall_ns() : 0;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             work_available_.wait(
                 lock, [this] { return stopping_ || !queue_.empty(); });
+            if (metered) {
+                h_idle_ns.observe(trace::wall_ns() - idle_start);
+            }
             if (queue_.empty()) {
                 return;  // stopping and drained
             }
@@ -69,6 +89,7 @@ ThreadPool::worker()
         }
         try {
             task();
+            c_tasks_run.add();
         } catch (...) {
             cancelled_.store(true);
             std::unique_lock<std::mutex> lock(mutex_);

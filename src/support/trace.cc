@@ -1,0 +1,480 @@
+#include "support/trace.h"
+
+#include <bit>
+#include <chrono>
+#include <ctime>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace firmup::trace {
+
+namespace {
+
+// Fixed per-kind capacities: shards are flat atomic arrays, so metric
+// ids must be dense and bounded. The namespace is hand-curated; these
+// are far above what the pipeline registers.
+constexpr int kMaxCounters = 128;
+constexpr int kMaxGauges = 32;
+constexpr int kMaxHistograms = 32;
+constexpr std::size_t kDefaultRingCapacity = 16384;
+
+std::uint64_t
+clock_ns(clockid_t clock)
+{
+    timespec ts{};
+    clock_gettime(clock, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/** One histogram in one shard; single writer, racy-read on snapshot. */
+struct HistCell
+{
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+    std::array<std::atomic<std::uint64_t>, 64> buckets{};
+};
+
+std::atomic<std::uint64_t> g_next_registry_uid{1};
+
+}  // namespace
+
+void
+set_level(Level level)
+{
+    detail::g_level.store(static_cast<int>(level),
+                          std::memory_order_relaxed);
+}
+
+std::uint64_t
+wall_ns()
+{
+    static const std::uint64_t epoch = clock_ns(CLOCK_MONOTONIC);
+    return clock_ns(CLOCK_MONOTONIC) - epoch;
+}
+
+std::uint64_t
+thread_cpu_ns()
+{
+    return clock_ns(CLOCK_THREAD_CPUTIME_ID);
+}
+
+std::uint64_t
+process_cpu_ns()
+{
+    return clock_ns(CLOCK_PROCESS_CPUTIME_ID);
+}
+
+std::uint64_t
+Snapshot::counter(const std::string &name) const
+{
+    const auto it = counters.find(name);
+    return it != counters.end() ? it->second : 0;
+}
+
+/** Per-(registry, thread) storage; owned by the registry. */
+struct Shard
+{
+    std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+    std::array<HistCell, kMaxHistograms> hists{};
+
+    // The event ring is not on the metrics hot path; a per-shard mutex
+    // (contended only by snapshot/export) keeps wrap-around simple.
+    std::mutex ring_mutex;
+    std::vector<TraceEvent> ring;
+    std::size_t ring_capacity = kDefaultRingCapacity;
+    std::size_t ring_next = 0;       ///< next overwrite slot when full
+    std::uint64_t ring_recorded = 0; ///< events ever recorded
+    std::uint64_t ring_dropped = 0;  ///< overwritten (ring was full)
+    int tid = 0;
+};
+
+struct MetricsRegistry::Impl
+{
+    std::uint64_t uid = g_next_registry_uid.fetch_add(1);
+    std::mutex mutex;  ///< guards names, shard list, ring capacity
+    std::vector<std::string> counter_names;
+    std::vector<std::string> gauge_names;
+    std::vector<std::string> hist_names;
+    std::unordered_map<std::string, int> counter_ids;
+    std::unordered_map<std::string, int> gauge_ids;
+    std::unordered_map<std::string, int> hist_ids;
+    std::array<std::atomic<std::int64_t>, kMaxGauges> gauges{};
+    std::vector<std::unique_ptr<Shard>> shards;
+    std::size_t ring_capacity = kDefaultRingCapacity;
+};
+
+namespace {
+
+/**
+ * Thread-local shard lookup: one entry per registry this thread has
+ * touched (normally exactly one — the global registry). The uid guards
+ * against a test registry being destroyed and another allocated at the
+ * same address.
+ */
+struct TlEntry
+{
+    std::uint64_t uid = 0;
+    MetricsRegistry::Impl *impl = nullptr;
+    Shard *shard = nullptr;
+};
+
+thread_local std::vector<TlEntry> tl_shards;
+
+Shard &
+local_shard(MetricsRegistry::Impl &impl)
+{
+    for (const TlEntry &entry : tl_shards) {
+        if (entry.impl == &impl && entry.uid == impl.uid) {
+            return *entry.shard;
+        }
+    }
+    std::unique_lock<std::mutex> lock(impl.mutex);
+    auto shard = std::make_unique<Shard>();
+    shard->tid = static_cast<int>(impl.shards.size());
+    shard->ring_capacity = impl.ring_capacity;
+    Shard *raw = shard.get();
+    impl.shards.push_back(std::move(shard));
+    lock.unlock();
+    tl_shards.push_back({impl.uid, &impl, raw});
+    return *raw;
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+
+MetricsRegistry::~MetricsRegistry()
+{
+    delete impl_;
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    // Leaked: per-thread shard caches and static Counter handles must
+    // never observe a destroyed registry, whatever the exit order.
+    static MetricsRegistry *registry = new MetricsRegistry;
+    return *registry;
+}
+
+namespace {
+
+int
+register_in(std::unordered_map<std::string, int> &ids,
+            std::vector<std::string> &names, const std::string &name,
+            int capacity, const char *kind)
+{
+    const auto it = ids.find(name);
+    if (it != ids.end()) {
+        return it->second;
+    }
+    FIRMUP_ASSERT(static_cast<int>(names.size()) < capacity,
+                  std::string("trace: too many ") + kind + " metrics");
+    const int id = static_cast<int>(names.size());
+    names.push_back(name);
+    ids.emplace(name, id);
+    return id;
+}
+
+}  // namespace
+
+int
+MetricsRegistry::register_counter(const std::string &name)
+{
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    return register_in(impl_->counter_ids, impl_->counter_names, name,
+                       kMaxCounters, "counter");
+}
+
+int
+MetricsRegistry::register_gauge(const std::string &name)
+{
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    return register_in(impl_->gauge_ids, impl_->gauge_names, name,
+                       kMaxGauges, "gauge");
+}
+
+int
+MetricsRegistry::register_histogram(const std::string &name)
+{
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    return register_in(impl_->hist_ids, impl_->hist_names, name,
+                       kMaxHistograms, "histogram");
+}
+
+void
+MetricsRegistry::counter_add(int id, std::uint64_t delta)
+{
+    local_shard(*impl_).counters[static_cast<std::size_t>(id)].fetch_add(
+        delta, std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::gauge_set(int id, std::int64_t value)
+{
+    impl_->gauges[static_cast<std::size_t>(id)].store(
+        value, std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::histogram_observe(int id, std::uint64_t value)
+{
+    HistCell &cell =
+        local_shard(*impl_).hists[static_cast<std::size_t>(id)];
+    // Single writer per shard: plain relaxed read-modify-write is safe.
+    cell.count.fetch_add(1, std::memory_order_relaxed);
+    cell.sum.fetch_add(value, std::memory_order_relaxed);
+    if (value > cell.max.load(std::memory_order_relaxed)) {
+        cell.max.store(value, std::memory_order_relaxed);
+    }
+    const std::size_t bucket = std::min<std::size_t>(
+        static_cast<std::size_t>(std::bit_width(value)), 63);
+    cell.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::record_event(TraceEvent event)
+{
+    Shard &shard = local_shard(*impl_);
+    event.tid = shard.tid;
+    std::unique_lock<std::mutex> lock(shard.ring_mutex);
+    ++shard.ring_recorded;
+    if (shard.ring.size() < shard.ring_capacity) {
+        shard.ring.push_back(std::move(event));
+        return;
+    }
+    if (shard.ring.empty()) {
+        ++shard.ring_dropped;  // capacity 0: record nothing
+        return;
+    }
+    shard.ring[shard.ring_next] = std::move(event);
+    shard.ring_next = (shard.ring_next + 1) % shard.ring.size();
+    ++shard.ring_dropped;
+}
+
+int
+MetricsRegistry::thread_id()
+{
+    return local_shard(*impl_).tid;
+}
+
+Snapshot
+MetricsRegistry::snapshot() const
+{
+    Snapshot snap;
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    for (std::size_t c = 0; c < impl_->counter_names.size(); ++c) {
+        std::uint64_t total = 0;
+        for (const auto &shard : impl_->shards) {
+            total += shard->counters[c].load(std::memory_order_relaxed);
+        }
+        snap.counters.emplace(impl_->counter_names[c], total);
+    }
+    for (std::size_t g = 0; g < impl_->gauge_names.size(); ++g) {
+        snap.gauges.emplace(
+            impl_->gauge_names[g],
+            impl_->gauges[g].load(std::memory_order_relaxed));
+    }
+    for (std::size_t h = 0; h < impl_->hist_names.size(); ++h) {
+        HistogramSnapshot merged;
+        for (const auto &shard : impl_->shards) {
+            const HistCell &cell = shard->hists[h];
+            merged.count += cell.count.load(std::memory_order_relaxed);
+            merged.sum += cell.sum.load(std::memory_order_relaxed);
+            merged.max = std::max(
+                merged.max, cell.max.load(std::memory_order_relaxed));
+            for (std::size_t b = 0; b < merged.buckets.size(); ++b) {
+                merged.buckets[b] +=
+                    cell.buckets[b].load(std::memory_order_relaxed);
+            }
+        }
+        snap.histograms.emplace(impl_->hist_names[h], merged);
+    }
+    for (const auto &shard : impl_->shards) {
+        std::unique_lock<std::mutex> ring_lock(shard->ring_mutex);
+        snap.events_recorded += shard->ring_recorded;
+        snap.events_dropped += shard->ring_dropped;
+    }
+    return snap;
+}
+
+std::vector<TraceEvent>
+MetricsRegistry::events() const
+{
+    std::vector<TraceEvent> out;
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    for (const auto &shard : impl_->shards) {
+        std::unique_lock<std::mutex> ring_lock(shard->ring_mutex);
+        if (shard->ring.size() < shard->ring_capacity) {
+            out.insert(out.end(), shard->ring.begin(),
+                       shard->ring.end());
+            continue;
+        }
+        // Full ring: oldest event sits at the next overwrite slot.
+        out.insert(out.end(),
+                   shard->ring.begin() +
+                       static_cast<std::ptrdiff_t>(shard->ring_next),
+                   shard->ring.end());
+        out.insert(out.end(), shard->ring.begin(),
+                   shard->ring.begin() +
+                       static_cast<std::ptrdiff_t>(shard->ring_next));
+    }
+    return out;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    for (auto &gauge : impl_->gauges) {
+        gauge.store(0, std::memory_order_relaxed);
+    }
+    for (const auto &shard : impl_->shards) {
+        for (auto &counter : shard->counters) {
+            counter.store(0, std::memory_order_relaxed);
+        }
+        for (auto &cell : shard->hists) {
+            cell.count.store(0, std::memory_order_relaxed);
+            cell.sum.store(0, std::memory_order_relaxed);
+            cell.max.store(0, std::memory_order_relaxed);
+            for (auto &bucket : cell.buckets) {
+                bucket.store(0, std::memory_order_relaxed);
+            }
+        }
+        std::unique_lock<std::mutex> ring_lock(shard->ring_mutex);
+        shard->ring.clear();
+        shard->ring_next = 0;
+        shard->ring_recorded = 0;
+        shard->ring_dropped = 0;
+    }
+}
+
+void
+MetricsRegistry::set_ring_capacity(std::size_t events_per_thread)
+{
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->ring_capacity = events_per_thread;
+}
+
+namespace {
+
+void
+append_json_escaped(std::string &out, std::string_view s)
+{
+    for (const char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                out += strprintf(
+                    "\\u%04x", static_cast<unsigned>(
+                                   static_cast<unsigned char>(ch)));
+            } else {
+                out += ch;
+            }
+        }
+    }
+}
+
+}  // namespace
+
+std::string
+chrome_trace_json(const std::vector<TraceEvent> &events)
+{
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &event : events) {
+        if (!first) {
+            out += ",";
+        }
+        first = false;
+        out += "\n{\"name\":\"";
+        append_json_escaped(out, event.name);
+        out += strprintf(
+            "\",\"cat\":\"firmup\",\"ph\":\"X\",\"ts\":%.3f,"
+            "\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{",
+            static_cast<double>(event.start_ns) / 1000.0,
+            static_cast<double>(event.dur_ns) / 1000.0, event.tid);
+        if (!event.tag.empty()) {
+            out += "\"tag\":\"";
+            append_json_escaped(out, event.tag);
+            out += "\",";
+        }
+        out += strprintf("\"cpu_us\":%.3f}}",
+                         static_cast<double>(event.cpu_ns) / 1000.0);
+    }
+    out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+}
+
+std::string
+chrome_trace_json()
+{
+    return chrome_trace_json(MetricsRegistry::global().events());
+}
+
+std::string
+stats_json(const Snapshot &snapshot)
+{
+    std::string out = "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : snapshot.counters) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"";
+        append_json_escaped(out, name);
+        out += strprintf("\": %llu",
+                         static_cast<unsigned long long>(value));
+    }
+    out += "\n  },\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : snapshot.gauges) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"";
+        append_json_escaped(out, name);
+        out += strprintf("\": %lld", static_cast<long long>(value));
+    }
+    out += "\n  },\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, hist] : snapshot.histograms) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"";
+        append_json_escaped(out, name);
+        const double avg =
+            hist.count == 0 ? 0.0
+                            : static_cast<double>(hist.sum) /
+                                  static_cast<double>(hist.count);
+        out += strprintf(
+            "\": {\"count\": %llu, \"sum\": %llu, \"avg\": %.3f, "
+            "\"max\": %llu}",
+            static_cast<unsigned long long>(hist.count),
+            static_cast<unsigned long long>(hist.sum), avg,
+            static_cast<unsigned long long>(hist.max));
+    }
+    out += strprintf(
+        "\n  },\n  \"events\": {\"recorded\": %llu, \"dropped\": "
+        "%llu}\n}\n",
+        static_cast<unsigned long long>(snapshot.events_recorded),
+        static_cast<unsigned long long>(snapshot.events_dropped));
+    return out;
+}
+
+std::string
+stats_json()
+{
+    return stats_json(MetricsRegistry::global().snapshot());
+}
+
+}  // namespace firmup::trace

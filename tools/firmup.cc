@@ -9,6 +9,12 @@
  *   firmup index BLOB                    lift + index every executable
  *   firmup disasm BLOB EXE [N]           disassemble an executable
  *   firmup search CVE-ID BLOB...         hunt a CVE across blobs
+ *   firmup trace CVE-ID BLOB... [--trace-out FILE]
+ *                                        the same hunt with full tracing
+ *                                        on; writes a Chrome trace_event
+ *                                        JSON (chrome://tracing) with
+ *                                        spans for unpack, lift, index,
+ *                                        game and confirm
  *   firmup exec BLOB EXE PROC [ARGS..]   run a procedure in the µIR
  *                                        interpreter (PROC is a symbol
  *                                        name or @hex entry address)
@@ -19,6 +25,10 @@
  *   firmup bench-json [--out FILE] [--devices N]
  *                                        run the matching micro-
  *                                        benchmarks, write BENCH_micro.json
+ *
+ * search, trace, index and fuzz-unpack accept `--stats-json FILE`:
+ * metrics collection is switched on and the flat counter/histogram
+ * snapshot is written to FILE at exit.
  *
  * Blobs are the FWIMG containers produced by `firmup corpus` (or any
  * firmware::pack_firmware caller).
@@ -40,6 +50,7 @@
 #include "lifter/interp.h"
 #include "support/faultinject.h"
 #include "support/str.h"
+#include "support/trace.h"
 
 using namespace firmup;
 
@@ -58,11 +69,16 @@ usage()
         "  index BLOB                          lift & index every executable\n"
         "  disasm BLOB EXE [N]                 disassemble first N insts\n"
         "  search CVE-ID BLOB...               hunt a CVE across blobs\n"
+        "  trace CVE-ID BLOB... [--trace-out FILE]\n"
+        "                                      hunt with full tracing and\n"
+        "                                      write Chrome trace JSON\n"
         "  exec BLOB EXE PROC [ARGS...]        interpret a procedure\n"
         "  fuzz-unpack BLOB [--iters N] [--seed S]\n"
         "                                      fault-inject the pipeline\n"
         "  bench-json [--out FILE] [--devices N]\n"
-        "                                      write BENCH_micro.json\n");
+        "                                      write BENCH_micro.json\n"
+        "search/trace/index/fuzz-unpack also take --stats-json FILE to\n"
+        "collect and dump the metrics snapshot\n");
     return 2;
 }
 
@@ -121,6 +137,46 @@ write_file(const std::string &path, const ByteBuffer &bytes)
     out.write(reinterpret_cast<const char *>(bytes.data()),
               static_cast<std::streamsize>(bytes.size()));
     return static_cast<bool>(out);
+}
+
+bool
+write_text_file(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+    return static_cast<bool>(out);
+}
+
+/**
+ * Dump the requested trace artifacts at command exit. Either path may
+ * be empty (that artifact was not requested). Returns false (and turns
+ * the command's exit status into failure) when a write fails.
+ */
+bool
+dump_trace_artifacts(const std::string &trace_out,
+                     const std::string &stats_out)
+{
+    bool ok = true;
+    if (!trace_out.empty()) {
+        if (write_text_file(trace_out, trace::chrome_trace_json())) {
+            std::printf("wrote %s (load in chrome://tracing)\n",
+                        trace_out.c_str());
+        } else {
+            std::fprintf(stderr, "firmup: cannot write %s\n",
+                         trace_out.c_str());
+            ok = false;
+        }
+    }
+    if (!stats_out.empty()) {
+        if (write_text_file(stats_out, trace::stats_json())) {
+            std::printf("wrote %s\n", stats_out.c_str());
+        } else {
+            std::fprintf(stderr, "firmup: cannot write %s\n",
+                         stats_out.c_str());
+            ok = false;
+        }
+    }
+    return ok;
 }
 
 int
@@ -223,8 +279,24 @@ cmd_unpack(const std::string &path)
 }
 
 int
-cmd_index(const std::string &path)
+cmd_index(const std::vector<std::string> &args)
 {
+    std::string path, stats_out;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--stats-json" && i + 1 < args.size()) {
+            stats_out = args[++i];
+        } else if (path.empty()) {
+            path = args[i];
+        } else {
+            return usage();
+        }
+    }
+    if (path.empty()) {
+        return usage();
+    }
+    if (!stats_out.empty()) {
+        trace::set_level(trace::Level::Metrics);
+    }
     auto unpacked = load_blob(path);
     if (!unpacked.ok()) {
         std::fprintf(stderr, "firmup: %s\n",
@@ -253,6 +325,9 @@ cmd_index(const std::string &path)
     std::printf("%s", table.render().c_str());
     if (driver.health().quarantined > 0) {
         std::printf("%s", eval::render_health(driver.health()).c_str());
+    }
+    if (!dump_trace_artifacts("", stats_out)) {
+        return 1;
     }
     return 0;
 }
@@ -303,10 +378,40 @@ cmd_disasm(const std::string &path, const std::string &member, int count)
     return 1;
 }
 
+/**
+ * The CVE hunt behind both `search` (tracing off unless --stats-json
+ * asks for metrics) and `trace` (@p full_trace: Level::Full, Chrome
+ * trace JSON written to --trace-out, default trace.json).
+ */
 int
 cmd_search(const std::string &cve_id,
-           const std::vector<std::string> &paths)
+           const std::vector<std::string> &args, bool full_trace)
 {
+    std::vector<std::string> paths;
+    std::string trace_out, stats_out;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--trace-out" && i + 1 < args.size()) {
+            trace_out = args[++i];
+        } else if (args[i] == "--stats-json" && i + 1 < args.size()) {
+            stats_out = args[++i];
+        } else {
+            paths.push_back(args[i]);
+        }
+    }
+    if (paths.empty()) {
+        return usage();
+    }
+    if (full_trace) {
+        if (trace_out.empty()) {
+            trace_out = "trace.json";
+        }
+        trace::set_level(trace::Level::Full);
+    } else if (!trace_out.empty()) {
+        return usage();  // --trace-out belongs to `firmup trace`
+    } else if (!stats_out.empty()) {
+        trace::set_level(trace::Level::Metrics);
+    }
+
     const firmware::CveRecord *cve = nullptr;
     for (const firmware::CveRecord &record : firmware::cve_database()) {
         if (record.cve_id == cve_id) {
@@ -369,9 +474,19 @@ cmd_search(const std::string &cve_id,
                     co.outcome.sim, co.outcome.steps);
     }
     std::printf("\n%d finding(s)\n", findings);
-    if (driver.health().quarantined > 0 ||
-        driver.health().games_unresolved > 0) {
+    if (trace::level() != trace::Level::Off) {
+        // With metrics on, always print the full health + work report.
+        std::printf("%s",
+                    eval::render_health(
+                        driver.health(),
+                        trace::MetricsRegistry::global().snapshot())
+                        .c_str());
+    } else if (driver.health().quarantined > 0 ||
+               driver.health().games_unresolved > 0) {
         std::printf("%s", eval::render_health(driver.health()).c_str());
+    }
+    if (!dump_trace_artifacts(trace_out, stats_out)) {
+        return 1;
     }
     return findings > 0 ? 0 : 3;
 }
@@ -468,27 +583,35 @@ cmd_bench_json(const std::vector<std::string> &args)
     const double dense_seconds = secs(d0, now());
 
     // --- per-game scoring ops on the Table 2 workload ---
+    // Queries are prebuilt so the timed workload below is games only.
+    std::vector<std::map<isa::Arch, eval::Query>> cve_queries;
+    for (const firmware::CveRecord &cve : firmware::cve_database()) {
+        cve_queries.push_back(driver.build_queries(cve, targets, hw));
+    }
     std::uint64_t pairs_scored = 0, pairs_pruned = 0;
     std::uint64_t elem_ops = 0, dense_elem_ops = 0;
     std::size_t games = 0;
-    for (const firmware::CveRecord &cve : firmware::cve_database()) {
-        const std::map<isa::Arch, eval::Query> queries =
-            driver.build_queries(cve, targets, hw);
-        for (const sim::ExecutableIndex *index : indexes) {
-            const auto qit = queries.find(index->arch);
-            if (qit == queries.end()) {
-                continue;
+    auto run_games = [&] {
+        pairs_scored = pairs_pruned = elem_ops = dense_elem_ops = 0;
+        games = 0;
+        for (const auto &queries : cve_queries) {
+            for (const sim::ExecutableIndex *index : indexes) {
+                const auto qit = queries.find(index->arch);
+                if (qit == queries.end()) {
+                    continue;
+                }
+                const game::GameResult result = game::match_query(
+                    qit->second.index, qit->second.qv, *index,
+                    driver.options().game);
+                pairs_scored += result.pairs_scored;
+                pairs_pruned += result.pairs_pruned;
+                elem_ops += result.scoring_elem_ops;
+                dense_elem_ops += result.dense_elem_ops;
+                ++games;
             }
-            const game::GameResult result = game::match_query(
-                qit->second.index, qit->second.qv, *index,
-                driver.options().game);
-            pairs_scored += result.pairs_scored;
-            pairs_pruned += result.pairs_pruned;
-            elem_ops += result.scoring_elem_ops;
-            dense_elem_ops += result.dense_elem_ops;
-            ++games;
         }
-    }
+    };
+    run_games();
     const std::uint64_t dense_pairs = pairs_scored + pairs_pruned;
     const double pair_reduction =
         pairs_scored == 0 ? 0.0
@@ -501,6 +624,33 @@ cmd_bench_json(const std::vector<std::string> &args)
         elem_ops == 0 ? 0.0
                       : static_cast<double>(dense_elem_ops) /
                             static_cast<double>(elem_ops);
+
+    // --- tracing overhead on the same game workload ---
+    // Best-of-3 at Level::Off vs Level::Full: the min damps scheduler
+    // noise, and the claim under test is that compiled-in tracing costs
+    // <2% even fully enabled (one relaxed atomic load per hook when
+    // off; batched counter flushes + ring events when on).
+    constexpr int kOverheadReps = 3;
+    auto timed_games = [&] {
+        const auto t0 = now();
+        run_games();
+        return secs(t0, now());
+    };
+    double disabled_seconds = timed_games();
+    for (int rep = 1; rep < kOverheadReps; ++rep) {
+        disabled_seconds = std::min(disabled_seconds, timed_games());
+    }
+    trace::set_level(trace::Level::Full);
+    double enabled_seconds = timed_games();
+    for (int rep = 1; rep < kOverheadReps; ++rep) {
+        enabled_seconds = std::min(enabled_seconds, timed_games());
+    }
+    trace::set_level(trace::Level::Off);
+    const double overhead_pct =
+        disabled_seconds > 0.0
+            ? (enabled_seconds - disabled_seconds) / disabled_seconds *
+                  100.0
+            : 0.0;
 
     // --- serial vs parallel search_corpus, first CVE ---
     const firmware::CveRecord &cve0 = firmware::cve_database().front();
@@ -539,11 +689,15 @@ cmd_bench_json(const std::vector<std::string> &args)
         "\"pairs_pruned\": %llu, \"dense_pairs\": %llu, "
         "\"pair_reduction\": %.2f, \"scoring_elem_ops\": %llu, "
         "\"dense_elem_ops\": %llu, \"scoring_reduction\": %.2f},\n"
+        "  \"trace_overhead\": {\"reps\": %d, "
+        "\"disabled_seconds\": %.6f, \"enabled_seconds\": %.6f, "
+        "\"overhead_pct\": %.2f},\n"
         "  \"search_corpus\": {\"targets\": %zu, "
         "\"serial_seconds\": %.6f, \"parallel_seconds\": %.6f, "
         "\"threads\": %u, \"speedup\": %.2f, \"identical\": %s},\n"
-        "  \"stage_seconds\": {\"index\": %.6f, \"games\": %.6f, "
-        "\"confirm\": %.6f}\n"
+        "  \"stage_seconds\": {\"index\": %.6f, \"index_cpu\": %.6f, "
+        "\"games\": %.6f, \"games_cpu\": %.6f, \"confirm\": %.6f, "
+        "\"confirm_cpu\": %.6f, \"match_wall\": %.6f}\n"
         "}\n",
         copt.num_devices, corpus.executable_count(),
         corpus.procedure_count(), kPairs, kernel_seconds,
@@ -557,10 +711,13 @@ cmd_bench_json(const std::vector<std::string> &args)
         static_cast<unsigned long long>(dense_pairs), pair_reduction,
         static_cast<unsigned long long>(elem_ops),
         static_cast<unsigned long long>(dense_elem_ops), reduction,
+        kOverheadReps, disabled_seconds, enabled_seconds, overhead_pct,
         targets.size(), serial_seconds, parallel_seconds, hw,
         parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0,
         identical ? "true" : "false", stages.index_seconds,
-        stages.game_seconds, stages.confirm_seconds);
+        stages.index_cpu_seconds, stages.game_seconds,
+        stages.game_cpu_seconds, stages.confirm_seconds,
+        stages.confirm_cpu_seconds, stages.match_wall_seconds);
 
     std::ofstream out(out_path, std::ios::binary);
     out << json;
@@ -582,7 +739,7 @@ cmd_bench_json(const std::vector<std::string> &args)
 int
 cmd_fuzz_unpack(const std::vector<std::string> &args)
 {
-    std::string path;
+    std::string path, stats_out;
     int iters = 1000;
     std::uint64_t seed = 0x5eed;
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -594,6 +751,8 @@ cmd_fuzz_unpack(const std::vector<std::string> &args)
             if (!parse_u64(args[++i], seed)) {
                 return usage();
             }
+        } else if (args[i] == "--stats-json" && i + 1 < args.size()) {
+            stats_out = args[++i];
         } else if (path.empty()) {
             path = args[i];
         } else {
@@ -602,6 +761,9 @@ cmd_fuzz_unpack(const std::vector<std::string> &args)
     }
     if (path.empty() || iters <= 0) {
         return usage();
+    }
+    if (!stats_out.empty()) {
+        trace::set_level(trace::Level::Metrics);
     }
     auto bytes = read_file(path);
     if (!bytes.ok()) {
@@ -649,6 +811,9 @@ cmd_fuzz_unpack(const std::vector<std::string> &args)
     std::printf("%s", eval::render_health(driver.health()).c_str());
     if (!driver.health().sane()) {
         std::fprintf(stderr, "firmup: ScanHealth invariant violated\n");
+        return 1;
+    }
+    if (!dump_trace_artifacts("", stats_out)) {
         return 1;
     }
     return 0;
@@ -734,8 +899,8 @@ main(int argc, char **argv)
     if (command == "unpack" && args.size() == 2) {
         return cmd_unpack(args[1]);
     }
-    if (command == "index" && args.size() == 2) {
-        return cmd_index(args[1]);
+    if (command == "index" && args.size() >= 2) {
+        return cmd_index({args.begin() + 1, args.end()});
     }
     if (command == "disasm" && args.size() >= 3) {
         int count = 16;
@@ -745,7 +910,12 @@ main(int argc, char **argv)
         return cmd_disasm(args[1], args[2], count);
     }
     if (command == "search" && args.size() >= 3) {
-        return cmd_search(args[1], {args.begin() + 2, args.end()});
+        return cmd_search(args[1], {args.begin() + 2, args.end()},
+                          /*full_trace=*/false);
+    }
+    if (command == "trace" && args.size() >= 3) {
+        return cmd_search(args[1], {args.begin() + 2, args.end()},
+                          /*full_trace=*/true);
     }
     if (command == "exec" && args.size() >= 4) {
         return cmd_exec({args.begin() + 1, args.end()});
