@@ -16,6 +16,7 @@
 #include "firmware/catalog.h"
 #include "game/game.h"
 #include "lifter/cfg.h"
+#include "sim/persist.h"
 #include "strand/canon.h"
 
 namespace {
@@ -167,6 +168,44 @@ BM_PostingBestMatch(benchmark::State &state)
         static_cast<double>(state.iterations() * q.procs.size()));
 }
 BENCHMARK(BM_PostingBestMatch);
+
+void
+BM_SerializeIndexV2(benchmark::State &state)
+{
+    // Write-back cost of the persistent index cache (FWIX v2 bytes,
+    // postings included). Compare against BM_LiftExecutable +
+    // BM_StrandExtraction: the serialize/parse pair must be far cheaper
+    // than the work it saves for the warm scan to pay off.
+    sim::ExecutableIndex index = wget_index();
+    index.finalize();
+    std::int64_t bytes = 0;
+    for (auto _ : state) {
+        const ByteBuffer blob = sim::serialize_index(index);
+        bytes = static_cast<std::int64_t>(blob.size());
+        benchmark::DoNotOptimize(blob.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * bytes);
+}
+BENCHMARK(BM_SerializeIndexV2);
+
+void
+BM_ParseIndexV2(benchmark::State &state)
+{
+    // The warm path: deserializing a finalized index (checksum verify +
+    // CSR reload + map rebuild) replaces lift+canon+finalize entirely.
+    sim::ExecutableIndex index = wget_index();
+    index.finalize();
+    const ByteBuffer blob = sim::serialize_index(index);
+    for (auto _ : state) {
+        auto parsed = sim::parse_index(blob);
+        benchmark::DoNotOptimize(parsed.ok());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(blob.size()));
+}
+BENCHMARK(BM_ParseIndexV2);
 
 void
 BM_GameSearch(benchmark::State &state)

@@ -90,6 +90,13 @@ content_key(const loader::Executable &exe)
 
 namespace {
 
+// Persistent index-cache accounting; mirrored into ScanHealth so scans
+// without --stats-json still surface the hit rate.
+const trace::Counter c_cache_hits("cache.hits");
+const trace::Counter c_cache_misses("cache.misses");
+const trace::Counter c_cache_write_bytes("cache.write_bytes");
+const trace::Counter c_cache_load_micros("cache.load_micros");
+
 /**
  * Lift an untrusted executable, downgrading degenerate successes: a
  * non-empty text section from which not a single procedure could be
@@ -108,68 +115,6 @@ lift_untrusted(const loader::Executable &exe)
     }
     return lifted;
 }
-
-}  // namespace
-
-const lifter::LiftedExecutable *
-Driver::lift_cached(const loader::Executable &exe)
-{
-    const std::uint64_t key = content_key(exe);
-    auto it = lift_cache_.find(key);
-    if (it != lift_cache_.end()) {
-        return &it->second;
-    }
-    if (quarantined_.contains(key)) {
-        return nullptr;
-    }
-    ++health_.executables_seen;
-    auto lifted = lift_untrusted(exe);
-    if (!lifted.ok()) {
-        quarantined_.insert(key);
-        health_.note_quarantine(exe.name, lifted.error_code(),
-                                lifted.error_message());
-        return nullptr;
-    }
-    ++health_.lifted_ok;
-    return &lift_cache_.emplace(key, std::move(lifted).take())
-                .first->second;
-}
-
-const sim::ExecutableIndex *
-Driver::index_target(const loader::Executable &exe)
-{
-    const lifter::LiftedExecutable *lifted = lift_cached(exe);
-    if (lifted == nullptr) {
-        return nullptr;
-    }
-    const std::uint64_t key = content_key(exe);
-    auto it = index_cache_.find(key);
-    if (it == index_cache_.end()) {
-        it = index_cache_
-                 .emplace(key,
-                          sim::index_executable(*lifted, options_.canon))
-                 .first;
-    }
-    return &it->second;
-}
-
-const baseline::GraphIndex *
-Driver::graph_target(const loader::Executable &exe)
-{
-    const lifter::LiftedExecutable *lifted = lift_cached(exe);
-    if (lifted == nullptr) {
-        return nullptr;
-    }
-    const std::uint64_t key = content_key(exe);
-    auto it = graph_cache_.find(key);
-    if (it == graph_cache_.end()) {
-        it = graph_cache_.emplace(key, baseline::graph_index(*lifted))
-                 .first;
-    }
-    return &it->second;
-}
-
-namespace {
 
 double
 seconds_since(std::chrono::steady_clock::time_point start)
@@ -205,6 +150,118 @@ cpu_seconds_since(std::uint64_t start_ns)
 }
 
 }  // namespace
+
+sim::IndexCacheStore *
+Driver::cache_store()
+{
+    if (!store_opened_) {
+        store_opened_ = true;
+        if (!options_.index_cache_dir.empty()) {
+            store_ = std::make_unique<sim::IndexCacheStore>(
+                options_.index_cache_dir);
+        }
+    }
+    return store_.get();
+}
+
+void
+Driver::note_healthy(std::uint64_t key)
+{
+    if (health_counted_.insert(key).second) {
+        ++health_.executables_seen;
+        ++health_.lifted_ok;
+    }
+}
+
+const lifter::LiftedExecutable *
+Driver::lift_cached(const loader::Executable &exe)
+{
+    const std::uint64_t key = content_key(exe);
+    auto it = lift_cache_.find(key);
+    if (it != lift_cache_.end()) {
+        return &it->second;
+    }
+    if (quarantined_.contains(key)) {
+        return nullptr;
+    }
+    auto lifted = lift_untrusted(exe);
+    if (!lifted.ok()) {
+        if (health_counted_.insert(key).second) {
+            ++health_.executables_seen;
+        }
+        quarantined_.insert(key);
+        health_.note_quarantine(exe.name, lifted.error_code(),
+                                lifted.error_message());
+        return nullptr;
+    }
+    note_healthy(key);
+    return &lift_cache_.emplace(key, std::move(lifted).take())
+                .first->second;
+}
+
+const sim::ExecutableIndex *
+Driver::index_target(const loader::Executable &exe)
+{
+    const std::uint64_t key = content_key(exe);
+    auto it = index_cache_.find(key);
+    if (it != index_cache_.end()) {
+        return &it->second;
+    }
+    if (quarantined_.contains(key)) {
+        return nullptr;
+    }
+    // Warm path: a persisted, already-finalized index skips the whole
+    // lift + canonicalize + finalize phase. Any load failure (absent,
+    // corrupt, stale) is a miss; the cold path below re-lifts.
+    if (sim::IndexCacheStore *store = cache_store()) {
+        const auto load_start = std::chrono::steady_clock::now();
+        auto loaded = store->load(key);
+        const double load_seconds = seconds_since(load_start);
+        health_.cache_load_seconds += load_seconds;
+        c_cache_load_micros.add(
+            static_cast<std::uint64_t>(load_seconds * 1e6));
+        if (loaded.ok()) {
+            ++health_.cache_hits;
+            c_cache_hits.add();
+            note_healthy(key);
+            return &index_cache_.emplace(key, std::move(loaded).take())
+                        .first->second;
+        }
+        ++health_.cache_misses;
+        c_cache_misses.add();
+    }
+    const lifter::LiftedExecutable *lifted = lift_cached(exe);
+    if (lifted == nullptr) {
+        return nullptr;
+    }
+    sim::ExecutableIndex &index =
+        index_cache_
+            .emplace(key, sim::index_executable(*lifted, options_.canon))
+            .first->second;
+    if (sim::IndexCacheStore *store = cache_store()) {
+        if (auto written = store->store(key, index); written.ok()) {
+            health_.cache_write_bytes += written.value();
+            c_cache_write_bytes.add(written.value());
+        }
+    }
+    return &index;
+}
+
+const baseline::GraphIndex *
+Driver::graph_target(const loader::Executable &exe)
+{
+    const lifter::LiftedExecutable *lifted = lift_cached(exe);
+    if (lifted == nullptr) {
+        return nullptr;
+    }
+    const std::uint64_t key = content_key(exe);
+    auto it = graph_cache_.find(key);
+    if (it == graph_cache_.end()) {
+        it = graph_cache_.emplace(key, baseline::graph_index(*lifted))
+                 .first;
+    }
+    return &it->second;
+}
 
 std::vector<CorpusTarget>
 corpus_targets(const firmware::Corpus &corpus)
@@ -247,21 +304,45 @@ Driver::index_many(const std::vector<const loader::Executable *> &work,
 {
     const auto start = std::chrono::steady_clock::now();
     const std::uint64_t cpu_start = trace::process_cpu_ns();
-    // Lift + index in parallel with no shared state, merge at the end.
-    // Failures stay in their slot; only the merge loop (single-threaded)
-    // touches caches, quarantine and health.
+    // Warm-load / lift + index in parallel with no shared state, merge
+    // at the end. Failures stay in their slot; only the merge loop
+    // (single-threaded) touches caches, quarantine and health. Workers
+    // may touch the persistent store: loads read distinct files, write-
+    // backs publish distinct content-keyed entries via atomic rename.
     struct Slot
     {
         bool ok = false;
+        bool from_cache = false;  ///< index loaded, lift skipped
+        bool cache_miss = false;  ///< store consulted and missed
         ErrorCode code = ErrorCode::Unknown;
         std::string message;
         lifter::LiftedExecutable lifted;
         sim::ExecutableIndex index;
+        std::uint64_t write_bytes = 0;
+        double load_seconds = 0.0;
     };
     std::vector<Slot> slots(work.size());
+    std::vector<std::uint64_t> keys(work.size());
+    for (std::size_t i = 0; i < work.size(); ++i) {
+        keys[i] = content_key(*work[i]);
+    }
     const strand::CanonOptions canon = options_.canon;
+    sim::IndexCacheStore *const store = cache_store();
     ThreadPool::parallel_for(
         resolve_threads(threads), work.size(), [&](std::size_t i) {
+            if (store != nullptr) {
+                const auto load_start =
+                    std::chrono::steady_clock::now();
+                auto loaded = store->load(keys[i]);
+                slots[i].load_seconds = seconds_since(load_start);
+                if (loaded.ok()) {
+                    slots[i].ok = true;
+                    slots[i].from_cache = true;
+                    slots[i].index = std::move(loaded).take();
+                    return;
+                }
+                slots[i].cache_miss = true;
+            }
             auto result = lift_untrusted(*work[i]);
             if (!result.ok()) {
                 slots[i].code = result.error_code();
@@ -272,21 +353,47 @@ Driver::index_many(const std::vector<const loader::Executable *> &work,
             slots[i].lifted = std::move(result).take();
             slots[i].index =
                 sim::index_executable(slots[i].lifted, canon);
+            if (store != nullptr) {
+                if (auto written = store->store(keys[i], slots[i].index);
+                    written.ok()) {
+                    slots[i].write_bytes = written.value();
+                }
+            }
         });
     std::size_t indexed = 0;
     for (std::size_t i = 0; i < work.size(); ++i) {
         const loader::Executable &exe = *work[i];
-        const std::uint64_t key = content_key(exe);
-        ++health_.executables_seen;
+        const std::uint64_t key = keys[i];
+        health_.cache_load_seconds += slots[i].load_seconds;
+        if (store != nullptr) {
+            c_cache_load_micros.add(static_cast<std::uint64_t>(
+                slots[i].load_seconds * 1e6));
+        }
+        if (slots[i].from_cache) {
+            ++health_.cache_hits;
+            c_cache_hits.add();
+        } else if (slots[i].cache_miss) {
+            ++health_.cache_misses;
+            c_cache_misses.add();
+        }
+        if (slots[i].write_bytes != 0) {
+            health_.cache_write_bytes += slots[i].write_bytes;
+            c_cache_write_bytes.add(slots[i].write_bytes);
+        }
         if (!slots[i].ok) {
+            if (health_counted_.insert(key).second) {
+                ++health_.executables_seen;
+            }
             quarantined_.insert(key);
             health_.note_quarantine(exe.name, slots[i].code,
                                     slots[i].message);
             continue;
         }
-        ++health_.lifted_ok;
+        note_healthy(key);
         ++indexed;
-        lift_cache_.emplace(key, std::move(slots[i].lifted));
+        if (!slots[i].from_cache) {
+            lift_cache_.emplace(key, std::move(slots[i].lifted));
+        }
         index_cache_.emplace(key, std::move(slots[i].index));
     }
     health_.index_seconds += seconds_since(start);

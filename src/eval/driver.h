@@ -23,6 +23,7 @@
 #include "firmware/catalog.h"
 #include "firmware/corpus.h"
 #include "game/game.h"
+#include "sim/index_cache.h"
 #include "sim/similarity.h"
 
 namespace firmup::eval {
@@ -51,6 +52,14 @@ struct SearchOptions
     bool use_game = true;      ///< false = procedure-centric top-1
     game::GameOptions game;
     strand::CanonOptions canon;  ///< section ranges filled per target
+    /**
+     * When non-empty, a persistent content-addressed index cache
+     * directory (sim::IndexCacheStore): finalized FWIX v2 indexes are
+     * loaded from it before lifting and written back after indexing, so
+     * the second scan of an immutable corpus skips lift+canon+finalize
+     * entirely. Corrupt or stale entries degrade to misses.
+     */
+    std::string index_cache_dir;
 };
 
 /** A prepared query: indexed executable + the vulnerable procedure. */
@@ -231,6 +240,21 @@ class Driver
     std::map<std::uint64_t, lifter::LiftedExecutable> lift_cache_;
     /** Content keys of executables that failed to lift. */
     std::set<std::uint64_t> quarantined_;
+    /**
+     * Content keys already counted in executables_seen/lifted_ok, so an
+     * executable served warm from the persistent store and later lifted
+     * on demand (e.g. for graph_target) is not double-counted.
+     */
+    std::set<std::uint64_t> health_counted_;
+    /** Lazily-opened persistent store (options_.index_cache_dir). */
+    std::unique_ptr<sim::IndexCacheStore> store_;
+    bool store_opened_ = false;
+
+    /** The persistent store, or nullptr when not configured. */
+    sim::IndexCacheStore *cache_store();
+
+    /** Count @p key as a seen + healthy executable, once. */
+    void note_healthy(std::uint64_t key);
 
     const lifter::LiftedExecutable *lift_cached(
         const loader::Executable &exe);

@@ -54,6 +54,10 @@ ScanHealth::merge(const ScanHealth &other)
     quarantined += other.quarantined;
     games_played += other.games_played;
     games_unresolved += other.games_unresolved;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    cache_write_bytes += other.cache_write_bytes;
+    cache_load_seconds += other.cache_load_seconds;
     index_seconds += other.index_seconds;
     index_cpu_seconds += other.index_cpu_seconds;
     game_seconds += other.game_seconds;
@@ -84,6 +88,11 @@ ScanHealth::sane() const
     if (games_unresolved > games_played) {
         return false;
     }
+    // A cache hit is a healthy executable served from disk, so it is
+    // counted in lifted_ok (the scan's coverage is the same either way).
+    if (cache_hits > lifted_ok) {
+        return false;
+    }
     if (quarantine_log.size() >
         std::min(quarantined, kMaxQuarantineLog)) {
         return false;
@@ -105,6 +114,13 @@ ScanHealth::summary() const
         "%zu unresolved game(s)",
         images_seen - images_rejected, images_seen, members_damaged,
         executables_seen, lifted_ok, quarantined, games_unresolved);
+    if (cache_hits + cache_misses > 0) {
+        out += strprintf(
+            "; index cache %zu/%zu warm (%.1f%%)", cache_hits,
+            cache_hits + cache_misses,
+            static_cast<double>(cache_hits) /
+                static_cast<double>(cache_hits + cache_misses) * 100.0);
+    }
     if (index_seconds + game_seconds + confirm_seconds > 0.0) {
         // Wall is elapsed for index, summed-per-outcome for games and
         // confirm (busy time across workers on a parallel scan); the

@@ -41,6 +41,18 @@ struct ScanHealth
     std::size_t games_unresolved = 0;  ///< budget-exhausted games
 
     /**
+     * Persistent index-cache accounting (zero unless the driver runs
+     * with an --index-cache store): hits are executables whose finalized
+     * index was loaded from disk instead of lifted; misses had to be
+     * lifted (absent, corrupt or stale entries all count as misses —
+     * corruption degrades, it never fails the scan).
+     */
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
+    std::uint64_t cache_write_bytes = 0;  ///< FWIX bytes published
+    double cache_load_seconds = 0.0;      ///< summed load wall clock
+
+    /**
      * Per-stage time totals in seconds, wall and CPU recorded
      * separately (and labeled in render_health) so a parallel scan's
      * numbers are unambiguous:

@@ -93,6 +93,18 @@ render_health(const ScanHealth &health)
                       health.match_wall_seconds, 0.0);
         out += stages.render();
     }
+    if (health.cache_hits + health.cache_misses > 0) {
+        out += strprintf(
+            "index cache: %zu hit(s), %zu miss(es), %s hit rate, "
+            "%.3fs loading, %llu byte(s) written\n",
+            health.cache_hits, health.cache_misses,
+            percent(static_cast<double>(health.cache_hits) /
+                    static_cast<double>(health.cache_hits +
+                                        health.cache_misses))
+                .c_str(),
+            health.cache_load_seconds,
+            static_cast<unsigned long long>(health.cache_write_bytes));
+    }
     bool any_error = false;
     for (std::size_t c = 0; c < kErrorCodeCount; ++c) {
         any_error |= health.errors[c] != 0;

@@ -1,0 +1,86 @@
+#include "sim/index_cache.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <system_error>
+#include <thread>
+
+#include "support/str.h"
+
+namespace firmup::sim {
+
+namespace fs = std::filesystem;
+
+IndexCacheStore::IndexCacheStore(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    // A failure here is deliberately not fatal: load() will miss and
+    // store() will report IoError, so the scan degrades to cold.
+}
+
+std::string
+IndexCacheStore::path_for(std::uint64_t content_key) const
+{
+    return strprintf("%s/%016llx.fwix", dir_.c_str(),
+                     static_cast<unsigned long long>(content_key));
+}
+
+Result<ExecutableIndex>
+IndexCacheStore::load(std::uint64_t content_key) const
+{
+    const std::string path = path_for(content_key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return Result<ExecutableIndex>::error(
+            ErrorCode::IoError, "index cache miss: " + path);
+    }
+    ByteBuffer bytes((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (in.bad()) {
+        return Result<ExecutableIndex>::error(
+            ErrorCode::IoError, "index cache read failed: " + path);
+    }
+    return parse_index(bytes);
+}
+
+Result<std::size_t>
+IndexCacheStore::store(std::uint64_t content_key,
+                       const ExecutableIndex &index) const
+{
+    const ByteBuffer bytes = serialize_index(index);
+    const std::string path = path_for(content_key);
+    // Unique per writer: concurrent stores of the same key each write
+    // their own temp file and the last rename wins atomically.
+    const std::string tmp = strprintf(
+        "%s.tmp-%llu", path.c_str(),
+        static_cast<unsigned long long>(std::hash<std::thread::id>{}(
+            std::this_thread::get_id())));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out) {
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return Result<std::size_t>::error(
+                ErrorCode::IoError, "index cache write failed: " + tmp);
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        std::error_code ec2;
+        fs::remove(tmp, ec2);
+        return Result<std::size_t>::error(
+            ErrorCode::IoError,
+            "index cache publish failed: " + path + ": " + ec.message());
+    }
+    return bytes.size();
+}
+
+}  // namespace firmup::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Persistent, content-addressed cache of serialized executable indexes.
+ *
+ * The paper's evaluation machine indexes its ~200k-executable corpus
+ * once and then serves every CVE hunt as pure lookups (section 5.1);
+ * this store is that shape for our pipeline. Each entry is one FWIX v2
+ * file (sim/persist.h) named by the executable's content key
+ * (eval::content_key — name + text bytes, so byte-identical executables
+ * re-shipped across firmware versions share one entry, the section 5.2
+ * observation). A warm scan loads `search_ready` indexes straight from
+ * disk and skips lift + canonicalize + finalize entirely.
+ *
+ * Robustness contract:
+ *  - writes are atomic: serialize to `<entry>.tmp-<pid>-<tid>`, then
+ *    rename over the final path, so a crashed or concurrent writer can
+ *    never leave a torn entry under the content-addressed name;
+ *  - loads never trust the bytes: any missing, truncated, corrupted or
+ *    stale-format file surfaces as a clean Result error (the FWIX v2
+ *    version/layout/checksum guards), which callers treat as a cache
+ *    miss and re-lift — never a crash or a silently wrong index.
+ */
+#pragma once
+
+#include <string>
+
+#include "sim/persist.h"
+#include "support/error.h"
+
+namespace firmup::sim {
+
+/** One-file-per-content-key FWIX store under a cache directory. */
+class IndexCacheStore
+{
+  public:
+    /**
+     * Bind the store to @p dir, creating it (and parents) when absent.
+     * A directory that cannot be created is not fatal here: every
+     * subsequent load misses and every store reports IoError.
+     */
+    explicit IndexCacheStore(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /** Entry path for @p content_key: `<dir>/<hex-key>.fwix`. */
+    std::string path_for(std::uint64_t content_key) const;
+
+    /**
+     * Load and parse the entry for @p content_key. Errors: IoError when
+     * the entry does not exist or cannot be read; MalformedContainer /
+     * TruncatedMember / StaleFormat when it fails the FWIX v2 guards.
+     * All of them mean "cache miss" to the caller.
+     */
+    Result<ExecutableIndex> load(std::uint64_t content_key) const;
+
+    /**
+     * Serialize @p index and atomically publish it as the entry for
+     * @p content_key (write temp file + rename). Safe to call from
+     * worker threads. @return the number of bytes written.
+     */
+    Result<std::size_t> store(std::uint64_t content_key,
+                              const ExecutableIndex &index) const;
+
+  private:
+    std::string dir_;
+};
+
+}  // namespace firmup::sim

@@ -1,13 +1,22 @@
 #include "sim/persist.h"
 
+#include <algorithm>
 #include <cstring>
+#include <string_view>
+
+#include "support/hash.h"
 
 namespace firmup::sim {
 
 namespace {
 
 constexpr std::uint8_t kMagic[4] = {'F', 'W', 'I', 'X'};
-constexpr std::uint16_t kVersion = 1;
+
+/**
+ * Header: magic(4) version(2) layout_hash(8) payload_checksum(8).
+ * The checksum covers every byte from kHeaderSize to the end.
+ */
+constexpr std::size_t kHeaderSize = 4 + 2 + 8 + 8;
 
 void
 append_u64_le(ByteBuffer &out, std::uint64_t v)
@@ -51,7 +60,43 @@ read_string(const std::uint8_t *bytes, std::size_t size, std::size_t &pos,
     return true;
 }
 
+std::uint64_t
+payload_checksum(const std::uint8_t *bytes, std::size_t size)
+{
+    return fnv1a64(std::string_view(
+        reinterpret_cast<const char *>(bytes), size));
+}
+
+Result<ExecutableIndex>
+malformed(const std::string &what)
+{
+    return Result<ExecutableIndex>::error(ErrorCode::MalformedContainer,
+                                          "fwix: " + what);
+}
+
+Result<ExecutableIndex>
+truncated(const std::string &what)
+{
+    return Result<ExecutableIndex>::error(ErrorCode::TruncatedMember,
+                                          "fwix: truncated " + what);
+}
+
 }  // namespace
+
+std::uint64_t
+fwix_layout_hash()
+{
+    // Descriptor of the v2 byte layout; bump the string whenever any
+    // field changes width, order or meaning so old caches read as stale
+    // instead of misparsing.
+    static const std::uint64_t hash = fnv1a64(
+        "fwix-v2:hdr(magic4,ver-u16,layout-u64,fnv1a64-payload-u64);"
+        "payload(arch-u8,name-str16,procs-u32:"
+        "(entry-u64,name-str16,blocks-u32,stmts-u32,hashes-u32xu64),"
+        "ready-u8,posting-hashes-u32xu64,posting-offsets-u32xu32,"
+        "posting-procs-u32xu32)");
+    return hash;
+}
 
 ByteBuffer
 serialize_index(const ExecutableIndex &index)
@@ -60,7 +105,10 @@ serialize_index(const ExecutableIndex &index)
     for (std::uint8_t byte : kMagic) {
         out.push_back(byte);
     }
-    append_u16_le(out, kVersion);
+    append_u16_le(out, kFwixVersion);
+    append_u64_le(out, fwix_layout_hash());
+    append_u64_le(out, 0);  // checksum backpatched below
+
     append_u8(out, static_cast<std::uint8_t>(index.arch));
     append_string(out, index.name);
     append_u32_le(out, static_cast<std::uint32_t>(index.procs.size()));
@@ -77,64 +125,207 @@ serialize_index(const ExecutableIndex &index)
             append_u64_le(out, h);
         }
     }
+    // Finalized search state: the CSR posting lists. The entry/name maps
+    // are not serialized — they are rebuilt in O(procs) at load, which
+    // keeps the blob byte-deterministic (unordered_map iteration order
+    // is not).
+    append_u8(out, index.search_ready ? 1 : 0);
+    if (index.search_ready) {
+        append_u32_le(out, static_cast<std::uint32_t>(
+                               index.posting_hashes.size()));
+        for (std::uint64_t h : index.posting_hashes) {
+            append_u64_le(out, h);
+        }
+        append_u32_le(out, static_cast<std::uint32_t>(
+                               index.posting_offsets.size()));
+        for (std::uint32_t o : index.posting_offsets) {
+            append_u32_le(out, o);
+        }
+        append_u32_le(out, static_cast<std::uint32_t>(
+                               index.posting_procs.size()));
+        for (std::uint32_t p : index.posting_procs) {
+            append_u32_le(out, p);
+        }
+    }
+
+    const std::uint64_t checksum = payload_checksum(
+        out.data() + kHeaderSize, out.size() - kHeaderSize);
+    for (int i = 0; i < 8; ++i) {
+        out[4 + 2 + 8 + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(checksum >> (8 * i));
+    }
     return out;
 }
 
 Result<ExecutableIndex>
 parse_index(const std::uint8_t *bytes, std::size_t size)
 {
-    std::size_t pos = 0;
-    if (size < 7 || std::memcmp(bytes, kMagic, 4) != 0) {
-        return Result<ExecutableIndex>::error("fwix: bad magic");
+    if (size < 6 || std::memcmp(bytes, kMagic, 4) != 0) {
+        return malformed("bad magic");
     }
-    pos = 4;
-    const std::uint16_t version = read_u16_le(bytes + pos);
-    pos += 2;
-    if (version != kVersion) {
-        return Result<ExecutableIndex>::error("fwix: bad version");
+    const std::uint16_t version = read_u16_le(bytes + 4);
+    if (version != kFwixVersion) {
+        return Result<ExecutableIndex>::error(
+            ErrorCode::StaleFormat,
+            "fwix: stale format version " + std::to_string(version) +
+                " (want " + std::to_string(kFwixVersion) + ")");
     }
+    if (size < kHeaderSize) {
+        return truncated("header");
+    }
+    if (read_u64_le(bytes + 6) != fwix_layout_hash()) {
+        return Result<ExecutableIndex>::error(
+            ErrorCode::StaleFormat, "fwix: stale layout hash");
+    }
+    if (read_u64_le(bytes + 14) !=
+        payload_checksum(bytes + kHeaderSize, size - kHeaderSize)) {
+        return malformed("payload checksum mismatch");
+    }
+
+    std::size_t pos = kHeaderSize;
     ExecutableIndex index;
     const std::uint8_t arch_byte = bytes[pos++];
     if (arch_byte > static_cast<std::uint8_t>(isa::Arch::X86)) {
-        return Result<ExecutableIndex>::error("fwix: bad arch");
+        return malformed("bad arch");
     }
     index.arch = static_cast<isa::Arch>(arch_byte);
     if (!read_string(bytes, size, pos, index.name)) {
-        return Result<ExecutableIndex>::error("fwix: truncated name");
+        return truncated("name");
     }
     if (pos + 4 > size) {
-        return Result<ExecutableIndex>::error("fwix: truncated count");
+        return truncated("count");
     }
     const std::uint32_t proc_count = read_u32_le(bytes + pos);
     pos += 4;
     for (std::uint32_t i = 0; i < proc_count; ++i) {
         ProcEntry proc;
         if (pos + 8 > size) {
-            return Result<ExecutableIndex>::error("fwix: truncated proc");
+            return truncated("proc");
         }
         proc.entry = read_u64_le(bytes + pos);
         pos += 8;
         if (!read_string(bytes, size, pos, proc.name) ||
             pos + 12 > size) {
-            return Result<ExecutableIndex>::error("fwix: truncated proc");
+            return truncated("proc");
         }
         proc.repr.block_count = read_u32_le(bytes + pos);
         proc.repr.stmt_count = read_u32_le(bytes + pos + 4);
         const std::uint32_t hash_count = read_u32_le(bytes + pos + 8);
         pos += 12;
-        if (pos + 8ull * hash_count > size) {
-            return Result<ExecutableIndex>::error(
-                "fwix: truncated strand hashes");
+        if (size - pos < 8ull * hash_count) {
+            return truncated("strand hashes");
         }
         proc.repr.hashes.reserve(hash_count);
+        bool sorted = true;
         for (std::uint32_t h = 0; h < hash_count; ++h) {
-            proc.repr.add(read_u64_le(bytes + pos));
+            const std::uint64_t value = read_u64_le(bytes + pos);
+            sorted &= proc.repr.hashes.empty() ||
+                      proc.repr.hashes.back() < value;
+            proc.repr.add(value);
             pos += 8;
         }
-        proc.repr.finalize();
+        if (!sorted) {
+            // Only blobs serialized from hand-built, never-finalized
+            // indexes land here (the checksum vouches these are the
+            // bytes serialize_index wrote); restore the flat-set
+            // invariant for them.
+            proc.repr.finalize();
+        }
         index.procs.push_back(std::move(proc));
     }
-    index.finalize();
+
+    if (pos + 1 > size) {
+        return truncated("search state");
+    }
+    const std::uint8_t ready = bytes[pos++];
+    if (ready > 1) {
+        return malformed("bad search-ready flag");
+    }
+    if (ready == 0) {
+        if (pos != size) {
+            return malformed("trailing bytes");
+        }
+        index.finalize();
+        return index;
+    }
+
+    auto read_u32_count = [&](std::uint32_t &out) {
+        if (pos + 4 > size) {
+            return false;
+        }
+        out = read_u32_le(bytes + pos);
+        pos += 4;
+        return true;
+    };
+    std::uint32_t hash_count = 0, offset_count = 0, proc_count32 = 0;
+    if (!read_u32_count(hash_count) ||
+        size - pos < 8ull * hash_count) {
+        return truncated("posting hashes");
+    }
+    index.posting_hashes.reserve(hash_count);
+    for (std::uint32_t i = 0; i < hash_count; ++i) {
+        index.posting_hashes.push_back(read_u64_le(bytes + pos));
+        pos += 8;
+    }
+    if (!read_u32_count(offset_count) ||
+        size - pos < 4ull * offset_count) {
+        return truncated("posting offsets");
+    }
+    index.posting_offsets.reserve(offset_count);
+    for (std::uint32_t i = 0; i < offset_count; ++i) {
+        index.posting_offsets.push_back(read_u32_le(bytes + pos));
+        pos += 4;
+    }
+    if (!read_u32_count(proc_count32) ||
+        size - pos < 4ull * proc_count32) {
+        return truncated("posting procs");
+    }
+    index.posting_procs.reserve(proc_count32);
+    for (std::uint32_t i = 0; i < proc_count32; ++i) {
+        index.posting_procs.push_back(read_u32_le(bytes + pos));
+        pos += 4;
+    }
+    if (pos != size) {
+        return malformed("trailing bytes");
+    }
+
+    // Structural validation of the CSR triple: a checksum-clean blob can
+    // still only come from serialize_index, but an inconsistent inverted
+    // index must never be handed to the search fast paths.
+    if (index.posting_offsets.size() !=
+            index.posting_hashes.size() + 1 ||
+        index.posting_offsets.front() != 0 ||
+        index.posting_offsets.back() != index.posting_procs.size()) {
+        return malformed("inconsistent posting shape");
+    }
+    for (std::size_t i = 1; i < index.posting_offsets.size(); ++i) {
+        if (index.posting_offsets[i] < index.posting_offsets[i - 1]) {
+            return malformed("unsorted posting offsets");
+        }
+    }
+    for (std::size_t i = 1; i < index.posting_hashes.size(); ++i) {
+        if (index.posting_hashes[i] <= index.posting_hashes[i - 1]) {
+            return malformed("unsorted posting hashes");
+        }
+    }
+    for (const std::uint32_t p : index.posting_procs) {
+        if (p >= index.procs.size()) {
+            return malformed("posting proc out of range");
+        }
+    }
+
+    // Rebuild the lookup maps (first occurrence wins, exactly as
+    // finalize() does) without re-sorting the incidences — this is the
+    // cheap O(procs) tail of finalize(), not the expensive CSR build.
+    index.entry_map.reserve(index.procs.size());
+    index.name_map.reserve(index.procs.size());
+    for (std::size_t i = 0; i < index.procs.size(); ++i) {
+        index.entry_map.emplace(index.procs[i].entry,
+                                static_cast<int>(i));
+        index.name_map.emplace(index.procs[i].name,
+                               static_cast<int>(i));
+    }
+    index.search_ready = true;
     return index;
 }
 

@@ -8,6 +8,27 @@
  * that persistence layer: an ExecutableIndex round-trips through a
  * compact binary format (magic "FWIX"), so a corpus can be lifted and
  * canonicalized once and searched many times.
+ *
+ * Format v2 additionally carries the finalized search-acceleration
+ * state — the CSR posting lists built by ExecutableIndex::finalize() —
+ * so a loaded index is `search_ready` without re-running finalize(),
+ * which is what makes warm corpus scans (sim::IndexCacheStore) skip the
+ * entire lift+canon+finalize phase. The header guards against stale or
+ * damaged blobs three ways:
+ *
+ *  - a format **version** (v1 blobs are rejected with a distinct
+ *    ErrorCode::StaleFormat "stale format" error, never misparsed),
+ *  - a **layout hash** — a constant digest of the byte-layout
+ *    descriptor, bumped whenever any field changes width or meaning, so
+ *    a same-version blob written by an incompatible build is also
+ *    rejected as stale,
+ *  - a **payload checksum** (FNV-1a over every byte after the header),
+ *    so bit flips, splices and truncations inside the payload are
+ *    detected instead of producing a silently wrong index.
+ *
+ * Every failure path returns a clean Result error (MalformedContainer /
+ * TruncatedMember / StaleFormat); callers treat any of them as a cache
+ * miss and re-lift.
  */
 #pragma once
 
@@ -17,10 +38,24 @@
 
 namespace firmup::sim {
 
-/** Serialize @p index into the FWIX binary format. */
+/** Current FWIX format version (serialize_index always writes this). */
+inline constexpr std::uint16_t kFwixVersion = 2;
+
+/**
+ * Digest of the v2 byte-layout descriptor. Serialized into every blob
+ * and compared on parse; a mismatch means the blob was written by an
+ * incompatible layout and is rejected as ErrorCode::StaleFormat.
+ */
+std::uint64_t fwix_layout_hash();
+
+/** Serialize @p index into the FWIX v2 binary format. */
 ByteBuffer serialize_index(const ExecutableIndex &index);
 
-/** Parse an FWIX blob back into an index. */
+/**
+ * Parse an FWIX blob back into an index. A blob serialized from a
+ * finalized index parses straight to `search_ready` (no finalize()
+ * re-run); one serialized from a hand-built index is finalized on load.
+ */
 Result<ExecutableIndex> parse_index(const std::uint8_t *bytes,
                                     std::size_t size);
 

@@ -22,6 +22,8 @@ error_code_name(ErrorCode code)
         return "missing-procedure";
       case ErrorCode::IoError:
         return "io-error";
+      case ErrorCode::StaleFormat:
+        return "stale-format";
     }
     return "invalid";
 }

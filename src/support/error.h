@@ -38,6 +38,7 @@ enum class ErrorCode : std::uint8_t {
     BudgetExhausted,        ///< step/deadline budget hit before an answer
     MissingProcedure,       ///< expected procedure absent from an index
     IoError,                ///< file could not be read or written
+    StaleFormat,            ///< persisted blob from an older format/layout
 };
 
 /** Stable human-readable name, e.g. "truncated-member". */
@@ -45,7 +46,7 @@ const char *error_code_name(ErrorCode code);
 
 /** Number of distinct ErrorCode values (for dense histograms). */
 inline constexpr std::size_t kErrorCodeCount =
-    static_cast<std::size_t>(ErrorCode::IoError) + 1;
+    static_cast<std::size_t>(ErrorCode::StaleFormat) + 1;
 
 /** Value-or-error-message return type for recoverable failures. */
 template <typename T>

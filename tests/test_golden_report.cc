@@ -65,6 +65,10 @@ synthetic_health()
     health.quarantined = 2;
     health.games_played = 10;
     health.games_unresolved = 1;
+    health.cache_hits = 9;
+    health.cache_misses = 3;
+    health.cache_write_bytes = 16384;
+    health.cache_load_seconds = 0.0625;
     health.index_seconds = 1.5;
     health.index_cpu_seconds = 5.25;
     health.game_seconds = 0.75;

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Hostile-input coverage for the FWIX v2 index container.
+ *
+ * The persistent index cache (sim::IndexCacheStore) feeds whatever bytes
+ * it finds on disk into parse_index, so a corrupt, truncated or stale
+ * cache entry must always come back as a clean Result error — never a
+ * crash, and never a silently wrong index. The harness runs a real
+ * serialized index through the support/faultinject mutators across many
+ * seeds and asserts exactly that: a mutant either equals the original
+ * byte-for-byte (and parses to the same index) or fails to parse.
+ */
+#include <gtest/gtest.h>
+
+#include "codegen/build.h"
+#include "firmware/catalog.h"
+#include "lifter/cfg.h"
+#include "sim/persist.h"
+#include "sim/similarity.h"
+#include "support/bytes.h"
+#include "support/faultinject.h"
+#include "support/rng.h"
+
+namespace firmup::sim {
+namespace {
+
+/** A real finalized index (the shape the cache store persists). */
+const ExecutableIndex &
+real_index()
+{
+    static const ExecutableIndex index = [] {
+        const auto &pkg = firmware::package_by_name("libexif");
+        const auto source =
+            firmware::generate_package_source(pkg, "0.6.19");
+        codegen::BuildRequest request;
+        request.arch = isa::Arch::Mips32;
+        request.profile = compiler::gcc_like_toolchain();
+        const auto exe = codegen::build_executable(source, request);
+        ExecutableIndex built =
+            index_executable(lifter::lift_executable(exe).take());
+        built.finalize();
+        return built;
+    }();
+    return index;
+}
+
+/** Search-relevant equality of two indexes. */
+void
+expect_same_index(const ExecutableIndex &a, const ExecutableIndex &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.arch, b.arch);
+    ASSERT_EQ(a.procs.size(), b.procs.size());
+    for (std::size_t i = 0; i < a.procs.size(); ++i) {
+        EXPECT_EQ(a.procs[i].entry, b.procs[i].entry);
+        EXPECT_EQ(a.procs[i].name, b.procs[i].name);
+        EXPECT_EQ(a.procs[i].repr.hashes, b.procs[i].repr.hashes);
+    }
+}
+
+TEST(PersistFault, EveryMutantFailsCleanlyOrIsTheOriginal)
+{
+    const ByteBuffer bytes = serialize_index(real_index());
+    fault::InjectOptions options;
+    options.magic = {'F', 'W', 'I', 'X'};
+    const fault::Mutation kinds[] = {
+        fault::Mutation::Truncate,
+        fault::Mutation::BitFlip,
+        fault::Mutation::SpliceGarbage,
+        fault::Mutation::DuplicateMagic,
+    };
+    int rejected = 0;
+    for (const fault::Mutation kind : kinds) {
+        for (std::uint64_t seed = 0; seed < 64; ++seed) {
+            Rng rng(0xfa017 ^ (seed * 0x9e3779b97f4a7c15ull));
+            const ByteBuffer mutant =
+                fault::apply_mutation(bytes, kind, rng, options);
+            auto parsed = parse_index(mutant);
+            if (mutant == bytes) {
+                // Mutation was a no-op (e.g. truncate at full length,
+                // a bit flipped twice): the blob is intact and must
+                // still round-trip.
+                ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+                expect_same_index(parsed.value(), real_index());
+                continue;
+            }
+            // Any byte-level damage must be detected: the v2 payload
+            // checksum leaves no window for a silently wrong index.
+            EXPECT_FALSE(parsed.ok())
+                << fault::mutation_name(kind) << " seed " << seed
+                << " parsed despite " << mutant.size() << " bytes vs "
+                << bytes.size();
+            if (!parsed.ok()) {
+                ++rejected;
+                EXPECT_FALSE(parsed.error_message().empty());
+            }
+        }
+    }
+    // The sweep must have actually exercised the rejection paths.
+    EXPECT_GT(rejected, 200);
+}
+
+TEST(PersistFault, MultiRoundMutantsNeverCrash)
+{
+    const ByteBuffer bytes = serialize_index(real_index());
+    fault::InjectOptions options;
+    options.magic = {'F', 'W', 'I', 'X'};
+    for (std::uint64_t seed = 0; seed < 256; ++seed) {
+        Rng rng(0xcafe + seed);
+        const ByteBuffer mutant = fault::mutate(bytes, rng, options);
+        auto parsed = parse_index(mutant);
+        if (parsed.ok()) {
+            expect_same_index(parsed.value(), real_index());
+        }
+    }
+}
+
+TEST(PersistFault, StaleVersionGetsDistinctError)
+{
+    // A well-formed v1 header must be reported as stale format — the
+    // invalidation signal the cache store turns into a miss — not as
+    // generic corruption.
+    ByteBuffer v1 = {'F', 'W', 'I', 'X'};
+    append_u16_le(v1, 1);
+    for (int i = 0; i < 64; ++i) {
+        v1.push_back(0);
+    }
+    auto parsed = parse_index(v1);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error_code(), ErrorCode::StaleFormat);
+
+    ByteBuffer future = {'F', 'W', 'I', 'X'};
+    append_u16_le(future, 7);
+    auto future_parsed = parse_index(future);
+    ASSERT_FALSE(future_parsed.ok());
+    EXPECT_EQ(future_parsed.error_code(), ErrorCode::StaleFormat);
+}
+
+TEST(PersistFault, LayoutHashMismatchIsStale)
+{
+    ByteBuffer bytes = serialize_index(real_index());
+    // Corrupt only the layout-hash field (bytes [6, 14)): same version,
+    // different serialized layout — the "struct changed without a
+    // version bump" guard.
+    bytes[6] ^= 0xff;
+    auto parsed = parse_index(bytes);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error_code(), ErrorCode::StaleFormat);
+}
+
+TEST(PersistFault, GarbageAndEmptyBuffersFailCleanly)
+{
+    EXPECT_FALSE(parse_index(ByteBuffer{}).ok());
+    ByteBuffer garbage;
+    Rng rng(0x6a5ba6e);
+    for (int i = 0; i < 4096; ++i) {
+        garbage.push_back(static_cast<std::uint8_t>(rng.index(256)));
+    }
+    EXPECT_FALSE(parse_index(garbage).ok());
+    // Every prefix of a valid blob fails too (no over-read).
+    const ByteBuffer bytes = serialize_index(real_index());
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        EXPECT_FALSE(parse_index(bytes.data(), len).ok())
+            << "prefix " << len;
+    }
+}
+
+}  // namespace
+}  // namespace firmup::sim

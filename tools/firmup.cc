@@ -30,6 +30,12 @@
  * metrics collection is switched on and the flat counter/histogram
  * snapshot is written to FILE at exit.
  *
+ * search, trace and index accept `--index-cache DIR`: finalized indexes
+ * are persisted to (and warm-loaded from) a content-addressed FWIX v2
+ * store in DIR, so a second scan of the same corpus skips
+ * lift+canon+finalize entirely. Corrupt or stale entries silently
+ * degrade to misses.
+ *
  * Blobs are the FWIMG containers produced by `firmup corpus` (or any
  * firmware::pack_firmware caller).
  */
@@ -37,6 +43,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -78,7 +85,10 @@ usage()
         "  bench-json [--out FILE] [--devices N]\n"
         "                                      write BENCH_micro.json\n"
         "search/trace/index/fuzz-unpack also take --stats-json FILE to\n"
-        "collect and dump the metrics snapshot\n");
+        "collect and dump the metrics snapshot\n"
+        "search/trace/index also take --index-cache DIR: a persistent\n"
+        "content-addressed index store, so repeat scans of the same\n"
+        "executables skip lifting entirely (warm start)\n");
     return 2;
 }
 
@@ -282,9 +292,12 @@ int
 cmd_index(const std::vector<std::string> &args)
 {
     std::string path, stats_out;
+    eval::SearchOptions options;
     for (std::size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--stats-json" && i + 1 < args.size()) {
             stats_out = args[++i];
+        } else if (args[i] == "--index-cache" && i + 1 < args.size()) {
+            options.index_cache_dir = args[++i];
         } else if (path.empty()) {
             path = args[i];
         } else {
@@ -303,7 +316,7 @@ cmd_index(const std::vector<std::string> &args)
                      unpacked.error_message().c_str());
         return 1;
     }
-    eval::Driver driver;
+    eval::Driver driver(options);
     driver.health().note_unpack(unpacked.value());
     eval::Table table({"member", "arch", "procedures", "blocks",
                        "strands"});
@@ -389,11 +402,14 @@ cmd_search(const std::string &cve_id,
 {
     std::vector<std::string> paths;
     std::string trace_out, stats_out;
+    eval::SearchOptions options;
     for (std::size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--trace-out" && i + 1 < args.size()) {
             trace_out = args[++i];
         } else if (args[i] == "--stats-json" && i + 1 < args.size()) {
             stats_out = args[++i];
+        } else if (args[i] == "--index-cache" && i + 1 < args.size()) {
+            options.index_cache_dir = args[++i];
         } else {
             paths.push_back(args[i]);
         }
@@ -428,7 +444,7 @@ cmd_search(const std::string &cve_id,
                 cve->cve_id.c_str(), cve->procedure.c_str(),
                 cve->package.c_str(),
                 eval::latest_vulnerable_version(*cve).c_str());
-    eval::Driver driver;
+    eval::Driver driver(options);
 
     // Unpack everything first; the blobs must stay alive across the
     // parallel fan-out, so they live in one stable vector. image_index
@@ -494,8 +510,9 @@ cmd_search(const std::string &cve_id,
 /**
  * Machine-readable perf snapshot (BENCH_micro.json): intersection-kernel
  * throughput, posting-list vs dense GetBestMatch, per-game scoring-op
- * reduction on the Table 2 workload, and serial vs parallel
- * search_corpus — so the perf trajectory is tracked from run to run.
+ * reduction on the Table 2 workload, serial vs parallel search_corpus,
+ * and cold vs warm preindex through the persistent index cache — so the
+ * perf trajectory is tracked from run to run.
  */
 int
 cmd_bench_json(const std::vector<std::string> &args)
@@ -652,29 +669,83 @@ cmd_bench_json(const std::vector<std::string> &args)
                   100.0
             : 0.0;
 
-    // --- serial vs parallel search_corpus, first CVE ---
+    // Outcome equality for warm-vs-cold / serial-vs-parallel checks.
+    auto outcomes_identical =
+        [](const std::vector<eval::CorpusOutcome> &a,
+           const std::vector<eval::CorpusOutcome> &b) {
+            bool same = a.size() == b.size();
+            for (std::size_t i = 0; same && i < a.size(); ++i) {
+                same = a[i].indexed == b[i].indexed &&
+                       a[i].outcome.detected == b[i].outcome.detected &&
+                       a[i].outcome.matched_entry ==
+                           b[i].outcome.matched_entry &&
+                       a[i].outcome.sim == b[i].outcome.sim &&
+                       a[i].outcome.steps == b[i].outcome.steps &&
+                       a[i].outcome.unresolved ==
+                           b[i].outcome.unresolved;
+            }
+            return same;
+        };
     const firmware::CveRecord &cve0 = firmware::cve_database().front();
-    eval::Driver serial_driver, parallel_driver;
-    const auto s0 = now();
-    const auto serial = serial_driver.search_corpus(cve0, targets, 1);
-    const double serial_seconds = secs(s0, now());
-    const auto s1 = now();
-    const auto parallel =
+
+    // --- serial vs parallel search_corpus, first CVE ---
+    // A 1-worker host has no parallelism to measure: the run is marked
+    // skipped instead of reporting a misleading ~1.0x "speedup".
+    const bool corpus_skipped = hw <= 1;
+    eval::Driver parallel_driver;
+    double serial_seconds = 0.0, parallel_seconds = 0.0;
+    bool identical = true;
+    if (corpus_skipped) {
+        const auto s1 = now();
         parallel_driver.search_corpus(cve0, targets, hw);
-    const double parallel_seconds = secs(s1, now());
-    bool identical = serial.size() == parallel.size();
-    for (std::size_t i = 0; identical && i < serial.size(); ++i) {
-        identical =
-            serial[i].indexed == parallel[i].indexed &&
-            serial[i].outcome.detected == parallel[i].outcome.detected &&
-            serial[i].outcome.matched_entry ==
-                parallel[i].outcome.matched_entry &&
-            serial[i].outcome.sim == parallel[i].outcome.sim &&
-            serial[i].outcome.steps == parallel[i].outcome.steps &&
-            serial[i].outcome.unresolved ==
-                parallel[i].outcome.unresolved;
+        parallel_seconds = secs(s1, now());
+    } else {
+        eval::Driver serial_driver;
+        const auto s0 = now();
+        const auto serial =
+            serial_driver.search_corpus(cve0, targets, 1);
+        serial_seconds = secs(s0, now());
+        const auto s1 = now();
+        const auto parallel =
+            parallel_driver.search_corpus(cve0, targets, hw);
+        parallel_seconds = secs(s1, now());
+        identical = outcomes_identical(serial, parallel);
     }
     const eval::ScanHealth &stages = parallel_driver.health();
+
+    // --- cold vs warm preindex through the persistent index cache ---
+    // Two fresh drivers share one content-addressed store: the first run
+    // lifts and writes back, the second must serve every index from disk
+    // (cache_misses == 0) and reproduce the cold scan bit-identically.
+    const std::string cache_dir =
+        (std::filesystem::temp_directory_path() /
+         strprintf("firmup-bench-cache-%llu",
+                   static_cast<unsigned long long>(
+                       std::chrono::steady_clock::now()
+                           .time_since_epoch()
+                           .count())))
+            .string();
+    eval::SearchOptions cache_options;
+    cache_options.index_cache_dir = cache_dir;
+    eval::Driver cold_driver(cache_options);
+    const auto c0 = now();
+    cold_driver.preindex(corpus, hw);
+    const double cold_seconds = secs(c0, now());
+    const auto cold_outcomes =
+        cold_driver.search_corpus(cve0, targets, hw);
+    eval::Driver warm_driver(cache_options);
+    const auto w0 = now();
+    warm_driver.preindex(corpus, hw);
+    const double warm_seconds = secs(w0, now());
+    const auto warm_outcomes =
+        warm_driver.search_corpus(cve0, targets, hw);
+    const bool cache_identical =
+        outcomes_identical(cold_outcomes, warm_outcomes) &&
+        warm_driver.health().cache_misses == 0;
+    const eval::ScanHealth &cold_health = cold_driver.health();
+    const eval::ScanHealth &warm_health = warm_driver.health();
+    std::error_code cleanup_ec;
+    std::filesystem::remove_all(cache_dir, cleanup_ec);
 
     const std::string json = strprintf(
         "{\n"
@@ -694,7 +765,13 @@ cmd_bench_json(const std::vector<std::string> &args)
         "\"overhead_pct\": %.2f},\n"
         "  \"search_corpus\": {\"targets\": %zu, "
         "\"serial_seconds\": %.6f, \"parallel_seconds\": %.6f, "
-        "\"threads\": %u, \"speedup\": %.2f, \"identical\": %s},\n"
+        "\"threads\": %u, \"hardware_concurrency\": %u, "
+        "\"skipped\": %s, \"speedup\": %.2f, \"identical\": %s},\n"
+        "  \"index_cache\": {\"executables\": %zu, "
+        "\"cold_seconds\": %.6f, \"warm_seconds\": %.6f, "
+        "\"speedup\": %.2f, \"cache_hits\": %zu, "
+        "\"cache_misses\": %zu, \"write_bytes\": %llu, "
+        "\"identical\": %s},\n"
         "  \"stage_seconds\": {\"index\": %.6f, \"index_cpu\": %.6f, "
         "\"games\": %.6f, \"games_cpu\": %.6f, \"confirm\": %.6f, "
         "\"confirm_cpu\": %.6f, \"match_wall\": %.6f}\n"
@@ -712,9 +789,15 @@ cmd_bench_json(const std::vector<std::string> &args)
         static_cast<unsigned long long>(elem_ops),
         static_cast<unsigned long long>(dense_elem_ops), reduction,
         kOverheadReps, disabled_seconds, enabled_seconds, overhead_pct,
-        targets.size(), serial_seconds, parallel_seconds, hw,
+        targets.size(), serial_seconds, parallel_seconds, hw, hw,
+        corpus_skipped ? "true" : "false",
         parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0,
-        identical ? "true" : "false", stages.index_seconds,
+        identical ? "true" : "false", warm_health.cache_hits,
+        cold_seconds, warm_seconds,
+        warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0,
+        warm_health.cache_hits, warm_health.cache_misses,
+        static_cast<unsigned long long>(cold_health.cache_write_bytes),
+        cache_identical ? "true" : "false", stages.index_seconds,
         stages.index_cpu_seconds, stages.game_seconds,
         stages.game_cpu_seconds, stages.confirm_seconds,
         stages.confirm_cpu_seconds, stages.match_wall_seconds);
@@ -728,7 +811,7 @@ cmd_bench_json(const std::vector<std::string> &args)
     }
     std::printf("%s", json.c_str());
     std::printf("wrote %s\n", out_path.c_str());
-    return identical ? 0 : 1;
+    return identical && cache_identical ? 0 : 1;
 }
 
 /**
