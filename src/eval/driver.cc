@@ -70,7 +70,8 @@ Driver::build_query(const std::string &package,
     query.package = package;
     query.procedure = procedure;
     query.version = version;
-    query.index = sim::index_executable(lifted.value(), options_.canon);
+    query.index = sim::index_executable(lifted.value(), canon_options());
+    sync_memo_health();
     query.qv = query.index.find_by_name(procedure);
     FIRMUP_ASSERT(query.qv >= 0,
                   "query procedure missing: " + procedure);
@@ -124,8 +125,17 @@ seconds_since(std::chrono::steady_clock::time_point start)
         .count();
 }
 
+/** Thread-CPU delta in seconds since @p start_ns. */
+double
+cpu_seconds_since(std::uint64_t start_ns)
+{
+    return static_cast<double>(trace::thread_cpu_ns() - start_ns) * 1e-9;
+}
+
+}  // namespace
+
 unsigned
-resolve_threads(unsigned threads)
+resolve_worker_threads(unsigned threads)
 {
     if (threads != 0) {
         return threads;
@@ -142,14 +152,22 @@ resolve_threads(unsigned threads)
     return hw != 0 ? hw : 1;
 }
 
-/** Thread-CPU delta in seconds since @p start_ns. */
-double
-cpu_seconds_since(std::uint64_t start_ns)
+strand::CanonOptions
+Driver::canon_options()
 {
-    return static_cast<double>(trace::thread_cpu_ns() - start_ns) * 1e-9;
+    strand::CanonOptions canon = options_.canon;
+    canon.memo = options_.canon_memo ? &canon_memo_ : nullptr;
+    return canon;
 }
 
-}  // namespace
+void
+Driver::sync_memo_health()
+{
+    const strand::CanonMemo::Stats now = canon_memo_.stats();
+    health_.canon_memo_hits += now.hits - memo_seen_.hits;
+    health_.canon_memo_misses += now.misses - memo_seen_.misses;
+    memo_seen_ = now;
+}
 
 sim::IndexCacheStore *
 Driver::cache_store()
@@ -236,8 +254,11 @@ Driver::index_target(const loader::Executable &exe)
     }
     sim::ExecutableIndex &index =
         index_cache_
-            .emplace(key, sim::index_executable(*lifted, options_.canon))
+            .emplace(key,
+                     sim::index_executable(*lifted, canon_options(),
+                                           resolve_worker_threads(0)))
             .first->second;
+    sync_memo_health();
     if (sim::IndexCacheStore *store = cache_store()) {
         if (auto written = store->store(key, index); written.ok()) {
             health_.cache_write_bytes += written.value();
@@ -326,10 +347,13 @@ Driver::index_many(const std::vector<const loader::Executable *> &work,
     for (std::size_t i = 0; i < work.size(); ++i) {
         keys[i] = content_key(*work[i]);
     }
-    const strand::CanonOptions canon = options_.canon;
+    // Workers share the driver's thread-safe canon memo through the
+    // options copy; each indexes its own executable serially (the
+    // parallelism is across executables here).
+    const strand::CanonOptions canon = canon_options();
     sim::IndexCacheStore *const store = cache_store();
     ThreadPool::parallel_for(
-        resolve_threads(threads), work.size(), [&](std::size_t i) {
+        resolve_worker_threads(threads), work.size(), [&](std::size_t i) {
             if (store != nullptr) {
                 const auto load_start =
                     std::chrono::steady_clock::now();
@@ -396,6 +420,7 @@ Driver::index_many(const std::vector<const loader::Executable *> &work,
         }
         index_cache_.emplace(key, std::move(slots[i].index));
     }
+    sync_memo_health();
     health_.index_seconds += seconds_since(start);
     health_.index_cpu_seconds +=
         static_cast<double>(trace::process_cpu_ns() - cpu_start) * 1e-9;
@@ -570,7 +595,8 @@ Driver::search_corpus(const std::map<isa::Arch, Query> &queries,
     // out of parallel_for (via ThreadPool::wait_idle).
     const auto match_start = std::chrono::steady_clock::now();
     ThreadPool::parallel_for(
-        resolve_threads(threads), targets.size(), [&](std::size_t i) {
+        resolve_worker_threads(threads), targets.size(),
+        [&](std::size_t i) {
             const sim::ExecutableIndex *target = resolved[i];
             if (target == nullptr) {
                 return;

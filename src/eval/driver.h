@@ -25,6 +25,7 @@
 #include "game/game.h"
 #include "sim/index_cache.h"
 #include "sim/similarity.h"
+#include "strand/memo.h"
 
 namespace firmup::eval {
 
@@ -52,6 +53,14 @@ struct SearchOptions
     bool use_game = true;      ///< false = procedure-centric top-1
     game::GameOptions game;
     strand::CanonOptions canon;  ///< section ranges filled per target
+    /**
+     * Share one cross-executable canonicalization memo (strand/memo.h)
+     * across every cold index this driver builds. Firmware corpora
+     * re-ship identical basic blocks constantly, so repeat blocks
+     * replay their memoized strand hashes instead of re-canonicalizing.
+     * Ablation knob: memo-on and memo-off scans are bit-identical.
+     */
+    bool canon_memo = true;
     /**
      * When non-empty, a persistent content-addressed index cache
      * directory (sim::IndexCacheStore): finalized FWIX v2 indexes are
@@ -118,6 +127,15 @@ std::vector<CorpusTarget> corpus_targets(const firmware::Corpus &corpus);
  * used throughout the driver.
  */
 std::uint64_t content_key(const loader::Executable &exe);
+
+/**
+ * Resolve a worker-thread count: non-zero @p threads is returned as-is;
+ * 0 means the FIRMUP_THREADS environment override when set, otherwise
+ * hardware concurrency (minimum 1). The determinism tests and CI use
+ * FIRMUP_THREADS to pin parallelism externally on machines whose core
+ * count would otherwise serialize the scan.
+ */
+unsigned resolve_worker_threads(unsigned threads);
 
 /** Drives lifting, indexing and matching with an index cache. */
 class Driver
@@ -249,9 +267,22 @@ class Driver
     /** Lazily-opened persistent store (options_.index_cache_dir). */
     std::unique_ptr<sim::IndexCacheStore> store_;
     bool store_opened_ = false;
+    /** Cross-executable canon memo shared by every cold index. */
+    strand::CanonMemo canon_memo_;
+    /** Memo stats already folded into health_ (see sync_memo_health). */
+    strand::CanonMemo::Stats memo_seen_{};
 
     /** The persistent store, or nullptr when not configured. */
     sim::IndexCacheStore *cache_store();
+
+    /**
+     * options_.canon with the shared memo wired in (or not, when the
+     * canon_memo ablation knob is off).
+     */
+    strand::CanonOptions canon_options();
+
+    /** Fold new canon-memo hits/misses into health_ (delta-based). */
+    void sync_memo_health();
 
     /** Count @p key as a seen + healthy executable, once. */
     void note_healthy(std::uint64_t key);

@@ -58,6 +58,8 @@ ScanHealth::merge(const ScanHealth &other)
     cache_misses += other.cache_misses;
     cache_write_bytes += other.cache_write_bytes;
     cache_load_seconds += other.cache_load_seconds;
+    canon_memo_hits += other.canon_memo_hits;
+    canon_memo_misses += other.canon_memo_misses;
     index_seconds += other.index_seconds;
     index_cpu_seconds += other.index_cpu_seconds;
     game_seconds += other.game_seconds;
@@ -120,6 +122,16 @@ ScanHealth::summary() const
             cache_hits + cache_misses,
             static_cast<double>(cache_hits) /
                 static_cast<double>(cache_hits + cache_misses) * 100.0);
+    }
+    if (canon_memo_hits + canon_memo_misses > 0) {
+        out += strprintf(
+            "; canon memo %llu/%llu block(s) reused (%.1f%%)",
+            static_cast<unsigned long long>(canon_memo_hits),
+            static_cast<unsigned long long>(canon_memo_hits +
+                                            canon_memo_misses),
+            static_cast<double>(canon_memo_hits) /
+                static_cast<double>(canon_memo_hits + canon_memo_misses) *
+                100.0);
     }
     if (index_seconds + game_seconds + confirm_seconds > 0.0) {
         // Wall is elapsed for index, summed-per-outcome for games and

@@ -53,6 +53,16 @@ struct ScanHealth
     double cache_load_seconds = 0.0;      ///< summed load wall clock
 
     /**
+     * Cross-executable canon memo accounting (see strand/memo.h): hits
+     * are basic blocks whose strand-hash span was replayed from the
+     * memo during cold indexing; misses were canonicalized and
+     * published. Zero when the scan ran memo-off or entirely warm from
+     * the index cache.
+     */
+    std::uint64_t canon_memo_hits = 0;
+    std::uint64_t canon_memo_misses = 0;
+
+    /**
      * Per-stage time totals in seconds, wall and CPU recorded
      * separately (and labeled in render_health) so a parallel scan's
      * numbers are unambiguous:

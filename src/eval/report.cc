@@ -105,6 +105,17 @@ render_health(const ScanHealth &health)
             health.cache_load_seconds,
             static_cast<unsigned long long>(health.cache_write_bytes));
     }
+    if (health.canon_memo_hits + health.canon_memo_misses > 0) {
+        out += strprintf(
+            "canon memo: %llu hit(s), %llu miss(es), %s of blocks "
+            "reused\n",
+            static_cast<unsigned long long>(health.canon_memo_hits),
+            static_cast<unsigned long long>(health.canon_memo_misses),
+            percent(static_cast<double>(health.canon_memo_hits) /
+                    static_cast<double>(health.canon_memo_hits +
+                                        health.canon_memo_misses))
+                .c_str());
+    }
     bool any_error = false;
     for (std::size_t c = 0; c < kErrorCodeCount; ++c) {
         any_error |= health.errors[c] != 0;

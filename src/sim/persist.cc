@@ -88,13 +88,19 @@ fwix_layout_hash()
 {
     // Descriptor of the v2 byte layout; bump the string whenever any
     // field changes width, order or meaning so old caches read as stale
-    // instead of misparsing.
+    // instead of misparsing. The canon(...) tag names the canonical
+    // strand byte-format revision: cached hashes are only comparable to
+    // freshly computed ones when the canonicalizer that produced them
+    // emitted the same byte sequence, so a format change (e.g. the
+    // pinned left-to-right emission order of stream-v2; DESIGN.md
+    // section 12) must invalidate old caches the same way a layout
+    // change does.
     static const std::uint64_t hash = fnv1a64(
         "fwix-v2:hdr(magic4,ver-u16,layout-u64,fnv1a64-payload-u64);"
         "payload(arch-u8,name-str16,procs-u32:"
         "(entry-u64,name-str16,blocks-u32,stmts-u32,hashes-u32xu64),"
         "ready-u8,posting-hashes-u32xu64,posting-offsets-u32xu32,"
-        "posting-procs-u32xu32)");
+        "posting-procs-u32xu32);canon(stream-v2,lr-names)");
     return hash;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/threadpool.h"
 #include "support/trace.h"
 
 namespace firmup::sim {
@@ -159,24 +160,44 @@ ExecutableIndex::find_by_name(const std::string &proc_name) const
 
 ExecutableIndex
 index_executable(const lifter::LiftedExecutable &lifted,
-                 strand::CanonOptions options)
+                 strand::CanonOptions options, unsigned threads)
 {
     const trace::TraceSpan span("index", lifted.name);
     options.sections.text_lo = lifted.text_addr;
     options.sections.text_hi = lifted.text_end;
     options.sections.data_lo = lifted.data_addr;
     options.sections.data_hi = lifted.data_end;
+    // Memo entries never cross ISAs, even though µIR statements alone
+    // already determine the canonical form (see CanonOptions).
+    options.memo_context = static_cast<std::uint64_t>(lifted.arch);
 
     ExecutableIndex index;
     index.name = lifted.name;
     index.arch = lifted.arch;
-    index.procs.reserve(lifted.procs.size());
+    index.procs.resize(lifted.procs.size());
+    std::vector<const ir::Procedure *> order;
+    order.reserve(lifted.procs.size());
     for (const auto &[entry, proc] : lifted.procs) {
-        ProcEntry pe;
-        pe.entry = entry;
-        pe.name = proc.name;
-        pe.repr = strand::represent_procedure(proc, options);
-        index.procs.push_back(std::move(pe));
+        const std::size_t slot = order.size();
+        order.push_back(&proc);
+        index.procs[slot].entry = entry;
+        index.procs[slot].name = proc.name;
+    }
+    const auto represent_slot = [&](std::size_t slot) {
+        index.procs[slot].repr =
+            strand::represent_procedure(*order[slot], options);
+    };
+    // Procedures are independent units of work; each writes only its
+    // own pre-sized slot, so any schedule yields the same index. Small
+    // executables (fuzz mutants, single-proc fixtures) stay inline —
+    // a pool costs more than it saves there.
+    constexpr std::size_t kParallelThreshold = 4;
+    if (threads > 1 && order.size() >= kParallelThreshold) {
+        ThreadPool::parallel_for(threads, order.size(), represent_slot);
+    } else {
+        for (std::size_t slot = 0; slot < order.size(); ++slot) {
+            represent_slot(slot);
+        }
     }
     index.finalize();
     return index;

@@ -84,10 +84,18 @@ struct ExecutableIndex
 
 /**
  * Build the index of a lifted executable. Canonicalization knobs are
- * taken from @p options; section ranges are filled in from @p lifted.
+ * taken from @p options; section ranges are filled in from @p lifted and
+ * the memo context is pinned to the executable's ISA.
+ *
+ * @param threads fan procedure canonicalization across this many worker
+ *        threads. The result is bit-identical for every thread count:
+ *        procedures are written into pre-sized slots, so the merge order
+ *        is the deterministic procedure order of @p lifted. Values <= 1
+ *        (and small executables) run inline.
  */
 ExecutableIndex index_executable(const lifter::LiftedExecutable &lifted,
-                                 strand::CanonOptions options = {});
+                                 strand::CanonOptions options = {},
+                                 unsigned threads = 1);
 
 /** Sim(q, t): the number of shared canonical strands. */
 int sim_score(const strand::ProcedureStrands &q,

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <string_view>
 
+#include "strand/memo.h"
 #include "support/error.h"
 #include "support/hash.h"
-#include "support/str.h"
 #include "support/trace.h"
 
 namespace firmup::strand {
@@ -75,13 +76,21 @@ eval_binop(BinOp op, std::uint32_t a, std::uint32_t b)
     return 0;
 }
 
-/** Arena + smart constructors implementing the simplification rules. */
+/**
+ * Arena + smart constructors implementing the simplification rules.
+ * The arena is reused across all strands of a procedure: reset()
+ * truncates it without releasing capacity, so steady-state
+ * canonicalization allocates nothing.
+ */
 class Builder
 {
   public:
     explicit Builder(const CanonOptions &options) : opt_(options) {}
 
     const Expr &at(int i) const { return arena_[static_cast<size_t>(i)]; }
+
+    /** Truncate the arena, keeping its capacity for the next strand. */
+    void reset() { arena_.clear(); }
 
     int
     constant(std::uint32_t value)
@@ -376,79 +385,44 @@ class Builder
     std::vector<Expr> arena_;
 };
 
-/** Prints an expression with appearance-order name normalization. */
-class Printer
-{
-  public:
-    Printer(const Builder &builder, const CanonOptions &options)
-        : b_(builder), opt_(options)
-    {
-    }
-
-    std::string
-    print(int i)
-    {
-        const Expr &e = b_.at(i);
-        switch (e.kind) {
-          case Expr::Kind::Const:
-            return "0x" + to_hex(e.cval);
-          case Expr::Kind::Input: {
-            if (!opt_.normalize_names) {
-                return "r" + std::to_string(e.reg);
-            }
-            auto [it, fresh] =
-                input_names_.try_emplace(e.reg, input_names_.size());
-            (void)fresh;
-            return "reg" + std::to_string(it->second);
-          }
-          case Expr::Kind::Offset: {
-            if (!opt_.normalize_names) {
-                return "0x" + to_hex(e.raw);
-            }
-            auto [it, fresh] =
-                offset_names_.try_emplace(e.raw, offset_names_.size());
-            (void)fresh;
-            return "off" + std::to_string(it->second);
-          }
-          case Expr::Kind::Load:
-            return "load(" + print(e.a) + ")";
-          case Expr::Kind::Call:
-            return "call(" + print(e.a) + ")";
-          case Expr::Kind::Select:
-            return "ite(" + print(e.a) + ", " + print(e.b) + ", " +
-                   print(e.c) + ")";
-          case Expr::Kind::Un:
-            return std::string(ir::unop_name(e.un)) + "(" + print(e.a) +
-                   ")";
-          case Expr::Kind::Bin:
-            return std::string(ir::binop_name(e.bin)) + "(" + print(e.a) +
-                   ", " + print(e.b) + ")";
-        }
-        return "?";
-    }
-
-  private:
-    const Builder &b_;
-    const CanonOptions &opt_;
-    std::map<ir::RegId, std::size_t> input_names_;
-    std::map<std::uint64_t, std::size_t> offset_names_;
-};
-
-/** Symbolic evaluation environment over one strand. */
+/**
+ * Symbolic evaluation environment over one strand.
+ *
+ * The temp/register environments are dense epoch-stamped arrays, not
+ * std::maps: begin_strand() bumps the epoch, which invalidates every
+ * slot in O(1) — no per-strand clearing, no tree allocations. Temp ids
+ * beyond the dense window (only possible on malformed input) spill to
+ * an ordered map.
+ */
 class StrandEval
 {
   public:
-    StrandEval(Builder &builder) : b_(builder) {}
+    explicit StrandEval(Builder &builder) : b_(builder) {}
+
+    /** Invalidate all bindings; O(1) except after epoch wraparound. */
+    void
+    begin_strand()
+    {
+        if (++epoch_ == 0) {
+            std::fill(temp_epoch_.begin(), temp_epoch_.end(), 0u);
+            std::fill(reg_epoch_.begin(), reg_epoch_.end(), 0u);
+            std::fill(input_epoch_.begin(), input_epoch_.end(), 0u);
+            epoch_ = 1;
+        }
+        if (!temp_overflow_.empty()) {
+            temp_overflow_.clear();
+        }
+    }
 
     int
     operand(const Operand &op)
     {
         switch (op.kind) {
           case Operand::Kind::Temp: {
-            const auto it = temps_.find(op.as_temp());
             // A temp defined by a statement outside the slice can only
             // happen on malformed input; treat it as an opaque input.
-            return it != temps_.end() ? it->second : b_.input(0xffff);
+            const int node = temp_node(op.as_temp());
+            return node >= 0 ? node : b_.input(0xffff);
           }
           case Operand::Kind::Const:
             return b_.constant(op.as_const());
@@ -458,49 +432,74 @@ class StrandEval
         return b_.constant(0);
     }
 
+    /** Node bound to @p t this strand, or -1. */
+    int
+    temp_node(ir::TempId t) const
+    {
+        if (t < temp_epoch_.size()) {
+            return temp_epoch_[t] == epoch_
+                       ? temp_value_[t]
+                       : -1;
+        }
+        if (t >= kDenseTempCap) {
+            const auto it = temp_overflow_.find(t);
+            return it != temp_overflow_.end() ? it->second : -1;
+        }
+        return -1;
+    }
+
     int
     reg_value(ir::RegId reg)
     {
-        const auto it = regs_.find(reg);
-        if (it != regs_.end()) {
-            return it->second;
+        ensure_reg(reg);
+        if (reg_epoch_[reg] == epoch_) {
+            return reg_value_[reg];
         }
-        const auto memo = input_memo_.find(reg);
-        if (memo != input_memo_.end()) {
-            return memo->second;
+        if (input_epoch_[reg] == epoch_) {
+            return input_value_[reg];
         }
         const int node = b_.input(reg);
-        input_memo_[reg] = node;
+        input_epoch_[reg] = epoch_;
+        input_value_[reg] = node;
         return node;
     }
 
-    /** Evaluate one statement; returns true if it was the root effect. */
+    /** Evaluate one statement. */
     void
     eval(const Stmt &s)
     {
         switch (s.kind) {
           case Stmt::Kind::Get:
-            temps_[s.dst] = reg_value(s.reg);
+            set_temp(s.dst, reg_value(s.reg));
             break;
-          case Stmt::Kind::Put:
-            regs_[s.reg] = operand(s.a);
+          case Stmt::Kind::Put: {
+            const int v = operand(s.a);
+            ensure_reg(s.reg);
+            reg_epoch_[s.reg] = epoch_;
+            reg_value_[s.reg] = v;
             break;
-          case Stmt::Kind::Bin:
-            temps_[s.dst] = b_.binop(s.bin_op, operand(s.a),
-                                     operand(s.b));
+          }
+          case Stmt::Kind::Bin: {
+            const int a = operand(s.a);
+            const int b = operand(s.b);
+            set_temp(s.dst, b_.binop(s.bin_op, a, b));
             break;
+          }
           case Stmt::Kind::Un:
-            temps_[s.dst] = b_.unop(s.un_op, operand(s.a));
+            set_temp(s.dst, b_.unop(s.un_op, operand(s.a)));
             break;
           case Stmt::Kind::Load:
-            temps_[s.dst] = b_.load(operand(s.a));
+            set_temp(s.dst, b_.load(operand(s.a)));
             break;
-          case Stmt::Kind::Select:
-            temps_[s.dst] = b_.select(operand(s.a), operand(s.b),
-                                      operand(s.extra));
+          case Stmt::Kind::Select: {
+            const int cond = operand(s.a);
+            const int t = operand(s.b);
+            const int f = operand(s.extra);
+            set_temp(s.dst, b_.select(cond, t, f));
             break;
+          }
           case Stmt::Kind::Call:
-            temps_[s.dst] = b_.call(operand(s.a));
+            set_temp(s.dst, b_.call(operand(s.a)));
             break;
           case Stmt::Kind::Store:
           case Stmt::Kind::Exit:
@@ -508,11 +507,368 @@ class StrandEval
         }
     }
 
-    std::map<ir::TempId, int> temps_;
-    std::map<ir::RegId, int> regs_;
-    std::map<ir::RegId, int> input_memo_;
+  private:
+    /**
+     * Dense window for temp ids. Real blocks use small consecutive
+     * ids; a hostile 32-bit dst beyond the cap lands in the overflow
+     * map instead of forcing a gigabyte resize.
+     */
+    static constexpr std::size_t kDenseTempCap = std::size_t{1} << 16;
+
+    void
+    set_temp(ir::TempId t, int node)
+    {
+        if (t >= kDenseTempCap) {
+            temp_overflow_[t] = node;
+            return;
+        }
+        if (t >= temp_epoch_.size()) {
+            temp_epoch_.resize(t + 1, 0u);
+            temp_value_.resize(t + 1, -1);
+        }
+        temp_epoch_[t] = epoch_;
+        temp_value_[t] = node;
+    }
+
+    void
+    ensure_reg(ir::RegId reg)
+    {
+        if (reg >= reg_epoch_.size()) {
+            reg_epoch_.resize(reg + 1, 0u);
+            reg_value_.resize(reg + 1, -1);
+            input_epoch_.resize(reg + 1, 0u);
+            input_value_.resize(reg + 1, -1);
+        }
+    }
+
     Builder &b_;
+    std::uint32_t epoch_ = 0;
+    std::vector<std::uint32_t> temp_epoch_;
+    std::vector<int> temp_value_;
+    std::map<ir::TempId, int> temp_overflow_;
+    std::vector<std::uint32_t> reg_epoch_;
+    std::vector<int> reg_value_;
+    std::vector<std::uint32_t> input_epoch_;
+    std::vector<int> input_value_;
 };
+
+/**
+ * Appearance-order name table for normalized inputs/offsets, reused
+ * across strands. The per-strand name count is tiny, so first-seen
+ * lookup is a linear scan over a flat vector.
+ */
+class NameTable
+{
+  public:
+    void
+    reset()
+    {
+        inputs_.clear();
+        offsets_.clear();
+    }
+
+    std::size_t
+    input_name(ir::RegId reg)
+    {
+        for (std::size_t i = 0; i < inputs_.size(); ++i) {
+            if (inputs_[i] == reg) {
+                return i;
+            }
+        }
+        inputs_.push_back(reg);
+        return inputs_.size() - 1;
+    }
+
+    std::size_t
+    offset_name(std::uint64_t raw)
+    {
+        for (std::size_t i = 0; i < offsets_.size(); ++i) {
+            if (offsets_[i] == raw) {
+                return i;
+            }
+        }
+        offsets_.push_back(raw);
+        return offsets_.size() - 1;
+    }
+
+  private:
+    std::vector<ir::RegId> inputs_;
+    std::vector<std::uint64_t> offsets_;
+};
+
+/** Streams canonical bytes straight into an FNV-1a state. */
+struct HashSink
+{
+    std::uint64_t state = kFnv1a64Seed;
+
+    void append(std::string_view s) { state = fnv1a64_update(state, s); }
+    void append(char c) { state = fnv1a64_update(state, c); }
+};
+
+/** Accumulates the canonical bytes as a string (debug/ablation path). */
+struct StringSink
+{
+    std::string out;
+
+    void append(std::string_view s) { out.append(s); }
+    void append(char c) { out.push_back(c); }
+};
+
+/** Decimal digits of @p v, no allocation. */
+template <typename Sink>
+void
+append_dec(Sink &sink, std::uint64_t v)
+{
+    char buf[20];
+    char *p = buf + sizeof(buf);
+    do {
+        *--p = static_cast<char>('0' + v % 10);
+        v /= 10;
+    } while (v != 0);
+    sink.append(std::string_view(p, static_cast<std::size_t>(
+                                        buf + sizeof(buf) - p)));
+}
+
+/** Lowercase hex digits of @p v without the 0x prefix (matches %llx). */
+template <typename Sink>
+void
+append_hex(Sink &sink, std::uint64_t v)
+{
+    static constexpr char kDigits[] = "0123456789abcdef";
+    char buf[16];
+    char *p = buf + sizeof(buf);
+    do {
+        *--p = kDigits[v & 15];
+        v >>= 4;
+    } while (v != 0);
+    sink.append(std::string_view(p, static_cast<std::size_t>(
+                                        buf + sizeof(buf) - p)));
+}
+
+/**
+ * Emits an expression tree with appearance-order name normalization.
+ *
+ * Every token is appended in an explicitly sequenced left-to-right
+ * order — the canonical byte format contract (DESIGN.md section 12).
+ * This is what makes the streamed hash equal the hash of the printed
+ * string, and the name numbering independent of the compiler's
+ * argument-evaluation order.
+ */
+template <typename Sink>
+class Emitter
+{
+  public:
+    Emitter(const Builder &builder, const CanonOptions &options,
+            NameTable &names, Sink &sink)
+        : b_(builder), opt_(options), names_(names), sink_(sink)
+    {
+    }
+
+    void
+    print(int i)
+    {
+        const Expr &e = b_.at(i);
+        switch (e.kind) {
+          case Expr::Kind::Const:
+            sink_.append("0x");
+            append_hex(sink_, e.cval);
+            return;
+          case Expr::Kind::Input:
+            if (!opt_.normalize_names) {
+                sink_.append('r');
+                append_dec(sink_, e.reg);
+                return;
+            }
+            sink_.append("reg");
+            append_dec(sink_, names_.input_name(e.reg));
+            return;
+          case Expr::Kind::Offset:
+            if (!opt_.normalize_names) {
+                sink_.append("0x");
+                append_hex(sink_, e.raw);
+                return;
+            }
+            sink_.append("off");
+            append_dec(sink_, names_.offset_name(e.raw));
+            return;
+          case Expr::Kind::Load:
+            sink_.append("load(");
+            print(e.a);
+            sink_.append(')');
+            return;
+          case Expr::Kind::Call:
+            sink_.append("call(");
+            print(e.a);
+            sink_.append(')');
+            return;
+          case Expr::Kind::Select:
+            sink_.append("ite(");
+            print(e.a);
+            sink_.append(", ");
+            print(e.b);
+            sink_.append(", ");
+            print(e.c);
+            sink_.append(')');
+            return;
+          case Expr::Kind::Un:
+            sink_.append(std::string_view(ir::unop_name(e.un)));
+            sink_.append('(');
+            print(e.a);
+            sink_.append(')');
+            return;
+          case Expr::Kind::Bin:
+            sink_.append(std::string_view(ir::binop_name(e.bin)));
+            sink_.append('(');
+            print(e.a);
+            sink_.append(", ");
+            print(e.b);
+            sink_.append(')');
+            return;
+        }
+        sink_.append('?');
+    }
+
+  private:
+    const Builder &b_;
+    const CanonOptions &opt_;
+    NameTable &names_;
+    Sink &sink_;
+};
+
+/**
+ * Reusable per-procedure canonicalization state: one arena, one
+ * evaluator, one name table, one slicer, shared by every strand.
+ * begin_strand() resets the per-strand pieces in O(1) (amortized)
+ * without freeing memory.
+ */
+struct Workspace
+{
+    Builder builder;
+    StrandEval eval;
+    NameTable names;
+    StrandSlicer slicer;
+
+    explicit Workspace(const CanonOptions &options)
+        : builder(options), eval(builder)
+    {
+    }
+
+    void
+    begin_strand()
+    {
+        builder.reset();
+        eval.begin_strand();
+        names.reset();
+    }
+};
+
+/**
+ * Lightweight strand view over a block's statement array: the slicer's
+ * index span stands in for a materialized std::vector<Stmt>. Duck-typed
+ * against Strand for the emit templates.
+ */
+struct IndexedStrand
+{
+    const std::vector<Stmt> &stmts;
+    const std::uint32_t *idx;
+    std::size_t count;
+
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    const Stmt &operator[](std::size_t k) const { return stmts[idx[k]]; }
+    const Stmt &back() const { return stmts[idx[count - 1]]; }
+};
+
+/**
+ * Canonicalize @p strand into @p sink. Root handling mirrors the
+ * paper's register folding: a Put root under name normalization prints
+ * as the strand's return value. Operand evaluation and printing are
+ * explicitly sequenced left to right.
+ */
+template <typename Sink, typename StrandLike>
+void
+emit_strand(Workspace &ws, const StrandLike &strand,
+            const CanonOptions &options, Sink &sink)
+{
+    ws.begin_strand();
+    for (std::size_t i = 0; i + 1 < strand.size(); ++i) {
+        ws.eval.eval(strand[i]);
+    }
+    const Stmt &root = strand.back();
+    Emitter<Sink> emit(ws.builder, options, ws.names, sink);
+    switch (root.kind) {
+      case Stmt::Kind::Put: {
+        const int v = ws.eval.operand(root.a);
+        if (options.normalize_names) {
+            // Register folding: the stored-to register is anonymized;
+            // the computed value is the strand's return value.
+            sink.append("ret ");
+            emit.print(v);
+            return;
+        }
+        sink.append("put r");
+        append_dec(sink, root.reg);
+        sink.append(", ");
+        emit.print(v);
+        return;
+      }
+      case Stmt::Kind::Store: {
+        const int addr = ws.eval.operand(root.a);
+        const int value = ws.eval.operand(root.b);
+        sink.append("store(");
+        emit.print(addr);
+        sink.append(", ");
+        emit.print(value);
+        sink.append(')');
+        return;
+      }
+      case Stmt::Kind::Exit: {
+        const int cond = ws.eval.operand(root.a);
+        const int target = ws.eval.operand(root.b);
+        sink.append("exit(");
+        emit.print(cond);
+        sink.append(") -> ");
+        emit.print(target);
+        return;
+      }
+      case Stmt::Kind::Call: {
+        const int target = ws.eval.operand(root.a);
+        sink.append("call(");
+        emit.print(target);
+        sink.append(')');
+        return;
+      }
+      default: {
+        // A value-producing statement nothing in the block consumes.
+        ws.eval.eval(root);
+        const int bound = ws.eval.temp_node(root.dst);
+        const int v =
+            bound >= 0 ? bound : ws.eval.operand(Operand::none());
+        sink.append("val ");
+        emit.print(v);
+        return;
+      }
+    }
+}
+
+/** Hash one strand through the configured path (streaming or string). */
+template <typename StrandLike>
+std::uint64_t
+hash_strand(Workspace &ws, const StrandLike &strand,
+            const CanonOptions &options)
+{
+    if (strand.empty()) {
+        return kFnv1a64Seed;  // == fnv1a64("")
+    }
+    if (options.stream_hash) {
+        HashSink sink;
+        emit_strand(ws, strand, options, sink);
+        return sink.state;
+    }
+    StringSink sink;
+    emit_strand(ws, strand, options, sink);
+    return fnv1a64(sink.out);
+}
 
 }  // namespace
 
@@ -522,48 +878,17 @@ canonical_strand(const Strand &strand, const CanonOptions &options)
     if (strand.empty()) {
         return "";
     }
-    Builder builder(options);
-    StrandEval eval(builder);
-    for (std::size_t i = 0; i + 1 < strand.size(); ++i) {
-        eval.eval(strand[i]);
-    }
-    const Stmt &root = strand.back();
-    Printer printer(builder, options);
-    switch (root.kind) {
-      case Stmt::Kind::Put: {
-        const int v = eval.operand(root.a);
-        if (options.normalize_names) {
-            // Register folding: the stored-to register is anonymized;
-            // the computed value is the strand's return value.
-            return "ret " + printer.print(v);
-        }
-        return "put r" + std::to_string(root.reg) + ", " +
-               printer.print(v);
-      }
-      case Stmt::Kind::Store:
-        return "store(" + printer.print(eval.operand(root.a)) + ", " +
-               printer.print(eval.operand(root.b)) + ")";
-      case Stmt::Kind::Exit:
-        return "exit(" + printer.print(eval.operand(root.a)) + ") -> " +
-               printer.print(eval.operand(root.b));
-      case Stmt::Kind::Call:
-        return "call(" + printer.print(eval.operand(root.a)) + ")";
-      default: {
-        // A value-producing statement nothing in the block consumes.
-        eval.eval(root);
-        const auto it = eval.temps_.find(root.dst);
-        const int v = it != eval.temps_.end()
-                          ? it->second
-                          : eval.operand(Operand::none());
-        return "val " + printer.print(v);
-      }
-    }
+    Workspace ws(options);
+    StringSink sink;
+    emit_strand(ws, strand, options, sink);
+    return std::move(sink.out);
 }
 
 std::uint64_t
 strand_hash(const Strand &strand, const CanonOptions &options)
 {
-    return fnv1a64(canonical_strand(strand, options));
+    Workspace ws(options);
+    return hash_strand(ws, strand, options);
 }
 
 void
@@ -594,16 +919,56 @@ represent_procedure(const ir::Procedure &proc, const CanonOptions &options)
 {
     ProcedureStrands out;
     out.block_count = proc.blocks.size();
+    Workspace ws(options);
+    // Slice + canonicalize + hash one block into @p dst. The streaming
+    // path slices into reusable index spans and hashes without
+    // materializing anything; stream_hash=false is the reference
+    // pipeline — materialized strands, canonical strings, then
+    // fnv1a64 — kept bit-compatible for the ablation benchmarks.
+    const auto hash_block_into = [&ws, &options](
+                                     const ir::Block &block,
+                                     std::vector<std::uint64_t> &dst) {
+        if (options.stream_hash) {
+            ws.slicer.decompose(block);
+            for (std::size_t s = 0; s < ws.slicer.strand_count(); ++s) {
+                const IndexedStrand view{block.stmts,
+                                         ws.slicer.indexes(s),
+                                         ws.slicer.size(s)};
+                dst.push_back(hash_strand(ws, view, options));
+            }
+            return;
+        }
+        for (const Strand &strand : decompose_block(block)) {
+            dst.push_back(hash_strand(ws, strand, options));
+        }
+    };
+    std::vector<std::uint64_t> scratch;
     std::uint64_t strands = 0;
     for (const auto &[addr, block] : proc.blocks) {
         out.stmt_count += block.stmts.size();
-        for (const Strand &strand : decompose_block(block)) {
-            out.add(strand_hash(strand, options));
-            ++strands;
+        if (options.memo != nullptr) {
+            const CanonMemo::Key key = block_memo_key(block, options);
+            const std::vector<std::uint64_t> *span =
+                options.memo->find(key);
+            if (span == nullptr) {
+                scratch.clear();
+                hash_block_into(block, scratch);
+                span = options.memo->publish(key, scratch);
+            }
+            out.hashes.insert(out.hashes.end(), span->begin(),
+                              span->end());
+            strands += span->size();
+            continue;
         }
+        const std::size_t before = out.hashes.size();
+        hash_block_into(block, out.hashes);
+        strands += out.hashes.size() - before;
     }
     out.finalize();
     c_procedures.add();
+    // Strand/pass accounting counts represented strands — on a memo hit
+    // that is the memoized span's length, so the totals equal a memo-off
+    // run's and stay invariant across worker-thread counts.
     c_strands.add(strands);
     // Each strand runs the enabled canonicalization passes (offset
     // elimination, symbolic re-optimization, name normalization).
@@ -618,9 +983,16 @@ std::vector<std::string>
 canonical_strings(const ir::Procedure &proc, const CanonOptions &options)
 {
     std::vector<std::string> out;
+    Workspace ws(options);
     for (const auto &[addr, block] : proc.blocks) {
         for (const Strand &strand : decompose_block(block)) {
-            out.push_back(canonical_strand(strand, options));
+            if (strand.empty()) {
+                out.emplace_back();
+                continue;
+            }
+            StringSink sink;
+            emit_strand(ws, strand, options, sink);
+            out.push_back(std::move(sink.out));
         }
     }
     return out;

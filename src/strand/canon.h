@@ -24,6 +24,11 @@
  *     order of appearance in the canonical print (reg0, reg1, ..., off0).
  *
  * Each step can be disabled independently for the ablation benchmarks.
+ *
+ * The canonical form is a byte sequence with a pinned, explicitly
+ * left-to-right emission order (DESIGN.md section 12): hashing streams
+ * exactly those bytes into the FNV-1a state without materializing the
+ * string, and `canonical_strand` renders the same bytes for debugging.
  */
 #pragma once
 
@@ -35,6 +40,8 @@
 #include "strand/slice.h"
 
 namespace firmup::strand {
+
+class CanonMemo;
 
 /** Section geometry used by offset elimination. */
 struct SectionRanges
@@ -57,6 +64,29 @@ struct CanonOptions
     bool eliminate_offsets = true;
     bool optimize = true;
     bool normalize_names = true;
+    /**
+     * Hash strands by streaming the canonical byte sequence straight
+     * into the FNV-1a state (default). false builds the canonical
+     * string first and hashes it — the debug/ablation reference path.
+     * Both produce the same hash for every strand (property-tested).
+     */
+    bool stream_hash = true;
+    /**
+     * Optional cross-executable block memo (see strand/memo.h). When
+     * set, represent_procedure() reuses the memoized strand-hash span
+     * of any block already canonicalized under equivalent options.
+     * Never part of hash identity: memo-on and memo-off produce
+     * bit-identical representations.
+     */
+    CanonMemo *memo = nullptr;
+    /**
+     * Extra disambiguation folded into memo keys — the indexers put
+     * the ISA here. Semantically redundant (µIR statements plus the
+     * knobs above fully determine the canonical form), but kept in the
+     * key so sharing across architectures is conservative by
+     * construction. Ignored when `memo` is null.
+     */
+    std::uint64_t memo_context = 0;
 };
 
 /** Canonical string form of one strand. */

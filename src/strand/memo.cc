@@ -1,0 +1,126 @@
+#include "strand/memo.h"
+
+#include "support/hash.h"
+#include "support/trace.h"
+
+namespace firmup::strand {
+
+namespace {
+
+const trace::Counter c_memo_hits("canon.memo_hits");
+const trace::Counter c_memo_misses("canon.memo_misses");
+
+std::uint64_t
+options_digest(const CanonOptions &options)
+{
+    std::uint64_t h = hash_combine(0x46574d43 /* 'FWMC' */,
+                                   options.sections.text_lo);
+    h = hash_combine(h, options.sections.text_hi);
+    h = hash_combine(h, options.sections.data_lo);
+    h = hash_combine(h, options.sections.data_hi);
+    h = hash_combine(h, (options.eliminate_offsets ? 1u : 0u) |
+                            (options.optimize ? 2u : 0u) |
+                            (options.normalize_names ? 4u : 0u));
+    return hash_combine(h, options.memo_context);
+}
+
+}  // namespace
+
+CanonMemo::Key
+block_memo_key(const ir::Block &block, const CanonOptions &options)
+{
+    const std::uint64_t base = options_digest(options);
+    // Two digests with unrelated seeds and unrelated mixing (a
+    // hash_combine chain and an FNV-style multiply chain over mixed
+    // words) so a collision requires both to collide at once.
+    std::uint64_t hi = mix64(base ^ 0x9e3779b97f4a7c15ull);
+    std::uint64_t lo = mix64(base + 0x517cc1b727220a95ull);
+    const auto fold = [&hi, &lo](std::uint64_t v) {
+        hi = hash_combine(hi, v);
+        lo = (lo ^ mix64(v)) * kFnv1a64Prime;
+    };
+    fold(block.stmts.size());
+    for (const ir::Stmt &s : block.stmts) {
+        // Everything canonicalization can read, except insn_addr.
+        fold(static_cast<std::uint64_t>(s.kind) |
+             (static_cast<std::uint64_t>(s.bin_op) << 8) |
+             (static_cast<std::uint64_t>(s.un_op) << 16) |
+             (static_cast<std::uint64_t>(s.a.kind) << 24) |
+             (static_cast<std::uint64_t>(s.b.kind) << 32) |
+             (static_cast<std::uint64_t>(s.extra.kind) << 40));
+        fold(static_cast<std::uint64_t>(s.dst) |
+             (static_cast<std::uint64_t>(s.reg) << 32));
+        fold(s.a.value);
+        fold(s.b.value);
+        fold(s.extra.value);
+    }
+    return {hi, lo};
+}
+
+const std::vector<std::uint64_t> *
+CanonMemo::find(const Key &key)
+{
+    Shard &shard = shard_of(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) {
+        return nullptr;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    c_memo_hits.add();
+    // Node-based map: the mapped vector is immutable after insertion
+    // and its address survives rehashing, so returning it unlocked is
+    // safe.
+    return &it->second;
+}
+
+const std::vector<std::uint64_t> *
+CanonMemo::publish(const Key &key, std::vector<std::uint64_t> hashes)
+{
+    Shard &shard = shard_of(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto [it, inserted] =
+        shard.entries.try_emplace(key, std::move(hashes));
+    if (inserted) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        c_memo_misses.add();
+    } else {
+        // Lost the compute race: the winner's span is identical (the
+        // key pins the content); count the duplicate work as a hit so
+        // totals stay schedule-independent.
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        c_memo_hits.add();
+    }
+    return &it->second;
+}
+
+CanonMemo::Stats
+CanonMemo::stats() const
+{
+    return {hits_.load(std::memory_order_relaxed),
+            misses_.load(std::memory_order_relaxed)};
+}
+
+std::size_t
+CanonMemo::size() const
+{
+    std::size_t total = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total += shard.entries.size();
+    }
+    return total;
+}
+
+void
+CanonMemo::clear()
+{
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.entries.clear();
+    }
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace firmup::strand

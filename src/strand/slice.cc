@@ -5,6 +5,63 @@
 
 namespace firmup::strand {
 
+namespace {
+
+/**
+ * Allocation-free forms of ir::read_set / ir::write_set: invoke @p fn
+ * for each variable instead of materializing a vector. Must mirror the
+ * uir.cc switch exactly — the slicer's equivalence to decompose_block
+ * depends on it (and is property-tested).
+ */
+template <typename Fn>
+void
+for_each_read(const ir::Stmt &s, Fn &&fn)
+{
+    const auto operand = [&fn](const ir::Operand &op) {
+        if (op.kind == ir::Operand::Kind::Temp) {
+            fn(ir::Var::temp(op.as_temp()));
+        }
+    };
+    switch (s.kind) {
+      case ir::Stmt::Kind::Get:
+        fn(ir::Var::reg(s.reg));
+        break;
+      case ir::Stmt::Kind::Put:
+        operand(s.a);
+        break;
+      case ir::Stmt::Kind::Bin:
+      case ir::Stmt::Kind::Store:
+      case ir::Stmt::Kind::Exit:
+        operand(s.a);
+        operand(s.b);
+        break;
+      case ir::Stmt::Kind::Un:
+      case ir::Stmt::Kind::Load:
+      case ir::Stmt::Kind::Call:
+        operand(s.a);
+        break;
+      case ir::Stmt::Kind::Select:
+        operand(s.a);
+        operand(s.b);
+        operand(s.extra);
+        break;
+    }
+}
+
+template <typename Fn>
+void
+for_each_write(const ir::Stmt &s, Fn &&fn)
+{
+    if (s.defines_temp()) {
+        fn(ir::Var::temp(s.dst));
+    }
+    if (s.kind == ir::Stmt::Kind::Put) {
+        fn(ir::Var::reg(s.reg));
+    }
+}
+
+}  // namespace
+
 std::vector<Strand>
 decompose_block(const ir::Block &block)
 {
@@ -54,6 +111,138 @@ decompose_block(const ir::Block &block)
         strands.push_back(std::move(strand));
     }
     return strands;
+}
+
+void
+StrandSlicer::begin_strand()
+{
+    if (++epoch_ == 0) {
+        std::fill(temp_stamp_.begin(), temp_stamp_.end(), 0u);
+        std::fill(reg_stamp_.begin(), reg_stamp_.end(), 0u);
+        epoch_ = 1;
+    }
+    if (!temp_overflow_.empty()) {
+        temp_overflow_.clear();
+    }
+    live_count_ = 0;
+}
+
+bool
+StrandSlicer::is_live(const ir::Var &v) const
+{
+    if (v.kind == ir::Var::Kind::Reg) {
+        return v.id < reg_stamp_.size() && reg_stamp_[v.id] == epoch_;
+    }
+    if (v.id >= kDenseTempCap) {
+        return temp_overflow_.contains(v.id);
+    }
+    return v.id < temp_stamp_.size() && temp_stamp_[v.id] == epoch_;
+}
+
+void
+StrandSlicer::mark_read(const ir::Var &v)
+{
+    if (v.kind == ir::Var::Kind::Reg) {
+        if (v.id >= reg_stamp_.size()) {
+            reg_stamp_.resize(v.id + 1, 0u);
+        }
+        if (reg_stamp_[v.id] != epoch_) {
+            reg_stamp_[v.id] = epoch_;
+            ++live_count_;
+        }
+        return;
+    }
+    if (v.id >= kDenseTempCap) {
+        if (temp_overflow_.insert(v.id).second) {
+            ++live_count_;
+        }
+        return;
+    }
+    if (v.id >= temp_stamp_.size()) {
+        temp_stamp_.resize(v.id + 1, 0u);
+    }
+    if (temp_stamp_[v.id] != epoch_) {
+        temp_stamp_[v.id] = epoch_;
+        ++live_count_;
+    }
+}
+
+void
+StrandSlicer::unmark_write(const ir::Var &v)
+{
+    if (v.kind == ir::Var::Kind::Reg) {
+        if (v.id < reg_stamp_.size() && reg_stamp_[v.id] == epoch_) {
+            reg_stamp_[v.id] = 0;
+            --live_count_;
+        }
+        return;
+    }
+    if (v.id >= kDenseTempCap) {
+        if (temp_overflow_.erase(v.id) != 0) {
+            --live_count_;
+        }
+        return;
+    }
+    if (v.id < temp_stamp_.size() && temp_stamp_[v.id] == epoch_) {
+        temp_stamp_[v.id] = 0;
+        --live_count_;
+    }
+}
+
+void
+StrandSlicer::decompose(const ir::Block &block)
+{
+    const auto &bb = block.stmts;
+    spans_.clear();
+    pool_.clear();
+    covered_.assign(bb.size(), 0);
+
+    // Outer loop: descending over uncovered statements — identical to
+    // the reference's "largest remaining index" selection.
+    for (std::size_t top = bb.size(); top-- > 0;) {
+        if (covered_[top] != 0) {
+            continue;
+        }
+        begin_strand();
+        members_.clear();
+        members_.push_back(static_cast<std::uint32_t>(top));
+        covered_[top] = 1;
+        for_each_read(bb[top], [this](const ir::Var &v) { mark_read(v); });
+
+        // Backward walk. When the live read set drains, no remaining
+        // statement can satisfy a use — the reference would scan on,
+        // matching nothing; skipping that scan changes no output.
+        for (std::size_t i = top; live_count_ != 0 && i-- > 0;) {
+            bool writes_needed = false;
+            for_each_write(bb[i], [this, &writes_needed](
+                                      const ir::Var &v) {
+                writes_needed |= is_live(v);
+            });
+            if (!writes_needed) {
+                continue;
+            }
+            members_.push_back(static_cast<std::uint32_t>(i));
+            covered_[i] = 1;
+            // Registers are not SSA within a block: the *nearest*
+            // earlier definition satisfies the use, so stop tracking
+            // the defined variables and start tracking this
+            // statement's reads.
+            for_each_write(bb[i],
+                           [this](const ir::Var &v) { unmark_write(v); });
+            for_each_read(bb[i],
+                          [this](const ir::Var &v) { mark_read(v); });
+        }
+
+        // members_ is strictly descending; emit it reversed to get the
+        // ascending block order the strand contract requires.
+        Span span;
+        span.offset = static_cast<std::uint32_t>(pool_.size());
+        span.length = static_cast<std::uint32_t>(members_.size());
+        for (std::size_t k = members_.size(); k-- > 0;) {
+            pool_.push_back(members_[k]);
+        }
+        spans_.push_back(span);
+    }
 }
 
 }  // namespace firmup::strand

@@ -9,9 +9,23 @@
  * the block. Every statement of the block ends up covered by exactly one
  * strand as a slice *tail* (it may appear in several strands as a
  * dependency).
+ *
+ * Two implementations share that algorithm:
+ *
+ *  - decompose_block() — the reference form: materializes each strand as
+ *    a vector of copied statements. Simple, allocation-heavy; kept as
+ *    the debug/ablation baseline and for callers that want standalone
+ *    strands.
+ *  - StrandSlicer — the cold-path form: slices into reusable index
+ *    spans over the block's statement array, with epoch-stamped flat
+ *    liveness state instead of per-statement set insertions. Zero
+ *    statement copies, zero steady-state allocations, and an early exit
+ *    when a slice's read set drains. Produces exactly the same strands
+ *    in the same order (property-tested against decompose_block).
  */
 #pragma once
 
+#include <set>
 #include <vector>
 
 #include "ir/uir.h"
@@ -30,5 +44,72 @@ using Strand = std::vector<ir::Stmt>;
  * formulation does.
  */
 std::vector<Strand> decompose_block(const ir::Block &block);
+
+/**
+ * Reusable, allocation-free strand slicer.
+ *
+ * decompose() fills an internal pool of statement indexes; strand @c s
+ * is the ascending index sequence [indexes(s), indexes(s) + size(s)),
+ * referring into the decomposed block's `stmts` array. The pool and all
+ * scratch state are reused across calls — steady-state slicing of a
+ * whole procedure allocates nothing.
+ */
+class StrandSlicer
+{
+  public:
+    /** Slice @p block; results stay valid until the next decompose(). */
+    void decompose(const ir::Block &block);
+
+    /** Number of strands in the last decomposed block. */
+    std::size_t strand_count() const { return spans_.size(); }
+
+    /** Statement-index span of strand @p s, ascending block order. */
+    const std::uint32_t *
+    indexes(std::size_t s) const
+    {
+        return pool_.data() + spans_[s].offset;
+    }
+
+    /** Number of statements in strand @p s. */
+    std::size_t
+    size(std::size_t s) const
+    {
+        return spans_[s].length;
+    }
+
+  private:
+    struct Span
+    {
+        std::uint32_t offset = 0;
+        std::uint32_t length = 0;
+    };
+
+    /** Mark @p v live; no-op when already live this strand. */
+    void mark_read(const ir::Var &v);
+    /** Unmark @p v; no-op when not live this strand. */
+    void unmark_write(const ir::Var &v);
+    bool is_live(const ir::Var &v) const;
+    void begin_strand();
+
+    std::vector<Span> spans_;
+    std::vector<std::uint32_t> pool_;
+
+    // Scratch, reused across blocks.
+    std::vector<std::uint8_t> covered_;
+    std::vector<std::uint32_t> members_;  ///< descending, per strand
+
+    /**
+     * Liveness of the slice's read set, epoch-stamped per strand:
+     * live iff stamp == epoch_. Erase resets the stamp to 0 (never a
+     * valid epoch). Temps beyond the dense window — only possible on
+     * malformed input — spill to an ordered set.
+     */
+    static constexpr std::size_t kDenseTempCap = std::size_t{1} << 16;
+    std::uint32_t epoch_ = 0;
+    std::size_t live_count_ = 0;  ///< live vars; 0 ends the backward walk
+    std::vector<std::uint32_t> temp_stamp_;
+    std::vector<std::uint32_t> reg_stamp_;
+    std::set<ir::TempId> temp_overflow_;
+};
 
 }  // namespace firmup::strand

@@ -5,12 +5,7 @@ namespace firmup {
 std::uint64_t
 fnv1a64(std::string_view bytes)
 {
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (unsigned char c : bytes) {
-        h ^= c;
-        h *= 0x100000001b3ull;
-    }
-    return h;
+    return fnv1a64_update(kFnv1a64Seed, bytes);
 }
 
 std::uint64_t

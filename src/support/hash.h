@@ -14,6 +14,33 @@
 
 namespace firmup {
 
+/** FNV-1a 64-bit offset basis: the hash state of the empty string. */
+inline constexpr std::uint64_t kFnv1a64Seed = 0xcbf29ce484222325ull;
+/** FNV-1a 64-bit prime. */
+inline constexpr std::uint64_t kFnv1a64Prime = 0x100000001b3ull;
+
+/**
+ * Fold @p bytes into a running FNV-1a state — the streaming form of
+ * fnv1a64(). Start from kFnv1a64Seed; feeding the same bytes in any
+ * chunking yields the same digest as one fnv1a64() call.
+ */
+inline std::uint64_t
+fnv1a64_update(std::uint64_t state, std::string_view bytes)
+{
+    for (unsigned char c : bytes) {
+        state ^= c;
+        state *= kFnv1a64Prime;
+    }
+    return state;
+}
+
+/** Fold a single byte into a running FNV-1a state. */
+inline std::uint64_t
+fnv1a64_update(std::uint64_t state, char byte)
+{
+    return (state ^ static_cast<unsigned char>(byte)) * kFnv1a64Prime;
+}
+
 /** FNV-1a 64-bit hash of a byte string. Deterministic and seedless. */
 std::uint64_t fnv1a64(std::string_view bytes);
 

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Cold-path indexing equivalences: the streaming strand hasher must be
+ * bit-identical to hashing the materialized canonical string — on every
+ * ISA and under every ablation combination — and the cross-executable
+ * canon memo must be invisible to results: memo-on and memo-off indexing
+ * and scanning produce identical outputs, differing only in work done.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "codegen/build.h"
+#include "eval/driver.h"
+#include "firmware/catalog.h"
+#include "firmware/corpus.h"
+#include "lifter/cfg.h"
+#include "sim/similarity.h"
+#include "strand/canon.h"
+#include "strand/memo.h"
+#include "strand/slice.h"
+#include "support/hash.h"
+
+namespace firmup::strand {
+namespace {
+
+const lifter::LiftedExecutable &
+lifted_for(isa::Arch arch)
+{
+    static std::map<isa::Arch, lifter::LiftedExecutable> cache = [] {
+        std::map<isa::Arch, lifter::LiftedExecutable> out;
+        const auto &pkg = firmware::package_by_name("wget");
+        const auto source =
+            firmware::generate_package_source(pkg, "1.15");
+        for (isa::Arch arch : {isa::Arch::Mips32, isa::Arch::Arm32,
+                               isa::Arch::Ppc32, isa::Arch::X86}) {
+            codegen::BuildRequest request;
+            request.arch = arch;
+            request.profile = compiler::gcc_like_toolchain();
+            const auto exe = codegen::build_executable(source, request);
+            out.emplace(arch, lifter::lift_executable(exe).take());
+        }
+        return out;
+    }();
+    return cache.at(arch);
+}
+
+CanonOptions
+options_for(const lifter::LiftedExecutable &lifted, int ablation)
+{
+    CanonOptions options;
+    options.sections.text_lo = lifted.text_addr;
+    options.sections.text_hi = lifted.text_end;
+    options.sections.data_lo = lifted.data_addr;
+    options.sections.data_hi = lifted.data_end;
+    options.eliminate_offsets = (ablation & 1) != 0;
+    options.optimize = (ablation & 2) != 0;
+    options.normalize_names = (ablation & 4) != 0;
+    return options;
+}
+
+TEST(CanonStream, StreamEqualsStringHashOnAllIsasAndAblations)
+{
+    // The hard invariant of the streaming cold path: for every compiled
+    // strand, under every knob combination, the streamed FNV-1a state
+    // equals hashing the materialized canonical string.
+    for (isa::Arch arch : {isa::Arch::Mips32, isa::Arch::Arm32,
+                           isa::Arch::Ppc32, isa::Arch::X86}) {
+        const lifter::LiftedExecutable &lifted = lifted_for(arch);
+        ASSERT_FALSE(lifted.procs.empty());
+        for (int ablation = 0; ablation < 8; ++ablation) {
+            CanonOptions stream = options_for(lifted, ablation);
+            CanonOptions string_path = stream;
+            string_path.stream_hash = false;
+            std::size_t strands = 0;
+            for (const auto &[entry, proc] : lifted.procs) {
+                for (const auto &[addr, block] : proc.blocks) {
+                    for (const Strand &s : decompose_block(block)) {
+                        const std::uint64_t streamed =
+                            strand_hash(s, stream);
+                        ASSERT_EQ(streamed,
+                                  fnv1a64(canonical_strand(s, stream)))
+                            << isa::arch_name(arch) << " ablation "
+                            << ablation;
+                        ASSERT_EQ(streamed,
+                                  strand_hash(s, string_path));
+                        ++strands;
+                    }
+                }
+            }
+            EXPECT_GT(strands, 0u) << isa::arch_name(arch);
+        }
+    }
+}
+
+TEST(CanonStream, SlicerPathMatchesMaterializingPath)
+{
+    // represent_procedure's streaming path slices with StrandSlicer
+    // (index spans, no statement copies); the string path decomposes
+    // with the reference decompose_block. Equal strand sets per
+    // procedure prove the slicer emits the same strands in the same
+    // order under every ablation.
+    for (isa::Arch arch : {isa::Arch::Mips32, isa::Arch::Arm32,
+                           isa::Arch::Ppc32, isa::Arch::X86}) {
+        const lifter::LiftedExecutable &lifted = lifted_for(arch);
+        for (int ablation = 0; ablation < 8; ++ablation) {
+            CanonOptions stream = options_for(lifted, ablation);
+            CanonOptions string_path = stream;
+            string_path.stream_hash = false;
+            for (const auto &[entry, proc] : lifted.procs) {
+                const ProcedureStrands a =
+                    represent_procedure(proc, stream);
+                const ProcedureStrands b =
+                    represent_procedure(proc, string_path);
+                ASSERT_EQ(a.hashes, b.hashes)
+                    << isa::arch_name(arch) << " ablation " << ablation
+                    << " proc " << proc.name;
+                EXPECT_EQ(a.block_count, b.block_count);
+                EXPECT_EQ(a.stmt_count, b.stmt_count);
+            }
+        }
+    }
+}
+
+TEST(CanonStream, MemoOnAndOffIndexesAreBitIdentical)
+{
+    // Shared-package corpus: devices ship overlapping packages, so a
+    // memo shared across index_executable calls sees repeated blocks.
+    // The memo must only change the work done, never the result.
+    firmware::CorpusOptions corpus_options;
+    corpus_options.num_devices = 3;
+    const firmware::Corpus corpus =
+        firmware::build_corpus(corpus_options);
+
+    CanonMemo memo;
+    CanonOptions with_memo;
+    with_memo.memo = &memo;
+    std::size_t executables = 0;
+    for (const auto &image : corpus.images) {
+        for (const auto &exe : image.executables) {
+            auto lifted = lifter::lift_executable(exe);
+            if (!lifted.ok()) {
+                continue;
+            }
+            const sim::ExecutableIndex on =
+                sim::index_executable(lifted.value(), with_memo);
+            const sim::ExecutableIndex off =
+                sim::index_executable(lifted.value());
+            ASSERT_EQ(on.procs.size(), off.procs.size()) << exe.name;
+            for (std::size_t i = 0; i < on.procs.size(); ++i) {
+                ASSERT_EQ(on.procs[i].entry, off.procs[i].entry);
+                ASSERT_EQ(on.procs[i].name, off.procs[i].name);
+                ASSERT_EQ(on.procs[i].repr.hashes,
+                          off.procs[i].repr.hashes)
+                    << exe.name << " proc " << i;
+            }
+            ++executables;
+        }
+    }
+    EXPECT_GT(executables, 1u);
+    const CanonMemo::Stats stats = memo.stats();
+    // Shared packages + repeated blocks: the memo must actually fire.
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_GT(stats.misses, 0u);
+    EXPECT_EQ(memo.size(), stats.misses);
+}
+
+TEST(CanonStream, MemoOnAndOffScansProduceIdenticalFindings)
+{
+    firmware::CorpusOptions corpus_options;
+    corpus_options.num_devices = 3;
+    const firmware::Corpus corpus =
+        firmware::build_corpus(corpus_options);
+    const std::vector<eval::CorpusTarget> targets =
+        eval::corpus_targets(corpus);
+    ASSERT_FALSE(targets.empty());
+    const firmware::CveRecord &cve = firmware::cve_database().front();
+
+    const auto scan = [&](bool use_memo) {
+        eval::SearchOptions options;
+        options.canon_memo = use_memo;
+        eval::Driver driver(options);
+        auto outcomes = driver.search_corpus(cve, targets, 2);
+        return std::make_pair(std::move(outcomes), driver.health());
+    };
+    const auto [on, on_health] = scan(true);
+    const auto [off, off_health] = scan(false);
+
+    ASSERT_EQ(on.size(), off.size());
+    for (std::size_t i = 0; i < on.size(); ++i) {
+        EXPECT_EQ(on[i].indexed, off[i].indexed) << "target " << i;
+        EXPECT_EQ(on[i].outcome.detected, off[i].outcome.detected);
+        EXPECT_EQ(on[i].outcome.matched_entry,
+                  off[i].outcome.matched_entry);
+        EXPECT_EQ(on[i].outcome.sim, off[i].outcome.sim);
+        EXPECT_EQ(on[i].outcome.steps, off[i].outcome.steps);
+        EXPECT_EQ(on[i].outcome.unresolved, off[i].outcome.unresolved);
+    }
+    // The memo changed only the health accounting of canon work.
+    EXPECT_GT(on_health.canon_memo_misses, 0u);
+    EXPECT_EQ(off_health.canon_memo_hits, 0u);
+    EXPECT_EQ(off_health.canon_memo_misses, 0u);
+    EXPECT_EQ(on_health.games_played, off_health.games_played);
+    EXPECT_EQ(on_health.executables_seen, off_health.executables_seen);
+    EXPECT_EQ(on_health.lifted_ok, off_health.lifted_ok);
+}
+
+}  // namespace
+}  // namespace firmup::strand

@@ -69,6 +69,8 @@ synthetic_health()
     health.cache_misses = 3;
     health.cache_write_bytes = 16384;
     health.cache_load_seconds = 0.0625;
+    health.canon_memo_hits = 7;
+    health.canon_memo_misses = 5;
     health.index_seconds = 1.5;
     health.index_cpu_seconds = 5.25;
     health.game_seconds = 0.75;

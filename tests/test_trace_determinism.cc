@@ -14,8 +14,13 @@
 #include <string>
 #include <vector>
 
+#include "codegen/build.h"
 #include "eval/driver.h"
+#include "firmware/catalog.h"
 #include "firmware/corpus.h"
+#include "lifter/cfg.h"
+#include "sim/similarity.h"
+#include "strand/memo.h"
 #include "support/trace.h"
 
 namespace firmup::eval {
@@ -29,6 +34,7 @@ const char *const kInvariantCounters[] = {
     "game.matched",        "game.unresolved",
     "lift.executables",    "lift.procedures",
     "canon.strands_extracted", "index.posting_incidences",
+    "canon.memo_hits",     "canon.memo_misses",
 };
 
 struct ScanRun
@@ -84,6 +90,15 @@ expect_same(const ScanRun &reference, const ScanRun &run,
     EXPECT_EQ(run.health.executables_seen,
               reference.health.executables_seen)
         << label;
+    // The canon memo's hit/miss split is schedule-invariant by
+    // construction (each distinct block key costs exactly one miss; all
+    // later sightings are hits, whichever worker gets there first).
+    EXPECT_EQ(run.health.canon_memo_hits,
+              reference.health.canon_memo_hits)
+        << label;
+    EXPECT_EQ(run.health.canon_memo_misses,
+              reference.health.canon_memo_misses)
+        << label;
     EXPECT_TRUE(run.health.sane()) << label;
 }
 
@@ -106,6 +121,7 @@ TEST(TraceDeterminism, SearchCorpusStatsIdenticalAcrossThreadCounts)
     // is vacuous).
     EXPECT_GT(reference.counters.at("game.games"), 0u);
     EXPECT_GT(reference.counters.at("game.pairs_scored"), 0u);
+    EXPECT_GT(reference.counters.at("canon.memo_misses"), 0u);
 
     for (const unsigned threads : {2u, 8u}) {
         expect_same(reference, scan(cve, targets, threads),
@@ -116,6 +132,72 @@ TEST(TraceDeterminism, SearchCorpusStatsIdenticalAcrossThreadCounts)
     ASSERT_EQ(setenv("FIRMUP_THREADS", "2", /*overwrite=*/1), 0);
     expect_same(reference, scan(cve, targets, 0), "FIRMUP_THREADS=2");
     unsetenv("FIRMUP_THREADS");
+
+    trace::set_level(trace::Level::Off);
+    trace::MetricsRegistry::global().reset();
+}
+
+TEST(TraceDeterminism, ParallelCanonFanOutIsThreadInvariant)
+{
+    // The intra-executable canon fan-out (index_executable's per-proc
+    // parallel_for) must be invisible: identical index contents and
+    // identical canon.* counters at every width.
+    trace::set_level(trace::Level::Metrics);
+
+    const auto &pkg = firmware::package_by_name("wget");
+    const auto source = firmware::generate_package_source(pkg, "1.15");
+    codegen::BuildRequest request;
+    request.arch = isa::Arch::Mips32;
+    request.profile = compiler::gcc_like_toolchain();
+    const auto exe = codegen::build_executable(source, request);
+    const lifter::LiftedExecutable lifted =
+        lifter::lift_executable(exe).take();
+
+    struct IndexRun
+    {
+        sim::ExecutableIndex index;
+        std::uint64_t strands = 0, hits = 0, misses = 0;
+    };
+    const auto run_at = [&lifted](unsigned threads) {
+        trace::MetricsRegistry::global().reset();
+        IndexRun run;
+        strand::CanonMemo memo;
+        strand::CanonOptions options;
+        options.memo = &memo;
+        run.index = sim::index_executable(lifted, options, threads);
+        const trace::Snapshot snapshot =
+            trace::MetricsRegistry::global().snapshot();
+        run.strands = snapshot.counter("canon.strands_extracted");
+        run.hits = snapshot.counter("canon.memo_hits");
+        run.misses = snapshot.counter("canon.memo_misses");
+        return run;
+    };
+
+    const IndexRun reference = run_at(1);
+    ASSERT_FALSE(reference.index.procs.empty());
+    EXPECT_GT(reference.strands, 0u);
+    EXPECT_GT(reference.misses, 0u);
+    for (const unsigned threads : {2u, 8u}) {
+        const IndexRun run = run_at(threads);
+        const std::string label =
+            "threads=" + std::to_string(threads);
+        ASSERT_EQ(run.index.procs.size(), reference.index.procs.size())
+            << label;
+        for (std::size_t i = 0; i < reference.index.procs.size(); ++i) {
+            EXPECT_EQ(run.index.procs[i].entry,
+                      reference.index.procs[i].entry)
+                << label;
+            EXPECT_EQ(run.index.procs[i].name,
+                      reference.index.procs[i].name)
+                << label;
+            EXPECT_EQ(run.index.procs[i].repr.hashes,
+                      reference.index.procs[i].repr.hashes)
+                << label << " proc " << i;
+        }
+        EXPECT_EQ(run.strands, reference.strands) << label;
+        EXPECT_EQ(run.hits, reference.hits) << label;
+        EXPECT_EQ(run.misses, reference.misses) << label;
+    }
 
     trace::set_level(trace::Level::Off);
     trace::MetricsRegistry::global().reset();

@@ -22,9 +22,11 @@
  *                                        drive unpack→lift→index→match
  *                                        over N deterministic mutants of
  *                                        BLOB; prints the ScanHealth
- *   firmup bench-json [--out FILE] [--devices N]
+ *   firmup bench-json [--out FILE] [--devices N] [--only ENTRY]...
  *                                        run the matching micro-
- *                                        benchmarks, write BENCH_micro.json
+ *                                        benchmarks, write BENCH_micro.json;
+ *                                        --only (repeatable) restricts the
+ *                                        run to the named entries
  *
  * search, trace, index and fuzz-unpack accept `--stats-json FILE`:
  * metrics collection is switched on and the flat counter/histogram
@@ -45,6 +47,8 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -82,8 +86,12 @@ usage()
         "  exec BLOB EXE PROC [ARGS...]        interpret a procedure\n"
         "  fuzz-unpack BLOB [--iters N] [--seed S]\n"
         "                                      fault-inject the pipeline\n"
-        "  bench-json [--out FILE] [--devices N]\n"
-        "                                      write BENCH_micro.json\n"
+        "  bench-json [--out FILE] [--devices N] [--only ENTRY]...\n"
+        "                                      write BENCH_micro.json;\n"
+        "                                      --only restricts the run to\n"
+        "                                      the named entries (stdout\n"
+        "                                      only; the BENCH file is\n"
+        "                                      written by full runs)\n"
         "search/trace/index/fuzz-unpack also take --stats-json FILE to\n"
         "collect and dump the metrics snapshot\n"
         "search/trace/index also take --index-cache DIR: a persistent\n"
@@ -511,14 +519,23 @@ cmd_search(const std::string &cve_id,
  * Machine-readable perf snapshot (BENCH_micro.json): intersection-kernel
  * throughput, posting-list vs dense GetBestMatch, per-game scoring-op
  * reduction on the Table 2 workload, serial vs parallel search_corpus,
- * and cold vs warm preindex through the persistent index cache — so the
- * perf trajectory is tracked from run to run.
+ * cold vs warm preindex through the persistent index cache, and the
+ * cold indexing path (canonical-string hashing vs streaming + canon
+ * memo) — so the perf trajectory is tracked from run to run.
+ *
+ * `--only ENTRY` (repeatable) restricts the run to the named entries;
+ * emission order in the JSON is fixed regardless of flag order.
  */
 int
 cmd_bench_json(const std::vector<std::string> &args)
 {
+    static const std::set<std::string> kEntryNames = {
+        "intersect_kernel", "best_match",   "game_workload",
+        "trace_overhead",   "search_corpus", "index_cache",
+        "cold_index"};
     std::string out_path = "BENCH_micro.json";
     firmware::CorpusOptions copt;
+    std::set<std::string> only;
     for (std::size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--out" && i + 1 < args.size()) {
             out_path = args[++i];
@@ -526,148 +543,220 @@ cmd_bench_json(const std::vector<std::string> &args)
             if (!parse_int(args[++i], copt.num_devices)) {
                 return usage();
             }
+        } else if (args[i] == "--only" && i + 1 < args.size()) {
+            const std::string &entry = args[++i];
+            if (!kEntryNames.contains(entry)) {
+                std::fprintf(stderr,
+                             "firmup: bench-json: unknown entry '%s'\n",
+                             entry.c_str());
+                return usage();
+            }
+            only.insert(entry);
         } else {
             return usage();
         }
     }
+    const auto enabled = [&only](const char *entry) {
+        return only.empty() || only.contains(entry);
+    };
     const firmware::Corpus corpus = firmware::build_corpus(copt);
     const std::vector<eval::CorpusTarget> targets =
         eval::corpus_targets(corpus);
-    const unsigned hw =
-        std::max(1u, std::thread::hardware_concurrency());
+    // FIRMUP_THREADS overrides hardware concurrency, so a CI host with
+    // one core can still exercise (and stop skipping) the parallel runs.
+    const unsigned hw = eval::resolve_worker_threads(0);
     auto now = [] { return std::chrono::steady_clock::now(); };
     auto secs = [](auto a, auto b) {
         return std::chrono::duration<double>(b - a).count();
     };
 
+    std::vector<std::string> entries;
+    entries.push_back(strprintf(
+        "  \"corpus\": {\"devices\": %d, \"executables\": %zu, "
+        "\"procedures\": %zu}",
+        copt.num_devices, corpus.executable_count(),
+        corpus.procedure_count()));
+    bool all_identical = true;
+
+    // Shared scaffolding for the kernel/game entries: one indexed view
+    // of the corpus. Skipped entirely when none of them is selected.
+    const bool need_indexes =
+        enabled("intersect_kernel") || enabled("best_match") ||
+        enabled("game_workload") || enabled("trace_overhead");
     eval::Driver driver;
-    driver.preindex(corpus, hw);
     std::vector<const sim::ExecutableIndex *> indexes;
-    for (const eval::CorpusTarget &t : targets) {
-        if (const sim::ExecutableIndex *index =
-                driver.index_target(*t.exe)) {
-            indexes.push_back(index);
-        }
-    }
-    if (indexes.empty()) {
-        std::fprintf(stderr, "firmup: bench-json: empty corpus\n");
-        return 1;
-    }
-
-    // --- intersection kernel: Sim over sampled procedure pairs ---
     std::vector<const strand::ProcedureStrands *> reprs;
-    for (const sim::ExecutableIndex *index : indexes) {
-        for (const sim::ProcEntry &proc : index->procs) {
-            reprs.push_back(&proc.repr);
-        }
-    }
-    Rng rng(0xbe9c);
-    constexpr int kPairs = 200000;
-    std::uint64_t checksum = 0;
-    const auto k0 = now();
-    for (int i = 0; i < kPairs; ++i) {
-        const auto &a = *reprs[rng.index(reprs.size())];
-        const auto &b = *reprs[rng.index(reprs.size())];
-        checksum += static_cast<std::uint64_t>(sim::sim_score(a, b));
-    }
-    const double kernel_seconds = secs(k0, now());
-
-    // --- posting-list vs dense GetBestMatch over the biggest target ---
-    const sim::ExecutableIndex *big = indexes.front();
-    for (const sim::ExecutableIndex *index : indexes) {
-        if (index->procs.size() > big->procs.size()) {
-            big = index;
-        }
-    }
-    std::uint64_t best_checksum = 0;
-    const auto p0 = now();
-    for (const auto &repr : reprs) {
-        for (const sim::Candidate &c : sim::shared_candidates(*big,
-                                                              *repr)) {
-            best_checksum += static_cast<std::uint64_t>(c.sim);
-            break;  // existence is enough; count the first
-        }
-    }
-    const double posting_seconds = secs(p0, now());
-    const auto d0 = now();
-    for (const auto &repr : reprs) {
-        for (const sim::ProcEntry &proc : big->procs) {
-            best_checksum +=
-                static_cast<std::uint64_t>(sim::sim_score(*repr,
-                                                          proc.repr));
-        }
-    }
-    const double dense_seconds = secs(d0, now());
-
-    // --- per-game scoring ops on the Table 2 workload ---
-    // Queries are prebuilt so the timed workload below is games only.
-    std::vector<std::map<isa::Arch, eval::Query>> cve_queries;
-    for (const firmware::CveRecord &cve : firmware::cve_database()) {
-        cve_queries.push_back(driver.build_queries(cve, targets, hw));
-    }
-    std::uint64_t pairs_scored = 0, pairs_pruned = 0;
-    std::uint64_t elem_ops = 0, dense_elem_ops = 0;
-    std::size_t games = 0;
-    auto run_games = [&] {
-        pairs_scored = pairs_pruned = elem_ops = dense_elem_ops = 0;
-        games = 0;
-        for (const auto &queries : cve_queries) {
-            for (const sim::ExecutableIndex *index : indexes) {
-                const auto qit = queries.find(index->arch);
-                if (qit == queries.end()) {
-                    continue;
-                }
-                const game::GameResult result = game::match_query(
-                    qit->second.index, qit->second.qv, *index,
-                    driver.options().game);
-                pairs_scored += result.pairs_scored;
-                pairs_pruned += result.pairs_pruned;
-                elem_ops += result.scoring_elem_ops;
-                dense_elem_ops += result.dense_elem_ops;
-                ++games;
+    if (need_indexes) {
+        driver.preindex(corpus, hw);
+        for (const eval::CorpusTarget &t : targets) {
+            if (const sim::ExecutableIndex *index =
+                    driver.index_target(*t.exe)) {
+                indexes.push_back(index);
             }
         }
-    };
-    run_games();
-    const std::uint64_t dense_pairs = pairs_scored + pairs_pruned;
-    const double pair_reduction =
-        pairs_scored == 0 ? 0.0
-                          : static_cast<double>(dense_pairs) /
-                                static_cast<double>(pairs_scored);
-    // Element-level operations are the honest cost unit: dense rescoring
-    // paid a (|q|+|t|)-element merge per pair per call, the posting path
-    // pays one op per probe/incidence on a memo miss.
-    const double reduction =
-        elem_ops == 0 ? 0.0
-                      : static_cast<double>(dense_elem_ops) /
-                            static_cast<double>(elem_ops);
+        if (indexes.empty()) {
+            std::fprintf(stderr, "firmup: bench-json: empty corpus\n");
+            return 1;
+        }
+        for (const sim::ExecutableIndex *index : indexes) {
+            for (const sim::ProcEntry &proc : index->procs) {
+                reprs.push_back(&proc.repr);
+            }
+        }
+    }
 
-    // --- tracing overhead on the same game workload ---
-    // Best-of-3 at Level::Off vs Level::Full: the min damps scheduler
-    // noise, and the claim under test is that compiled-in tracing costs
-    // <2% even fully enabled (one relaxed atomic load per hook when
-    // off; batched counter flushes + ring events when on).
-    constexpr int kOverheadReps = 3;
-    auto timed_games = [&] {
-        const auto t0 = now();
+    if (enabled("intersect_kernel")) {
+        // --- intersection kernel: Sim over sampled procedure pairs ---
+        Rng rng(0xbe9c);
+        constexpr int kPairs = 200000;
+        std::uint64_t checksum = 0;
+        const auto k0 = now();
+        for (int i = 0; i < kPairs; ++i) {
+            const auto &a = *reprs[rng.index(reprs.size())];
+            const auto &b = *reprs[rng.index(reprs.size())];
+            checksum += static_cast<std::uint64_t>(sim::sim_score(a, b));
+        }
+        const double kernel_seconds = secs(k0, now());
+        entries.push_back(strprintf(
+            "  \"intersect_kernel\": {\"pairs\": %d, \"seconds\": %.6f, "
+            "\"ns_per_pair\": %.1f, \"checksum\": %llu}",
+            kPairs, kernel_seconds, kernel_seconds / kPairs * 1e9,
+            static_cast<unsigned long long>(checksum)));
+    }
+
+    if (enabled("best_match")) {
+        // --- posting-list vs dense GetBestMatch, biggest target ---
+        const sim::ExecutableIndex *big = indexes.front();
+        for (const sim::ExecutableIndex *index : indexes) {
+            if (index->procs.size() > big->procs.size()) {
+                big = index;
+            }
+        }
+        std::uint64_t best_checksum = 0;
+        const auto p0 = now();
+        for (const auto &repr : reprs) {
+            for (const sim::Candidate &c :
+                 sim::shared_candidates(*big, *repr)) {
+                best_checksum += static_cast<std::uint64_t>(c.sim);
+                break;  // existence is enough; count the first
+            }
+        }
+        const double posting_seconds = secs(p0, now());
+        const auto d0 = now();
+        for (const auto &repr : reprs) {
+            for (const sim::ProcEntry &proc : big->procs) {
+                best_checksum += static_cast<std::uint64_t>(
+                    sim::sim_score(*repr, proc.repr));
+            }
+        }
+        const double dense_seconds = secs(d0, now());
+        entries.push_back(strprintf(
+            "  \"best_match\": {\"queries\": %zu, \"target_procs\": %zu, "
+            "\"posting_seconds\": %.6f, \"dense_seconds\": %.6f, "
+            "\"speedup\": %.2f, \"checksum\": %llu}",
+            reprs.size(), big->procs.size(), posting_seconds,
+            dense_seconds,
+            posting_seconds > 0.0 ? dense_seconds / posting_seconds : 0.0,
+            static_cast<unsigned long long>(best_checksum)));
+    }
+
+    if (enabled("game_workload") || enabled("trace_overhead")) {
+        // --- per-game scoring ops on the Table 2 workload ---
+        // Queries are prebuilt so the timed workload is games only.
+        std::vector<std::map<isa::Arch, eval::Query>> cve_queries;
+        for (const firmware::CveRecord &cve : firmware::cve_database()) {
+            cve_queries.push_back(driver.build_queries(cve, targets, hw));
+        }
+        std::uint64_t pairs_scored = 0, pairs_pruned = 0;
+        std::uint64_t elem_ops = 0, dense_elem_ops = 0;
+        std::size_t games = 0;
+        auto run_games = [&] {
+            pairs_scored = pairs_pruned = elem_ops = dense_elem_ops = 0;
+            games = 0;
+            for (const auto &queries : cve_queries) {
+                for (const sim::ExecutableIndex *index : indexes) {
+                    const auto qit = queries.find(index->arch);
+                    if (qit == queries.end()) {
+                        continue;
+                    }
+                    const game::GameResult result = game::match_query(
+                        qit->second.index, qit->second.qv, *index,
+                        driver.options().game);
+                    pairs_scored += result.pairs_scored;
+                    pairs_pruned += result.pairs_pruned;
+                    elem_ops += result.scoring_elem_ops;
+                    dense_elem_ops += result.dense_elem_ops;
+                    ++games;
+                }
+            }
+        };
         run_games();
-        return secs(t0, now());
-    };
-    double disabled_seconds = timed_games();
-    for (int rep = 1; rep < kOverheadReps; ++rep) {
-        disabled_seconds = std::min(disabled_seconds, timed_games());
+        if (enabled("game_workload")) {
+            const std::uint64_t dense_pairs = pairs_scored + pairs_pruned;
+            const double pair_reduction =
+                pairs_scored == 0 ? 0.0
+                                  : static_cast<double>(dense_pairs) /
+                                        static_cast<double>(pairs_scored);
+            // Element-level operations are the honest cost unit: dense
+            // rescoring paid a (|q|+|t|)-element merge per pair per
+            // call, the posting path pays one op per probe/incidence on
+            // a memo miss.
+            const double reduction =
+                elem_ops == 0
+                    ? 0.0
+                    : static_cast<double>(dense_elem_ops) /
+                          static_cast<double>(elem_ops);
+            entries.push_back(strprintf(
+                "  \"game_workload\": {\"games\": %zu, "
+                "\"pairs_scored\": %llu, \"pairs_pruned\": %llu, "
+                "\"dense_pairs\": %llu, \"pair_reduction\": %.2f, "
+                "\"scoring_elem_ops\": %llu, \"dense_elem_ops\": %llu, "
+                "\"scoring_reduction\": %.2f}",
+                games, static_cast<unsigned long long>(pairs_scored),
+                static_cast<unsigned long long>(pairs_pruned),
+                static_cast<unsigned long long>(dense_pairs),
+                pair_reduction, static_cast<unsigned long long>(elem_ops),
+                static_cast<unsigned long long>(dense_elem_ops),
+                reduction));
+        }
+        if (enabled("trace_overhead")) {
+            // --- tracing overhead on the same game workload ---
+            // Best-of-3 at Level::Off vs Level::Full: the min damps
+            // scheduler noise, and the claim under test is that
+            // compiled-in tracing costs <2% even fully enabled (one
+            // relaxed atomic load per hook when off; batched counter
+            // flushes + ring events when on).
+            constexpr int kOverheadReps = 3;
+            auto timed_games = [&] {
+                const auto t0 = now();
+                run_games();
+                return secs(t0, now());
+            };
+            double disabled_seconds = timed_games();
+            for (int rep = 1; rep < kOverheadReps; ++rep) {
+                disabled_seconds =
+                    std::min(disabled_seconds, timed_games());
+            }
+            trace::set_level(trace::Level::Full);
+            double enabled_seconds = timed_games();
+            for (int rep = 1; rep < kOverheadReps; ++rep) {
+                enabled_seconds =
+                    std::min(enabled_seconds, timed_games());
+            }
+            trace::set_level(trace::Level::Off);
+            const double overhead_pct =
+                disabled_seconds > 0.0
+                    ? (enabled_seconds - disabled_seconds) /
+                          disabled_seconds * 100.0
+                    : 0.0;
+            entries.push_back(strprintf(
+                "  \"trace_overhead\": {\"reps\": %d, "
+                "\"disabled_seconds\": %.6f, \"enabled_seconds\": %.6f, "
+                "\"overhead_pct\": %.2f}",
+                kOverheadReps, disabled_seconds, enabled_seconds,
+                overhead_pct));
+        }
     }
-    trace::set_level(trace::Level::Full);
-    double enabled_seconds = timed_games();
-    for (int rep = 1; rep < kOverheadReps; ++rep) {
-        enabled_seconds = std::min(enabled_seconds, timed_games());
-    }
-    trace::set_level(trace::Level::Off);
-    const double overhead_pct =
-        disabled_seconds > 0.0
-            ? (enabled_seconds - disabled_seconds) / disabled_seconds *
-                  100.0
-            : 0.0;
 
     // Outcome equality for warm-vs-cold / serial-vs-parallel checks.
     auto outcomes_identical =
@@ -688,130 +777,235 @@ cmd_bench_json(const std::vector<std::string> &args)
         };
     const firmware::CveRecord &cve0 = firmware::cve_database().front();
 
-    // --- serial vs parallel search_corpus, first CVE ---
-    // A 1-worker host has no parallelism to measure: the run is marked
-    // skipped instead of reporting a misleading ~1.0x "speedup".
-    const bool corpus_skipped = hw <= 1;
-    eval::Driver parallel_driver;
-    double serial_seconds = 0.0, parallel_seconds = 0.0;
-    bool identical = true;
-    if (corpus_skipped) {
-        const auto s1 = now();
-        parallel_driver.search_corpus(cve0, targets, hw);
-        parallel_seconds = secs(s1, now());
-    } else {
-        eval::Driver serial_driver;
-        const auto s0 = now();
-        const auto serial =
-            serial_driver.search_corpus(cve0, targets, 1);
-        serial_seconds = secs(s0, now());
-        const auto s1 = now();
-        const auto parallel =
+    if (enabled("search_corpus")) {
+        // --- serial vs parallel search_corpus, first CVE ---
+        // A 1-worker host has no parallelism to measure: the run is
+        // marked skipped instead of reporting a misleading ~1.0x
+        // "speedup".
+        const bool corpus_skipped = hw <= 1;
+        eval::Driver parallel_driver;
+        double serial_seconds = 0.0, parallel_seconds = 0.0;
+        bool identical = true;
+        if (corpus_skipped) {
+            const auto s1 = now();
             parallel_driver.search_corpus(cve0, targets, hw);
-        parallel_seconds = secs(s1, now());
-        identical = outcomes_identical(serial, parallel);
+            parallel_seconds = secs(s1, now());
+        } else {
+            eval::Driver serial_driver;
+            const auto s0 = now();
+            const auto serial =
+                serial_driver.search_corpus(cve0, targets, 1);
+            serial_seconds = secs(s0, now());
+            const auto s1 = now();
+            const auto parallel =
+                parallel_driver.search_corpus(cve0, targets, hw);
+            parallel_seconds = secs(s1, now());
+            identical = outcomes_identical(serial, parallel);
+        }
+        all_identical = all_identical && identical;
+        const eval::ScanHealth &stages = parallel_driver.health();
+        entries.push_back(strprintf(
+            "  \"search_corpus\": {\"targets\": %zu, "
+            "\"serial_seconds\": %.6f, \"parallel_seconds\": %.6f, "
+            "\"threads\": %u, \"hardware_concurrency\": %u, "
+            "\"skipped\": %s, \"speedup\": %.2f, \"identical\": %s}",
+            targets.size(), serial_seconds, parallel_seconds, hw, hw,
+            corpus_skipped ? "true" : "false",
+            parallel_seconds > 0.0 ? serial_seconds / parallel_seconds
+                                   : 0.0,
+            identical ? "true" : "false"));
+        entries.push_back(strprintf(
+            "  \"stage_seconds\": {\"index\": %.6f, \"index_cpu\": %.6f, "
+            "\"games\": %.6f, \"games_cpu\": %.6f, \"confirm\": %.6f, "
+            "\"confirm_cpu\": %.6f, \"match_wall\": %.6f}",
+            stages.index_seconds, stages.index_cpu_seconds,
+            stages.game_seconds, stages.game_cpu_seconds,
+            stages.confirm_seconds, stages.confirm_cpu_seconds,
+            stages.match_wall_seconds));
     }
-    const eval::ScanHealth &stages = parallel_driver.health();
 
-    // --- cold vs warm preindex through the persistent index cache ---
-    // Two fresh drivers share one content-addressed store: the first run
-    // lifts and writes back, the second must serve every index from disk
-    // (cache_misses == 0) and reproduce the cold scan bit-identically.
-    const std::string cache_dir =
-        (std::filesystem::temp_directory_path() /
-         strprintf("firmup-bench-cache-%llu",
-                   static_cast<unsigned long long>(
-                       std::chrono::steady_clock::now()
-                           .time_since_epoch()
-                           .count())))
-            .string();
-    eval::SearchOptions cache_options;
-    cache_options.index_cache_dir = cache_dir;
-    eval::Driver cold_driver(cache_options);
-    const auto c0 = now();
-    cold_driver.preindex(corpus, hw);
-    const double cold_seconds = secs(c0, now());
-    const auto cold_outcomes =
-        cold_driver.search_corpus(cve0, targets, hw);
-    eval::Driver warm_driver(cache_options);
-    const auto w0 = now();
-    warm_driver.preindex(corpus, hw);
-    const double warm_seconds = secs(w0, now());
-    const auto warm_outcomes =
-        warm_driver.search_corpus(cve0, targets, hw);
-    const bool cache_identical =
-        outcomes_identical(cold_outcomes, warm_outcomes) &&
-        warm_driver.health().cache_misses == 0;
-    const eval::ScanHealth &cold_health = cold_driver.health();
-    const eval::ScanHealth &warm_health = warm_driver.health();
-    std::error_code cleanup_ec;
-    std::filesystem::remove_all(cache_dir, cleanup_ec);
-
-    const std::string json = strprintf(
-        "{\n"
-        "  \"corpus\": {\"devices\": %d, \"executables\": %zu, "
-        "\"procedures\": %zu},\n"
-        "  \"intersect_kernel\": {\"pairs\": %d, \"seconds\": %.6f, "
-        "\"ns_per_pair\": %.1f, \"checksum\": %llu},\n"
-        "  \"best_match\": {\"queries\": %zu, \"target_procs\": %zu, "
-        "\"posting_seconds\": %.6f, \"dense_seconds\": %.6f, "
-        "\"speedup\": %.2f, \"checksum\": %llu},\n"
-        "  \"game_workload\": {\"games\": %zu, \"pairs_scored\": %llu, "
-        "\"pairs_pruned\": %llu, \"dense_pairs\": %llu, "
-        "\"pair_reduction\": %.2f, \"scoring_elem_ops\": %llu, "
-        "\"dense_elem_ops\": %llu, \"scoring_reduction\": %.2f},\n"
-        "  \"trace_overhead\": {\"reps\": %d, "
-        "\"disabled_seconds\": %.6f, \"enabled_seconds\": %.6f, "
-        "\"overhead_pct\": %.2f},\n"
-        "  \"search_corpus\": {\"targets\": %zu, "
-        "\"serial_seconds\": %.6f, \"parallel_seconds\": %.6f, "
-        "\"threads\": %u, \"hardware_concurrency\": %u, "
-        "\"skipped\": %s, \"speedup\": %.2f, \"identical\": %s},\n"
-        "  \"index_cache\": {\"executables\": %zu, "
-        "\"cold_seconds\": %.6f, \"warm_seconds\": %.6f, "
-        "\"speedup\": %.2f, \"cache_hits\": %zu, "
-        "\"cache_misses\": %zu, \"write_bytes\": %llu, "
-        "\"identical\": %s},\n"
-        "  \"stage_seconds\": {\"index\": %.6f, \"index_cpu\": %.6f, "
-        "\"games\": %.6f, \"games_cpu\": %.6f, \"confirm\": %.6f, "
-        "\"confirm_cpu\": %.6f, \"match_wall\": %.6f}\n"
-        "}\n",
-        copt.num_devices, corpus.executable_count(),
-        corpus.procedure_count(), kPairs, kernel_seconds,
-        kernel_seconds / kPairs * 1e9,
-        static_cast<unsigned long long>(checksum), reprs.size(),
-        big->procs.size(), posting_seconds, dense_seconds,
-        posting_seconds > 0.0 ? dense_seconds / posting_seconds : 0.0,
-        static_cast<unsigned long long>(best_checksum), games,
-        static_cast<unsigned long long>(pairs_scored),
-        static_cast<unsigned long long>(pairs_pruned),
-        static_cast<unsigned long long>(dense_pairs), pair_reduction,
-        static_cast<unsigned long long>(elem_ops),
-        static_cast<unsigned long long>(dense_elem_ops), reduction,
-        kOverheadReps, disabled_seconds, enabled_seconds, overhead_pct,
-        targets.size(), serial_seconds, parallel_seconds, hw, hw,
-        corpus_skipped ? "true" : "false",
-        parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0,
-        identical ? "true" : "false", warm_health.cache_hits,
-        cold_seconds, warm_seconds,
-        warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0,
-        warm_health.cache_hits, warm_health.cache_misses,
-        static_cast<unsigned long long>(cold_health.cache_write_bytes),
-        cache_identical ? "true" : "false", stages.index_seconds,
-        stages.index_cpu_seconds, stages.game_seconds,
-        stages.game_cpu_seconds, stages.confirm_seconds,
-        stages.confirm_cpu_seconds, stages.match_wall_seconds);
-
-    std::ofstream out(out_path, std::ios::binary);
-    out << json;
-    if (!out) {
-        std::fprintf(stderr, "firmup: cannot write %s\n",
-                     out_path.c_str());
-        return 1;
+    if (enabled("index_cache")) {
+        // --- cold vs warm preindex through the persistent cache ---
+        // Two fresh drivers share one content-addressed store: the
+        // first run lifts and writes back, the second must serve every
+        // index from disk (cache_misses == 0) and reproduce the cold
+        // scan bit-identically.
+        const std::string cache_dir =
+            (std::filesystem::temp_directory_path() /
+             strprintf("firmup-bench-cache-%llu",
+                       static_cast<unsigned long long>(
+                           std::chrono::steady_clock::now()
+                               .time_since_epoch()
+                               .count())))
+                .string();
+        eval::SearchOptions cache_options;
+        cache_options.index_cache_dir = cache_dir;
+        eval::Driver cold_driver(cache_options);
+        const auto c0 = now();
+        cold_driver.preindex(corpus, hw);
+        const double cold_seconds = secs(c0, now());
+        const auto cold_outcomes =
+            cold_driver.search_corpus(cve0, targets, hw);
+        eval::Driver warm_driver(cache_options);
+        const auto w0 = now();
+        warm_driver.preindex(corpus, hw);
+        const double warm_seconds = secs(w0, now());
+        const auto warm_outcomes =
+            warm_driver.search_corpus(cve0, targets, hw);
+        const bool cache_identical =
+            outcomes_identical(cold_outcomes, warm_outcomes) &&
+            warm_driver.health().cache_misses == 0;
+        all_identical = all_identical && cache_identical;
+        const eval::ScanHealth &cold_health = cold_driver.health();
+        const eval::ScanHealth &warm_health = warm_driver.health();
+        std::error_code cleanup_ec;
+        std::filesystem::remove_all(cache_dir, cleanup_ec);
+        entries.push_back(strprintf(
+            "  \"index_cache\": {\"executables\": %zu, "
+            "\"cold_seconds\": %.6f, \"warm_seconds\": %.6f, "
+            "\"speedup\": %.2f, \"cache_hits\": %zu, "
+            "\"cache_misses\": %zu, \"write_bytes\": %llu, "
+            "\"canon_memo_hits\": %llu, \"canon_memo_misses\": %llu, "
+            "\"identical\": %s}",
+            warm_health.cache_hits, cold_seconds, warm_seconds,
+            warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0,
+            warm_health.cache_hits, warm_health.cache_misses,
+            static_cast<unsigned long long>(
+                cold_health.cache_write_bytes),
+            static_cast<unsigned long long>(
+                cold_health.canon_memo_hits),
+            static_cast<unsigned long long>(
+                cold_health.canon_memo_misses),
+            cache_identical ? "true" : "false"));
     }
+
+    if (enabled("cold_index")) {
+        // --- cold indexing: canonical-string hashing vs streaming +
+        // canon memo, over pre-lifted executables ---
+        // Lifting is hoisted out (untimed) so the entry isolates the
+        // canonicalize+hash+finalize stage the tentpole optimized.
+        // Best-of-3 per path; the memo is rebuilt fresh each rep so
+        // every rep pays the same cold misses.
+        std::vector<lifter::LiftedExecutable> lifted_exes;
+        {
+            std::set<std::uint64_t> seen;
+            for (const eval::CorpusTarget &t : targets) {
+                if (!seen.insert(eval::content_key(*t.exe)).second) {
+                    continue;
+                }
+                auto lifted = lifter::lift_executable(*t.exe);
+                if (lifted.ok() && !lifted.value().procs.empty()) {
+                    lifted_exes.push_back(std::move(lifted).take());
+                }
+            }
+        }
+        std::size_t cold_blocks = 0;
+        for (const lifter::LiftedExecutable &lifted : lifted_exes) {
+            for (const auto &[entry, proc] : lifted.procs) {
+                cold_blocks += proc.blocks.size();
+            }
+        }
+        constexpr int kColdReps = 3;
+        // Baseline: materialize the canonical string per strand and
+        // hash it, no memo — the pre-streaming cold path. Single
+        // threaded on both sides: this entry measures the algorithmic
+        // win, not core count.
+        strand::CanonOptions string_path;
+        string_path.stream_hash = false;
+        std::vector<sim::ExecutableIndex> base_indexes;
+        double string_seconds = 0.0;
+        for (int rep = 0; rep < kColdReps; ++rep) {
+            std::vector<sim::ExecutableIndex> built;
+            built.reserve(lifted_exes.size());
+            const auto t0 = now();
+            for (const lifter::LiftedExecutable &lifted : lifted_exes) {
+                built.push_back(
+                    sim::index_executable(lifted, string_path, 1));
+            }
+            const double elapsed = secs(t0, now());
+            if (rep == 0 || elapsed < string_seconds) {
+                string_seconds = elapsed;
+            }
+            if (rep == 0) {
+                base_indexes = std::move(built);
+            }
+        }
+        // Optimized path: streamed hashing + a fresh cross-executable
+        // canon memo.
+        std::vector<sim::ExecutableIndex> fast_indexes;
+        double stream_seconds = 0.0;
+        strand::CanonMemo::Stats memo_stats{};
+        for (int rep = 0; rep < kColdReps; ++rep) {
+            strand::CanonMemo memo;
+            strand::CanonOptions stream_path;
+            stream_path.memo = &memo;
+            std::vector<sim::ExecutableIndex> built;
+            built.reserve(lifted_exes.size());
+            const auto t0 = now();
+            for (const lifter::LiftedExecutable &lifted : lifted_exes) {
+                built.push_back(
+                    sim::index_executable(lifted, stream_path, 1));
+            }
+            const double elapsed = secs(t0, now());
+            if (rep == 0 || elapsed < stream_seconds) {
+                stream_seconds = elapsed;
+            }
+            memo_stats = memo.stats();
+            if (rep == 0) {
+                fast_indexes = std::move(built);
+            }
+        }
+        // Hard invariant: both paths produce bit-identical indexes.
+        bool cold_identical = base_indexes.size() == fast_indexes.size();
+        for (std::size_t i = 0;
+             cold_identical && i < base_indexes.size(); ++i) {
+            const sim::ExecutableIndex &a = base_indexes[i];
+            const sim::ExecutableIndex &b = fast_indexes[i];
+            cold_identical = a.name == b.name && a.arch == b.arch &&
+                             a.procs.size() == b.procs.size();
+            for (std::size_t p = 0;
+                 cold_identical && p < a.procs.size(); ++p) {
+                cold_identical =
+                    a.procs[p].entry == b.procs[p].entry &&
+                    a.procs[p].name == b.procs[p].name &&
+                    a.procs[p].repr.hashes == b.procs[p].repr.hashes;
+            }
+        }
+        all_identical = all_identical && cold_identical;
+        const std::uint64_t memo_total =
+            memo_stats.hits + memo_stats.misses;
+        entries.push_back(strprintf(
+            "  \"cold_index\": {\"executables\": %zu, \"blocks\": %zu, "
+            "\"reps\": %d, \"string_seconds\": %.6f, "
+            "\"stream_memo_seconds\": %.6f, \"speedup\": %.2f, "
+            "\"memo_hits\": %llu, \"memo_misses\": %llu, "
+            "\"memo_hit_rate\": %.3f, \"identical\": %s}",
+            lifted_exes.size(), cold_blocks, kColdReps, string_seconds,
+            stream_seconds,
+            stream_seconds > 0.0 ? string_seconds / stream_seconds : 0.0,
+            static_cast<unsigned long long>(memo_stats.hits),
+            static_cast<unsigned long long>(memo_stats.misses),
+            memo_total > 0 ? static_cast<double>(memo_stats.hits) /
+                                 static_cast<double>(memo_total)
+                           : 0.0,
+            cold_identical ? "true" : "false"));
+    }
+
+    const std::string json = "{\n" + join(entries, ",\n") + "\n}\n";
     std::printf("%s", json.c_str());
-    std::printf("wrote %s\n", out_path.c_str());
-    return identical && cache_identical ? 0 : 1;
+    if (only.empty()) {
+        // A partial run must not clobber the full snapshot: only a run
+        // of every entry writes the tracked BENCH file.
+        std::ofstream out(out_path, std::ios::binary);
+        out << json;
+        if (!out) {
+            std::fprintf(stderr, "firmup: cannot write %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+    }
+    return all_identical ? 0 : 1;
 }
 
 /**
