@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <set>
 #include <thread>
 
@@ -10,6 +11,8 @@
 #include "codegen/build.h"
 #include "support/error.h"
 #include "support/hash.h"
+#include "support/retry.h"
+#include "support/str.h"
 #include "support/threadpool.h"
 #include "support/trace.h"
 
@@ -97,6 +100,23 @@ const trace::Counter c_cache_hits("cache.hits");
 const trace::Counter c_cache_misses("cache.misses");
 const trace::Counter c_cache_write_bytes("cache.write_bytes");
 const trace::Counter c_cache_load_micros("cache.load_micros");
+
+// Crash-safety accounting. scan.outcomes fires for replayed targets
+// too, so a resumed scan and a clean one-shot report the same value —
+// the CI interrupt/resume smoke compares exactly that.
+const trace::Counter c_scan_outcomes("scan.outcomes");
+const trace::Counter c_resumed_targets("journal.resumed_targets");
+const trace::Counter c_cancelled_targets("scan.cancelled_targets");
+const trace::Counter c_retries("scan.retries");
+const trace::Counter c_watchdog_expired("scan.watchdog_expired");
+
+std::uint64_t
+knob_bits(double v)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
 
 /**
  * Lift an untrusted executable, downgrading degenerate successes: a
@@ -332,6 +352,7 @@ Driver::index_many(const std::vector<const loader::Executable *> &work,
     // backs publish distinct content-keyed entries via atomic rename.
     struct Slot
     {
+        bool attempted = false;   ///< false = skipped by cancellation
         bool ok = false;
         bool from_cache = false;  ///< index loaded, lift skipped
         bool cache_miss = false;  ///< store consulted and missed
@@ -341,6 +362,7 @@ Driver::index_many(const std::vector<const loader::Executable *> &work,
         sim::ExecutableIndex index;
         std::uint64_t write_bytes = 0;
         double load_seconds = 0.0;
+        int retries = 0;          ///< transient lift retries consumed
     };
     std::vector<Slot> slots(work.size());
     std::vector<std::uint64_t> keys(work.size());
@@ -352,8 +374,18 @@ Driver::index_many(const std::vector<const loader::Executable *> &work,
     // parallelism is across executables here).
     const strand::CanonOptions canon = canon_options();
     sim::IndexCacheStore *const store = cache_store();
+    const CancelToken *const cancel = options_.cancel;
+    const RetryPolicy retry_policy{options_.max_target_retries,
+                                   options_.retry_backoff_seconds};
     ThreadPool::parallel_for(
         resolve_worker_threads(threads), work.size(), [&](std::size_t i) {
+            // Cancellation point: an unattempted slot leaves no trace —
+            // no health accounting, no quarantine — so a resume retries
+            // it from scratch exactly like a never-seen target.
+            if (cancel != nullptr && cancel->requested()) {
+                return;
+            }
+            slots[i].attempted = true;
             if (store != nullptr) {
                 const auto load_start =
                     std::chrono::steady_clock::now();
@@ -367,7 +399,10 @@ Driver::index_many(const std::vector<const loader::Executable *> &work,
                 }
                 slots[i].cache_miss = true;
             }
-            auto result = lift_untrusted(*work[i]);
+            auto result = retry_transient(
+                retry_policy, cancel,
+                [&] { return lift_untrusted(*work[i]); },
+                &slots[i].retries);
             if (!result.ok()) {
                 slots[i].code = result.error_code();
                 slots[i].message = result.error_message();
@@ -388,6 +423,13 @@ Driver::index_many(const std::vector<const loader::Executable *> &work,
     for (std::size_t i = 0; i < work.size(); ++i) {
         const loader::Executable &exe = *work[i];
         const std::uint64_t key = keys[i];
+        if (!slots[i].attempted) {
+            continue;  // cancelled before the worker reached it
+        }
+        if (slots[i].retries > 0) {
+            health_.retries += static_cast<std::size_t>(slots[i].retries);
+            c_retries.add(static_cast<std::uint64_t>(slots[i].retries));
+        }
         health_.cache_load_seconds += slots[i].load_seconds;
         if (store != nullptr) {
             c_cache_load_micros.add(static_cast<std::uint64_t>(
@@ -408,9 +450,21 @@ Driver::index_many(const std::vector<const loader::Executable *> &work,
             if (health_counted_.insert(key).second) {
                 ++health_.executables_seen;
             }
-            quarantined_.insert(key);
+            const bool fresh = quarantined_.insert(key).second;
             health_.note_quarantine(exe.name, slots[i].code,
                                     slots[i].message);
+            if (fresh) {
+                // Journal the quarantine so a resume re-skips this
+                // executable — reproducing the same ErrorCode histogram
+                // entry — without re-lifting the poisoned bytes.
+                JournalEntry entry;
+                entry.content_key = key;
+                entry.quarantined = true;
+                entry.code = slots[i].code;
+                entry.exe_name = exe.name;
+                entry.message = slots[i].message;
+                journal_append(entry);
+            }
             continue;
         }
         note_healthy(key);
@@ -445,6 +499,8 @@ Driver::match_outcome(const Query &query,
         if (result.ending == game::GameEnding::Unresolved) {
             outcome.unresolved = true;
         }
+        outcome.cancelled = result.cancelled;
+        outcome.deadline_expired = result.deadline_expired;
         if (result.matched) {
             outcome.detected = true;
             outcome.matched_entry = result.target_entry;
@@ -475,9 +531,18 @@ void
 Driver::note_outcome(const SearchOutcome &outcome)
 {
     ++health_.games_played;
+    c_scan_outcomes.add();
     if (outcome.unresolved) {
         ++health_.games_unresolved;
         health_.note_error(ErrorCode::BudgetExhausted);
+    }
+    if (outcome.deadline_expired) {
+        ++health_.watchdog_expired;
+        c_watchdog_expired.add();
+    }
+    if (outcome.retries > 0) {
+        health_.retries += static_cast<std::size_t>(outcome.retries);
+        c_retries.add(static_cast<std::uint64_t>(outcome.retries));
     }
     health_.game_seconds += outcome.game_seconds;
     health_.game_cpu_seconds += outcome.game_cpu_seconds;
@@ -555,6 +620,13 @@ Driver::build_queries(const firmware::CveRecord &cve,
     // this lazily builds exactly the query set of the serial scan loop.
     std::map<isa::Arch, Query> queries;
     for (const CorpusTarget &target : targets) {
+        // Cancellation point: on a cache miss (e.g. targets index_many
+        // skipped after cancellation) index_target cold-lifts serially,
+        // so a shutting-down scan must not walk the rest of the corpus
+        // here.
+        if (options_.cancel != nullptr && options_.cancel->requested()) {
+            break;
+        }
         const sim::ExecutableIndex *index = index_target(*target.exe);
         if (index != nullptr && !queries.contains(index->arch)) {
             queries.emplace(index->arch, build_query(cve, index->arch));
@@ -563,12 +635,100 @@ Driver::build_queries(const firmware::CveRecord &cve,
     return queries;
 }
 
+std::uint64_t
+Driver::scan_fingerprint(const std::string &label, bool confirm) const
+{
+    std::uint64_t fp = fnv1a64("fwsj-scan:" + label);
+    fp = hash_combine(fp, confirm ? 1 : 2);
+    fp = hash_combine(
+        fp, static_cast<std::uint64_t>(options_.min_confirm_sim));
+    fp = hash_combine(fp, knob_bits(options_.min_confirm_ratio));
+    fp = hash_combine(fp, knob_bits(options_.min_margin_ratio));
+    fp = hash_combine(fp, knob_bits(options_.margin_factor));
+    fp = hash_combine(fp, options_.use_game ? 1 : 2);
+    fp = hash_combine(
+        fp, static_cast<std::uint64_t>(options_.game.max_steps));
+    fp = hash_combine(
+        fp, static_cast<std::uint64_t>(options_.game.max_matches));
+    fp = hash_combine(
+        fp, static_cast<std::uint64_t>(options_.game.min_sim));
+    // Wall-clock knobs (game.max_seconds, the watchdog, the retry
+    // policy) are deliberately excluded: they bound how long a scan may
+    // take, not which answer a target deterministically produces.
+    return fp != 0 ? fp : 1;  // 0 means "skip the check" in parse()
+}
+
+void
+Driver::open_journal(const std::string &label, bool confirm)
+{
+    if (journal_opened_ || options_.journal_path.empty()) {
+        return;
+    }
+    journal_opened_ = true;
+    const std::uint64_t fp = scan_fingerprint(label, confirm);
+    if (options_.resume) {
+        JournalLoad load;
+        auto opened =
+            ScanJournal::open_resume(options_.journal_path, fp, &load);
+        if (!opened.ok()) {
+            // Degrade to a journal-less scan: a stale or unreadable
+            // journal costs resume coverage, never the scan. The error
+            // class lands in the histogram so it is visible.
+            health_.note_error(opened.error_code());
+            return;
+        }
+        journal_ = std::move(opened).take();
+        health_.journal_truncated_bytes += load.truncated_bytes;
+        for (JournalEntry &entry : load.entries) {
+            const std::uint64_t key = entry.content_key;
+            // Append order: the last record for a key wins.
+            journal_replay_.insert_or_assign(key, std::move(entry));
+        }
+        return;
+    }
+    auto created = ScanJournal::create(options_.journal_path, fp);
+    if (!created.ok()) {
+        health_.note_error(created.error_code());
+        return;
+    }
+    journal_ = std::move(created).take();
+}
+
+void
+Driver::journal_append(const JournalEntry &entry)
+{
+    if (!journal_.is_open()) {
+        return;
+    }
+    journal_.append(entry);
+    if (options_.cancel_after_appends > 0 &&
+        options_.cancel != nullptr &&
+        journal_.appended() >= options_.cancel_after_appends) {
+        options_.cancel->request();
+    }
+}
+
 std::vector<CorpusOutcome>
 Driver::search_corpus(const firmware::CveRecord &cve,
                       const std::vector<CorpusTarget> &targets,
                       unsigned threads, bool confirm)
 {
-    return search_corpus(build_queries(cve, targets, threads), targets,
+    // The journal identity must exist before any work happens so the
+    // pending set can be carved out before build_queries lifts the
+    // corpus; (package, procedure, version) pins the query without
+    // building it.
+    open_journal(strprintf("cve:%s:%s:%s:%s", cve.cve_id.c_str(),
+                           cve.package.c_str(), cve.procedure.c_str(),
+                           latest_vulnerable_version(cve).c_str()),
+                 confirm);
+    std::vector<CorpusTarget> pending;
+    pending.reserve(targets.size());
+    for (const CorpusTarget &target : targets) {
+        if (!journal_replay_.contains(content_key(*target.exe))) {
+            pending.push_back(target);
+        }
+    }
+    return search_corpus(build_queries(cve, pending, threads), targets,
                          threads, confirm);
 }
 
@@ -577,18 +737,91 @@ Driver::search_corpus(const std::map<isa::Arch, Query> &queries,
                       const std::vector<CorpusTarget> &targets,
                       unsigned threads, bool confirm)
 {
-    index_many(unseen_executables(targets), threads);
+    // Direct callers (no CVE) get a journal identity from the query
+    // set; when the CVE overload already opened the journal, this is a
+    // no-op.
+    std::string label = "queries";
+    for (const auto &[arch, query] : queries) {
+        label += strprintf(":%d/%s/%s/%s/%s", static_cast<int>(arch),
+                           query.label.c_str(), query.package.c_str(),
+                           query.procedure.c_str(),
+                           query.version.c_str());
+    }
+    open_journal(label, confirm);
+
+    const CancelToken *const cancel = options_.cancel;
+
+    // Replay pass: serve journaled targets before any stage runs, in
+    // target order, with exactly the health accounting a fresh scan of
+    // them would have produced — the determinism bar is that a resumed
+    // scan's findings and discrete health match the uninterrupted one.
+    std::vector<CorpusOutcome> out(targets.size());
+    std::vector<char> replayed(targets.size(), 0);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        out[i].target = targets[i];
+        const auto it =
+            journal_replay_.find(content_key(*targets[i].exe));
+        if (it == journal_replay_.end()) {
+            continue;
+        }
+        replayed[i] = 1;
+        const JournalEntry &entry = it->second;
+        if (entry.quarantined) {
+            if (quarantined_.insert(it->first).second) {
+                if (health_counted_.insert(it->first).second) {
+                    ++health_.executables_seen;
+                }
+                health_.note_quarantine(entry.exe_name, entry.code,
+                                        entry.message);
+            }
+        } else {
+            note_healthy(it->first);
+            out[i].indexed = entry.indexed;
+            out[i].outcome = entry.outcome;
+        }
+    }
+
+    // Index whatever the journal could not serve. unseen_executables
+    // already drops cached and quarantined keys; replayed-healthy ones
+    // exist only in the journal, so filter them here.
+    std::vector<const loader::Executable *> work =
+        unseen_executables(targets);
+    std::erase_if(work, [this](const loader::Executable *exe) {
+        return journal_replay_.contains(content_key(*exe));
+    });
+    index_many(work, threads);
 
     // Resolve targets against the now-complete caches (serial: this
     // still mutates health for executables first seen here).
-    std::vector<CorpusOutcome> out(targets.size());
     std::vector<const sim::ExecutableIndex *> resolved(targets.size(),
                                                        nullptr);
     for (std::size_t i = 0; i < targets.size(); ++i) {
-        out[i].target = targets[i];
+        if (replayed[i]) {
+            continue;
+        }
+        // Cancellation point: index_target cold-lifts on a cache miss
+        // (targets index_many skipped after cancellation), so mark the
+        // remainder cancelled instead of lifting through a shutdown.
+        if (cancel != nullptr && cancel->requested()) {
+            out[i].outcome.cancelled = true;
+            continue;
+        }
         resolved[i] = index_target(*targets[i].exe);
         out[i].indexed = resolved[i] != nullptr;
     }
+
+    // Per-target watchdog + shutdown polling for the games; options_
+    // stays frozen during the fan-out (workers read it concurrently)
+    // and is restored afterwards.
+    const game::GameOptions saved_game = options_.game;
+    options_.game.cancel = cancel;
+    if (options_.target_budget_seconds > 0.0 &&
+        (options_.game.max_seconds <= 0.0 ||
+         options_.target_budget_seconds < options_.game.max_seconds)) {
+        options_.game.max_seconds = options_.target_budget_seconds;
+    }
+    const RetryPolicy retry_policy{options_.max_target_retries,
+                                   options_.retry_backoff_seconds};
 
     // The games are embarrassingly parallel: workers read the frozen
     // caches and write disjoint slots. A worker exception propagates
@@ -597,30 +830,95 @@ Driver::search_corpus(const std::map<isa::Arch, Query> &queries,
     ThreadPool::parallel_for(
         resolve_worker_threads(threads), targets.size(),
         [&](std::size_t i) {
+            if (replayed[i]) {
+                return;  // served from the journal
+            }
             const sim::ExecutableIndex *target = resolved[i];
             if (target == nullptr) {
+                return;  // quarantined, or cancelled at resolve
+            }
+            // Cancellation point: drain, don't start, once shutdown is
+            // requested; in-flight games poll the token at their
+            // deadline sample points.
+            if (cancel != nullptr && cancel->requested()) {
+                out[i].outcome.cancelled = true;
                 return;
             }
             const auto qit = queries.find(target->arch);
             if (qit == queries.end()) {
                 out[i].indexed = false;  // no query for this ISA
+                JournalEntry entry;
+                entry.content_key = content_key(*targets[i].exe);
+                entry.indexed = false;
+                journal_append(entry);
                 return;
             }
             const trace::TraceSpan span("search_target",
                                         targets[i].exe->name);
-            out[i].outcome = confirm
-                                 ? search_outcome(qit->second, *target)
-                                 : match_outcome(qit->second, *target);
+            SearchOutcome outcome =
+                confirm ? search_outcome(qit->second, *target)
+                        : match_outcome(qit->second, *target);
+            // Watchdog retry: deadline expiry is the one transient game
+            // failure (wall-clock BudgetExhausted depends on machine
+            // load, not on the input); redo with backoff while the
+            // retry budget lasts. Everything else is deterministic and
+            // would fail identically.
+            int retries = 0;
+            double backoff = retry_policy.backoff_seconds;
+            while (outcome.deadline_expired && !outcome.cancelled &&
+                   retries < retry_policy.max_retries &&
+                   !(cancel != nullptr && cancel->requested())) {
+                if (backoff > 0.0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(backoff));
+                }
+                backoff *= retry_policy.backoff_factor;
+                ++retries;
+                outcome = confirm
+                              ? search_outcome(qit->second, *target)
+                              : match_outcome(qit->second, *target);
+            }
+            outcome.retries = retries;
+            out[i].outcome = outcome;
+            if (!outcome.cancelled) {
+                // Journal the completed target the moment it finishes;
+                // cancelled targets are never journaled (no answer to
+                // replay — the resume redoes them).
+                JournalEntry entry;
+                entry.content_key = content_key(*targets[i].exe);
+                entry.indexed = true;
+                entry.outcome = outcome;
+                journal_append(entry);
+            }
         });
+    options_.game = saved_game;
     health_.match_wall_seconds += seconds_since(match_start);
 
     // Merge the accounting single-threaded, in target order — the same
     // order the serial loop would have produced.
-    for (const CorpusOutcome &co : out) {
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        const CorpusOutcome &co = out[i];
+        if (replayed[i]) {
+            ++health_.resumed_targets;
+            c_resumed_targets.add();
+            if (co.indexed) {
+                note_outcome(co.outcome);
+            }
+            continue;
+        }
+        if (co.outcome.cancelled) {
+            ++health_.targets_cancelled;
+            c_cancelled_targets.add();
+            continue;
+        }
         if (co.indexed) {
             note_outcome(co.outcome);
         }
     }
+    if (cancel != nullptr && cancel->requested()) {
+        health_.cancelled = true;
+    }
+    journal_.flush();
     return out;
 }
 

@@ -20,12 +20,14 @@
 #include "baseline/bindiff_like.h"
 #include "baseline/gitz_like.h"
 #include "eval/health.h"
+#include "eval/journal.h"
 #include "firmware/catalog.h"
 #include "firmware/corpus.h"
 #include "game/game.h"
 #include "sim/index_cache.h"
 #include "sim/similarity.h"
 #include "strand/memo.h"
+#include "support/cancel.h"
 
 namespace firmup::eval {
 
@@ -69,6 +71,49 @@ struct SearchOptions
      * entirely. Corrupt or stale entries degrade to misses.
      */
     std::string index_cache_dir;
+    /**
+     * When non-empty, search_corpus keeps an append-only scan journal
+     * (eval/journal.h) at this path: each target's outcome is durably
+     * recorded as it completes, so a crashed or cancelled scan can be
+     * resumed without redoing finished targets.
+     */
+    std::string journal_path;
+    /**
+     * Resume from an existing journal at journal_path: already-scanned
+     * content keys are replayed (outcomes and health deltas merged
+     * bit-identically with a fresh scan) and only the remainder is
+     * scanned. Without a journal file this degrades to a fresh scan.
+     */
+    bool resume = false;
+    /**
+     * Cooperative cancellation token, polled between pipeline stages
+     * and at game-deadline sample points. When it fires, in-flight
+     * targets drain, the journal is flushed, and the scan returns a
+     * partial result with health().cancelled set. Not owned.
+     */
+    CancelToken *cancel = nullptr;
+    /**
+     * Per-target watchdog: wall-clock budget in seconds for one
+     * target's game (tightens game.max_seconds when smaller; 0 keeps
+     * the game's own budget). A watchdog-expired game is unresolved,
+     * retried per the policy below, and counted in
+     * health().watchdog_expired.
+     */
+    double target_budget_seconds = 0.0;
+    /**
+     * Bounded retry-with-backoff for transient per-target failures
+     * (error_code_transient: IoError lifts, watchdog-expired games).
+     * Deterministic failures are never retried.
+     */
+    int max_target_retries = 2;
+    double retry_backoff_seconds = 0.05;
+    /**
+     * Test seam for deterministic interruption: request cancellation on
+     * `cancel` after this many journal appends (0 = never). The CI
+     * interrupt/resume smoke and the kill-mid-scan property test use it
+     * to cut a scan at a reproducible point without racing a signal.
+     */
+    std::size_t cancel_after_appends = 0;
 };
 
 /** A prepared query: indexed executable + the vulnerable procedure. */
@@ -84,22 +129,8 @@ struct Query
     baseline::GraphIndex graph;
 };
 
-/** One search outcome against one target executable. */
-struct SearchOutcome
-{
-    bool detected = false;
-    std::uint64_t matched_entry = 0;
-    int sim = 0;
-    int steps = 0;
-    /** True when the game expired a budget before reaching an answer. */
-    bool unresolved = false;
-    /** Per-stage wall-clock of this outcome, in seconds. */
-    double game_seconds = 0.0;
-    double confirm_seconds = 0.0;
-    /** Per-stage thread-CPU time of this outcome, in seconds. */
-    double game_cpu_seconds = 0.0;
-    double confirm_cpu_seconds = 0.0;
-};
+// SearchOutcome lives in eval/journal.h: it is the journal's record
+// payload, and the journal must not depend on the driver.
 
 /** One corpus executable addressed for a scan. */
 struct CorpusTarget
@@ -250,6 +281,9 @@ class Driver
     const ScanHealth &health() const { return health_; }
     ScanHealth &health() { return health_; }
 
+    /** The scan journal (closed/empty unless journal_path was set). */
+    const ScanJournal &journal() const { return journal_; }
+
   private:
     SearchOptions options_;
     ScanHealth health_;
@@ -271,6 +305,15 @@ class Driver
     strand::CanonMemo canon_memo_;
     /** Memo stats already folded into health_ (see sync_memo_health). */
     strand::CanonMemo::Stats memo_seen_{};
+    /** Scan journal (empty/closed when options_.journal_path is unset). */
+    ScanJournal journal_;
+    bool journal_opened_ = false;
+    /**
+     * Journal replay: content key → last journaled record for that key.
+     * Targets whose key appears here are served from the journal and
+     * skipped by every pipeline stage of a resumed scan.
+     */
+    std::map<std::uint64_t, JournalEntry> journal_replay_;
 
     /** The persistent store, or nullptr when not configured. */
     sim::IndexCacheStore *cache_store();
@@ -286,6 +329,30 @@ class Driver
 
     /** Count @p key as a seen + healthy executable, once. */
     void note_healthy(std::uint64_t key);
+
+    /**
+     * Journal identity: binds a journal to one scan label (CVE id or
+     * the joined query identities), the confirm/match mode, and every
+     * deterministic matching knob — so a journal can only be resumed
+     * into a scan that would have produced the same per-key outcomes.
+     * Wall-clock knobs (watchdog, retries) are deliberately excluded.
+     */
+    std::uint64_t scan_fingerprint(const std::string &label,
+                                   bool confirm) const;
+
+    /**
+     * Open (or resume) the journal per options_, once per driver;
+     * populates journal_replay_ on resume. A journal failure degrades
+     * to a journal-less scan (recorded in the health error histogram) —
+     * a journal problem must never cost the scan itself.
+     */
+    void open_journal(const std::string &label, bool confirm);
+
+    /**
+     * Append one record (no-op when the journal is closed) and fire the
+     * cancel_after_appends test seam. Thread-safe.
+     */
+    void journal_append(const JournalEntry &entry);
 
     const lifter::LiftedExecutable *lift_cached(
         const loader::Executable &exe);

@@ -54,6 +54,12 @@ ScanHealth::merge(const ScanHealth &other)
     quarantined += other.quarantined;
     games_played += other.games_played;
     games_unresolved += other.games_unresolved;
+    cancelled = cancelled || other.cancelled;
+    targets_cancelled += other.targets_cancelled;
+    resumed_targets += other.resumed_targets;
+    retries += other.retries;
+    watchdog_expired += other.watchdog_expired;
+    journal_truncated_bytes += other.journal_truncated_bytes;
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
     cache_write_bytes += other.cache_write_bytes;
@@ -90,6 +96,14 @@ ScanHealth::sane() const
     if (games_unresolved > games_played) {
         return false;
     }
+    // The watchdog is one cause of an unresolved game, never more.
+    if (watchdog_expired > games_unresolved) {
+        return false;
+    }
+    // Cancelled targets exist only on a cancelled scan.
+    if (targets_cancelled > 0 && !cancelled) {
+        return false;
+    }
     // A cache hit is a healthy executable served from disk, so it is
     // counted in lifted_ok (the scan's coverage is the same either way).
     if (cache_hits > lifted_ok) {
@@ -116,6 +130,26 @@ ScanHealth::summary() const
         "%zu unresolved game(s)",
         images_seen - images_rejected, images_seen, members_damaged,
         executables_seen, lifted_ok, quarantined, games_unresolved);
+    if (cancelled) {
+        out += strprintf("; CANCELLED (%zu target(s) not scanned)",
+                         targets_cancelled);
+    }
+    if (resumed_targets > 0) {
+        out += strprintf("; %zu target(s) resumed from journal",
+                         resumed_targets);
+    }
+    if (journal_truncated_bytes > 0) {
+        out += strprintf("; journal tail truncated (%llu byte(s))",
+                         static_cast<unsigned long long>(
+                             journal_truncated_bytes));
+    }
+    if (retries > 0) {
+        out += strprintf("; %zu transient retry(ies)", retries);
+    }
+    if (watchdog_expired > 0) {
+        out += strprintf("; %zu watchdog-expired game(s)",
+                         watchdog_expired);
+    }
     if (cache_hits + cache_misses > 0) {
         out += strprintf(
             "; index cache %zu/%zu warm (%.1f%%)", cache_hits,

@@ -41,6 +41,32 @@ struct ScanHealth
     std::size_t games_unresolved = 0;  ///< budget-exhausted games
 
     /**
+     * Crash-safety / shutdown accounting (zero on an uninterrupted,
+     * journal-less scan, so existing goldens are unaffected):
+     *
+     *  - `cancelled` marks a scan ended by cooperative cancellation
+     *    (SIGINT/SIGTERM or a test hook) — its findings are a valid
+     *    partial prefix, not a full answer;
+     *  - `targets_cancelled` counts targets abandoned by that shutdown
+     *    (not scanned, not journaled — a resume redoes them);
+     *  - `resumed_targets` counts targets whose outcome was replayed
+     *    from a scan journal instead of being recomputed;
+     *  - `retries` counts transient-failure retries (lift IoError,
+     *    watchdog-expired games) that eventually produced an answer or
+     *    exhausted the retry budget;
+     *  - `watchdog_expired` counts games whose per-target wall-clock
+     *    budget expired (a subset of games_unresolved);
+     *  - `journal_truncated_bytes` is the torn/corrupt journal tail
+     *    discarded at resume (0 = the journal was clean).
+     */
+    bool cancelled = false;
+    std::size_t targets_cancelled = 0;
+    std::size_t resumed_targets = 0;
+    std::size_t retries = 0;
+    std::size_t watchdog_expired = 0;
+    std::uint64_t journal_truncated_bytes = 0;
+
+    /**
      * Persistent index-cache accounting (zero unless the driver runs
      * with an --index-cache store): hits are executables whose finalized
      * index was loaded from disk instead of lifted; misses had to be

@@ -100,13 +100,26 @@ class Game
             }
             // The clock syscall would dominate a cheap step; sample it
             // every 64 iterations (and always on the first, so a
-            // pre-expired deadline still ends the game at step 0).
-            if (deadline_set && (loop_iter++ & 63) == 0) {
-                ++deadline_samples_;
-                if (std::chrono::steady_clock::now() >= deadline) {
+            // pre-expired deadline still ends the game at step 0). The
+            // cancel token shares the sample point: polling an atomic is
+            // cheap, but checking it on every step would still pay a
+            // cache-line load inside the hottest loop.
+            if ((deadline_set || opt_.cancel != nullptr) &&
+                (loop_iter++ & 63) == 0) {
+                if (opt_.cancel != nullptr && opt_.cancel->requested()) {
                     result.ending = GameEnding::Unresolved;
-                    note("budget: deadline reached, game unresolved");
+                    result.cancelled = true;
+                    note("cancel: shutdown requested, game unresolved");
                     break;
+                }
+                if (deadline_set) {
+                    ++deadline_samples_;
+                    if (std::chrono::steady_clock::now() >= deadline) {
+                        result.ending = GameEnding::Unresolved;
+                        result.deadline_expired = true;
+                        note("budget: deadline reached, game unresolved");
+                        break;
+                    }
                 }
             }
             const Ref m = stack.back();

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sim/similarity.h"
+#include "support/cancel.h"
 
 namespace firmup::game {
 
@@ -39,6 +40,14 @@ struct GameOptions
     double max_seconds = 0.0;
     int min_sim = 1;  ///< below this, a pair shares nothing usable
     bool record_trace = false;  ///< narrate moves (Table 1 style)
+    /**
+     * Cooperative cancellation: polled at the same 64-iteration sample
+     * point as the wall-clock deadline, so a SIGTERM'd scan drains each
+     * in-flight game within a bounded number of cheap steps instead of
+     * running it to completion. A cancelled game ends Unresolved with
+     * GameResult::cancelled set.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /** How a game ended. */
@@ -53,6 +62,15 @@ struct GameResult
 {
     bool matched = false;
     GameEnding ending = GameEnding::NoMatch;
+    /** The game was cut short by GameOptions::cancel, not a budget. */
+    bool cancelled = false;
+    /**
+     * Unresolved specifically because the wall-clock deadline expired —
+     * the only Unresolved cause that is machine-load-dependent rather
+     * than deterministic, and therefore the only one worth retrying
+     * (the driver's transient-failure policy keys off this).
+     */
+    bool deadline_expired = false;
     int target_index = -1;       ///< index into T.procs when matched
     std::uint64_t target_entry = 0;
     int sim = 0;                 ///< Sim(qv, match)

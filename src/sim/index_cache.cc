@@ -9,6 +9,7 @@
 #include <system_error>
 #include <thread>
 
+#include "support/fsio.h"
 #include "support/str.h"
 
 namespace firmup::sim {
@@ -70,6 +71,18 @@ IndexCacheStore::store(std::uint64_t content_key,
             return Result<std::size_t>::error(
                 ErrorCode::IoError, "index cache write failed: " + tmp);
         }
+    }
+    // Durability before publish: the rename is atomic in the namespace,
+    // but without an fsync a crash shortly after can leave the *final*
+    // path holding zero-length or partial data on some filesystems —
+    // exactly the corrupt-entry class the loader then has to quarantine.
+    // Sync the temp file so whatever gets renamed into place is the
+    // complete blob or nothing.
+    if (!fsync_path(tmp)) {
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        return Result<std::size_t>::error(
+            ErrorCode::IoError, "index cache fsync failed: " + tmp);
     }
     std::error_code ec;
     fs::rename(tmp, path, ec);

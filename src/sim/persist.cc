@@ -18,24 +18,8 @@ constexpr std::uint8_t kMagic[4] = {'F', 'W', 'I', 'X'};
  */
 constexpr std::size_t kHeaderSize = 4 + 2 + 8 + 8;
 
-void
-append_u64_le(ByteBuffer &out, std::uint64_t v)
-{
-    for (int i = 0; i < 8; ++i) {
-        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-    }
-}
-
-std::uint64_t
-read_u64_le(const std::uint8_t *p)
-{
-    std::uint64_t v = 0;
-    for (int i = 7; i >= 0; --i) {
-        v = (v << 8) | p[i];
-    }
-    return v;
-}
-
+// u64 little-endian helpers live in support/bytes.h (shared with the
+// scan journal); the string framing below stays FWIX-local.
 void
 append_string(ByteBuffer &out, const std::string &s)
 {

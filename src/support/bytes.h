@@ -34,6 +34,14 @@ append_u32_le(ByteBuffer &buf, std::uint32_t v)
 }
 
 inline void
+append_u64_le(ByteBuffer &buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+inline void
 append_u32_be(ByteBuffer &buf, std::uint32_t v)
 {
     for (int i = 3; i >= 0; --i) {
@@ -54,6 +62,16 @@ read_u32_le(const std::uint8_t *p)
            (static_cast<std::uint32_t>(p[1]) << 8) |
            (static_cast<std::uint32_t>(p[2]) << 16) |
            (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline std::uint64_t
+read_u64_le(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+        v = (v << 8) | p[i];
+    }
+    return v;
 }
 
 inline std::uint32_t

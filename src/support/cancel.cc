@@ -1,0 +1,39 @@
+#include "support/cancel.h"
+
+#include <csignal>
+#include <cstdlib>
+
+namespace firmup {
+
+CancelToken &
+CancelToken::process()
+{
+    static CancelToken token;
+    return token;
+}
+
+namespace {
+
+// Signals delivered so far; lock-free so the handler stays
+// async-signal-safe. The second delivery bypasses the graceful drain.
+std::atomic<int> g_signals_seen{0};
+
+extern "C" void
+cancel_signal_handler(int /*signum*/)
+{
+    if (g_signals_seen.fetch_add(1, std::memory_order_relaxed) > 0) {
+        std::_Exit(130);
+    }
+    CancelToken::process().request();
+}
+
+}  // namespace
+
+void
+install_cancel_signal_handlers()
+{
+    std::signal(SIGINT, cancel_signal_handler);
+    std::signal(SIGTERM, cancel_signal_handler);
+}
+
+}  // namespace firmup

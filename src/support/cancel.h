@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running corpus scans.
+ *
+ * A corpus scan is hours of work at paper scale (section 5.1); an
+ * operator must be able to stop one without losing the targets already
+ * scanned. CancelToken is the primitive: a single atomic flag that
+ * workers poll at cheap, well-defined points (between pipeline stages,
+ * before each target, and at the game's existing deadline sample every
+ * 64 iterations) and that a SIGINT/SIGTERM handler can set
+ * async-signal-safely. Cancellation is always *cooperative*: nothing is
+ * killed mid-write, in-flight work drains to a consistent state, the
+ * scan journal is flushed, and the partial health report is rendered
+ * with a `cancelled` marker.
+ */
+#pragma once
+
+#include <atomic>
+
+namespace firmup {
+
+/** A sticky, thread-safe (and signal-safe) cancellation flag. */
+class CancelToken
+{
+  public:
+    /** Request cancellation. Safe from any thread or signal handler. */
+    void
+    request()
+    {
+        requested_.store(true, std::memory_order_relaxed);
+    }
+
+    /** True once cancellation has been requested (relaxed load). */
+    bool
+    requested() const
+    {
+        return requested_.load(std::memory_order_relaxed);
+    }
+
+    /** Clear the flag (test setup / between CLI commands). */
+    void
+    reset()
+    {
+        requested_.store(false, std::memory_order_relaxed);
+    }
+
+    /**
+     * The process-wide token the signal handlers set. Long-lived CLI
+     * commands point SearchOptions::cancel at this.
+     */
+    static CancelToken &process();
+
+  private:
+    std::atomic<bool> requested_{false};
+};
+
+/**
+ * Install SIGINT/SIGTERM handlers that request cancellation on
+ * CancelToken::process(). The first signal starts a graceful drain; a
+ * second signal hard-exits with status 130 (the impatient-operator
+ * escape hatch). Idempotent.
+ */
+void install_cancel_signal_handlers();
+
+}  // namespace firmup

@@ -1,0 +1,29 @@
+#include "support/fsio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace firmup {
+
+bool
+fsync_path(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    if (fd < 0) {
+        return false;
+    }
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+bool
+fsync_stream(std::FILE *stream)
+{
+    if (stream == nullptr || std::fflush(stream) != 0) {
+        return false;
+    }
+    return ::fsync(fileno(stream)) == 0;
+}
+
+}  // namespace firmup

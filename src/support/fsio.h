@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Durability helpers for crash-safe persistence.
+ *
+ * The atomic write-via-rename idiom (IndexCacheStore, ScanJournal) is
+ * only crash-safe when the temp file's *contents* reach stable storage
+ * before the rename publishes its name: without the fsync, a power loss
+ * after the rename but before writeback can leave a fully-published
+ * entry whose payload is a hole. These helpers are the missing half of
+ * that idiom.
+ */
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace firmup {
+
+/**
+ * Flush @p path's written contents to stable storage (POSIX fsync).
+ * Returns false when the file cannot be opened or synced; callers on
+ * the publish path should treat that as a failed write.
+ */
+bool fsync_path(const std::string &path);
+
+/** fsync an already-open stdio stream (fflush + fsync of its fd). */
+bool fsync_stream(std::FILE *stream);
+
+}  // namespace firmup

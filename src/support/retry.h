@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Bounded retry-with-backoff for transient pipeline failures.
+ *
+ * The ErrorCode taxonomy splits into *permanent* failures — the input
+ * itself is bad (malformed container, undecodable bytes, lift bailout,
+ * stale format) and will fail identically forever — and *transient*
+ * ones, where a retry can legitimately succeed: IoError (a flaky NFS
+ * read, a full disk that drained) and BudgetExhausted when the budget
+ * was a wall-clock deadline on a loaded machine. Quarantining a target
+ * over a transient hiccup silently shrinks coverage, so the driver
+ * retries those a bounded number of times with exponential backoff
+ * before giving up; error_code_transient() is the single source of
+ * truth for the split (documented in DESIGN.md §13).
+ */
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+#include "support/cancel.h"
+#include "support/error.h"
+
+namespace firmup {
+
+/** Retry knobs; the zero default disables retrying entirely. */
+struct RetryPolicy
+{
+    int max_retries = 0;            ///< extra attempts after the first
+    double backoff_seconds = 0.0;   ///< sleep before the first retry
+    double backoff_factor = 2.0;    ///< multiplier per further retry
+};
+
+/**
+ * Run @p attempt (returning Result<T>) until it succeeds, fails with a
+ * permanent ErrorCode, exhausts @p policy.max_retries, or @p cancel is
+ * requested. Sleeps the (exponentially growing) backoff between
+ * attempts. @p retries_out, when non-null, receives the number of
+ * retries actually performed — the accounting ScanHealth surfaces.
+ */
+template <typename Attempt>
+auto
+retry_transient(const RetryPolicy &policy, const CancelToken *cancel,
+                Attempt &&attempt, int *retries_out = nullptr)
+    -> decltype(attempt())
+{
+    auto result = attempt();
+    int retries = 0;
+    double backoff = policy.backoff_seconds;
+    while (!result.ok() && retries < policy.max_retries &&
+           error_code_transient(result.error_code()) &&
+           !(cancel != nullptr && cancel->requested())) {
+        if (backoff > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(backoff));
+        }
+        backoff *= policy.backoff_factor;
+        ++retries;
+        result = attempt();
+    }
+    if (retries_out != nullptr) {
+        *retries_out = retries;
+    }
+    return result;
+}
+
+}  // namespace firmup

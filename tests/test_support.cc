@@ -8,8 +8,10 @@
 #include <set>
 #include <stdexcept>
 
+#include "support/cancel.h"
 #include "support/error.h"
 #include "support/hash.h"
+#include "support/retry.h"
 #include "support/rng.h"
 #include "support/str.h"
 #include "support/threadpool.h"
@@ -239,6 +241,123 @@ TEST(ThreadPool, ExceptionDoesNotLoseOtherTasks)
     EXPECT_THROW(pool.wait_idle(), std::runtime_error);
     // submit()ed tasks are independent: all non-throwing ones ran.
     EXPECT_EQ(counter.load(), 31);
+}
+
+TEST(Cancel, TokenIsStickyAndResettable)
+{
+    CancelToken token;
+    EXPECT_FALSE(token.requested());
+    token.request();
+    EXPECT_TRUE(token.requested());
+    token.request();  // idempotent
+    EXPECT_TRUE(token.requested());
+    token.reset();
+    EXPECT_FALSE(token.requested());
+}
+
+TEST(Cancel, ProcessTokenIsASingleton)
+{
+    CancelToken &a = CancelToken::process();
+    CancelToken &b = CancelToken::process();
+    EXPECT_EQ(&a, &b);
+    a.reset();
+    b.request();
+    EXPECT_TRUE(a.requested());
+    a.reset();
+}
+
+TEST(Retry, TransientTaxonomyIsExactlyIoAndBudget)
+{
+    // The permanent/transient split is the single source of truth the
+    // driver's retry loop keys on: only failures a retry can plausibly
+    // fix qualify. Everything else must fail fast, once.
+    for (std::size_t i = 0; i < kErrorCodeCount; ++i) {
+        const auto code = static_cast<ErrorCode>(i);
+        const bool transient = code == ErrorCode::IoError ||
+                               code == ErrorCode::BudgetExhausted;
+        EXPECT_EQ(error_code_transient(code), transient)
+            << "code " << i;
+    }
+}
+
+TEST(Retry, TransientFailureRetriesUntilSuccess)
+{
+    RetryPolicy policy;
+    policy.max_retries = 3;
+    int calls = 0;
+    int retries = -1;
+    auto result = retry_transient(
+        policy, nullptr,
+        [&calls] {
+            ++calls;
+            if (calls < 3) {
+                return Result<int>::error(ErrorCode::IoError, "flaky");
+            }
+            return Result<int>(7);
+        },
+        &retries);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value(), 7);
+    EXPECT_EQ(calls, 3);
+    EXPECT_EQ(retries, 2);
+}
+
+TEST(Retry, PermanentFailureIsNeverRetried)
+{
+    RetryPolicy policy;
+    policy.max_retries = 5;
+    int calls = 0;
+    auto result = retry_transient(policy, nullptr, [&calls] {
+        ++calls;
+        return Result<int>::error(ErrorCode::MalformedContainer, "bad");
+    });
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, BudgetIsBounded)
+{
+    RetryPolicy policy;
+    policy.max_retries = 2;
+    int calls = 0;
+    int retries = -1;
+    auto result = retry_transient(
+        policy, nullptr,
+        [&calls] {
+            ++calls;
+            return Result<int>::error(ErrorCode::IoError, "still flaky");
+        },
+        &retries);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.error_code(), ErrorCode::IoError);
+    EXPECT_EQ(calls, 3);  // first attempt + 2 retries
+    EXPECT_EQ(retries, 2);
+}
+
+TEST(Retry, CancellationStopsRetrying)
+{
+    RetryPolicy policy;
+    policy.max_retries = 100;
+    CancelToken token;
+    token.request();
+    int calls = 0;
+    auto result = retry_transient(policy, &token, [&calls] {
+        ++calls;
+        return Result<int>::error(ErrorCode::IoError, "flaky");
+    });
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(calls, 1);  // drained, not hammered, during shutdown
+}
+
+TEST(Retry, ZeroPolicyDisablesRetries)
+{
+    int calls = 0;
+    auto result = retry_transient(RetryPolicy{}, nullptr, [&calls] {
+        ++calls;
+        return Result<int>::error(ErrorCode::IoError, "flaky");
+    });
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(calls, 1);
 }
 
 }  // namespace

@@ -38,6 +38,15 @@
  * lift+canon+finalize entirely. Corrupt or stale entries silently
  * degrade to misses.
  *
+ * search and trace are interruptible and resumable: `--journal FILE`
+ * durably records each target's outcome as it completes, SIGINT/SIGTERM
+ * drains in-flight work, flushes the journal and exits 130 with a
+ * partial report, and a rerun with `--journal FILE --resume` replays the
+ * finished targets and scans only the remainder — the merged findings
+ * and health are bit-identical to an uninterrupted scan. `--target-budget
+ * SEC` puts a wall-clock watchdog on each game; `--fail-on-quarantine[=N]`
+ * exits 4 when more than N executables were quarantined (bare flag: any).
+ *
  * Blobs are the FWIMG containers produced by `firmup corpus` (or any
  * firmware::pack_firmware caller).
  */
@@ -59,6 +68,7 @@
 #include "firmware/image.h"
 #include "game/game.h"
 #include "lifter/interp.h"
+#include "support/cancel.h"
 #include "support/faultinject.h"
 #include "support/str.h"
 #include "support/trace.h"
@@ -96,7 +106,17 @@ usage()
         "collect and dump the metrics snapshot\n"
         "search/trace/index also take --index-cache DIR: a persistent\n"
         "content-addressed index store, so repeat scans of the same\n"
-        "executables skip lifting entirely (warm start)\n");
+        "executables skip lifting entirely (warm start)\n"
+        "search/trace also take:\n"
+        "  --journal FILE         durable per-target scan journal\n"
+        "  --resume               replay FILE, scan only the remainder\n"
+        "  --target-budget SEC    wall-clock watchdog per game\n"
+        "  --fail-on-quarantine[=N]  exit 4 when more than N\n"
+        "                         executables were quarantined\n"
+        "  --cancel-after N       (testing) cancel after N journal\n"
+        "                         appends, as SIGTERM would\n"
+        "SIGINT/SIGTERM drain in-flight targets, flush the journal and\n"
+        "exit 130 with a partial report; rerun with --resume to finish\n");
     return 2;
 }
 
@@ -125,6 +145,22 @@ parse_u64(const std::string &text, std::uint64_t &out)
     try {
         std::size_t used = 0;
         const std::uint64_t value = std::stoull(text, &used);
+        if (used != text.size()) {
+            return false;
+        }
+        out = value;
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+bool
+parse_double(const std::string &text, double &out)
+{
+    try {
+        std::size_t used = 0;
+        const double value = std::stod(text, &used);
         if (used != text.size()) {
             return false;
         }
@@ -411,6 +447,9 @@ cmd_search(const std::string &cve_id,
     std::vector<std::string> paths;
     std::string trace_out, stats_out;
     eval::SearchOptions options;
+    bool fail_on_quarantine = false;
+    int quarantine_limit = 0;
+    static const std::string kQuarantinePrefix = "--fail-on-quarantine=";
     for (std::size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--trace-out" && i + 1 < args.size()) {
             trace_out = args[++i];
@@ -418,11 +457,42 @@ cmd_search(const std::string &cve_id,
             stats_out = args[++i];
         } else if (args[i] == "--index-cache" && i + 1 < args.size()) {
             options.index_cache_dir = args[++i];
+        } else if (args[i] == "--journal" && i + 1 < args.size()) {
+            options.journal_path = args[++i];
+        } else if (args[i] == "--resume") {
+            options.resume = true;
+        } else if (args[i] == "--fail-on-quarantine") {
+            fail_on_quarantine = true;
+        } else if (args[i].rfind(kQuarantinePrefix, 0) == 0) {
+            fail_on_quarantine = true;
+            if (!parse_int(args[i].substr(kQuarantinePrefix.size()),
+                           quarantine_limit) ||
+                quarantine_limit < 0) {
+                return usage();
+            }
+        } else if (args[i] == "--target-budget" && i + 1 < args.size()) {
+            if (!parse_double(args[++i],
+                              options.target_budget_seconds) ||
+                options.target_budget_seconds <= 0.0) {
+                return usage();
+            }
+        } else if (args[i] == "--cancel-after" && i + 1 < args.size()) {
+            std::uint64_t appends = 0;
+            if (!parse_u64(args[++i], appends) || appends == 0) {
+                return usage();
+            }
+            options.cancel_after_appends =
+                static_cast<std::size_t>(appends);
         } else {
             paths.push_back(args[i]);
         }
     }
     if (paths.empty()) {
+        return usage();
+    }
+    if (options.resume && options.journal_path.empty()) {
+        std::fprintf(stderr,
+                     "firmup: --resume requires --journal FILE\n");
         return usage();
     }
     if (full_trace) {
@@ -452,6 +522,16 @@ cmd_search(const std::string &cve_id,
                 cve->cve_id.c_str(), cve->procedure.c_str(),
                 cve->package.c_str(),
                 eval::latest_vulnerable_version(*cve).c_str());
+
+    // Cooperative shutdown: the first SIGINT/SIGTERM requests the
+    // process-wide token (drained below: in-flight targets finish, the
+    // journal is flushed, a partial report prints, exit 130); a second
+    // signal exits immediately.
+    CancelToken &cancel = CancelToken::process();
+    cancel.reset();
+    install_cancel_signal_handlers();
+    options.cancel = &cancel;
+
     eval::Driver driver(options);
 
     // Unpack everything first; the blobs must stay alive across the
@@ -497,7 +577,20 @@ cmd_search(const std::string &cve_id,
                         co.outcome.matched_entry),
                     co.outcome.sim, co.outcome.steps);
     }
-    std::printf("\n%d finding(s)\n", findings);
+    const bool cancelled = driver.health().cancelled;
+    std::printf("\n%d finding(s)%s\n", findings,
+                cancelled ? " (scan cancelled — partial result)" : "");
+    if (cancelled) {
+        if (!options.journal_path.empty()) {
+            std::printf("resume with: firmup search %s --journal %s "
+                        "--resume <blobs...>\n",
+                        cve->cve_id.c_str(),
+                        options.journal_path.c_str());
+        } else {
+            std::printf("rerun with --journal FILE to make scans "
+                        "resumable\n");
+        }
+    }
     if (trace::level() != trace::Level::Off) {
         // With metrics on, always print the full health + work report.
         std::printf("%s",
@@ -506,11 +599,23 @@ cmd_search(const std::string &cve_id,
                         trace::MetricsRegistry::global().snapshot())
                         .c_str());
     } else if (driver.health().quarantined > 0 ||
-               driver.health().games_unresolved > 0) {
+               driver.health().games_unresolved > 0 || cancelled) {
         std::printf("%s", eval::render_health(driver.health()).c_str());
     }
     if (!dump_trace_artifacts(trace_out, stats_out)) {
         return 1;
+    }
+    if (cancelled) {
+        return 130;  // the conventional 128+SIGINT status
+    }
+    if (fail_on_quarantine &&
+        driver.health().quarantined >
+            static_cast<std::size_t>(quarantine_limit)) {
+        std::fprintf(stderr,
+                     "firmup: %zu executable(s) quarantined "
+                     "(limit %d) — failing as requested\n",
+                     driver.health().quarantined, quarantine_limit);
+        return 4;
     }
     return findings > 0 ? 0 : 3;
 }
