@@ -202,6 +202,51 @@ BM_PairwiseSim(benchmark::State &state)
 BENCHMARK(BM_PairwiseSim);
 
 void
+BM_PairwiseSimMerge(benchmark::State &state)
+{
+    // The pre-kernel two-pointer/galloping merge over the same |Q|x|T|
+    // grid: the baseline the tiered kernel (BM_PairwiseSim) and the
+    // query-amortized probe (BM_QueryProbeScore) are measured against.
+    const auto &q = wget_index();
+    const auto &t = vendor_index();
+    for (auto _ : state) {
+        for (const auto &qp : q.procs) {
+            for (const auto &tp : t.procs) {
+                benchmark::DoNotOptimize(
+                    sim::sim_score_merge(qp.repr, tp.repr));
+            }
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(q.procs.size() * t.procs.size()));
+}
+BENCHMARK(BM_PairwiseSimMerge);
+
+void
+BM_QueryProbeScore(benchmark::State &state)
+{
+    // The batch hunt's inner loop shape: build the probe once per query
+    // procedure, score every target procedure against it. The items/s
+    // ratio to BM_PairwiseSimMerge is the query-amortization win the
+    // multi_hunt bench-json entry reports as kernel_speedup.
+    const auto &q = wget_index();
+    const auto &t = vendor_index();
+    for (auto _ : state) {
+        for (const auto &qp : q.procs) {
+            const sim::QueryProbe probe(qp.repr);
+            for (const auto &tp : t.procs) {
+                benchmark::DoNotOptimize(probe.score(tp.repr));
+            }
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(q.procs.size() * t.procs.size()));
+}
+BENCHMARK(BM_QueryProbeScore);
+
+void
 BM_PostingBestMatch(benchmark::State &state)
 {
     // The pruned counterpart of BM_PairwiseSim: one posting-list
@@ -300,6 +345,34 @@ BM_SearchCorpus(benchmark::State &state)
         static_cast<std::int64_t>(targets.size()));
 }
 BENCHMARK(BM_SearchCorpus)
+    ->Arg(1)
+    ->Arg(static_cast<int>(
+        std::max(2u, std::thread::hardware_concurrency())))
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_BatchHunt(benchmark::State &state)
+{
+    // The batched multi-CVE hunt at N worker threads (Arg): every CVE
+    // in the database against the whole corpus through one driver, so
+    // each target is indexed once and the (query, target) grid rides
+    // the work-stealing scheduler. Compare the per-item rate against
+    // BM_SearchCorpus x |CVEs| for the amortization win.
+    static const firmware::Corpus corpus = firmware::build_corpus();
+    static const std::vector<eval::CorpusTarget> targets =
+        eval::corpus_targets(corpus);
+    const auto &cves = firmware::cve_database();
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        eval::Driver driver;  // fresh caches: times indexing + games
+        benchmark::DoNotOptimize(
+            driver.search_corpus_batch(cves, targets, threads));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(targets.size() * cves.size()));
+}
+BENCHMARK(BM_BatchHunt)
     ->Arg(1)
     ->Arg(static_cast<int>(
         std::max(2u, std::thread::hardware_concurrency())))

@@ -36,51 +36,69 @@ latest_vulnerable_version(const firmware::CveRecord &cve)
     return newest;
 }
 
-Query
-Driver::build_query(const firmware::CveRecord &cve, isa::Arch arch)
+namespace {
+
+/**
+ * Store key for a query's finalized index: a digest of everything the
+ * index is a function of — the rendered package source (name, version,
+ * globals, every procedure body), the whole build request (arch,
+ * toolchain profile knobs, feature/strip/link settings) and the canon
+ * knobs. Queries are compiled from source, so they have no content
+ * bytes to address until codegen has run — which is exactly the cost a
+ * warm hunt wants to skip; hashing the build recipe instead lets the
+ * store serve the index before any compilation happens. The "fwq1:"
+ * domain prefix keeps recipe keys disjoint from content keys in the
+ * shared store namespace; bump it whenever codegen, the lifter or
+ * canonicalization change the index a given recipe produces (source
+ * and knob changes re-key automatically).
+ */
+std::uint64_t
+query_recipe_key(const lang::PackageSource &source,
+                 const codegen::BuildRequest &request,
+                 const strand::CanonOptions &canon)
 {
-    Query query = build_query(cve.package, cve.procedure,
-                              latest_vulnerable_version(cve), arch);
-    query.label = cve.cve_id;
-    return query;
+    std::uint64_t key =
+        fnv1a64("fwq1:" + source.name + ":" + source.version);
+    for (const lang::GlobalVar &global : source.globals) {
+        key = hash_combine(key, fnv1a64(global.name));
+        key = hash_combine(key, static_cast<std::uint64_t>(global.words));
+    }
+    for (const lang::ProcedureAst &proc : source.procedures) {
+        key = hash_combine(key, fnv1a64(lang::to_string(proc)));
+    }
+    key = hash_combine(key, fnv1a64(isa::arch_name(request.arch)));
+    const compiler::ToolchainProfile &profile = request.profile;
+    key = hash_combine(key, fnv1a64(profile.name));
+    key = hash_combine(key, static_cast<std::uint64_t>(profile.opt_level));
+    key = hash_combine(
+        key, static_cast<std::uint64_t>(profile.inline_threshold));
+    key = hash_combine(
+        key, static_cast<std::uint64_t>(profile.extra_frame_pad));
+    std::uint64_t bits = 0;
+    for (const bool flag :
+         {profile.use_cse, profile.strength_reduce,
+          profile.swap_commutative, profile.rotate_loops,
+          profile.locals_descending, profile.callee_saved_first,
+          profile.mips_fill_delay_slot, profile.mips_pic_calls,
+          profile.materialize_full_const, profile.reverse_block_layout,
+          request.all_features, request.strip, request.keep_exported,
+          canon.eliminate_offsets, canon.optimize,
+          canon.normalize_names, canon.stream_hash}) {
+        bits = (bits << 1) | (flag ? 1 : 0);
+    }
+    key = hash_combine(key, bits);
+    for (const std::string &feature : request.enabled_features) {
+        key = hash_combine(key, fnv1a64(feature));
+    }
+    key = hash_combine(key, fnv1a64(request.exe_name));
+    key = hash_combine(
+        key, static_cast<std::uint64_t>(request.link.text_base));
+    key = hash_combine(
+        key, static_cast<std::uint64_t>(request.link.data_base));
+    return key;
 }
 
-Query
-Driver::build_query(const std::string &package,
-                    const std::string &procedure,
-                    const std::string &version, isa::Arch arch)
-{
-    const firmware::PackageSpec &pkg = firmware::package_by_name(package);
-    const lang::PackageSource source =
-        firmware::generate_package_source(pkg, version);
-
-    // Section 5.1: queries are compiled from source with the reference
-    // toolchain at its default optimization level, all features on
-    // (the researcher's build is a default build).
-    codegen::BuildRequest request;
-    request.arch = arch;
-    request.profile = compiler::gcc_like_toolchain();
-    request.exe_name = package + "-query";
-    const loader::Executable exe =
-        codegen::build_executable(source, request);
-
-    auto lifted = lifter::lift_executable(exe);
-    FIRMUP_ASSERT(lifted.ok(), "query lift failed: " +
-                                   lifted.error_message());
-
-    Query query;
-    query.label = package + "/" + procedure;
-    query.package = package;
-    query.procedure = procedure;
-    query.version = version;
-    query.index = sim::index_executable(lifted.value(), canon_options());
-    sync_memo_health();
-    query.qv = query.index.find_by_name(procedure);
-    FIRMUP_ASSERT(query.qv >= 0,
-                  "query procedure missing: " + procedure);
-    query.graph = baseline::graph_index(lifted.value());
-    return query;
-}
+}  // namespace
 
 std::uint64_t
 content_key(const loader::Executable &exe)
@@ -100,6 +118,12 @@ const trace::Counter c_cache_hits("cache.hits");
 const trace::Counter c_cache_misses("cache.misses");
 const trace::Counter c_cache_write_bytes("cache.write_bytes");
 const trace::Counter c_cache_load_micros("cache.load_micros");
+
+// Query-recipe lane (build_query_impl hunt path): kept apart from the
+// target-index counters so cache.hits still equals executables served
+// from disk.
+const trace::Counter c_query_cache_hits("cache.query_hits");
+const trace::Counter c_query_cache_misses("cache.query_misses");
 
 // Crash-safety accounting. scan.outcomes fires for replayed targets
 // too, so a resumed scan and a clean one-shot report the same value —
@@ -153,6 +177,104 @@ cpu_seconds_since(std::uint64_t start_ns)
 }
 
 }  // namespace
+
+Query
+Driver::build_query(const firmware::CveRecord &cve, isa::Arch arch)
+{
+    Query query = build_query_impl(cve.package, cve.procedure,
+                                   latest_vulnerable_version(cve), arch,
+                                   /*hunt=*/false);
+    query.label = cve.cve_id;
+    return query;
+}
+
+Query
+Driver::build_query(const std::string &package,
+                    const std::string &procedure,
+                    const std::string &version, isa::Arch arch)
+{
+    return build_query_impl(package, procedure, version, arch,
+                            /*hunt=*/false);
+}
+
+Query
+Driver::build_query_impl(const std::string &package,
+                         const std::string &procedure,
+                         const std::string &version, isa::Arch arch,
+                         bool hunt)
+{
+    const firmware::PackageSpec &pkg = firmware::package_by_name(package);
+    const lang::PackageSource source =
+        firmware::generate_package_source(pkg, version);
+
+    // Section 5.1: queries are compiled from source with the reference
+    // toolchain at its default optimization level, all features on
+    // (the researcher's build is a default build).
+    codegen::BuildRequest request;
+    request.arch = arch;
+    request.profile = compiler::gcc_like_toolchain();
+    request.exe_name = package + "-query";
+
+    Query query;
+    query.label = package + "/" + procedure;
+    query.package = package;
+    query.procedure = procedure;
+    query.version = version;
+
+    // Hunt fast lane: a warm store serves the finalized query index
+    // under its recipe key, skipping compile + lift + canonicalize —
+    // the FWIX round-trip is bit-faithful (hashes, postings, block
+    // summaries), so outcomes are identical to a fresh build. The
+    // baseline graph is intentionally not rebuilt here: the hunt path
+    // never reads it, and building it would need the lifted executable
+    // this lane exists to avoid.
+    sim::IndexCacheStore *const store = hunt ? cache_store() : nullptr;
+    const std::uint64_t recipe =
+        store != nullptr
+            ? query_recipe_key(source, request, options_.canon)
+            : 0;
+    if (store != nullptr) {
+        const auto load_start = std::chrono::steady_clock::now();
+        auto loaded = store->load(recipe);
+        const double load_seconds = seconds_since(load_start);
+        health_.cache_load_seconds += load_seconds;
+        c_cache_load_micros.add(
+            static_cast<std::uint64_t>(load_seconds * 1e6));
+        if (loaded.ok()) {
+            ++health_.query_cache_hits;
+            c_query_cache_hits.add();
+            query.index = std::move(loaded).take();
+            query.qv = query.index.find_by_name(procedure);
+            FIRMUP_ASSERT(query.qv >= 0,
+                          "query procedure missing: " + procedure);
+            return query;
+        }
+        ++health_.query_cache_misses;
+        c_query_cache_misses.add();
+    }
+
+    const loader::Executable exe =
+        codegen::build_executable(source, request);
+
+    auto lifted = lifter::lift_executable(exe);
+    FIRMUP_ASSERT(lifted.ok(), "query lift failed: " +
+                                   lifted.error_message());
+
+    query.index = sim::index_executable(lifted.value(), canon_options());
+    sync_memo_health();
+    query.qv = query.index.find_by_name(procedure);
+    FIRMUP_ASSERT(query.qv >= 0,
+                  "query procedure missing: " + procedure);
+    query.graph = baseline::graph_index(lifted.value());
+    if (store != nullptr) {
+        if (auto written = store->store(recipe, query.index);
+            written.ok()) {
+            health_.cache_write_bytes += written.value();
+            c_cache_write_bytes.add(written.value());
+        }
+    }
+    return query;
+}
 
 unsigned
 resolve_worker_threads(unsigned threads)
@@ -581,13 +703,17 @@ Driver::search_outcome(const Query &query,
                                 static_cast<int>(
                                     options_.min_margin_ratio *
                                     q_strands))) {
-        // Dominance fallback: compare against the runner-up.
+        // Dominance fallback: compare against the runner-up. One query
+        // against every procedure of the target is the query-amortized
+        // kernel's shape — build the probe once, score each procedure
+        // with a branchless filter pass instead of a pairwise merge.
+        const sim::QueryProbe probe(q_repr);
         int second = 0;
         for (const sim::ProcEntry &proc : target.procs) {
             if (proc.entry == outcome.matched_entry) {
                 continue;
             }
-            second = std::max(second, sim::sim_score(q_repr, proc.repr));
+            second = std::max(second, probe.score(proc.repr));
         }
         accept = static_cast<double>(outcome.sim) >=
                  options_.margin_factor * static_cast<double>(second);
@@ -630,6 +756,29 @@ Driver::build_queries(const firmware::CveRecord &cve,
         const sim::ExecutableIndex *index = index_target(*target.exe);
         if (index != nullptr && !queries.contains(index->arch)) {
             queries.emplace(index->arch, build_query(cve, index->arch));
+        }
+    }
+    return queries;
+}
+
+std::map<isa::Arch, Query>
+Driver::build_hunt_queries(const firmware::CveRecord &cve,
+                           const std::vector<CorpusTarget> &targets,
+                           unsigned threads)
+{
+    index_many(unseen_executables(targets), threads);
+    std::map<isa::Arch, Query> queries;
+    for (const CorpusTarget &target : targets) {
+        if (options_.cancel != nullptr && options_.cancel->requested()) {
+            break;
+        }
+        const sim::ExecutableIndex *index = index_target(*target.exe);
+        if (index != nullptr && !queries.contains(index->arch)) {
+            Query query = build_query_impl(
+                cve.package, cve.procedure, latest_vulnerable_version(cve),
+                index->arch, /*hunt=*/true);
+            query.label = cve.cve_id;
+            queries.emplace(index->arch, std::move(query));
         }
     }
     return queries;
@@ -680,8 +829,10 @@ Driver::open_journal(const std::string &label, bool confirm)
         journal_ = std::move(opened).take();
         health_.journal_truncated_bytes += load.truncated_bytes;
         for (JournalEntry &entry : load.entries) {
-            const std::uint64_t key = entry.content_key;
-            // Append order: the last record for a key wins.
+            // Append order: the last record for a (content key, query
+            // fingerprint) pair wins; quarantines live under qfp 0.
+            const auto key =
+                std::make_pair(entry.content_key, entry.query_fp);
             journal_replay_.insert_or_assign(key, std::move(entry));
         }
         return;
@@ -708,28 +859,52 @@ Driver::journal_append(const JournalEntry &entry)
     }
 }
 
+namespace {
+
+/**
+ * Scan label of one CVE query: (package, procedure, version) pins the
+ * query identity without building it, so the journal can be opened (and
+ * the pending set carved out) before any lifting happens.
+ */
+std::string
+cve_scan_label(const firmware::CveRecord &cve)
+{
+    return strprintf("cve:%s:%s:%s:%s", cve.cve_id.c_str(),
+                     cve.package.c_str(), cve.procedure.c_str(),
+                     latest_vulnerable_version(cve).c_str());
+}
+
+/** Scan label of a prebuilt per-ISA query set. */
+std::string
+query_set_label(const std::map<isa::Arch, Query> &queries)
+{
+    std::string label = "queries";
+    for (const auto &[arch, query] : queries) {
+        label += strprintf(":%d/%s/%s/%s/%s", static_cast<int>(arch),
+                           query.label.c_str(), query.package.c_str(),
+                           query.procedure.c_str(),
+                           query.version.c_str());
+    }
+    return label;
+}
+
+}  // namespace
+
+std::uint64_t
+Driver::query_fingerprint(const std::string &label)
+{
+    const std::uint64_t fp = fnv1a64("fwsj-query:" + label);
+    return fp != 0 ? fp : 1;  // 0 is the quarantine sentinel
+}
+
 std::vector<CorpusOutcome>
 Driver::search_corpus(const firmware::CveRecord &cve,
                       const std::vector<CorpusTarget> &targets,
                       unsigned threads, bool confirm)
 {
-    // The journal identity must exist before any work happens so the
-    // pending set can be carved out before build_queries lifts the
-    // corpus; (package, procedure, version) pins the query without
-    // building it.
-    open_journal(strprintf("cve:%s:%s:%s:%s", cve.cve_id.c_str(),
-                           cve.package.c_str(), cve.procedure.c_str(),
-                           latest_vulnerable_version(cve).c_str()),
-                 confirm);
-    std::vector<CorpusTarget> pending;
-    pending.reserve(targets.size());
-    for (const CorpusTarget &target : targets) {
-        if (!journal_replay_.contains(content_key(*target.exe))) {
-            pending.push_back(target);
-        }
-    }
-    return search_corpus(build_queries(cve, pending, threads), targets,
-                         threads, confirm);
+    std::vector<std::vector<CorpusOutcome>> rows =
+        search_corpus_batch({cve}, targets, threads, confirm);
+    return std::move(rows.front());
 }
 
 std::vector<CorpusOutcome>
@@ -738,76 +913,183 @@ Driver::search_corpus(const std::map<isa::Arch, Query> &queries,
                       unsigned threads, bool confirm)
 {
     // Direct callers (no CVE) get a journal identity from the query
-    // set; when the CVE overload already opened the journal, this is a
+    // set; when a CVE overload already opened the journal, this is a
     // no-op.
-    std::string label = "queries";
-    for (const auto &[arch, query] : queries) {
-        label += strprintf(":%d/%s/%s/%s/%s", static_cast<int>(arch),
-                           query.label.c_str(), query.package.c_str(),
-                           query.procedure.c_str(),
-                           query.version.c_str());
-    }
+    const std::string label = query_set_label(queries);
     open_journal(label, confirm);
+    std::vector<std::vector<CorpusOutcome>> rows =
+        run_batch({&queries}, {query_fingerprint(label)}, targets,
+                  threads, confirm);
+    return std::move(rows.front());
+}
 
+std::vector<std::vector<CorpusOutcome>>
+Driver::search_corpus_batch(const std::vector<firmware::CveRecord> &cves,
+                            const std::vector<CorpusTarget> &targets,
+                            unsigned threads, bool confirm)
+{
+    // The journal identity must exist before any work happens so the
+    // pending sets can be carved out before anything lifts the corpus.
+    // A batch of one keeps exactly the single-CVE label, so a lone hunt
+    // journals identically whichever overload started it.
+    std::vector<std::string> labels;
+    labels.reserve(cves.size());
+    for (const firmware::CveRecord &cve : cves) {
+        labels.push_back(cve_scan_label(cve));
+    }
+    std::string scan_label;
+    if (labels.size() == 1) {
+        scan_label = labels.front();
+    } else {
+        scan_label = "batch";
+        for (const std::string &label : labels) {
+            scan_label += ":" + label;
+        }
+    }
+    open_journal(scan_label, confirm);
+
+    std::vector<std::uint64_t> query_fps;
+    query_fps.reserve(labels.size());
+    for (const std::string &label : labels) {
+        query_fps.push_back(query_fingerprint(label));
+    }
+
+    // Content keys once per batch (hashing every target's text bytes
+    // once per CVE would already be a per-query cost).
+    std::vector<std::uint64_t> keys(targets.size());
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+        keys[t] = content_key(*targets[t].exe);
+    }
+
+    // Per-CVE queries over that CVE's pending targets — the same
+    // carve-out a single-CVE scan performs, so replayed pairs and
+    // quarantined keys are never lifted again. The first CVE's
+    // build_queries indexes the union of pending targets; the rest are
+    // pure cache lookups.
+    std::vector<std::map<isa::Arch, Query>> query_sets(cves.size());
+    std::vector<const std::map<isa::Arch, Query> *> set_ptrs;
+    set_ptrs.reserve(cves.size());
+    for (std::size_t q = 0; q < cves.size(); ++q) {
+        std::vector<CorpusTarget> pending;
+        pending.reserve(targets.size());
+        for (std::size_t t = 0; t < targets.size(); ++t) {
+            if (journal_replay_.contains({keys[t], 0}) ||
+                journal_replay_.contains({keys[t], query_fps[q]})) {
+                continue;
+            }
+            pending.push_back(targets[t]);
+        }
+        query_sets[q] = build_hunt_queries(cves[q], pending, threads);
+        set_ptrs.push_back(&query_sets[q]);
+    }
+    return run_batch(set_ptrs, query_fps, targets, threads, confirm);
+}
+
+std::vector<std::vector<CorpusOutcome>>
+Driver::run_batch(
+    const std::vector<const std::map<isa::Arch, Query> *> &query_sets,
+    const std::vector<std::uint64_t> &query_fps,
+    const std::vector<CorpusTarget> &targets, unsigned threads,
+    bool confirm)
+{
+    const std::size_t nq = query_sets.size();
+    const std::size_t nt = targets.size();
     const CancelToken *const cancel = options_.cancel;
 
-    // Replay pass: serve journaled targets before any stage runs, in
-    // target order, with exactly the health accounting a fresh scan of
-    // them would have produced — the determinism bar is that a resumed
-    // scan's findings and discrete health match the uninterrupted one.
-    std::vector<CorpusOutcome> out(targets.size());
-    std::vector<char> replayed(targets.size(), 0);
-    for (std::size_t i = 0; i < targets.size(); ++i) {
-        out[i].target = targets[i];
-        const auto it =
-            journal_replay_.find(content_key(*targets[i].exe));
-        if (it == journal_replay_.end()) {
-            continue;
-        }
-        replayed[i] = 1;
-        const JournalEntry &entry = it->second;
-        if (entry.quarantined) {
-            if (quarantined_.insert(it->first).second) {
-                if (health_counted_.insert(it->first).second) {
-                    ++health_.executables_seen;
-                }
-                health_.note_quarantine(entry.exe_name, entry.code,
-                                        entry.message);
-            }
-        } else {
-            note_healthy(it->first);
-            out[i].indexed = entry.indexed;
-            out[i].outcome = entry.outcome;
+    std::vector<std::uint64_t> keys(nt);
+    for (std::size_t t = 0; t < nt; ++t) {
+        keys[t] = content_key(*targets[t].exe);
+    }
+
+    std::vector<std::vector<CorpusOutcome>> out(nq);
+    std::vector<std::vector<char>> replayed(nq);
+    for (std::size_t q = 0; q < nq; ++q) {
+        out[q].resize(nt);
+        replayed[q].assign(nt, 0);
+        for (std::size_t t = 0; t < nt; ++t) {
+            out[q][t].target = targets[t];
         }
     }
 
-    // Index whatever the journal could not serve. unseen_executables
-    // already drops cached and quarantined keys; replayed-healthy ones
-    // exist only in the journal, so filter them here.
-    std::vector<const loader::Executable *> work =
-        unseen_executables(targets);
-    std::erase_if(work, [this](const loader::Executable *exe) {
-        return journal_replay_.contains(content_key(*exe));
-    });
-    index_many(work, threads);
+    // Replay pass: serve journaled (query, target) pairs before any
+    // stage runs, in (query, target) order, with exactly the health
+    // accounting a fresh scan of them would have produced — the
+    // determinism bar is that a resumed hunt's findings and discrete
+    // health match the uninterrupted one. Quarantines (qfp 0) serve
+    // every query of the batch.
+    for (std::size_t q = 0; q < nq; ++q) {
+        for (std::size_t t = 0; t < nt; ++t) {
+            const auto quarantine = journal_replay_.find({keys[t], 0});
+            if (quarantine != journal_replay_.end()) {
+                const JournalEntry &entry = quarantine->second;
+                replayed[q][t] = 1;
+                if (quarantined_.insert(keys[t]).second) {
+                    if (health_counted_.insert(keys[t]).second) {
+                        ++health_.executables_seen;
+                    }
+                    health_.note_quarantine(entry.exe_name, entry.code,
+                                            entry.message);
+                }
+                continue;
+            }
+            const auto it =
+                journal_replay_.find({keys[t], query_fps[q]});
+            if (it == journal_replay_.end()) {
+                continue;
+            }
+            replayed[q][t] = 1;
+            note_healthy(keys[t]);
+            out[q][t].indexed = it->second.indexed;
+            out[q][t].outcome = it->second.outcome;
+        }
+    }
+
+    // A target is still needed when any query's pair was not replayed;
+    // fully-served targets must not be lifted (or even store-loaded).
+    std::vector<char> needed(nt, 0);
+    std::vector<CorpusTarget> pending;
+    for (std::size_t t = 0; t < nt; ++t) {
+        for (std::size_t q = 0; q < nq; ++q) {
+            if (!replayed[q][t]) {
+                needed[t] = 1;
+                break;
+            }
+        }
+        if (needed[t]) {
+            pending.push_back(targets[t]);
+        }
+    }
+    // unseen_executables dedupes by content key and drops cached and
+    // quarantined keys (replayed quarantines entered quarantined_
+    // above), so each distinct pending executable indexes exactly once.
+    index_many(unseen_executables(pending), threads);
 
     // Resolve targets against the now-complete caches (serial: this
     // still mutates health for executables first seen here).
-    std::vector<const sim::ExecutableIndex *> resolved(targets.size(),
-                                                       nullptr);
-    for (std::size_t i = 0; i < targets.size(); ++i) {
-        if (replayed[i]) {
+    std::vector<const sim::ExecutableIndex *> resolved(nt, nullptr);
+    std::vector<char> resolve_cancelled(nt, 0);
+    for (std::size_t t = 0; t < nt; ++t) {
+        if (!needed[t]) {
             continue;
         }
         // Cancellation point: index_target cold-lifts on a cache miss
         // (targets index_many skipped after cancellation), so mark the
         // remainder cancelled instead of lifting through a shutdown.
         if (cancel != nullptr && cancel->requested()) {
-            out[i].outcome.cancelled = true;
+            resolve_cancelled[t] = 1;
+            for (std::size_t q = 0; q < nq; ++q) {
+                if (!replayed[q][t]) {
+                    out[q][t].outcome.cancelled = true;
+                }
+            }
             continue;
         }
-        resolved[i] = index_target(*targets[i].exe);
-        out[i].indexed = resolved[i] != nullptr;
+        resolved[t] = index_target(*targets[t].exe);
+        for (std::size_t q = 0; q < nq; ++q) {
+            if (!replayed[q][t]) {
+                out[q][t].indexed = resolved[t] != nullptr;
+            }
+        }
     }
 
     // Per-target watchdog + shutdown polling for the games; options_
@@ -823,38 +1105,45 @@ Driver::search_corpus(const std::map<isa::Arch, Query> &queries,
     const RetryPolicy retry_policy{options_.max_target_retries,
                                    options_.retry_backoff_seconds};
 
-    // The games are embarrassingly parallel: workers read the frozen
-    // caches and write disjoint slots. A worker exception propagates
-    // out of parallel_for (via ThreadPool::wait_idle).
+    // Fan the outstanding games out over (query, target) work items on
+    // the work-stealing scheduler, target-major (k = t * nq + q): the
+    // scheduler's contiguous chunks then play every query against one
+    // target back-to-back while its index is hot, and a target is
+    // released before the next one is touched. Workers read the frozen
+    // caches and write disjoint slots; the first worker exception
+    // propagates out of run().
     const auto match_start = std::chrono::steady_clock::now();
-    ThreadPool::parallel_for(
-        resolve_worker_threads(threads), targets.size(),
-        [&](std::size_t i) {
-            if (replayed[i]) {
-                return;  // served from the journal
+    WorkStealingScheduler::run(
+        resolve_worker_threads(threads), nq * nt, [&](std::size_t k) {
+            const std::size_t t = k / nq;
+            const std::size_t q = k % nq;
+            if (replayed[q][t] || resolve_cancelled[t]) {
+                return;  // served from the journal / cancelled above
             }
-            const sim::ExecutableIndex *target = resolved[i];
+            const sim::ExecutableIndex *target = resolved[t];
             if (target == nullptr) {
-                return;  // quarantined, or cancelled at resolve
+                return;  // quarantined
             }
             // Cancellation point: drain, don't start, once shutdown is
             // requested; in-flight games poll the token at their
             // deadline sample points.
             if (cancel != nullptr && cancel->requested()) {
-                out[i].outcome.cancelled = true;
+                out[q][t].outcome.cancelled = true;
                 return;
             }
+            const std::map<isa::Arch, Query> &queries = *query_sets[q];
             const auto qit = queries.find(target->arch);
             if (qit == queries.end()) {
-                out[i].indexed = false;  // no query for this ISA
+                out[q][t].indexed = false;  // no query for this ISA
                 JournalEntry entry;
-                entry.content_key = content_key(*targets[i].exe);
+                entry.content_key = keys[t];
+                entry.query_fp = query_fps[q];
                 entry.indexed = false;
                 journal_append(entry);
                 return;
             }
             const trace::TraceSpan span("search_target",
-                                        targets[i].exe->name);
+                                        targets[t].exe->name);
             SearchOutcome outcome =
                 confirm ? search_outcome(qit->second, *target)
                         : match_outcome(qit->second, *target);
@@ -879,13 +1168,14 @@ Driver::search_corpus(const std::map<isa::Arch, Query> &queries,
                               : match_outcome(qit->second, *target);
             }
             outcome.retries = retries;
-            out[i].outcome = outcome;
+            out[q][t].outcome = outcome;
             if (!outcome.cancelled) {
-                // Journal the completed target the moment it finishes;
-                // cancelled targets are never journaled (no answer to
+                // Journal the completed pair the moment it finishes;
+                // cancelled pairs are never journaled (no answer to
                 // replay — the resume redoes them).
                 JournalEntry entry;
-                entry.content_key = content_key(*targets[i].exe);
+                entry.content_key = keys[t];
+                entry.query_fp = query_fps[q];
                 entry.indexed = true;
                 entry.outcome = outcome;
                 journal_append(entry);
@@ -894,25 +1184,28 @@ Driver::search_corpus(const std::map<isa::Arch, Query> &queries,
     options_.game = saved_game;
     health_.match_wall_seconds += seconds_since(match_start);
 
-    // Merge the accounting single-threaded, in target order — the same
-    // order the serial loop would have produced.
-    for (std::size_t i = 0; i < targets.size(); ++i) {
-        const CorpusOutcome &co = out[i];
-        if (replayed[i]) {
-            ++health_.resumed_targets;
-            c_resumed_targets.add();
+    // Merge the accounting single-threaded, in (query, target) order —
+    // the same order N sequential single-query scans would have
+    // produced.
+    for (std::size_t q = 0; q < nq; ++q) {
+        for (std::size_t t = 0; t < nt; ++t) {
+            const CorpusOutcome &co = out[q][t];
+            if (replayed[q][t]) {
+                ++health_.resumed_targets;
+                c_resumed_targets.add();
+                if (co.indexed) {
+                    note_outcome(co.outcome);
+                }
+                continue;
+            }
+            if (co.outcome.cancelled) {
+                ++health_.targets_cancelled;
+                c_cancelled_targets.add();
+                continue;
+            }
             if (co.indexed) {
                 note_outcome(co.outcome);
             }
-            continue;
-        }
-        if (co.outcome.cancelled) {
-            ++health_.targets_cancelled;
-            c_cancelled_targets.add();
-            continue;
-        }
-        if (co.indexed) {
-            note_outcome(co.outcome);
         }
     }
     if (cancel != nullptr && cancel->requested()) {

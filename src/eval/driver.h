@@ -16,6 +16,8 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baseline/bindiff_like.h"
 #include "baseline/gitz_like.h"
@@ -125,7 +127,12 @@ struct Query
     std::string version;
     sim::ExecutableIndex index;
     int qv = -1;                ///< index of the query procedure
-    /** Structural index for the BinDiff baseline. */
+    /**
+     * Structural index for the BinDiff baseline. Empty when the query
+     * was served from the persistent index store on the hunt path
+     * (search_corpus/search_corpus_batch never read it); build_query
+     * always fills it, which is what the baseline experiments use.
+     */
     baseline::GraphIndex graph;
 };
 
@@ -248,14 +255,12 @@ class Driver
     void note_outcome(const SearchOutcome &outcome);
 
     /**
-     * Corpus-scale fan-out: lift+index the distinct unseen targets in
-     * parallel, build one query per target ISA, then run every game on
-     * the thread pool — the games are embarrassingly parallel — and
-     * merge health/outcome accounting single-threaded afterwards, in
-     * target order, so the result (including health()) is identical to
-     * the serial loop. Worker exceptions propagate via
-     * ThreadPool::wait_idle. @p threads 0 means hardware concurrency.
-     * @p confirm false runs match() semantics instead of search().
+     * Corpus-scale fan-out for one CVE: a batched hunt of size one (see
+     * search_corpus_batch — this is exactly search_corpus_batch({cve})
+     * with the single result row unwrapped, so health, journal and
+     * findings semantics are the batch core's). @p threads 0 means
+     * hardware concurrency (FIRMUP_THREADS honored). @p confirm false
+     * runs match() semantics instead of search().
      */
     std::vector<CorpusOutcome> search_corpus(
         const firmware::CveRecord &cve,
@@ -265,6 +270,30 @@ class Driver
     /** As above with prebuilt per-ISA queries (see build_queries). */
     std::vector<CorpusOutcome> search_corpus(
         const std::map<isa::Arch, Query> &queries,
+        const std::vector<CorpusTarget> &targets, unsigned threads = 0,
+        bool confirm = true);
+
+    /**
+     * Batched multi-CVE hunt — the production shape: hunt a whole CVE
+     * list across one corpus in a single pass. Each target executable
+     * is indexed exactly once (warm FWIX load or cold lift), per-ISA
+     * queries are built once per CVE, and the games fan out over
+     * (query, target) work items on a work-stealing scheduler
+     * (support/threadpool.h) ordered target-major: every query's game
+     * against a target runs back-to-back while that target's index is
+     * hot, in contiguous chunks sized to actually fill cores instead of
+     * drowning warm-cache games in per-task scheduling overhead.
+     *
+     * Returns one outcome row per CVE, in CVE order; row q is
+     * bit-identical to what search_corpus(cves[q], targets) would have
+     * produced with its own fresh caches, at any thread count and any
+     * batch split (the batched-hunt determinism test is the bar).
+     * Journal records are keyed (content key, query fingerprint), so a
+     * killed hunt resumes mid-batch, skipping exactly the completed
+     * (query, target) pairs.
+     */
+    std::vector<std::vector<CorpusOutcome>> search_corpus_batch(
+        const std::vector<firmware::CveRecord> &cves,
         const std::vector<CorpusTarget> &targets, unsigned threads = 0,
         bool confirm = true);
 
@@ -309,11 +338,14 @@ class Driver
     ScanJournal journal_;
     bool journal_opened_ = false;
     /**
-     * Journal replay: content key → last journaled record for that key.
-     * Targets whose key appears here are served from the journal and
-     * skipped by every pipeline stage of a resumed scan.
+     * Journal replay: (content key, query fingerprint) → last journaled
+     * record for that pair. Quarantine records live under query
+     * fingerprint 0 and apply to every query. (query, target) pairs
+     * that appear here are served from the journal and skipped by every
+     * pipeline stage of a resumed scan.
      */
-    std::map<std::uint64_t, JournalEntry> journal_replay_;
+    std::map<std::pair<std::uint64_t, std::uint64_t>, JournalEntry>
+        journal_replay_;
 
     /** The persistent store, or nullptr when not configured. */
     sim::IndexCacheStore *cache_store();
@@ -339,6 +371,50 @@ class Driver
      */
     std::uint64_t scan_fingerprint(const std::string &label,
                                    bool confirm) const;
+
+    /**
+     * Per-query record fingerprint: hashes one query's identity label
+     * (never 0 — that value is reserved for quarantine records). The
+     * journal keys outcome records by (content key, this).
+     */
+    static std::uint64_t query_fingerprint(const std::string &label);
+
+    /**
+     * build_query with the hunt-path fast lane: when @p hunt is true
+     * and a persistent store is configured, the finalized query index
+     * is served from (or written back to) the store under its recipe
+     * key, skipping compile + lift + canonicalize on warm runs. A
+     * store-served query has an empty baseline graph — the hunt never
+     * reads it. @p hunt false is the full build (public build_query).
+     */
+    Query build_query_impl(const std::string &package,
+                           const std::string &procedure,
+                           const std::string &version, isa::Arch arch,
+                           bool hunt);
+
+    /**
+     * build_queries through build_query_impl's hunt lane — what
+     * search_corpus_batch uses, so warm batched hunts pay zero query
+     * compilation.
+     */
+    std::map<isa::Arch, Query> build_hunt_queries(
+        const firmware::CveRecord &cve,
+        const std::vector<CorpusTarget> &targets, unsigned threads);
+
+    /**
+     * The batched fan-out core every search_corpus overload lands on:
+     * replay the journaled (query, target) pairs, index the remaining
+     * distinct targets once, then run the outstanding games target-major
+     * on the work-stealing scheduler and merge accounting
+     * single-threaded in (query, target) order — the same order N
+     * sequential single-query scans would have produced. The journal
+     * must already be open (or absent) when this runs.
+     */
+    std::vector<std::vector<CorpusOutcome>> run_batch(
+        const std::vector<const std::map<isa::Arch, Query> *> &query_sets,
+        const std::vector<std::uint64_t> &query_fps,
+        const std::vector<CorpusTarget> &targets, unsigned threads,
+        bool confirm);
 
     /**
      * Open (or resume) the journal per options_, once per driver;

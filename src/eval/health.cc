@@ -64,6 +64,8 @@ ScanHealth::merge(const ScanHealth &other)
     cache_misses += other.cache_misses;
     cache_write_bytes += other.cache_write_bytes;
     cache_load_seconds += other.cache_load_seconds;
+    query_cache_hits += other.query_cache_hits;
+    query_cache_misses += other.query_cache_misses;
     canon_memo_hits += other.canon_memo_hits;
     canon_memo_misses += other.canon_memo_misses;
     index_seconds += other.index_seconds;
@@ -156,6 +158,11 @@ ScanHealth::summary() const
             cache_hits + cache_misses,
             static_cast<double>(cache_hits) /
                 static_cast<double>(cache_hits + cache_misses) * 100.0);
+    }
+    if (query_cache_hits + query_cache_misses > 0) {
+        out += strprintf("; query recipes %zu/%zu warm",
+                         query_cache_hits,
+                         query_cache_hits + query_cache_misses);
     }
     if (canon_memo_hits + canon_memo_misses > 0) {
         out += strprintf(

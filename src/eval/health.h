@@ -79,6 +79,16 @@ struct ScanHealth
     double cache_load_seconds = 0.0;      ///< summed load wall clock
 
     /**
+     * Query-recipe store accounting, kept apart from the target-index
+     * counters above: a recipe hit serves a compiled query's finalized
+     * index without running codegen, so it has no lifted executable
+     * behind it (folding it into cache_hits would break the
+     * cache_hits <= lifted_ok invariant sane() checks).
+     */
+    std::size_t query_cache_hits = 0;
+    std::size_t query_cache_misses = 0;
+
+    /**
      * Cross-executable canon memo accounting (see strand/memo.h): hits
      * are basic blocks whose strand-hash span was replayed from the
      * memo during cold indexing; misses were canonicalized and

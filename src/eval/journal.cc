@@ -16,7 +16,7 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr std::uint8_t kMagic[4] = {'F', 'W', 'S', 'J'};
-constexpr std::uint16_t kJournalVersion = 1;
+constexpr std::uint16_t kJournalVersion = 2;
 
 /**
  * Header: magic(4) version(2) layout_hash(8) fingerprint(8) checksum(8).
@@ -109,11 +109,13 @@ decode_payload(const std::uint8_t *bytes, std::size_t size,
                JournalEntry &entry)
 {
     std::size_t pos = 0;
-    if (pos + 1 + 8 > size) {
+    if (pos + 1 + 8 + 8 > size) {
         return false;
     }
     const std::uint8_t kind = bytes[pos++];
     entry.content_key = read_u64_le(bytes + pos);
+    pos += 8;
+    entry.query_fp = read_u64_le(bytes + pos);
     pos += 8;
     if (kind == kKindOutcome) {
         entry.quarantined = false;
@@ -152,6 +154,9 @@ decode_payload(const std::uint8_t *bytes, std::size_t size,
     if (kind == kKindQuarantine) {
         entry.quarantined = true;
         entry.indexed = false;
+        if (entry.query_fp != 0) {
+            return false;  // quarantines are query-independent
+        }
         if (pos + 1 > size) {
             return false;
         }
@@ -179,15 +184,18 @@ journal_io_error(const std::string &what, const std::string &path)
 std::uint64_t
 journal_layout_hash()
 {
-    // Descriptor of the v1 byte layout; bump the string whenever any
+    // Descriptor of the v2 byte layout; bump the string whenever any
     // field changes width, order or meaning so old journals read as
-    // stale instead of misparsing.
+    // stale instead of misparsing. v2 adds the per-record query
+    // fingerprint (qfp) right after the content key in both kinds, so
+    // batched hunts journal per (query, target) pair.
     static const std::uint64_t hash = fnv1a64(
-        "fwsj-v1:hdr(magic4,ver-u16,layout-u64,fingerprint-u64,"
+        "fwsj-v2:hdr(magic4,ver-u16,layout-u64,fingerprint-u64,"
         "fnv1a64-hdr-u64);rec(len-u32,fnv1a64-payload-u64,payload);"
-        "outcome(kind1,key-u64,flags-u8,entry-u64,sim-u32,steps-u32,"
-        "retries-u32,secs-4xf64bits);"
-        "quarantine(kind2,key-u64,code-u8,name-str16,msg-str16)");
+        "outcome(kind1,key-u64,qfp-u64,flags-u8,entry-u64,sim-u32,"
+        "steps-u32,retries-u32,secs-4xf64bits);"
+        "quarantine(kind2,key-u64,qfp-u64=0,code-u8,name-str16,"
+        "msg-str16)");
     return hash;
 }
 
@@ -213,12 +221,14 @@ ScanJournal::encode_record(const JournalEntry &entry)
     if (entry.quarantined) {
         append_u8(payload, kKindQuarantine);
         append_u64_le(payload, entry.content_key);
+        append_u64_le(payload, 0);  // quarantines bind to no query
         append_u8(payload, static_cast<std::uint8_t>(entry.code));
         append_string16(payload, entry.exe_name);
         append_string16(payload, entry.message);
     } else {
         append_u8(payload, kKindOutcome);
         append_u64_le(payload, entry.content_key);
+        append_u64_le(payload, entry.query_fp);
         std::uint8_t flags = 0;
         flags |= entry.indexed ? kFlagIndexed : 0;
         flags |= entry.outcome.detected ? kFlagDetected : 0;

@@ -12,7 +12,7 @@
  * the final findings and ScanHealth are bit-identical to an
  * uninterrupted scan (the determinism tests are the bar).
  *
- * FWSJ v1 on-disk format (all integers little-endian):
+ * FWSJ v2 on-disk format (all integers little-endian):
  *
  *   header   magic "FWSJ"(4) | version u16 | layout_hash u64 |
  *            fingerprint u64 | fnv1a64 of the preceding 22 bytes (u64)
@@ -20,10 +20,14 @@
  *
  * The fingerprint binds a journal to one (scan label, deterministic
  * option knobs) pair so a journal written for one CVE or one threshold
- * configuration cannot silently poison a different scan. Torn or
- * corrupted tails are NOT fatal: parsing stops at the first bad record
- * and the valid prefix wins — exactly the FWIX persistence philosophy
- * (a cache/journal problem must never be worse than not having one).
+ * configuration cannot silently poison a different scan. Since v2 each
+ * record additionally carries the fingerprint of the *query* it
+ * answers, so a batched multi-CVE hunt journals one record per
+ * (query, target) pair and a resume skips exactly the completed pairs
+ * — not whole targets — mid-batch. Torn or corrupted tails are NOT
+ * fatal: parsing stops at the first bad record and the valid prefix
+ * wins — exactly the FWIX persistence philosophy (a cache/journal
+ * problem must never be worse than not having one).
  */
 #pragma once
 
@@ -82,6 +86,14 @@ struct SearchOutcome
 struct JournalEntry
 {
     std::uint64_t content_key = 0;
+    /**
+     * Fingerprint of the query this record answers (see the driver's
+     * query fingerprinting): a batched hunt writes one outcome record
+     * per (content key, query) pair, and resume replays exactly that
+     * granularity. Quarantine records carry 0 — a poisoned executable
+     * is poisoned for every query.
+     */
+    std::uint64_t query_fp = 0;
     /** True = quarantine record; false = outcome record. */
     bool quarantined = false;
     /** Outcome records: did the target index (games were played)? */
@@ -105,7 +117,7 @@ struct JournalLoad
 };
 
 /**
- * Descriptor hash of the FWSJ v1 byte layout; bump the descriptor string
+ * Descriptor hash of the FWSJ v2 byte layout; bump the descriptor string
  * in journal.cc whenever any field changes width, order or meaning so
  * old journals read as StaleFormat instead of misparsing.
  */

@@ -80,9 +80,10 @@ fwix_layout_hash()
     // section 12) must invalidate old caches the same way a layout
     // change does.
     static const std::uint64_t hash = fnv1a64(
-        "fwix-v2:hdr(magic4,ver-u16,layout-u64,fnv1a64-payload-u64);"
+        "fwix-v3:hdr(magic4,ver-u16,layout-u64,fnv1a64-payload-u64);"
         "payload(arch-u8,name-str16,procs-u32:"
-        "(entry-u64,name-str16,blocks-u32,stmts-u32,hashes-u32xu64),"
+        "(entry-u64,name-str16,blocks-u32,stmts-u32,hashes-u32xu64,"
+        "summary-u8:bits-4xu64,woffs-5xu32),"
         "ready-u8,posting-hashes-u32xu64,posting-offsets-u32xu32,"
         "posting-procs-u32xu32);canon(stream-v2,lr-names)");
     return hash;
@@ -113,6 +114,19 @@ serialize_index(const ExecutableIndex &index)
                       static_cast<std::uint32_t>(proc.repr.hashes.size()));
         for (std::uint64_t h : proc.repr.hashes) {
             append_u64_le(out, h);
+        }
+        // Block summary (the tiered kernel's reject/span structure).
+        // Stored, not rebuilt at load: the warm path exists to skip
+        // recomputation, and the summary is search state like the
+        // postings below.
+        append_u8(out, proc.repr.summary_built ? 1 : 0);
+        if (proc.repr.summary_built) {
+            for (std::uint64_t word : proc.repr.bucket_bits) {
+                append_u64_le(out, word);
+            }
+            for (std::uint32_t offset : proc.repr.word_offsets) {
+                append_u32_le(out, offset);
+            }
         }
     }
     // Finalized search state: the CSR posting lists. The entry/name maps
@@ -220,6 +234,37 @@ parse_index(const std::uint8_t *bytes, std::size_t size)
             // bytes serialize_index wrote); restore the flat-set
             // invariant for them.
             proc.repr.finalize();
+        }
+        if (pos + 1 > size) {
+            return truncated("summary flag");
+        }
+        const std::uint8_t summary = bytes[pos++];
+        if (summary > 1) {
+            return malformed("bad summary flag");
+        }
+        if (summary == 1) {
+            if (size - pos < 4 * 8 + 5 * 4) {
+                return truncated("summary");
+            }
+            for (std::uint64_t &word : proc.repr.bucket_bits) {
+                word = read_u64_le(bytes + pos);
+                pos += 8;
+            }
+            std::uint32_t prev = 0;
+            for (std::uint32_t &offset : proc.repr.word_offsets) {
+                offset = read_u32_le(bytes + pos);
+                pos += 4;
+                if (offset < prev) {
+                    return malformed("unsorted summary offsets");
+                }
+                prev = offset;
+            }
+            if (proc.repr.word_offsets.front() != 0 ||
+                proc.repr.word_offsets.back() !=
+                    proc.repr.hashes.size()) {
+                return malformed("inconsistent summary shape");
+            }
+            proc.repr.summary_built = true;
         }
         index.procs.push_back(std::move(proc));
     }

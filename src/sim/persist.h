@@ -13,8 +13,12 @@
  * state — the CSR posting lists built by ExecutableIndex::finalize() —
  * so a loaded index is `search_ready` without re-running finalize(),
  * which is what makes warm corpus scans (sim::IndexCacheStore) skip the
- * entire lift+canon+finalize phase. The header guards against stale or
- * damaged blobs three ways:
+ * entire lift+canon+finalize phase. Format v3 stores each procedure's
+ * block summary (strand::ProcedureStrands::bucket_bits/word_offsets)
+ * alongside its hashes: without it, warm-loaded indexes silently lost
+ * the tiered intersection kernel's summary reject and fell back to the
+ * merge path — the summary is as much search state as the postings
+ * are. The header guards against stale or damaged blobs three ways:
  *
  *  - a format **version** (v1 blobs are rejected with a distinct
  *    ErrorCode::StaleFormat "stale format" error, never misparsed),
@@ -39,16 +43,16 @@
 namespace firmup::sim {
 
 /** Current FWIX format version (serialize_index always writes this). */
-inline constexpr std::uint16_t kFwixVersion = 2;
+inline constexpr std::uint16_t kFwixVersion = 3;
 
 /**
- * Digest of the v2 byte-layout descriptor. Serialized into every blob
+ * Digest of the v3 byte-layout descriptor. Serialized into every blob
  * and compared on parse; a mismatch means the blob was written by an
  * incompatible layout and is rejected as ErrorCode::StaleFormat.
  */
 std::uint64_t fwix_layout_hash();
 
-/** Serialize @p index into the FWIX v2 binary format. */
+/** Serialize @p index into the FWIX v3 binary format. */
 ByteBuffer serialize_index(const ExecutableIndex &index);
 
 /**

@@ -97,9 +97,113 @@ ExecutableIndex index_executable(const lifter::LiftedExecutable &lifted,
                                  strand::CanonOptions options = {},
                                  unsigned threads = 1);
 
-/** Sim(q, t): the number of shared canonical strands. */
+/**
+ * SIMD instruction set used by the intersection kernel's inner loops.
+ * The kernel itself is tiered by pair shape (see sim_score); each tier's
+ * inner loop is then dispatched at runtime to the best available
+ * instruction set, with Scalar as the portable fallback. Every tier and
+ * every instruction set produces bit-identical counts.
+ */
+enum class SimdTier
+{
+    Scalar,
+    Sse2,
+    Neon,
+};
+
+/** The active instruction-set tier (set_simd_tier or FIRMUP_SIMD). */
+SimdTier simd_tier();
+
+/**
+ * Force the instruction-set tier (test/bench seam; the property tests
+ * sweep every tier against the std::set reference). Requesting an
+ * unavailable tier clamps to Scalar. The FIRMUP_SIMD environment
+ * variable ("scalar", "sse2", "neon") sets the initial tier; unset
+ * picks the best the binary and CPU support.
+ */
+void set_simd_tier(SimdTier tier);
+
+/** True when @p tier's instructions are compiled into this binary. */
+bool simd_tier_available(SimdTier tier);
+
+/** Stable lowercase name of @p tier ("scalar", "sse2", "neon"). */
+const char *simd_tier_name(SimdTier tier);
+
+/**
+ * Sim(q, t): the number of shared canonical strands.
+ *
+ * Tiered intersection kernel over the sorted flat hash vectors:
+ *  - summary reject: AND the 256-bit bucket-occupancy bitmaps; a zero
+ *    intersection answers 0 without touching the hash vectors;
+ *  - lopsided pairs (>= 16x size ratio) gallop from the small side,
+ *    with a SIMD equality scan over the final search window;
+ *  - comparable pairs run a block merge over the per-word spans of the
+ *    summary, skipping spans whose common occupancy bits are zero —
+ *    SSE2/NEON all-pairs block compare, branchless scalar fallback.
+ * Exact by construction: every tier counts the same intersection the
+ * reference merge does (sim_score_merge), bit-identically.
+ */
 int sim_score(const strand::ProcedureStrands &q,
               const strand::ProcedureStrands &t);
+
+/**
+ * Reference merge intersection (the pre-kernel two-pointer/galloping
+ * path). Kept callable as the benchmark baseline and the property-test
+ * oracle for sim_score.
+ */
+int sim_score_merge(const strand::ProcedureStrands &q,
+                    const strand::ProcedureStrands &t);
+
+/**
+ * Query-amortized intersection kernel: build once per query, score many
+ * targets. This is the shape every hot caller actually has — one CVE
+ * query played against a whole corpus, one query against every
+ * procedure of a target executable — and amortizing the query-side
+ * build is what a pairwise merge can never do: scoring a target costs
+ * one branchless filter pass over its hashes plus an exact probe per
+ * surviving candidate, with no data-dependent merge branches at all.
+ *
+ * Layout (all query-side, built by reset()):
+ *  - an 8 KiB bitmap over the low 16 bits of the query's hashes — the
+ *    filter pass tests each target hash against it branchlessly and
+ *    emits survivors to a candidate buffer (false-positive rate
+ *    |q| / 65536, so candidates ~= true matches);
+ *  - an 8-slot bucket table keyed by hash bits 16.. for the exact
+ *    64-bit verify of each candidate (SIMD across the 8 slots). Bucket
+ *    counts are rebuilt with doubled bucket counts on overflow, so the
+ *    verify is exact for any input; a pathological query falls back to
+ *    the merge kernel.
+ *
+ * score() is exact — bit-identical to sim_score and sim_score_merge
+ * for every input (property-tested) — and thread-safe: concurrent
+ * score() calls against one built QueryProbe are safe, which is what
+ * lets the batch scheduler share one probe per query across workers.
+ */
+class QueryProbe
+{
+public:
+    QueryProbe() = default;
+    explicit QueryProbe(const strand::ProcedureStrands &q) { reset(q); }
+
+    /** (Re)build the filter + verify tables from @p q. */
+    void reset(const strand::ProcedureStrands &q);
+
+    /** Exact |q ∩ t| against the query given to reset(). */
+    int score(const strand::ProcedureStrands &t) const;
+    /** Same, over a raw sorted unique hash span. */
+    int score(const std::uint64_t *t, std::size_t n) const;
+
+    /** Number of hashes in the query this probe was built from. */
+    std::size_t query_size() const { return query_size_; }
+
+private:
+    std::vector<std::uint64_t> bitmap_;  ///< 1024 words / 64 Ki bits
+    std::vector<std::uint64_t> slots_;   ///< buckets x 8 hash slots
+    std::vector<std::uint8_t> valid_;    ///< per-bucket slot occupancy
+    std::vector<std::uint64_t> fallback_;  ///< sorted query copy (rare)
+    std::uint32_t bucket_mask_ = 0;
+    std::size_t query_size_ = 0;
+};
 
 /** Work accounting for one or more shared_candidates calls. */
 struct ScoringStats

@@ -32,6 +32,7 @@
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -113,11 +114,35 @@ struct ProcedureStrands
     std::size_t block_count = 0;
     std::size_t stmt_count = 0;
 
+    /**
+     * Block summary for the tiered intersection kernel
+     * (sim::sim_score): the sorted hash vector is implicitly
+     * partitioned into 256 buckets by each hash's top byte.
+     * `bucket_bits` is the 256-bit bucket-occupancy bitmap (bit b of
+     * word b/64 set iff some hash has top byte b) and `word_offsets`
+     * delimits the contiguous run of hashes whose top byte falls in
+     * bucket word w: [word_offsets[w], word_offsets[w+1]). ANDing two
+     * procedures' occupancy words rejects zero-overlap pairs without
+     * touching the hash vectors, and word spans whose common bits are
+     * zero are skipped wholesale. Built by finalize(); hand-assembled
+     * sets that never finalize() have no summary and take the merge
+     * fallback.
+     */
+    std::array<std::uint64_t, 4> bucket_bits{};
+    std::array<std::uint32_t, 5> word_offsets{};
+    bool summary_built = false;
+
     /** Append a hash; the set is unordered until finalize() runs. */
     void add(std::uint64_t h) { hashes.push_back(h); }
 
     /** Sort + deduplicate — restores the flat-set invariant. */
     void finalize();
+
+    /**
+     * (Re)build bucket_bits/word_offsets from the hashes. Requires the
+     * flat-set invariant; finalize() calls it for you.
+     */
+    void build_summary();
 
     /** Membership by binary search (requires the flat-set invariant). */
     bool contains(std::uint64_t h) const;

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Determinism and crash-recovery properties of the batched multi-CVE
+ * hunt (Driver::search_corpus_batch).
+ *
+ * The batch scheduler fans a (query, target) grid across work-stealing
+ * workers and plays every game against a target while its index is
+ * live. None of that may show in the findings: the per-(q, t) outcome
+ * grid must be bit-identical to N independent single-CVE scans, at any
+ * worker count and for any split of the CVE list into sub-batches. The
+ * journal property extends the single-scan one: a batch hunt killed
+ * mid-flight must resume into exactly the uninterrupted grid.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "eval/driver.h"
+#include "firmware/catalog.h"
+#include "firmware/corpus.h"
+#include "support/cancel.h"
+
+namespace firmup::eval {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+fresh_journal_path(const std::string &tag)
+{
+    const fs::path path = fs::path(testing::TempDir()) /
+                          ("firmup-batch-" + tag + ".fwsj");
+    fs::remove(path);
+    return path.string();
+}
+
+/** The hunted CVE subset: enough for a 3+-query grid, fast to build. */
+std::vector<firmware::CveRecord>
+hunt_cves()
+{
+    const std::vector<firmware::CveRecord> &all =
+        firmware::cve_database();
+    return {all.begin(), all.begin() + 3};
+}
+
+void
+expect_rows_equal(const std::vector<CorpusOutcome> &want,
+                  const std::vector<CorpusOutcome> &got,
+                  const std::string &context)
+{
+    ASSERT_EQ(got.size(), want.size()) << context;
+    for (std::size_t t = 0; t < want.size(); ++t) {
+        const SearchOutcome &a = want[t].outcome;
+        const SearchOutcome &b = got[t].outcome;
+        EXPECT_EQ(got[t].indexed, want[t].indexed)
+            << context << " target " << t;
+        EXPECT_EQ(b.detected, a.detected) << context << " target " << t;
+        EXPECT_EQ(b.matched_entry, a.matched_entry)
+            << context << " target " << t;
+        EXPECT_EQ(b.sim, a.sim) << context << " target " << t;
+        EXPECT_EQ(b.steps, a.steps) << context << " target " << t;
+        EXPECT_EQ(b.unresolved, a.unresolved)
+            << context << " target " << t;
+    }
+}
+
+void
+expect_grids_equal(
+    const std::vector<std::vector<CorpusOutcome>> &want,
+    const std::vector<std::vector<CorpusOutcome>> &got,
+    const std::string &context)
+{
+    ASSERT_EQ(got.size(), want.size()) << context;
+    for (std::size_t q = 0; q < want.size(); ++q) {
+        expect_rows_equal(want[q], got[q],
+                          context + " query " + std::to_string(q));
+    }
+}
+
+TEST(BatchHunt, GridMatchesIndependentSingleCveScans)
+{
+    firmware::CorpusOptions corpus_options;
+    corpus_options.num_devices = 3;
+    const firmware::Corpus corpus =
+        firmware::build_corpus(corpus_options);
+    const std::vector<CorpusTarget> targets = corpus_targets(corpus);
+    ASSERT_GT(targets.size(), 4u);
+    const std::vector<firmware::CveRecord> cves = hunt_cves();
+
+    // Reference: one fresh driver per CVE, serial — the pre-batch shape.
+    std::vector<std::vector<CorpusOutcome>> reference;
+    for (const firmware::CveRecord &cve : cves) {
+        Driver single((SearchOptions()));
+        reference.push_back(single.search_corpus(cve, targets, 1));
+    }
+
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        Driver batch((SearchOptions()));
+        const std::vector<std::vector<CorpusOutcome>> grid =
+            batch.search_corpus_batch(cves, targets, threads);
+        expect_grids_equal(reference, grid,
+                           "threads=" + std::to_string(threads));
+        EXPECT_TRUE(batch.health().sane());
+    }
+}
+
+TEST(BatchHunt, AnyBatchSplitYieldsTheSameGrid)
+{
+    firmware::CorpusOptions corpus_options;
+    corpus_options.num_devices = 2;
+    const firmware::Corpus corpus =
+        firmware::build_corpus(corpus_options);
+    const std::vector<CorpusTarget> targets = corpus_targets(corpus);
+    ASSERT_FALSE(targets.empty());
+    const std::vector<firmware::CveRecord> cves = hunt_cves();
+
+    std::vector<std::vector<CorpusOutcome>> whole;
+    {
+        Driver driver((SearchOptions()));
+        whole = driver.search_corpus_batch(cves, targets, 2);
+    }
+
+    // Split the CVE list into sub-batches of every size; concatenated
+    // sub-grids must equal the one-shot grid row for row.
+    for (const std::size_t split : {std::size_t{1}, std::size_t{2}}) {
+        std::vector<std::vector<CorpusOutcome>> stitched;
+        for (std::size_t at = 0; at < cves.size(); at += split) {
+            const std::size_t end = std::min(at + split, cves.size());
+            const std::vector<firmware::CveRecord> part{
+                cves.begin() + static_cast<std::ptrdiff_t>(at),
+                cves.begin() + static_cast<std::ptrdiff_t>(end)};
+            Driver driver((SearchOptions()));
+            for (auto &row : driver.search_corpus_batch(part, targets, 2)) {
+                stitched.push_back(std::move(row));
+            }
+        }
+        expect_grids_equal(whole, stitched,
+                           "split=" + std::to_string(split));
+    }
+}
+
+TEST(BatchHunt, KilledBatchHuntResumesBitIdentically)
+{
+    firmware::CorpusOptions corpus_options;
+    corpus_options.num_devices = 3;
+    const firmware::Corpus corpus =
+        firmware::build_corpus(corpus_options);
+    const std::vector<CorpusTarget> targets = corpus_targets(corpus);
+    ASSERT_GT(targets.size(), 4u);
+    const std::vector<firmware::CveRecord> cves = hunt_cves();
+
+    std::vector<std::vector<CorpusOutcome>> fresh;
+    {
+        Driver driver((SearchOptions()));
+        fresh = driver.search_corpus_batch(cves, targets, 2);
+    }
+
+    for (const unsigned threads : {1u, 2u}) {
+        const std::string path =
+            fresh_journal_path("kill-" + std::to_string(threads));
+        // Phase 1: hunt until a few grid records are journaled, then
+        // take the cooperative-cancellation path a SIGTERM would.
+        CancelToken token;
+        SearchOptions interrupted;
+        interrupted.journal_path = path;
+        interrupted.cancel = &token;
+        interrupted.cancel_after_appends = 2;
+        {
+            Driver driver(interrupted);
+            driver.search_corpus_batch(cves, targets, threads);
+            EXPECT_TRUE(token.requested());
+            EXPECT_TRUE(driver.health().cancelled);
+            EXPECT_TRUE(driver.health().sane());
+        }
+
+        // Phase 2: resume. Replayed (q, t) records and freshly hunted
+        // ones must merge into exactly the uninterrupted grid.
+        SearchOptions resume_options;
+        resume_options.journal_path = path;
+        resume_options.resume = true;
+        Driver resumed(resume_options);
+        const std::vector<std::vector<CorpusOutcome>> grid =
+            resumed.search_corpus_batch(cves, targets, threads);
+        expect_grids_equal(fresh, grid,
+                           "resume threads=" + std::to_string(threads));
+        EXPECT_FALSE(resumed.health().cancelled);
+        EXPECT_GT(resumed.health().resumed_targets, 0u)
+            << "threads=" << threads;
+        EXPECT_TRUE(resumed.health().sane());
+    }
+}
+
+}  // namespace
+}  // namespace firmup::eval
