@@ -378,6 +378,54 @@ BENCHMARK(BM_BatchHunt)
         std::max(2u, std::thread::hardware_concurrency())))
     ->Unit(benchmark::kMillisecond);
 
+void
+BM_MinHashSketch(benchmark::State &state)
+{
+    // Per-procedure sketch build cost over a whole executable — the
+    // price finalize() pays (cold path only; FWIX v4 ships sketches).
+    const sim::ExecutableIndex &index = wget_index();
+    std::uint64_t checksum = 0;
+    for (auto _ : state) {
+        for (const sim::ProcEntry &proc : index.procs) {
+            const strand::MinHashSketch sketch = strand::minhash_sketch(
+                proc.repr.hashes.data(), proc.repr.hashes.size());
+            checksum += sketch[0];
+        }
+    }
+    benchmark::DoNotOptimize(checksum);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(index.procs.size()));
+}
+BENCHMARK(BM_MinHashSketch);
+
+void
+BM_LshProbe(benchmark::State &state)
+{
+    // One LSH candidate probe (band lookups + rare-hash floor + exact
+    // rescoring of survivors) per query procedure, against the vendor
+    // build — the per-call unit the game's GetBestMatch pays in Lsh
+    // mode. Compare against BM_BestMatch-style shared_candidates cost.
+    sim::ExecutableIndex q = wget_index();
+    sim::ExecutableIndex t = vendor_index();
+    q.finalize();
+    t.finalize();
+    t.build_lsh(16, 4);
+    std::uint64_t checksum = 0;
+    for (auto _ : state) {
+        for (const sim::ProcEntry &proc : q.procs) {
+            const std::vector<sim::Candidate> cands =
+                sim::lsh_candidates(t, proc.repr);
+            checksum += cands.size();
+        }
+    }
+    benchmark::DoNotOptimize(checksum);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(q.procs.size()));
+}
+BENCHMARK(BM_LshProbe);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -244,6 +244,8 @@ Driver::build_query_impl(const std::string &package,
             ++health_.query_cache_hits;
             c_query_cache_hits.add();
             query.index = std::move(loaded).take();
+            prepare_retrieval(query.index);
+            sync_retrieval_health();
             query.qv = query.index.find_by_name(procedure);
             FIRMUP_ASSERT(query.qv >= 0,
                           "query procedure missing: " + procedure);
@@ -262,6 +264,8 @@ Driver::build_query_impl(const std::string &package,
 
     query.index = sim::index_executable(lifted.value(), canon_options());
     sync_memo_health();
+    prepare_retrieval(query.index);
+    sync_retrieval_health();
     query.qv = query.index.find_by_name(procedure);
     FIRMUP_ASSERT(query.qv >= 0,
                   "query procedure missing: " + procedure);
@@ -309,6 +313,36 @@ Driver::sync_memo_health()
     health_.canon_memo_hits += now.hits - memo_seen_.hits;
     health_.canon_memo_misses += now.misses - memo_seen_.misses;
     memo_seen_ = now;
+}
+
+void
+Driver::sync_retrieval_health()
+{
+    const sim::RetrievalCounters now = sim::retrieval_counters();
+    health_.retrieval_probes_exact +=
+        now.probes_exact - retrieval_seen_.probes_exact;
+    health_.retrieval_candidates_exact +=
+        now.candidates_exact - retrieval_seen_.candidates_exact;
+    health_.retrieval_probes_lsh +=
+        now.probes_lsh - retrieval_seen_.probes_lsh;
+    health_.retrieval_candidates_lsh +=
+        now.candidates_lsh - retrieval_seen_.candidates_lsh;
+    health_.retrieval_lsh_exact_work +=
+        now.lsh_exact_work - retrieval_seen_.lsh_exact_work;
+    health_.sketch_seconds +=
+        static_cast<double>(now.sketch_micros -
+                            retrieval_seen_.sketch_micros) *
+        1e-6;
+    retrieval_seen_ = now;
+}
+
+void
+Driver::prepare_retrieval(sim::ExecutableIndex &index)
+{
+    if (options_.retrieval != sim::RetrievalMode::Lsh) {
+        return;
+    }
+    index.build_lsh(options_.lsh_bands, options_.lsh_rows);
 }
 
 sim::IndexCacheStore *
@@ -365,6 +399,10 @@ Driver::index_target(const loader::Executable &exe)
     const std::uint64_t key = content_key(exe);
     auto it = index_cache_.find(key);
     if (it != index_cache_.end()) {
+        // Entries cached by index_many may predate the LSH table (its
+        // workers build indexes, the merge loop prepares them); build_lsh
+        // is a no-op when the table already has the requested shape.
+        prepare_retrieval(it->second);
         return &it->second;
     }
     if (quarantined_.contains(key)) {
@@ -384,8 +422,12 @@ Driver::index_target(const loader::Executable &exe)
             ++health_.cache_hits;
             c_cache_hits.add();
             note_healthy(key);
-            return &index_cache_.emplace(key, std::move(loaded).take())
-                        .first->second;
+            sim::ExecutableIndex &warm =
+                index_cache_.emplace(key, std::move(loaded).take())
+                    .first->second;
+            prepare_retrieval(warm);
+            sync_retrieval_health();
+            return &warm;
         }
         ++health_.cache_misses;
         c_cache_misses.add();
@@ -401,6 +443,8 @@ Driver::index_target(const loader::Executable &exe)
                                            resolve_worker_threads(0)))
             .first->second;
     sync_memo_health();
+    prepare_retrieval(index);
+    sync_retrieval_health();
     if (sim::IndexCacheStore *store = cache_store()) {
         if (auto written = store->store(key, index); written.ok()) {
             health_.cache_write_bytes += written.value();
@@ -594,9 +638,12 @@ Driver::index_many(const std::vector<const loader::Executable *> &work,
         if (!slots[i].from_cache) {
             lift_cache_.emplace(key, std::move(slots[i].lifted));
         }
-        index_cache_.emplace(key, std::move(slots[i].index));
+        prepare_retrieval(
+            index_cache_.emplace(key, std::move(slots[i].index))
+                .first->second);
     }
     sync_memo_health();
+    sync_retrieval_health();
     health_.index_seconds += seconds_since(start);
     health_.index_cpu_seconds +=
         static_cast<double>(trace::process_cpu_ns() - cpu_start) * 1e-9;
@@ -804,6 +851,18 @@ Driver::scan_fingerprint(const std::string &label, bool confirm) const
     // Wall-clock knobs (game.max_seconds, the watchdog, the retry
     // policy) are deliberately excluded: they bound how long a scan may
     // take, not which answer a target deterministically produces.
+    //
+    // The retrieval knob changes which candidates games see, hence
+    // which answers a scan produces — it must split the fingerprint.
+    // Folded only in Lsh mode so every exact-mode journal written
+    // before the knob existed still resumes.
+    if (options_.retrieval == sim::RetrievalMode::Lsh) {
+        fp = hash_combine(fp, fnv1a64("retrieval:lsh"));
+        fp = hash_combine(fp,
+                          static_cast<std::uint64_t>(options_.lsh_bands));
+        fp = hash_combine(fp,
+                          static_cast<std::uint64_t>(options_.lsh_rows));
+    }
     return fp != 0 ? fp : 1;  // 0 means "skip the check" in parse()
 }
 
@@ -820,9 +879,23 @@ Driver::open_journal(const std::string &label, bool confirm)
         auto opened =
             ScanJournal::open_resume(options_.journal_path, fp, &load);
         if (!opened.ok()) {
-            // Degrade to a journal-less scan: a stale or unreadable
-            // journal costs resume coverage, never the scan. The error
-            // class lands in the histogram so it is visible.
+            if (opened.error_code() == ErrorCode::StaleFormat &&
+                opened.error_message() == kJournalFingerprintMismatch) {
+                // A structurally sound journal for a *different* scan
+                // configuration (e.g. another retrieval mode): silently
+                // rescanning under the new knobs while the old journal
+                // sits on disk would mix findings from two
+                // configurations on the next resume. Refuse the scan;
+                // run_batch returns empty and callers surface the error.
+                health_.resume_rejected = true;
+                health_.resume_reject_reason = opened.error_message();
+                health_.note_error(opened.error_code());
+                return;
+            }
+            // Degrade to a journal-less scan: a corrupt, stale-layout
+            // or unreadable journal costs resume coverage, never the
+            // scan. The error class lands in the histogram so it is
+            // visible.
             health_.note_error(opened.error_code());
             return;
         }
@@ -947,6 +1020,20 @@ Driver::search_corpus_batch(const std::vector<firmware::CveRecord> &cves,
         }
     }
     open_journal(scan_label, confirm);
+    if (health_.resume_rejected) {
+        // Refused resume (journal fingerprint mismatch): skip even the
+        // query builds — run_batch would return the empty grid anyway,
+        // and building queries first would waste lifts on a scan that
+        // is not going to run.
+        std::vector<std::vector<CorpusOutcome>> rows(cves.size());
+        for (std::vector<CorpusOutcome> &row : rows) {
+            row.resize(targets.size());
+            for (std::size_t t = 0; t < targets.size(); ++t) {
+                row[t].target = targets[t];
+            }
+        }
+        return rows;
+    }
 
     std::vector<std::uint64_t> query_fps;
     query_fps.reserve(labels.size());
@@ -1009,6 +1096,13 @@ Driver::run_batch(
         for (std::size_t t = 0; t < nt; ++t) {
             out[q][t].target = targets[t];
         }
+    }
+
+    if (health_.resume_rejected) {
+        // open_journal refused the resume (fingerprint mismatch): no
+        // lifting, no games — return the empty grid so callers surface
+        // the configuration error without half a scan behind it.
+        return out;
     }
 
     // Replay pass: serve journaled (query, target) pairs before any
@@ -1097,6 +1191,7 @@ Driver::run_batch(
     // and is restored afterwards.
     const game::GameOptions saved_game = options_.game;
     options_.game.cancel = cancel;
+    options_.game.retrieval = options_.retrieval;
     if (options_.target_budget_seconds > 0.0 &&
         (options_.game.max_seconds <= 0.0 ||
          options_.target_budget_seconds < options_.game.max_seconds)) {
@@ -1211,6 +1306,7 @@ Driver::run_batch(
     if (cancel != nullptr && cancel->requested()) {
         health_.cancelled = true;
     }
+    sync_retrieval_health();
     journal_.flush();
     return out;
 }

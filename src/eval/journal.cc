@@ -290,10 +290,8 @@ ScanJournal::parse(const std::uint8_t *bytes, std::size_t size,
     load.fingerprint = read_u64_le(bytes + 14);
     if (expected_fingerprint != 0 &&
         load.fingerprint != expected_fingerprint) {
-        return Result<JournalLoad>::error(
-            ErrorCode::StaleFormat,
-            "journal: fingerprint mismatch (different scan "
-            "configuration or label)");
+        return Result<JournalLoad>::error(ErrorCode::StaleFormat,
+                                          kJournalFingerprintMismatch);
     }
 
     // Records: the valid prefix wins. Any framing, checksum or payload

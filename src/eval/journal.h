@@ -124,6 +124,18 @@ struct JournalLoad
 std::uint64_t journal_layout_hash();
 
 /**
+ * Error message of the one StaleFormat cause callers must tell apart:
+ * a structurally sound, current-format journal whose fingerprint binds
+ * it to a *different* scan configuration. The driver refuses to resume
+ * across that boundary (mixing findings from two configurations) while
+ * every other journal failure — corruption, stale layout — merely
+ * degrades to a journal-less scan.
+ */
+inline constexpr const char *kJournalFingerprintMismatch =
+    "journal: fingerprint mismatch (different scan configuration or "
+    "label)";
+
+/**
  * The append-only scan journal. Move-only; append() is thread-safe
  * (worker threads journal outcomes as they complete) and durable — each
  * record is fflush+fsync'd before append() returns, so a crash can tear

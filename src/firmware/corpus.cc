@@ -142,7 +142,8 @@ build_corpus(const CorpusOptions &options)
     Corpus corpus;
     Rng rng(options.seed);
 
-    for (int d = 0; d < options.num_devices; ++d) {
+    const int devices = options.num_devices * std::max(options.scale, 1);
+    for (int d = 0; d < devices; ++d) {
         Rng device_rng = rng.fork("device" + std::to_string(d));
         Device device = make_device(device_rng, d);
 

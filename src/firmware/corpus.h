@@ -71,6 +71,19 @@ struct CorpusOptions
     int corrupt_header_percent = 8;
     /** Percent of non-latest images shipped with full symbols. */
     int unstripped_percent = 12;
+    /**
+     * Corpus multiplier for retrieval-scaling experiments: the device
+     * loop runs num_devices * scale iterations, so scale N clones the
+     * catalog into N times the devices, each clone with its own
+     * perturbed build decisions (every device forks the corpus RNG
+     * under its own index — "device42" — so extra devices draw fresh
+     * toolchains, feature gates and version histories). Ground truth is
+     * recorded per device exactly as at scale 1, and the first
+     * num_devices devices are bit-identical to the scale-1 corpus (the
+     * RNG fork names do not change), so findings on the shared prefix
+     * are directly comparable.
+     */
+    int scale = 1;
 };
 
 /** Build the corpus deterministically from @p options. */

@@ -261,8 +261,11 @@ class Game
         auto &ready = m.in_q ? cand_ready_q_ : cand_ready_t_;
         const std::size_t i = static_cast<std::size_t>(m.index);
         if (!ready[i]) {
-            memo[i] = sim::shared_candidates(m.in_q ? t_ : q_, repr(m),
-                                             &stats_);
+            const sim::ExecutableIndex &other = m.in_q ? t_ : q_;
+            memo[i] = opt_.retrieval == sim::RetrievalMode::Lsh
+                          ? sim::lsh_candidates(other, repr(m), &stats_)
+                          : sim::shared_candidates(other, repr(m),
+                                                   &stats_);
             ready[i] = 1;
         }
         return memo[i];

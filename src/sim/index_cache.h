@@ -4,19 +4,22 @@
  *
  * The paper's evaluation machine indexes its ~200k-executable corpus
  * once and then serves every CVE hunt as pure lookups (section 5.1);
- * this store is that shape for our pipeline. Each entry is one FWIX v2
+ * this store is that shape for our pipeline. Each entry is one FWIX v4
  * file (sim/persist.h) named by the executable's content key
  * (eval::content_key — name + text bytes, so byte-identical executables
  * re-shipped across firmware versions share one entry, the section 5.2
- * observation). A warm scan loads `search_ready` indexes straight from
- * disk and skips lift + canonicalize + finalize entirely.
+ * observation). A warm scan loads `search_ready` indexes — procedure
+ * strand sets, CSR postings, block summaries and MinHash sketches —
+ * straight from disk and skips lift + canonicalize + finalize entirely;
+ * entries written by older layouts (e.g. sketchless v3) fail the parse
+ * guards as StaleFormat and are transparently re-indexed.
  *
  * Robustness contract:
  *  - writes are atomic: serialize to `<entry>.tmp-<pid>-<tid>`, then
  *    rename over the final path, so a crashed or concurrent writer can
  *    never leave a torn entry under the content-addressed name;
  *  - loads never trust the bytes: any missing, truncated, corrupted or
- *    stale-format file surfaces as a clean Result error (the FWIX v2
+ *    stale-format file surfaces as a clean Result error (the FWIX
  *    version/layout/checksum guards), which callers treat as a cache
  *    miss and re-lift — never a crash or a silently wrong index.
  */
@@ -48,7 +51,7 @@ class IndexCacheStore
     /**
      * Load and parse the entry for @p content_key. Errors: IoError when
      * the entry does not exist or cannot be read; MalformedContainer /
-     * TruncatedMember / StaleFormat when it fails the FWIX v2 guards.
+     * TruncatedMember / StaleFormat when it fails the FWIX guards.
      * All of them mean "cache miss" to the caller.
      */
     Result<ExecutableIndex> load(std::uint64_t content_key) const;

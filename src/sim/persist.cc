@@ -70,7 +70,7 @@ truncated(const std::string &what)
 std::uint64_t
 fwix_layout_hash()
 {
-    // Descriptor of the v2 byte layout; bump the string whenever any
+    // Descriptor of the byte layout; bump the string whenever any
     // field changes width, order or meaning so old caches read as stale
     // instead of misparsing. The canon(...) tag names the canonical
     // strand byte-format revision: cached hashes are only comparable to
@@ -78,12 +78,15 @@ fwix_layout_hash()
     // emitted the same byte sequence, so a format change (e.g. the
     // pinned left-to-right emission order of stream-v2; DESIGN.md
     // section 12) must invalidate old caches the same way a layout
-    // change does.
+    // change does. The sketch tag's mh64/v1 names the MinHash
+    // permutation family (strand/sketch.cc salts): new salts would make
+    // persisted sketches incomparable to fresh ones, so a salt change
+    // must bump that tag even though no field width moves.
     static const std::uint64_t hash = fnv1a64(
-        "fwix-v3:hdr(magic4,ver-u16,layout-u64,fnv1a64-payload-u64);"
+        "fwix-v4:hdr(magic4,ver-u16,layout-u64,fnv1a64-payload-u64);"
         "payload(arch-u8,name-str16,procs-u32:"
         "(entry-u64,name-str16,blocks-u32,stmts-u32,hashes-u32xu64,"
-        "summary-u8:bits-4xu64,woffs-5xu32),"
+        "summary-u8:bits-4xu64,woffs-5xu32,sketch-u8:mh64/v1-64xu64),"
         "ready-u8,posting-hashes-u32xu64,posting-offsets-u32xu32,"
         "posting-procs-u32xu32);canon(stream-v2,lr-names)");
     return hash;
@@ -126,6 +129,15 @@ serialize_index(const ExecutableIndex &index)
             }
             for (std::uint32_t offset : proc.repr.word_offsets) {
                 append_u32_le(out, offset);
+            }
+        }
+        // MinHash sketch (v4): stored so warm loads serve the LSH
+        // retrieval path without re-permuting every hash set. Always
+        // present for finalized indexes (finalize() backstop-builds).
+        append_u8(out, proc.repr.sketch_built ? 1 : 0);
+        if (proc.repr.sketch_built) {
+            for (std::uint64_t word : proc.repr.sketch) {
+                append_u64_le(out, word);
             }
         }
     }
@@ -265,6 +277,23 @@ parse_index(const std::uint8_t *bytes, std::size_t size)
                 return malformed("inconsistent summary shape");
             }
             proc.repr.summary_built = true;
+        }
+        if (pos + 1 > size) {
+            return truncated("sketch flag");
+        }
+        const std::uint8_t sketch = bytes[pos++];
+        if (sketch > 1) {
+            return malformed("bad sketch flag");
+        }
+        if (sketch == 1) {
+            if (size - pos < 8ull * strand::kSketchSize) {
+                return truncated("sketch");
+            }
+            for (std::uint64_t &word : proc.repr.sketch) {
+                word = read_u64_le(bytes + pos);
+                pos += 8;
+            }
+            proc.repr.sketch_built = true;
         }
         index.procs.push_back(std::move(proc));
     }

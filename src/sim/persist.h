@@ -18,7 +18,12 @@
  * alongside its hashes: without it, warm-loaded indexes silently lost
  * the tiered intersection kernel's summary reject and fell back to the
  * merge path — the summary is as much search state as the postings
- * are. The header guards against stale or damaged blobs three ways:
+ * are. Format v4 adds each procedure's MinHash sketch
+ * (strand::ProcedureStrands::sketch) right after its summary, so warm
+ * scans serve the LSH retrieval prefilter without recomputing sketches;
+ * the LSH banding table itself is derived data and is rebuilt from the
+ * sketches per SearchOptions (its shape is a query-time knob, not index
+ * state). The header guards against stale or damaged blobs three ways:
  *
  *  - a format **version** (v1 blobs are rejected with a distinct
  *    ErrorCode::StaleFormat "stale format" error, never misparsed),
@@ -43,16 +48,16 @@
 namespace firmup::sim {
 
 /** Current FWIX format version (serialize_index always writes this). */
-inline constexpr std::uint16_t kFwixVersion = 3;
+inline constexpr std::uint16_t kFwixVersion = 4;
 
 /**
- * Digest of the v3 byte-layout descriptor. Serialized into every blob
+ * Digest of the v4 byte-layout descriptor. Serialized into every blob
  * and compared on parse; a mismatch means the blob was written by an
  * incompatible layout and is rejected as ErrorCode::StaleFormat.
  */
 std::uint64_t fwix_layout_hash();
 
-/** Serialize @p index into the FWIX v3 binary format. */
+/** Serialize @p index into the FWIX v4 binary format. */
 ByteBuffer serialize_index(const ExecutableIndex &index);
 
 /**

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "ir/uir.h"
+#include "strand/sketch.h"
 #include "strand/slice.h"
 
 namespace firmup::strand {
@@ -132,6 +133,17 @@ struct ProcedureStrands
     std::array<std::uint32_t, 5> word_offsets{};
     bool summary_built = false;
 
+    /**
+     * MinHash sketch of the hash set (strand/sketch.h) for the LSH
+     * retrieval prefilter. Not maintained by finalize(): the sim layer
+     * builds it (sim::ExecutableIndex::finalize() and the parallel
+     * indexing fan-out) so pure canonicalization never pays for it, and
+     * FWIX v4 persists it next to the block summary. A set without
+     * `sketch_built` simply takes the exact posting path.
+     */
+    MinHashSketch sketch{};
+    bool sketch_built = false;
+
     /** Append a hash; the set is unordered until finalize() runs. */
     void add(std::uint64_t h) { hashes.push_back(h); }
 
@@ -143,6 +155,12 @@ struct ProcedureStrands
      * flat-set invariant; finalize() calls it for you.
      */
     void build_summary();
+
+    /**
+     * (Re)build the MinHash sketch from the hashes. Order- and
+     * duplicate-insensitive, so it is valid before or after finalize().
+     */
+    void build_sketch();
 
     /** Membership by binary search (requires the flat-set invariant). */
     bool contains(std::uint64_t h) const;

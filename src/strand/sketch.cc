@@ -1,0 +1,78 @@
+#include "strand/sketch.h"
+
+#include "strand/canon.h"
+#include "support/hash.h"
+
+namespace firmup::strand {
+namespace {
+
+/**
+ * Per-permutation salts: the splitmix64 stream from a fixed seed. The
+ * values are pinned by the seed and the stream constants, never by the
+ * build — changing either silently reshuffles every persisted sketch,
+ * which is why sim/persist.cc folds "mh64/v1" into the FWIX layout
+ * descriptor.
+ */
+std::array<std::uint64_t, kSketchSize>
+make_salts()
+{
+    std::array<std::uint64_t, kSketchSize> salts{};
+    std::uint64_t state = 0x4669726d55703864ull;  // "FirmUp8d"
+    for (std::size_t i = 0; i < kSketchSize; ++i) {
+        state += 0x9e3779b97f4a7c15ull;
+        salts[i] = mix64(state);
+    }
+    return salts;
+}
+
+const std::array<std::uint64_t, kSketchSize> kSalts = make_salts();
+
+}  // namespace
+
+MinHashSketch
+minhash_sketch(const std::uint64_t *hashes, std::size_t count)
+{
+    MinHashSketch sketch;
+    sketch.fill(kSketchEmptySlot);
+    for (std::size_t h = 0; h < count; ++h) {
+        const std::uint64_t hash = hashes[h];
+        for (std::size_t i = 0; i < kSketchSize; ++i) {
+            const std::uint64_t permuted = mix64(hash ^ kSalts[i]);
+            if (permuted < sketch[i]) {
+                sketch[i] = permuted;
+            }
+        }
+    }
+    return sketch;
+}
+
+double
+sketch_similarity(const MinHashSketch &a, const MinHashSketch &b)
+{
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < kSketchSize; ++i) {
+        agree += a[i] == b[i] ? 1 : 0;
+    }
+    return static_cast<double>(agree) /
+           static_cast<double>(kSketchSize);
+}
+
+void
+ProcedureStrands::build_sketch()
+{
+    sketch = minhash_sketch(hashes.data(), hashes.size());
+    sketch_built = true;
+}
+
+std::uint64_t
+band_key(const MinHashSketch &sketch, unsigned band, unsigned rows)
+{
+    std::uint64_t key = hash_combine(kFnv1a64Seed, band);
+    const std::size_t base = static_cast<std::size_t>(band) * rows;
+    for (unsigned r = 0; r < rows; ++r) {
+        key = hash_combine(key, sketch[base + r]);
+    }
+    return key;
+}
+
+}  // namespace firmup::strand

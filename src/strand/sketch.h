@@ -1,0 +1,57 @@
+/**
+ * @file
+ * MinHash sketches over strand-hash sets (retrieval prefilter).
+ *
+ * A procedure's strand set can be large; comparing a query against every
+ * procedure that shares even one strand hash is the linear term left in
+ * corpus retrieval. A MinHash sketch compresses the set into
+ * kSketchSize = 64 words: slot i holds the minimum of a seeded
+ * permutation pi_i applied to every hash in the set. Two sets' sketches
+ * agree on slot i with probability equal to their Jaccard similarity,
+ * so agreeing slots estimate set resemblance and banded slot groups
+ * (sim/similarity.h's LSH table) turn "resemblance above a threshold"
+ * into a hash-table probe.
+ *
+ * Every permutation is the splitmix64 finalizer (support/hash.h mix64 —
+ * a bijection on 64-bit words) applied after XOR with a fixed,
+ * compile-time salt, so sketches are bit-identical across runs,
+ * platforms and thread counts; the persisted FWIX v4 layout depends on
+ * this stability (a salt change must bump the layout descriptor).
+ */
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace firmup::strand {
+
+/** Number of MinHash permutations (sketch words) per procedure. */
+inline constexpr std::size_t kSketchSize = 64;
+
+/** Slot value of the empty set: no hash ever permutes to ~0 minimum. */
+inline constexpr std::uint64_t kSketchEmptySlot = ~std::uint64_t{0};
+
+/** One procedure's MinHash sketch (slot i = min over pi_i(hashes)). */
+using MinHashSketch = std::array<std::uint64_t, kSketchSize>;
+
+/**
+ * Sketch of the hash set @p hashes[0..count). Order- and
+ * duplicate-insensitive; the empty set yields all-kSketchEmptySlot.
+ */
+MinHashSketch minhash_sketch(const std::uint64_t *hashes,
+                             std::size_t count);
+
+/** Fraction of agreeing slots — the Jaccard-similarity estimate. */
+double sketch_similarity(const MinHashSketch &a, const MinHashSketch &b);
+
+/**
+ * LSH band key: a 64-bit digest of @p rows consecutive sketch words
+ * starting at slot @p band * @p rows, salted with the band index so
+ * equal row runs in different bands never alias. Requires
+ * (band + 1) * rows <= kSketchSize.
+ */
+std::uint64_t band_key(const MinHashSketch &sketch, unsigned band,
+                       unsigned rows);
+
+}  // namespace firmup::strand

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Property fleet for the MinHash/LSH candidate prefilter, with the
+ * exact posting path as the oracle.
+ *
+ * The contract under test (sim::lsh_candidates): every LSH candidate
+ * list is a subset of the exact shared_candidates list with identical
+ * Sim values and the same ascending-index order — the prefilter may
+ * drop candidates, never invent or rescore them. On top of that:
+ * sketches are seeded and bit-stable (a golden checksum pins the
+ * permutation family, because FWIX v4 persists raw sketch words),
+ * empty/tiny strand sets degrade cleanly, warm (FWIX round-tripped)
+ * and cold sketches probe identically, and an end-to-end LSH corpus
+ * scan is deterministic across worker counts while keeping measured
+ * recall of the exact scan's findings above the configured floor.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "eval/driver.h"
+#include "firmware/catalog.h"
+#include "firmware/corpus.h"
+#include "sim/persist.h"
+#include "sim/similarity.h"
+#include "strand/canon.h"
+#include "strand/sketch.h"
+#include "support/hash.h"
+#include "support/rng.h"
+
+namespace firmup {
+namespace {
+
+/** Detection-recall floor the LSH scan must hold vs the exact oracle. */
+constexpr double kRecallFloor = 0.95;
+
+/**
+ * hash_combine-folded checksum of the sketch of a fixed 64-hash input;
+ * pins the mh64/v1 permutation family that FWIX v4 persists raw.
+ */
+constexpr std::uint64_t kGoldenSketchChecksum =
+    17560380137967700097ull;
+
+constexpr std::uint64_t kUniverse = 48;  ///< small => frequent overlap
+
+std::set<std::uint64_t>
+random_set(Rng &rng, std::size_t max_size)
+{
+    std::set<std::uint64_t> out;
+    const std::size_t n = rng.index(max_size + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.insert(rng.next() % kUniverse);
+    }
+    return out;
+}
+
+strand::ProcedureStrands
+to_strands(const std::set<std::uint64_t> &s)
+{
+    return strand::strand_set({s.begin(), s.end()});
+}
+
+sim::ExecutableIndex
+index_of(const std::vector<std::set<std::uint64_t>> &sets,
+         unsigned bands, unsigned rows)
+{
+    sim::ExecutableIndex T;
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+        sim::ProcEntry pe;
+        pe.entry = 0x1000 + 0x40 * i;
+        pe.repr = to_strands(sets[i]);
+        T.procs.push_back(std::move(pe));
+    }
+    T.finalize();  // backstop-builds every sketch
+    T.build_lsh(bands, rows);
+    return T;
+}
+
+/** Oracle check: lsh list ⊆ exact list, identical Sims, same order. */
+void
+expect_subset_with_exact_sims(const sim::ExecutableIndex &T,
+                              const strand::ProcedureStrands &q)
+{
+    const std::vector<sim::Candidate> exact =
+        sim::shared_candidates(T, q);
+    const std::vector<sim::Candidate> lsh = sim::lsh_candidates(T, q);
+    std::size_t e = 0;
+    int prev = -1;
+    for (const sim::Candidate &c : lsh) {
+        EXPECT_GT(c.index, prev) << "lsh candidates out of order";
+        prev = c.index;
+        while (e < exact.size() && exact[e].index < c.index) {
+            ++e;
+        }
+        ASSERT_LT(e, exact.size())
+            << "lsh candidate " << c.index << " absent from exact list";
+        ASSERT_EQ(exact[e].index, c.index)
+            << "lsh candidate " << c.index << " absent from exact list";
+        EXPECT_EQ(exact[e].sim, c.sim)
+            << "lsh rescored candidate " << c.index;
+    }
+}
+
+TEST(LshSketch, SeededPermutationIsBitStable)
+{
+    // The same hash multiset must sketch identically regardless of
+    // input order or repetition, twice in a row.
+    Rng rng(0x57e7);
+    std::vector<std::uint64_t> hashes;
+    for (int i = 0; i < 200; ++i) {
+        hashes.push_back(rng.next());
+    }
+    const strand::MinHashSketch a =
+        strand::minhash_sketch(hashes.data(), hashes.size());
+    std::vector<std::uint64_t> shuffled = hashes;
+    rng.shuffle(shuffled);
+    shuffled.push_back(shuffled.front());  // duplicates are no-ops
+    const strand::MinHashSketch b =
+        strand::minhash_sketch(shuffled.data(), shuffled.size());
+    EXPECT_EQ(a, b);
+
+    // Golden checksum over a fixed input: FWIX v4 stores raw sketch
+    // words, so the salt family must never drift across runs, builds
+    // or platforms. If this fails, the FWIX version must be bumped.
+    std::vector<std::uint64_t> fixed;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        fixed.push_back(mix64(i * 0x9e3779b97f4a7c15ull + 1));
+    }
+    const strand::MinHashSketch pinned =
+        strand::minhash_sketch(fixed.data(), fixed.size());
+    std::uint64_t checksum = kFnv1a64Seed;
+    for (std::uint64_t word : pinned) {
+        checksum = hash_combine(checksum, word);
+    }
+    EXPECT_EQ(checksum, kGoldenSketchChecksum);
+}
+
+TEST(LshSketch, EmptySetSketchesToSentinel)
+{
+    const strand::MinHashSketch empty = strand::minhash_sketch(nullptr, 0);
+    for (std::uint64_t word : empty) {
+        EXPECT_EQ(word, strand::kSketchEmptySlot);
+    }
+    // And an empty-vs-anything similarity never divides by zero.
+    std::uint64_t one = 42;
+    const strand::MinHashSketch single = strand::minhash_sketch(&one, 1);
+    EXPECT_GE(strand::sketch_similarity(empty, single), 0.0);
+    EXPECT_EQ(strand::sketch_similarity(single, single), 1.0);
+}
+
+TEST(LshRetrieval, SubsetOracleOnRandomCorpora)
+{
+    Rng rng(0x15aa);
+    for (int trial = 0; trial < 300; ++trial) {
+        std::vector<std::set<std::uint64_t>> sets;
+        const std::size_t n = 1 + rng.index(12);
+        for (std::size_t i = 0; i < n; ++i) {
+            sets.push_back(random_set(rng, 16));
+        }
+        const unsigned bands = 1 + static_cast<unsigned>(rng.index(16));
+        const unsigned rows = 1 + static_cast<unsigned>(rng.index(4));
+        const sim::ExecutableIndex T = index_of(sets, bands, rows);
+        for (int probe = 0; probe < 4; ++probe) {
+            strand::ProcedureStrands q =
+                to_strands(random_set(rng, 16));
+            q.build_sketch();
+            expect_subset_with_exact_sims(T, q);
+        }
+    }
+}
+
+TEST(LshRetrieval, AdversarialNearDuplicatesAndSingleOverlaps)
+{
+    Rng rng(0xad5e);
+    for (int trial = 0; trial < 100; ++trial) {
+        // Near-duplicate block: one base set cloned with one-element
+        // perturbations — band keys collide massively.
+        std::vector<std::set<std::uint64_t>> sets;
+        const std::set<std::uint64_t> base = random_set(rng, 20);
+        for (int c = 0; c < 6; ++c) {
+            std::set<std::uint64_t> clone = base;
+            clone.insert(rng.next() % (2 * kUniverse) + kUniverse);
+            if (!clone.empty() && rng.chance(1, 2)) {
+                clone.erase(*clone.begin());
+            }
+            sets.push_back(std::move(clone));
+        }
+        // Single-strand overlaps: disjoint sets sharing exactly one
+        // hash with the probe — high Sim ratio on tiny sets, near-zero
+        // Jaccard against anything large.
+        const std::uint64_t pivot = 7;
+        for (int c = 0; c < 4; ++c) {
+            std::set<std::uint64_t> s = {pivot,
+                                         1000 + rng.next() % 1000};
+            sets.push_back(std::move(s));
+        }
+        // Empty and tiny procedures ride along.
+        sets.push_back({});
+        sets.push_back({pivot});
+        const sim::ExecutableIndex T = index_of(sets, 16, 4);
+
+        strand::ProcedureStrands probe = to_strands(base);
+        probe.build_sketch();
+        expect_subset_with_exact_sims(T, probe);
+
+        strand::ProcedureStrands tiny = to_strands({pivot});
+        tiny.build_sketch();
+        expect_subset_with_exact_sims(T, tiny);
+
+        strand::ProcedureStrands empty = to_strands({});
+        empty.build_sketch();
+        EXPECT_TRUE(sim::lsh_candidates(T, empty).empty());
+    }
+}
+
+TEST(LshRetrieval, FallsBackToExactWithoutTableOrSketch)
+{
+    Rng rng(0xfa11);
+    std::vector<std::set<std::uint64_t>> sets;
+    for (int i = 0; i < 8; ++i) {
+        sets.push_back(random_set(rng, 12));
+    }
+    sim::ExecutableIndex no_table;
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+        sim::ProcEntry pe;
+        pe.entry = 0x1000 + 0x40 * i;
+        pe.repr = to_strands(sets[i]);
+        no_table.procs.push_back(std::move(pe));
+    }
+    no_table.finalize();
+    ASSERT_FALSE(no_table.lsh_ready());
+    strand::ProcedureStrands q = to_strands(random_set(rng, 12));
+    q.build_sketch();
+    // No LSH table => byte-for-byte the exact candidate list.
+    const auto exact = sim::shared_candidates(no_table, q);
+    const auto fallback = sim::lsh_candidates(no_table, q);
+    ASSERT_EQ(exact.size(), fallback.size());
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+        EXPECT_EQ(exact[i].index, fallback[i].index);
+        EXPECT_EQ(exact[i].sim, fallback[i].sim);
+    }
+    // Sketchless probe against a table-ready index: same fallback.
+    no_table.build_lsh(16, 4);
+    const strand::ProcedureStrands sketchless =
+        to_strands(random_set(rng, 12));
+    ASSERT_FALSE(sketchless.sketch_built);
+    const auto exact2 = sim::shared_candidates(no_table, sketchless);
+    const auto fallback2 = sim::lsh_candidates(no_table, sketchless);
+    ASSERT_EQ(exact2.size(), fallback2.size());
+    for (std::size_t i = 0; i < exact2.size(); ++i) {
+        EXPECT_EQ(exact2[i].index, fallback2[i].index);
+        EXPECT_EQ(exact2[i].sim, fallback2[i].sim);
+    }
+}
+
+TEST(LshRetrieval, WarmFwixSketchesProbeIdenticallyToCold)
+{
+    Rng rng(0x4a3b);
+    std::vector<std::set<std::uint64_t>> sets;
+    for (int i = 0; i < 10; ++i) {
+        sets.push_back(random_set(rng, 16));
+    }
+    const sim::ExecutableIndex cold = index_of(sets, 16, 4);
+    const ByteBuffer blob = sim::serialize_index(cold);
+    auto parsed = sim::parse_index(blob);
+    ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+    sim::ExecutableIndex warm = std::move(parsed).take();
+    // Sketches must round-trip bit-identically...
+    ASSERT_EQ(warm.procs.size(), cold.procs.size());
+    for (std::size_t i = 0; i < warm.procs.size(); ++i) {
+        EXPECT_EQ(warm.procs[i].repr.sketch_built,
+                  cold.procs[i].repr.sketch_built);
+        EXPECT_EQ(warm.procs[i].repr.sketch, cold.procs[i].repr.sketch);
+    }
+    // ...and yield byte-identical candidate lists once banded.
+    warm.build_lsh(16, 4);
+    for (int probe = 0; probe < 32; ++probe) {
+        strand::ProcedureStrands q = to_strands(random_set(rng, 16));
+        q.build_sketch();
+        const auto from_cold = sim::lsh_candidates(cold, q);
+        const auto from_warm = sim::lsh_candidates(warm, q);
+        ASSERT_EQ(from_cold.size(), from_warm.size());
+        for (std::size_t i = 0; i < from_cold.size(); ++i) {
+            EXPECT_EQ(from_cold[i].index, from_warm[i].index);
+            EXPECT_EQ(from_cold[i].sim, from_warm[i].sim);
+        }
+    }
+}
+
+TEST(LshRetrieval, BuildLshClampsAndRebuildsDeterministically)
+{
+    Rng rng(0xc1a9);
+    std::vector<std::set<std::uint64_t>> sets;
+    for (int i = 0; i < 6; ++i) {
+        sets.push_back(random_set(rng, 12));
+    }
+    sim::ExecutableIndex a = index_of(sets, 16, 4);
+    sim::ExecutableIndex b = index_of(sets, 16, 4);
+    EXPECT_EQ(a.lsh_keys, b.lsh_keys);
+    EXPECT_EQ(a.lsh_procs, b.lsh_procs);
+    EXPECT_EQ(a.lsh_offsets, b.lsh_offsets);
+    // Out-of-range shapes clamp instead of reading past the sketch.
+    b.build_lsh(1000, 1000);
+    EXPECT_LE(static_cast<std::size_t>(b.lsh_bands) * b.lsh_rows,
+              strand::kSketchSize);
+    // Same-shape rebuild is a no-op; a new shape takes effect.
+    const auto keys_before = a.lsh_keys;
+    a.build_lsh(16, 4);
+    EXPECT_EQ(a.lsh_keys, keys_before);
+    a.build_lsh(8, 4);
+    EXPECT_EQ(a.lsh_bands, 8u);
+}
+
+/** Shared corpus scaffolding for the end-to-end scan properties. */
+const firmware::Corpus &
+small_corpus()
+{
+    static const firmware::Corpus corpus = [] {
+        firmware::CorpusOptions options;
+        options.num_devices = 6;
+        return firmware::build_corpus(options);
+    }();
+    return corpus;
+}
+
+std::vector<eval::CorpusOutcome>
+scan(const firmware::Corpus &corpus, sim::RetrievalMode mode,
+     unsigned threads)
+{
+    eval::SearchOptions options;
+    options.retrieval = mode;
+    eval::Driver driver(options);
+    return driver.search_corpus(firmware::cve_database().front(),
+                                eval::corpus_targets(corpus), threads);
+}
+
+TEST(LshRetrieval, ScanFindingsDeterministicAcrossThreadCounts)
+{
+    const firmware::Corpus &corpus = small_corpus();
+    const auto base = scan(corpus, sim::RetrievalMode::Lsh, 1);
+    for (unsigned threads : {2u, 8u}) {
+        const auto other = scan(corpus, sim::RetrievalMode::Lsh, threads);
+        ASSERT_EQ(base.size(), other.size());
+        for (std::size_t t = 0; t < base.size(); ++t) {
+            EXPECT_EQ(base[t].indexed, other[t].indexed);
+            EXPECT_EQ(base[t].outcome.detected,
+                      other[t].outcome.detected);
+            EXPECT_EQ(base[t].outcome.matched_entry,
+                      other[t].outcome.matched_entry);
+            EXPECT_EQ(base[t].outcome.sim, other[t].outcome.sim);
+            EXPECT_EQ(base[t].outcome.steps, other[t].outcome.steps);
+            EXPECT_EQ(base[t].outcome.unresolved,
+                      other[t].outcome.unresolved);
+        }
+    }
+}
+
+TEST(LshRetrieval, ScanRecallMeetsConfiguredFloor)
+{
+    const firmware::Corpus &corpus = small_corpus();
+    const auto exact = scan(corpus, sim::RetrievalMode::Exact, 2);
+    const auto lsh = scan(corpus, sim::RetrievalMode::Lsh, 2);
+    ASSERT_EQ(exact.size(), lsh.size());
+    std::size_t truths = 0, reproduced = 0;
+    for (std::size_t t = 0; t < exact.size(); ++t) {
+        if (!exact[t].outcome.detected) {
+            continue;
+        }
+        ++truths;
+        if (lsh[t].outcome.detected &&
+            lsh[t].outcome.matched_entry ==
+                exact[t].outcome.matched_entry) {
+            ++reproduced;
+        }
+    }
+    ASSERT_GT(truths, 0u) << "oracle scan found nothing to measure";
+    const double recall = static_cast<double>(reproduced) /
+                          static_cast<double>(truths);
+    EXPECT_GE(recall, kRecallFloor)
+        << reproduced << "/" << truths << " findings reproduced";
+}
+
+TEST(LshRetrieval, ExactModeIsUntouchedByTheKnob)
+{
+    // retrieval=Exact must stay bit-identical to a driver that has
+    // never heard of LSH — the ablation baseline contract.
+    const firmware::Corpus &corpus = small_corpus();
+    eval::Driver plain;
+    const auto before = plain.search_corpus(
+        firmware::cve_database().front(), eval::corpus_targets(corpus),
+        2);
+    const auto after = scan(corpus, sim::RetrievalMode::Exact, 2);
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t t = 0; t < before.size(); ++t) {
+        EXPECT_EQ(before[t].outcome.detected, after[t].outcome.detected);
+        EXPECT_EQ(before[t].outcome.matched_entry,
+                  after[t].outcome.matched_entry);
+        EXPECT_EQ(before[t].outcome.sim, after[t].outcome.sim);
+        EXPECT_EQ(before[t].outcome.steps, after[t].outcome.steps);
+    }
+}
+
+TEST(CorpusScale, ScaledCatalogPreservesGroundTruthManifest)
+{
+    firmware::CorpusOptions base_options;
+    base_options.num_devices = 4;
+    const firmware::Corpus base = firmware::build_corpus(base_options);
+    firmware::CorpusOptions scaled_options = base_options;
+    scaled_options.scale = 3;
+    const firmware::Corpus scaled =
+        firmware::build_corpus(scaled_options);
+
+    // Scale 3 triples the device count; every image keeps a consistent
+    // ground-truth sidecar (each truth row points at a real image and
+    // a real executable with at least one procedure).
+    EXPECT_EQ(scaled.images.size(), 3 * base.images.size());
+    EXPECT_GT(scaled.executable_count(), base.executable_count());
+    for (const firmware::TruthExe &truth : scaled.truth) {
+        ASSERT_GE(truth.image_index, 0);
+        ASSERT_LT(static_cast<std::size_t>(truth.image_index),
+                  scaled.images.size());
+        const firmware::FirmwareImage &image =
+            scaled.images[static_cast<std::size_t>(truth.image_index)];
+        bool found = false;
+        for (const loader::Executable &exe : image.executables) {
+            found = found || exe.name == truth.exe_name;
+        }
+        EXPECT_TRUE(found) << truth.exe_name << " missing from image "
+                           << truth.image_index;
+        EXPECT_FALSE(truth.procs.empty());
+    }
+    // The scale-1 prefix is bit-identical: same device RNG forks, so
+    // the first |base| images carry the same names and executables.
+    for (std::size_t i = 0; i < base.images.size(); ++i) {
+        EXPECT_EQ(scaled.images[i].vendor, base.images[i].vendor);
+        EXPECT_EQ(scaled.images[i].device, base.images[i].device);
+        EXPECT_EQ(scaled.images[i].version, base.images[i].version);
+        ASSERT_EQ(scaled.images[i].executables.size(),
+                  base.images[i].executables.size());
+        for (std::size_t e = 0;
+             e < base.images[i].executables.size(); ++e) {
+            EXPECT_EQ(scaled.images[i].executables[e].name,
+                      base.images[i].executables[e].name);
+            EXPECT_EQ(scaled.images[i].executables[e].text,
+                      base.images[i].executables[e].text);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace firmup

@@ -1,6 +1,6 @@
 /**
  * @file
- * Hostile-input coverage for the FWIX v2 index container.
+ * Hostile-input coverage for the FWIX v4 index container.
  *
  * The persistent index cache (sim::IndexCacheStore) feeds whatever bytes
  * it finds on disk into parse_index, so a corrupt, truncated or stale
@@ -9,16 +9,27 @@
  * serialized index through the support/faultinject mutators across many
  * seeds and asserts exactly that: a mutant either equals the original
  * byte-for-byte (and parses to the same index) or fails to parse.
+ * The v4 sketch block gets its own targeted sweep: checksum-repaired
+ * mutants that reach the sketch field guards, truncations inside the
+ * word block, and the no-wrong-candidates property for sketches that
+ * survive every integrity check.
  */
 #include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string_view>
 
 #include "codegen/build.h"
 #include "firmware/catalog.h"
 #include "lifter/cfg.h"
+#include "sim/index_cache.h"
 #include "sim/persist.h"
 #include "sim/similarity.h"
+#include "strand/sketch.h"
 #include "support/bytes.h"
 #include "support/faultinject.h"
+#include "support/hash.h"
 #include "support/rng.h"
 
 namespace firmup::sim {
@@ -146,6 +157,150 @@ TEST(PersistFault, LayoutHashMismatchIsStale)
     auto parsed = parse_index(bytes);
     ASSERT_FALSE(parsed.ok());
     EXPECT_EQ(parsed.error_code(), ErrorCode::StaleFormat);
+}
+
+/**
+ * Recompute and backpatch the payload checksum so a hand-crafted mutant
+ * reaches the field-level parse guards instead of bouncing off the
+ * header checksum. Header: magic(4) version(2) layout(8) checksum(8).
+ */
+void
+rechecksum(ByteBuffer &bytes)
+{
+    constexpr std::size_t kHeaderSize = 22;
+    ASSERT_GE(bytes.size(), kHeaderSize);
+    const std::uint64_t checksum = fnv1a64(std::string_view(
+        reinterpret_cast<const char *>(bytes.data()) + kHeaderSize,
+        bytes.size() - kHeaderSize));
+    for (int i = 0; i < 8; ++i) {
+        bytes[14 + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(checksum >> (8 * i));
+    }
+}
+
+/**
+ * Byte offset of the first procedure's sketch-flag byte, found by
+ * diffing a serialization against one with that sketch stripped — the
+ * first differing byte is the flag itself (1 vs 0). Self-locating, so
+ * the tests below survive layout tweaks elsewhere in the record.
+ */
+std::size_t
+first_sketch_flag_offset()
+{
+    const ByteBuffer with = serialize_index(real_index());
+    ExecutableIndex stripped = real_index();
+    stripped.procs.front().repr.sketch_built = false;
+    const ByteBuffer without = serialize_index(stripped);
+    // Skip the checksum field [14, 22): stripping the sketch changes it.
+    for (std::size_t i = 22; i < std::min(with.size(), without.size());
+         ++i) {
+        if (with[i] != without[i]) {
+            return i;
+        }
+    }
+    ADD_FAILURE() << "sketch block not found in serialization";
+    return 0;
+}
+
+TEST(PersistFault, BadSketchFlagIsMalformedEvenWithValidChecksum)
+{
+    // An out-of-range sketch flag with a freshly backpatched checksum
+    // exercises the v4 field guard itself, not the integrity hash.
+    ByteBuffer bytes = serialize_index(real_index());
+    const std::size_t flag = first_sketch_flag_offset();
+    ASSERT_EQ(bytes[flag], 1);
+    bytes[flag] = 2;
+    rechecksum(bytes);
+    auto parsed = parse_index(bytes);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error_code(), ErrorCode::MalformedContainer);
+    EXPECT_NE(parsed.error_message().find("sketch"), std::string::npos);
+}
+
+TEST(PersistFault, TruncatedSketchBlockFailsCleanly)
+{
+    // Cut the blob at several points inside the first sketch's 64xu64
+    // word block (checksum re-stamped so only the truncation can trip
+    // the parser): every cut must come back as a clean error.
+    const ByteBuffer bytes = serialize_index(real_index());
+    const std::size_t flag = first_sketch_flag_offset();
+    const std::size_t cuts[] = {flag + 1, flag + 1 + 8, flag + 1 + 256,
+                                flag + 8 * strand::kSketchSize};
+    for (const std::size_t cut : cuts) {
+        ASSERT_LT(cut, bytes.size());
+        ByteBuffer mutant(bytes.begin(),
+                          bytes.begin() + static_cast<long>(cut));
+        rechecksum(mutant);
+        auto parsed = parse_index(mutant);
+        EXPECT_FALSE(parsed.ok()) << "cut " << cut;
+        EXPECT_FALSE(parsed.error_message().empty());
+    }
+}
+
+TEST(PersistFault, RewrittenSketchWordsNeverYieldWrongCandidates)
+{
+    // Worst-case mutant: garbage sketch words with a matching checksum
+    // (past every integrity guard). The parse may succeed — but because
+    // lsh_candidates re-scores every collision exactly and the exact
+    // path is the oracle, even a garbage sketch can only lose recall,
+    // never invent a candidate or a wrong Sim.
+    ByteBuffer bytes = serialize_index(real_index());
+    const std::size_t flag = first_sketch_flag_offset();
+    Rng rng(0x5ce7c4);
+    for (std::size_t i = 0; i < 8 * strand::kSketchSize; ++i) {
+        bytes[flag + 1 + i] = static_cast<std::uint8_t>(rng.index(256));
+    }
+    rechecksum(bytes);
+    auto parsed = parse_index(bytes);
+    ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+    ExecutableIndex &target = parsed.value();
+    target.build_lsh(16, 4);
+    for (const ProcEntry &query : real_index().procs) {
+        const auto exact = shared_candidates(target, query.repr);
+        const auto lsh = lsh_candidates(target, query.repr);
+        std::size_t e = 0;
+        for (const Candidate &c : lsh) {
+            while (e < exact.size() && exact[e].index < c.index) {
+                ++e;
+            }
+            ASSERT_LT(e, exact.size()) << "lsh invented candidate";
+            ASSERT_EQ(exact[e].index, c.index);
+            EXPECT_EQ(exact[e].sim, c.sim);
+            EXPECT_GT(c.sim, 0);
+        }
+    }
+}
+
+TEST(PersistFault, SketchlessV3EntryIsStaleAndRecountedAsMiss)
+{
+    // A v3 blob (pre-sketch layout) must invalidate itself: the version
+    // guard fires before any payload interpretation, so the sketchless
+    // bytes can never be misread as a v4 record with garbage sketches.
+    ByteBuffer v3 = serialize_index(real_index());
+    v3[4] = 3;
+    v3[5] = 0;
+    auto parsed = parse_index(v3);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error_code(), ErrorCode::StaleFormat);
+    EXPECT_NE(parsed.error_message().find("3"), std::string::npos);
+
+    // And through the cache store: the stale entry surfaces as a miss
+    // (clean StaleFormat error), exactly like a missing file would.
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::path(testing::TempDir()) / "firmup-persist-v3";
+    fs::remove_all(dir);
+    IndexCacheStore store(dir.string());
+    ASSERT_TRUE(store.store(42, real_index()).ok());
+    {
+        std::ofstream out(store.path_for(42),
+                          std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char *>(v3.data()),
+                  static_cast<std::streamsize>(v3.size()));
+    }
+    auto stale = store.load(42);
+    ASSERT_FALSE(stale.ok());
+    EXPECT_EQ(stale.error_code(), ErrorCode::StaleFormat);
 }
 
 TEST(PersistFault, GarbageAndEmptyBuffersFailCleanly)

@@ -89,8 +89,11 @@ usage()
         stderr,
         "usage: firmup <command> [args]\n"
         "  cves                                list known CVEs\n"
-        "  corpus --out DIR [--devices N] [--seed S]\n"
+        "  corpus --out DIR [--devices N] [--seed S] [--scale N]\n"
         "                                      build + write firmware blobs\n"
+        "                                      (--scale N clones the\n"
+        "                                      catalog N-fold with\n"
+        "                                      perturbed builds)\n"
         "  unpack BLOB                         carve a firmware blob\n"
         "  index BLOB                          lift & index every executable\n"
         "  disasm BLOB EXE [N]                 disassemble first N insts\n"
@@ -116,6 +119,11 @@ usage()
         "content-addressed index store, so repeat scans of the same\n"
         "executables skip lifting entirely (warm start)\n"
         "search/trace also take:\n"
+        "  --retrieval exact|lsh  candidate retrieval: exact posting\n"
+        "                         intersection (default) or the MinHash\n"
+        "                         LSH prefilter (sublinear, recall<1)\n"
+        "  --lsh-bands N          LSH bands (default 16; lsh only)\n"
+        "  --lsh-rows N           rows per band (default 4; lsh only)\n"
         "  --journal FILE         durable per-target scan journal\n"
         "  --resume               replay FILE, scan only the remainder\n"
         "  --target-budget SEC    wall-clock watchdog per game\n"
@@ -267,6 +275,11 @@ cmd_corpus(const std::vector<std::string> &args)
             }
         } else if (args[i] == "--seed" && i + 1 < args.size()) {
             if (!parse_u64(args[++i], options.seed)) {
+                return usage();
+            }
+        } else if (args[i] == "--scale" && i + 1 < args.size()) {
+            if (!parse_int(args[++i], options.scale) ||
+                options.scale < 1) {
                 return usage();
             }
         } else {
@@ -474,6 +487,28 @@ cmd_search(const std::vector<std::string> &args, bool full_trace)
             options.journal_path = args[++i];
         } else if (args[i] == "--resume") {
             options.resume = true;
+        } else if (args[i] == "--retrieval" && i + 1 < args.size()) {
+            const std::string &mode = args[++i];
+            if (mode == "exact") {
+                options.retrieval = sim::RetrievalMode::Exact;
+            } else if (mode == "lsh") {
+                options.retrieval = sim::RetrievalMode::Lsh;
+            } else {
+                return usage();
+            }
+        } else if (args[i] == "--lsh-bands" && i + 1 < args.size()) {
+            int bands = 0;
+            if (!parse_int(args[++i], bands) || bands < 1 ||
+                bands > 64) {
+                return usage();
+            }
+            options.lsh_bands = static_cast<unsigned>(bands);
+        } else if (args[i] == "--lsh-rows" && i + 1 < args.size()) {
+            int rows = 0;
+            if (!parse_int(args[++i], rows) || rows < 1 || rows > 64) {
+                return usage();
+            }
+            options.lsh_rows = static_cast<unsigned>(rows);
         } else if (args[i] == "--fail-on-quarantine") {
             fail_on_quarantine = true;
         } else if (args[i].rfind(kQuarantinePrefix, 0) == 0) {
@@ -615,6 +650,18 @@ cmd_search(const std::vector<std::string> &args, bool full_trace)
     int findings = 0;
     const std::vector<std::vector<eval::CorpusOutcome>> grid =
         driver.search_corpus_batch(cves, targets);
+    if (driver.health().resume_rejected) {
+        // The journal on disk belongs to a different scan configuration
+        // (e.g. it was written under another --retrieval mode): the
+        // driver refused to scan rather than silently mix findings.
+        std::fprintf(stderr,
+                     "firmup: cannot resume %s: %s\n"
+                     "firmup: rerun with the original options, or "
+                     "delete the journal to start over\n",
+                     options.journal_path.c_str(),
+                     driver.health().resume_reject_reason.c_str());
+        return 5;
+    }
     for (std::size_t q = 0; q < cves.size(); ++q) {
         const firmware::CveRecord &cve = cves[q];
         for (const eval::CorpusOutcome &co : grid[q]) {
@@ -822,7 +869,7 @@ cmd_bench_json(const std::vector<std::string> &args)
     static const std::set<std::string> kEntryNames = {
         "intersect_kernel", "best_match",   "game_workload",
         "trace_overhead",   "search_corpus", "multi_hunt",
-        "index_cache",      "cold_index"};
+        "index_cache",      "cold_index",    "lsh_retrieval"};
     std::string out_path = "BENCH_micro.json";
     firmware::CorpusOptions copt;
     std::set<std::string> only;
@@ -1412,6 +1459,138 @@ cmd_bench_json(const std::vector<std::string> &args)
                                  static_cast<double>(memo_total)
                            : 0.0,
             cold_identical ? "true" : "false"));
+    }
+
+    if (enabled("lsh_retrieval")) {
+        // --- MinHash/LSH prefilter vs the exact posting path, end to
+        // end, at corpus scale 1 and scale 10 ---
+        // Both modes run the same first-CVE hunt on fresh drivers (no
+        // shared warm state); wall clock is best-of-kLshReps at scale 1
+        // and a single rep on the 10x corpus (the scan itself is the
+        // dominant cost there). Recall is the fraction of the exact
+        // scan's detections the LSH scan reproduces with the same
+        // matched entry; candidate reduction is the cross-scan ratio of
+        // candidate pairs actually scored. The exit-enforced pass flag
+        // holds the 10x corpus to recall >= 0.95 and reduction > 1.0 —
+        // a prefilter that loses findings or saves no work is a
+        // regression.
+        struct LshScalePoint
+        {
+            std::size_t targets = 0;
+            double exact_seconds = 0.0;
+            double lsh_seconds = 0.0;
+            std::size_t exact_detected = 0;
+            std::size_t lsh_detected = 0;
+            double recall = 1.0;
+            std::uint64_t candidates_exact = 0;
+            std::uint64_t candidates_lsh = 0;
+            double sketch_seconds = 0.0;
+        };
+        const auto run_scale = [&](int scale, int reps) {
+            firmware::CorpusOptions scaled = copt;
+            scaled.scale = scale;
+            const firmware::Corpus sc =
+                scale == 1 ? corpus : firmware::build_corpus(scaled);
+            const std::vector<eval::CorpusTarget> stargets =
+                eval::corpus_targets(sc);
+            LshScalePoint point;
+            point.targets = stargets.size();
+            std::vector<eval::CorpusOutcome> exact_rows, lsh_rows;
+            for (int rep = 0; rep < reps; ++rep) {
+                eval::Driver exact_driver;
+                const auto e0 = now();
+                auto rows = exact_driver.search_corpus(cve0, stargets, hw);
+                const double elapsed = secs(e0, now());
+                if (rep == 0 || elapsed < point.exact_seconds) {
+                    point.exact_seconds = elapsed;
+                }
+                if (rep == 0) {
+                    exact_rows = std::move(rows);
+                    point.candidates_exact =
+                        exact_driver.health()
+                            .retrieval_candidates_exact;
+                }
+            }
+            eval::SearchOptions lsh_options;
+            lsh_options.retrieval = sim::RetrievalMode::Lsh;
+            for (int rep = 0; rep < reps; ++rep) {
+                eval::Driver lsh_driver(lsh_options);
+                const auto l0 = now();
+                auto rows = lsh_driver.search_corpus(cve0, stargets, hw);
+                const double elapsed = secs(l0, now());
+                if (rep == 0 || elapsed < point.lsh_seconds) {
+                    point.lsh_seconds = elapsed;
+                }
+                if (rep == 0) {
+                    lsh_rows = std::move(rows);
+                    point.candidates_lsh =
+                        lsh_driver.health().retrieval_candidates_lsh;
+                    point.sketch_seconds =
+                        lsh_driver.health().sketch_seconds;
+                }
+            }
+            std::size_t reproduced = 0;
+            for (std::size_t t = 0; t < exact_rows.size(); ++t) {
+                if (!exact_rows[t].outcome.detected) {
+                    continue;
+                }
+                ++point.exact_detected;
+                if (lsh_rows[t].outcome.detected &&
+                    lsh_rows[t].outcome.matched_entry ==
+                        exact_rows[t].outcome.matched_entry) {
+                    ++reproduced;
+                }
+            }
+            for (const eval::CorpusOutcome &co : lsh_rows) {
+                point.lsh_detected +=
+                    co.outcome.detected ? std::size_t{1} : std::size_t{0};
+            }
+            point.recall =
+                point.exact_detected == 0
+                    ? 1.0
+                    : static_cast<double>(reproduced) /
+                          static_cast<double>(point.exact_detected);
+            return point;
+        };
+        constexpr int kLshReps = 3;
+        const LshScalePoint s1 = run_scale(1, kLshReps);
+        const LshScalePoint s10 = run_scale(10, 1);
+        const auto reduction = [](const LshScalePoint &p) {
+            return p.candidates_lsh > 0
+                       ? static_cast<double>(p.candidates_exact) /
+                             static_cast<double>(p.candidates_lsh)
+                       : 0.0;
+        };
+        const auto speedup = [](const LshScalePoint &p) {
+            return p.lsh_seconds > 0.0 ? p.exact_seconds / p.lsh_seconds
+                                       : 0.0;
+        };
+        const bool lsh_pass =
+            s10.recall >= 0.95 && reduction(s10) > 1.0;
+        all_identical = all_identical && lsh_pass;
+        const auto scale_json = [&](const char *key,
+                                    const LshScalePoint &p) {
+            return strprintf(
+                "\"%s\": {\"targets\": %zu, \"exact_seconds\": %.6f, "
+                "\"lsh_seconds\": %.6f, \"speedup\": %.2f, "
+                "\"exact_detected\": %zu, \"lsh_detected\": %zu, "
+                "\"recall\": %.4f, \"candidates_exact\": %llu, "
+                "\"candidates_lsh\": %llu, \"reduction\": %.2f, "
+                "\"sketch_seconds\": %.6f}",
+                key, p.targets, p.exact_seconds, p.lsh_seconds,
+                speedup(p), p.exact_detected, p.lsh_detected, p.recall,
+                static_cast<unsigned long long>(p.candidates_exact),
+                static_cast<unsigned long long>(p.candidates_lsh),
+                reduction(p), p.sketch_seconds);
+        };
+        const eval::SearchOptions lsh_defaults;
+        entries.push_back(strprintf(
+            "  \"lsh_retrieval\": {\"bands\": %u, \"rows\": %u, "
+            "\"reps\": %d, %s, %s, \"pass\": %s}",
+            lsh_defaults.lsh_bands, lsh_defaults.lsh_rows, kLshReps,
+            scale_json("scale1", s1).c_str(),
+            scale_json("scale10", s10).c_str(),
+            lsh_pass ? "true" : "false"));
     }
 
     const std::string json = "{\n" + join(entries, ",\n") + "\n}\n";
