@@ -9,6 +9,9 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <thread>
 
 #include "codegen/build.h"
@@ -18,6 +21,7 @@
 #include "lifter/cfg.h"
 #include "sim/persist.h"
 #include "strand/canon.h"
+#include "support/mmapfile.h"
 
 namespace {
 
@@ -313,6 +317,49 @@ BM_ParseIndexV2(benchmark::State &state)
 BENCHMARK(BM_ParseIndexV2);
 
 void
+BM_MmapOpenV5(benchmark::State &state)
+{
+    // The zero-copy warm path: map a persisted FWIX v5 entry, verify
+    // the payload checksum and open the index view over the mapped
+    // arenas — no posting/hash vectors materialized. Compare against
+    // BM_ParseIndexV2: the checksum pass is common to both, so the gap
+    // is what the copying parser spends streaming arenas into vectors.
+    if (!sim::open_view_supported()) {
+        state.SkipWithError("v5 view unsupported on this host");
+        return;
+    }
+    sim::ExecutableIndex index = wget_index();
+    index.finalize();
+    const ByteBuffer blob = sim::serialize_index(index);
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "firmup-bench-v5.fwix")
+            .string();
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char *>(blob.data()),
+                  static_cast<std::streamsize>(blob.size()));
+    }
+    for (auto _ : state) {
+        auto mapped = MappedFile::map(path);
+        if (!mapped.ok()) {
+            state.SkipWithError("mmap failed");
+            return;
+        }
+        auto file = std::make_shared<MappedFile>(std::move(mapped).take());
+        auto guard = sim::check_container(file->data(), file->size());
+        auto view = sim::open_index_view(file->data(), file->size(),
+                                         file, /*checked=*/true);
+        benchmark::DoNotOptimize(guard.ok() && view.ok());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(blob.size()));
+    std::error_code cleanup_ec;
+    std::filesystem::remove(path, cleanup_ec);
+}
+BENCHMARK(BM_MmapOpenV5);
+
+void
 BM_GameSearch(benchmark::State &state)
 {
     const auto &q = wget_index();
@@ -388,7 +435,7 @@ BM_MinHashSketch(benchmark::State &state)
     for (auto _ : state) {
         for (const sim::ProcEntry &proc : index.procs) {
             const strand::MinHashSketch sketch = strand::minhash_sketch(
-                proc.repr.hashes.data(), proc.repr.hashes.size());
+                proc.repr.hash_data(), proc.repr.hash_count());
             checksum += sketch[0];
         }
     }

@@ -103,9 +103,13 @@ query_recipe_key(const lang::PackageSource &source,
 std::uint64_t
 content_key(const loader::Executable &exe)
 {
+    // content_hash64 over the text bytes, not fnv1a64: the key is
+    // recomputed for every target on every scan, so on a fully-resident
+    // pass this hash IS the index stage — see BM_* and the
+    // resident_cache bench entry.
     return hash_combine(
         fnv1a64(exe.name),
-        fnv1a64(std::string_view(
+        content_hash64(std::string_view(
             reinterpret_cast<const char *>(exe.text.data()),
             exe.text.size())));
 }
@@ -118,6 +122,14 @@ const trace::Counter c_cache_hits("cache.hits");
 const trace::Counter c_cache_misses("cache.misses");
 const trace::Counter c_cache_write_bytes("cache.write_bytes");
 const trace::Counter c_cache_load_micros("cache.load_micros");
+const trace::Counter c_cache_mmap_loads("cache.mmap_loads");
+
+// Resident in-process cache lane: hits never touch the store, so they
+// are deliberately not cache.hits — the CI resident smoke asserts
+// cache.hits + cache.misses == resident.misses across passes.
+const trace::Counter c_resident_hits("resident.hits");
+const trace::Counter c_resident_misses("resident.misses");
+const trace::Counter c_resident_evictions("resident.evictions");
 
 // Query-recipe lane (build_query_impl hunt path): kept apart from the
 // target-index counters so cache.hits still equals executables served
@@ -174,6 +186,41 @@ double
 cpu_seconds_since(std::uint64_t start_ns)
 {
     return static_cast<double>(trace::thread_cpu_ns() - start_ns) * 1e-9;
+}
+
+/** Fold one store load's stage split into the scan health record. */
+void
+fold_load_split(ScanHealth &health,
+                const sim::IndexCacheStore::LoadStats &stats)
+{
+    health.cache_open_seconds += stats.open_seconds;
+    health.cache_checksum_seconds += stats.checksum_seconds;
+    health.cache_parse_seconds += stats.parse_seconds;
+    if (stats.mapped) {
+        ++health.cache_mmap_loads;
+        c_cache_mmap_loads.add();
+    }
+}
+
+/**
+ * Publish a retrieval-ready index to the process resident cache (no-op
+ * without one). Returns the evictions this put caused, so the calling
+ * scan — not some later reader — is charged for them.
+ */
+std::size_t
+resident_publish(sim::ResidentIndexCache *resident, std::uint64_t key,
+                 std::shared_ptr<const sim::ExecutableIndex> index)
+{
+    if (resident == nullptr) {
+        return 0;
+    }
+    const std::size_t before = resident->stats().evictions;
+    resident->put(key, std::move(index));
+    const std::size_t evicted = resident->stats().evictions - before;
+    if (evicted > 0) {
+        c_resident_evictions.add(evicted);
+    }
+    return evicted;
 }
 
 }  // namespace
@@ -234,10 +281,12 @@ Driver::build_query_impl(const std::string &package,
             ? query_recipe_key(source, request, options_.canon)
             : 0;
     if (store != nullptr) {
+        sim::IndexCacheStore::LoadStats load_stats;
         const auto load_start = std::chrono::steady_clock::now();
-        auto loaded = store->load(recipe);
+        auto loaded = store->load(recipe, options_.mmap_index, &load_stats);
         const double load_seconds = seconds_since(load_start);
         health_.cache_load_seconds += load_seconds;
+        fold_load_split(health_, load_stats);
         c_cache_load_micros.add(
             static_cast<std::uint64_t>(load_seconds * 1e6));
         if (loaded.ok()) {
@@ -402,32 +451,57 @@ Driver::index_target(const loader::Executable &exe)
         // Entries cached by index_many may predate the LSH table (its
         // workers build indexes, the merge loop prepares them); build_lsh
         // is a no-op when the table already has the requested shape.
-        prepare_retrieval(it->second);
-        return &it->second;
+        // Every pointer in this cache originates from a non-const
+        // make_shared, so the cast-back is defined.
+        prepare_retrieval(
+            *std::const_pointer_cast<sim::ExecutableIndex>(it->second));
+        return it->second.get();
     }
     if (quarantined_.contains(key)) {
         return nullptr;
+    }
+    // Hot path: the index is still resident in this process from an
+    // earlier scan — no store I/O, no checksum, no parse. Counted as a
+    // resident hit, deliberately not a cache hit (the store was never
+    // touched).
+    if (sim::ResidentIndexCache *resident = options_.resident_cache) {
+        if (auto hot = resident->get(key)) {
+            ++health_.resident_hits;
+            c_resident_hits.add();
+            note_healthy(key);
+            prepare_retrieval(
+                *std::const_pointer_cast<sim::ExecutableIndex>(hot));
+            sync_retrieval_health();
+            return index_cache_.emplace(key, std::move(hot))
+                .first->second.get();
+        }
+        ++health_.resident_misses;
+        c_resident_misses.add();
     }
     // Warm path: a persisted, already-finalized index skips the whole
     // lift + canonicalize + finalize phase. Any load failure (absent,
     // corrupt, stale) is a miss; the cold path below re-lifts.
     if (sim::IndexCacheStore *store = cache_store()) {
+        sim::IndexCacheStore::LoadStats load_stats;
         const auto load_start = std::chrono::steady_clock::now();
-        auto loaded = store->load(key);
+        auto loaded = store->load(key, options_.mmap_index, &load_stats);
         const double load_seconds = seconds_since(load_start);
         health_.cache_load_seconds += load_seconds;
+        fold_load_split(health_, load_stats);
         c_cache_load_micros.add(
             static_cast<std::uint64_t>(load_seconds * 1e6));
         if (loaded.ok()) {
             ++health_.cache_hits;
             c_cache_hits.add();
             note_healthy(key);
-            sim::ExecutableIndex &warm =
-                index_cache_.emplace(key, std::move(loaded).take())
-                    .first->second;
-            prepare_retrieval(warm);
+            auto warm = std::make_shared<sim::ExecutableIndex>(
+                std::move(loaded).take());
+            prepare_retrieval(*warm);
             sync_retrieval_health();
-            return &warm;
+            health_.resident_evictions +=
+                resident_publish(options_.resident_cache, key, warm);
+            return index_cache_.emplace(key, std::move(warm))
+                .first->second.get();
         }
         ++health_.cache_misses;
         c_cache_misses.add();
@@ -436,22 +510,22 @@ Driver::index_target(const loader::Executable &exe)
     if (lifted == nullptr) {
         return nullptr;
     }
-    sim::ExecutableIndex &index =
-        index_cache_
-            .emplace(key,
-                     sim::index_executable(*lifted, canon_options(),
-                                           resolve_worker_threads(0)))
-            .first->second;
+    auto index = std::make_shared<sim::ExecutableIndex>(
+        sim::index_executable(*lifted, canon_options(),
+                              resolve_worker_threads(0)));
     sync_memo_health();
-    prepare_retrieval(index);
+    prepare_retrieval(*index);
     sync_retrieval_health();
     if (sim::IndexCacheStore *store = cache_store()) {
-        if (auto written = store->store(key, index); written.ok()) {
+        if (auto written = store->store(key, *index); written.ok()) {
             health_.cache_write_bytes += written.value();
             c_cache_write_bytes.add(written.value());
         }
     }
-    return &index;
+    health_.resident_evictions +=
+        resident_publish(options_.resident_cache, key, index);
+    return index_cache_.emplace(key, std::move(index))
+        .first->second.get();
 }
 
 const baseline::GraphIndex *
@@ -520,26 +594,32 @@ Driver::index_many(const std::vector<const loader::Executable *> &work,
     {
         bool attempted = false;   ///< false = skipped by cancellation
         bool ok = false;
+        bool from_resident = false;  ///< index still hot in-process
+        bool resident_miss = false;  ///< resident cache consulted, missed
         bool from_cache = false;  ///< index loaded, lift skipped
         bool cache_miss = false;  ///< store consulted and missed
         ErrorCode code = ErrorCode::Unknown;
         std::string message;
         lifter::LiftedExecutable lifted;
         sim::ExecutableIndex index;
+        std::shared_ptr<const sim::ExecutableIndex> resident;
+        sim::IndexCacheStore::LoadStats load_stats;
         std::uint64_t write_bytes = 0;
         double load_seconds = 0.0;
         int retries = 0;          ///< transient lift retries consumed
     };
     std::vector<Slot> slots(work.size());
+    // keys[i] is written only by worker i (content hashing is O(text
+    // bytes), so it belongs in the fan-out, not a serial prologue) and
+    // read by the merge loop after the join — never concurrently.
     std::vector<std::uint64_t> keys(work.size());
-    for (std::size_t i = 0; i < work.size(); ++i) {
-        keys[i] = content_key(*work[i]);
-    }
     // Workers share the driver's thread-safe canon memo through the
     // options copy; each indexes its own executable serially (the
     // parallelism is across executables here).
     const strand::CanonOptions canon = canon_options();
     sim::IndexCacheStore *const store = cache_store();
+    sim::ResidentIndexCache *const resident = options_.resident_cache;
+    const bool use_mmap = options_.mmap_index;
     const CancelToken *const cancel = options_.cancel;
     const RetryPolicy retry_policy{options_.max_target_retries,
                                    options_.retry_backoff_seconds};
@@ -552,10 +632,24 @@ Driver::index_many(const std::vector<const loader::Executable *> &work,
                 return;
             }
             slots[i].attempted = true;
+            keys[i] = content_key(*work[i]);
+            // Resident tier first: a hot index costs one hash lookup —
+            // no store I/O, no checksum, no parse. The cache is
+            // mutex-guarded, so workers probe it concurrently.
+            if (resident != nullptr) {
+                if (auto hot = resident->get(keys[i])) {
+                    slots[i].ok = true;
+                    slots[i].from_resident = true;
+                    slots[i].resident = std::move(hot);
+                    return;
+                }
+                slots[i].resident_miss = true;
+            }
             if (store != nullptr) {
                 const auto load_start =
                     std::chrono::steady_clock::now();
-                auto loaded = store->load(keys[i]);
+                auto loaded = store->load(keys[i], use_mmap,
+                                          &slots[i].load_stats);
                 slots[i].load_seconds = seconds_since(load_start);
                 if (loaded.ok()) {
                     slots[i].ok = true;
@@ -597,11 +691,19 @@ Driver::index_many(const std::vector<const loader::Executable *> &work,
             c_retries.add(static_cast<std::uint64_t>(slots[i].retries));
         }
         health_.cache_load_seconds += slots[i].load_seconds;
-        if (store != nullptr) {
+        fold_load_split(health_, slots[i].load_stats);
+        if (store != nullptr && !slots[i].from_resident) {
             c_cache_load_micros.add(static_cast<std::uint64_t>(
                 slots[i].load_seconds * 1e6));
         }
-        if (slots[i].from_cache) {
+        if (slots[i].resident_miss) {
+            ++health_.resident_misses;
+            c_resident_misses.add();
+        }
+        if (slots[i].from_resident) {
+            ++health_.resident_hits;
+            c_resident_hits.add();
+        } else if (slots[i].from_cache) {
             ++health_.cache_hits;
             c_cache_hits.add();
         } else if (slots[i].cache_miss) {
@@ -635,12 +737,25 @@ Driver::index_many(const std::vector<const loader::Executable *> &work,
         }
         note_healthy(key);
         ++indexed;
+        if (slots[i].from_resident) {
+            // The shared object was prepared by whoever published it;
+            // build_lsh is a no-op when the table shape already matches
+            // (see index_target). Cast-back is defined: every resident
+            // pointer originates from a non-const make_shared below.
+            prepare_retrieval(*std::const_pointer_cast<
+                              sim::ExecutableIndex>(slots[i].resident));
+            index_cache_.emplace(key, std::move(slots[i].resident));
+            continue;
+        }
         if (!slots[i].from_cache) {
             lift_cache_.emplace(key, std::move(slots[i].lifted));
         }
-        prepare_retrieval(
-            index_cache_.emplace(key, std::move(slots[i].index))
-                .first->second);
+        auto index = std::make_shared<sim::ExecutableIndex>(
+            std::move(slots[i].index));
+        prepare_retrieval(*index);
+        health_.resident_evictions +=
+            resident_publish(resident, key, index);
+        index_cache_.emplace(key, std::move(index));
     }
     sync_memo_health();
     sync_retrieval_health();
@@ -740,7 +855,7 @@ Driver::search_outcome(const Query &query,
     const trace::TraceSpan span("confirm");
     const auto &q_repr =
         query.index.procs[static_cast<std::size_t>(query.qv)].repr;
-    const auto q_strands = static_cast<double>(q_repr.hashes.size());
+    const auto q_strands = static_cast<double>(q_repr.hash_count());
     const int ratio_threshold = std::max(
         options_.min_confirm_sim,
         static_cast<int>(options_.min_confirm_ratio * q_strands));

@@ -98,6 +98,22 @@ struct SearchOptions
      */
     std::string index_cache_dir;
     /**
+     * Serve persistent-store entries through the FWIX v5 mmap view path
+     * (zero-copy open: checksum pass + O(procs) materialization) when
+     * the host supports it. False is the --no-mmap ablation baseline:
+     * the copying parser streams every arena into owning vectors.
+     * Findings are bit-identical either way.
+     */
+    bool mmap_index = true;
+    /**
+     * Optional process-wide resident index cache (not owned). When set,
+     * deserialized/mapped target indexes are published here under their
+     * content key and later scans — including scans by *other* Driver
+     * instances in the same process — serve them without touching the
+     * store. Findings are bit-identical at any budget, including 0.
+     */
+    sim::ResidentIndexCache *resident_cache = nullptr;
+    /**
      * When non-empty, search_corpus keeps an append-only scan journal
      * (eval/journal.h) at this path: each target's outcome is durably
      * recorded as it completes, so a crashed or cancelled scan can be
@@ -340,7 +356,14 @@ class Driver
   private:
     SearchOptions options_;
     ScanHealth health_;
-    std::map<std::uint64_t, sim::ExecutableIndex> index_cache_;
+    /**
+     * Per-driver target-index cache. Values are shared_ptr so one
+     * deserialized index can simultaneously live here, in the process
+     * ResidentIndexCache, and in an in-flight scan — eviction anywhere
+     * drops a reference, never the index (or the mmap view behind it).
+     */
+    std::map<std::uint64_t, std::shared_ptr<const sim::ExecutableIndex>>
+        index_cache_;
     std::map<std::uint64_t, baseline::GraphIndex> graph_cache_;
     std::map<std::uint64_t, lifter::LiftedExecutable> lift_cache_;
     /** Content keys of executables that failed to lift. */

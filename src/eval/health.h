@@ -79,6 +79,32 @@ struct ScanHealth
     double cache_load_seconds = 0.0;      ///< summed load wall clock
 
     /**
+     * cache_load_seconds split by stage (sim::IndexCacheStore::
+     * LoadStats): open (file open + read, or mmap), checksum (the
+     * container guards over the payload) and parse (view open or
+     * copying parse). The split is what makes the mmap win legible —
+     * a v5 view open collapses parse to ~O(procs) while checksum stays.
+     * cache_mmap_loads counts loads served by the zero-copy view.
+     */
+    double cache_open_seconds = 0.0;
+    double cache_checksum_seconds = 0.0;
+    double cache_parse_seconds = 0.0;
+    std::size_t cache_mmap_loads = 0;
+
+    /**
+     * Resident in-process index cache accounting (zero unless the scan
+     * ran with a ResidentIndexCache wired into SearchOptions): hits are
+     * executables whose deserialized index was still resident from an
+     * earlier scan in this process — no store I/O, no checksum, no
+     * parse. Hits are healthy lifted executables (counted in lifted_ok)
+     * but deliberately NOT cache_hits: the disk store was never
+     * touched. Evictions are attributed to the scan that caused them.
+     */
+    std::size_t resident_hits = 0;
+    std::size_t resident_misses = 0;
+    std::size_t resident_evictions = 0;
+
+    /**
      * Query-recipe store accounting, kept apart from the target-index
      * counters above: a recipe hit serves a compiled query's finalized
      * index without running codegen, so it has no lifted executable

@@ -104,6 +104,26 @@ render_health(const ScanHealth &health)
                 .c_str(),
             health.cache_load_seconds,
             static_cast<unsigned long long>(health.cache_write_bytes));
+        if (health.cache_open_seconds + health.cache_checksum_seconds +
+                health.cache_parse_seconds >
+            0.0) {
+            out += strprintf(
+                "  load split: %.3fs open, %.3fs checksum, %.3fs "
+                "parse (%zu mmap view(s))\n",
+                health.cache_open_seconds, health.cache_checksum_seconds,
+                health.cache_parse_seconds, health.cache_mmap_loads);
+        }
+    }
+    if (health.resident_hits + health.resident_misses > 0) {
+        out += strprintf(
+            "resident cache: %zu hit(s), %zu miss(es), %s hit rate, "
+            "%zu eviction(s)\n",
+            health.resident_hits, health.resident_misses,
+            percent(static_cast<double>(health.resident_hits) /
+                    static_cast<double>(health.resident_hits +
+                                        health.resident_misses))
+                .c_str(),
+            health.resident_evictions);
     }
     if (health.canon_memo_hits + health.canon_memo_misses > 0) {
         out += strprintf(

@@ -57,10 +57,10 @@ class Game
           cand_ready_t_(T.procs.size(), 0)
     {
         for (const sim::ProcEntry &p : Q.procs) {
-            total_hashes_q_ += p.repr.hashes.size();
+            total_hashes_q_ += p.repr.hash_count();
         }
         for (const sim::ProcEntry &p : T.procs) {
-            total_hashes_t_ += p.repr.hashes.size();
+            total_hashes_t_ += p.repr.hash_count();
         }
     }
 
@@ -293,7 +293,7 @@ class Game
         // only for candidates, and only on a memo miss.
         pairs_pruned_ += others.size() - (fresh ? cands.size() : 0);
         dense_elem_ops_ +=
-            others.size() * repr(m).hashes.size() +
+            others.size() * repr(m).hash_count() +
             (m.in_q ? total_hashes_t_ : total_hashes_q_);
         best_sim = -1;
         int best = -1;

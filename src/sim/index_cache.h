@@ -1,23 +1,40 @@
 /**
  * @file
- * Persistent, content-addressed cache of serialized executable indexes.
+ * Persistent, content-addressed cache of serialized executable indexes,
+ * plus the in-process resident cache layered above it.
  *
  * The paper's evaluation machine indexes its ~200k-executable corpus
  * once and then serves every CVE hunt as pure lookups (section 5.1);
- * this store is that shape for our pipeline. Each entry is one FWIX v4
+ * this store is that shape for our pipeline. Each entry is one FWIX v5
  * file (sim/persist.h) named by the executable's content key
  * (eval::content_key — name + text bytes, so byte-identical executables
  * re-shipped across firmware versions share one entry, the section 5.2
  * observation). A warm scan loads `search_ready` indexes — procedure
  * strand sets, CSR postings, block summaries and MinHash sketches —
  * straight from disk and skips lift + canonicalize + finalize entirely;
- * entries written by older layouts (e.g. sketchless v3) fail the parse
- * guards as StaleFormat and are transparently re-indexed.
+ * entries written by older layouts (e.g. FWIX v4) fail the parse guards
+ * as StaleFormat and are transparently re-indexed.
+ *
+ * Two tiers sit above the disk bytes:
+ *
+ *  - the **mmap view path**: the v5 flat layout lets load() map an
+ *    entry and hand back an ExecutableIndex that *views* the mapped
+ *    arenas (open_index_view) after a checksum pass — no vector
+ *    materialization. The mapping is pinned by the index's `backing`
+ *    and unmapped when the last copy drops it. `use_mmap = false` (the
+ *    --no-mmap ablation) or any view-open failure falls back to the
+ *    copying parser.
+ *  - the **ResidentIndexCache**: a byte-budgeted LRU of deserialized
+ *    indexes keyed by content key, shared across scans within one
+ *    process, so back-to-back hunts skip even the open+checksum.
  *
  * Robustness contract:
- *  - writes are atomic: serialize to `<entry>.tmp-<pid>-<tid>`, then
- *    rename over the final path, so a crashed or concurrent writer can
- *    never leave a torn entry under the content-addressed name;
+ *  - writes are atomic AND durable: serialize to `<entry>.tmp-<tid>`,
+ *    fsync the temp file, rename over the final path, then fsync the
+ *    parent directory — a crash at any point leaves either the old
+ *    entry, the complete new entry, or nothing (never a torn file, and
+ *    never a rename the directory forgot). A rename refused with
+ *    cross-device EXDEV is retried through a dir-local copy.
  *  - loads never trust the bytes: any missing, truncated, corrupted or
  *    stale-format file surfaces as a clean Result error (the FWIX
  *    version/layout/checksum guards), which callers treat as a cache
@@ -25,7 +42,10 @@
  */
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "sim/persist.h"
 #include "support/error.h"
@@ -36,6 +56,20 @@ namespace firmup::sim {
 class IndexCacheStore
 {
   public:
+    /**
+     * Per-load timing attribution for ScanHealth's cache_load split:
+     * open (file open + read or mmap), checksum (the container guards),
+     * parse (view open or copying parse). `mapped` records which load
+     * path actually served the bytes — the view can fall back.
+     */
+    struct LoadStats
+    {
+        double open_seconds = 0.0;
+        double checksum_seconds = 0.0;
+        double parse_seconds = 0.0;
+        bool mapped = false;
+    };
+
     /**
      * Bind the store to @p dir, creating it (and parents) when absent.
      * A directory that cannot be created is not fatal here: every
@@ -49,23 +83,107 @@ class IndexCacheStore
     std::string path_for(std::uint64_t content_key) const;
 
     /**
-     * Load and parse the entry for @p content_key. Errors: IoError when
-     * the entry does not exist or cannot be read; MalformedContainer /
+     * Load the entry for @p content_key. With @p use_mmap (and a host
+     * where open_view_supported()), the entry is mapped and opened as a
+     * zero-copy view whose mapping lives exactly as long as the
+     * returned index (or any copy of it); otherwise the bytes are read
+     * and parsed into an owning index. Errors: IoError when the entry
+     * does not exist or cannot be read; MalformedContainer /
      * TruncatedMember / StaleFormat when it fails the FWIX guards.
      * All of them mean "cache miss" to the caller.
      */
-    Result<ExecutableIndex> load(std::uint64_t content_key) const;
+    Result<ExecutableIndex> load(std::uint64_t content_key, bool use_mmap,
+                                 LoadStats *stats = nullptr) const;
+
+    /** Copying-parser convenience overload (no mmap, no stats). */
+    Result<ExecutableIndex> load(std::uint64_t content_key) const
+    {
+        return load(content_key, false, nullptr);
+    }
 
     /**
      * Serialize @p index and atomically publish it as the entry for
-     * @p content_key (write temp file + rename). Safe to call from
-     * worker threads. @return the number of bytes written.
+     * @p content_key (write temp + fsync + rename + fsync parent dir).
+     * Safe to call from worker threads. @return bytes written.
      */
     Result<std::size_t> store(std::uint64_t content_key,
                               const ExecutableIndex &index) const;
 
   private:
     std::string dir_;
+};
+
+/**
+ * Process-wide LRU of deserialized (or mapped) indexes, keyed by
+ * content key, bounded by a byte budget measured with
+ * ExecutableIndex::memory_bytes().
+ *
+ * Shared-ownership pin contract: get() hands out shared_ptrs, and
+ * eviction only drops the cache's own reference — an index (and, in
+ * view mode, the file mapping behind it) stays fully valid for as long
+ * as any caller still holds it, even if it is evicted mid-scan. There
+ * is therefore no "in use" bookkeeping and no way for the budget knob
+ * to change scan findings: a smaller budget only converts resident hits
+ * back into store loads.
+ *
+ * All methods are thread-safe; the mutex guards only map bookkeeping
+ * (never a parse or a map), so contention stays negligible next to the
+ * work a miss triggers.
+ */
+class ResidentIndexCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::size_t resident_bytes = 0;
+        std::size_t entries = 0;
+    };
+
+    /** @p budget_bytes 0 disables residency: every get() misses. */
+    explicit ResidentIndexCache(std::size_t budget_bytes = 0)
+        : budget_bytes_(budget_bytes)
+    {
+    }
+
+    /** The resident index for @p key, or nullptr (and a miss count). */
+    std::shared_ptr<const ExecutableIndex> get(std::uint64_t key);
+
+    /**
+     * Insert (or refresh) @p key. Charges index->memory_bytes() against
+     * the budget and evicts least-recently-used entries until it fits;
+     * an index alone larger than the whole budget is not retained.
+     */
+    void put(std::uint64_t key,
+             std::shared_ptr<const ExecutableIndex> index);
+
+    void set_budget_bytes(std::size_t budget_bytes);
+    std::size_t budget_bytes() const;
+
+    /** Drop every entry (outstanding shared_ptrs stay valid). */
+    void clear();
+
+    Stats stats() const;
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const ExecutableIndex> index;
+        std::size_t bytes = 0;
+        std::uint64_t tick = 0;  ///< last-touched stamp (LRU order)
+    };
+
+    /** Evict LRU entries until resident_bytes_ <= budget_bytes_. */
+    void evict_to_budget_locked();
+
+    mutable std::mutex mu_;
+    std::unordered_map<std::uint64_t, Entry> entries_;
+    std::size_t budget_bytes_ = 0;
+    std::size_t resident_bytes_ = 0;
+    std::uint64_t tick_ = 0;
+    Stats stats_;
 };
 
 }  // namespace firmup::sim

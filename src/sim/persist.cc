@@ -14,40 +14,68 @@ constexpr std::uint8_t kMagic[4] = {'F', 'W', 'I', 'X'};
 
 /**
  * Header: magic(4) version(2) layout_hash(8) payload_checksum(8).
- * The checksum covers every byte from kHeaderSize to the end.
+ * The checksum covers every byte from kHeaderSize to the end —
+ * including the 2 alignment pad bytes before the directory.
  */
 constexpr std::size_t kHeaderSize = 4 + 2 + 8 + 8;
 
-// u64 little-endian helpers live in support/bytes.h (shared with the
-// scan journal); the string framing below stays FWIX-local.
-void
-append_string(ByteBuffer &out, const std::string &s)
-{
-    append_u16_le(out, static_cast<std::uint16_t>(s.size()));
-    out.insert(out.end(), s.begin(), s.end());
-}
+/** The fixed offset directory starts 8-aligned, after 2 pad bytes. */
+constexpr std::size_t kDirOffset = 24;
 
-bool
-read_string(const std::uint8_t *bytes, std::size_t size, std::size_t &pos,
-            std::string &out)
-{
-    if (pos + 2 > size) {
-        return false;
-    }
-    const std::uint16_t len = read_u16_le(bytes + pos);
-    pos += 2;
-    if (pos + len > size) {
-        return false;
-    }
-    out.assign(reinterpret_cast<const char *>(bytes + pos), len);
-    pos += len;
-    return true;
-}
+/** Directory field offsets (absolute; all u64 unless noted). */
+constexpr std::size_t kDirTotalSize = kDirOffset + 0;
+constexpr std::size_t kDirArch = kDirOffset + 8;       // u8
+constexpr std::size_t kDirFlags = kDirOffset + 9;      // u8 (bit0 ready)
+constexpr std::size_t kDirPad = kDirOffset + 10;       // u16, zero
+constexpr std::size_t kDirProcCount = kDirOffset + 12; // u32
+constexpr std::size_t kDirNameOff = kDirOffset + 16;
+constexpr std::size_t kDirNameLen = kDirOffset + 24;
+constexpr std::size_t kDirNamesOff = kDirOffset + 32;
+constexpr std::size_t kDirNamesLen = kDirOffset + 40;
+constexpr std::size_t kDirProcTableOff = kDirOffset + 48;
+constexpr std::size_t kDirHashesOff = kDirOffset + 56;
+constexpr std::size_t kDirHashesCount = kDirOffset + 64;
+constexpr std::size_t kDirSketchOff = kDirOffset + 72;
+constexpr std::size_t kDirSketchCount = kDirOffset + 80;
+constexpr std::size_t kDirPhOff = kDirOffset + 88;
+constexpr std::size_t kDirPhCount = kDirOffset + 96;
+constexpr std::size_t kDirPoOff = kDirOffset + 104;
+constexpr std::size_t kDirPoCount = kDirOffset + 112;
+constexpr std::size_t kDirPpOff = kDirOffset + 120;
+constexpr std::size_t kDirPpCount = kDirOffset + 128;
+constexpr std::size_t kDirEnd = kDirOffset + 136;
+
+/** Packed per-procedure record in the proc table (byte offsets). */
+constexpr std::size_t kProcRecSize = 104;
+constexpr std::size_t kProcEntry = 0;      // u64
+constexpr std::size_t kProcHashOff = 8;    // u64, absolute, 8-aligned
+constexpr std::size_t kProcHashCount = 16; // u32
+constexpr std::size_t kProcNameOff = 20;   // u32, into names arena
+constexpr std::size_t kProcNameLen = 24;   // u32
+constexpr std::size_t kProcBlocks = 28;    // u32
+constexpr std::size_t kProcStmts = 32;     // u32
+constexpr std::size_t kProcFlags = 36;     // u32: bit0 summary, bit1 sketch
+constexpr std::size_t kProcSketchIdx = 40; // u32
+constexpr std::size_t kProcPad0 = 44;      // u32, zero
+constexpr std::size_t kProcBucketBits = 48;  // 4 x u64
+constexpr std::size_t kProcWordOffsets = 80; // 5 x u32
+constexpr std::size_t kProcPad1 = 100;       // u32, zero
+
+constexpr std::uint32_t kProcFlagSummary = 1u << 0;
+constexpr std::uint32_t kProcFlagSketch = 1u << 1;
+constexpr std::uint32_t kProcFlagsKnown = kProcFlagSummary | kProcFlagSketch;
+
+constexpr std::uint8_t kDirFlagReady = 1u << 0;
 
 std::uint64_t
 payload_checksum(const std::uint8_t *bytes, std::size_t size)
 {
-    return fnv1a64(std::string_view(
+    // content_hash64, not fnv1a64: the checksum pass is the dominant
+    // cost of a warm mmap open (the view fixups are near-free), and
+    // byte-serial FNV runs at ~1 byte/cycle. Host-local like the rest
+    // of the store — a blob checked on a host of the other endianness
+    // mismatches and degrades to a miss, never a wrong index.
+    return content_hash64(std::string_view(
         reinterpret_cast<const char *>(bytes), size));
 }
 
@@ -63,6 +91,290 @@ truncated(const std::string &what)
 {
     return Result<ExecutableIndex>::error(ErrorCode::TruncatedMember,
                                           "fwix: truncated " + what);
+}
+
+/** Backpatch a u64 little-endian at a fixed position. */
+void
+poke_u64(ByteBuffer &out, std::size_t at, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i) {
+        out[at + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+    }
+}
+
+void
+poke_u32(ByteBuffer &out, std::size_t at, std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i) {
+        out[at + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+    }
+}
+
+/** Append zero bytes until out.size() is a multiple of @p align. */
+void
+pad_to(ByteBuffer &out, std::size_t align)
+{
+    while (out.size() % align != 0) {
+        out.push_back(0);
+    }
+}
+
+/**
+ * The decoded v5 directory, bounds- and alignment-validated against the
+ * blob size. Every offset is absolute; every count is in elements.
+ */
+struct Directory
+{
+    isa::Arch arch = isa::Arch::Mips32;
+    bool ready = false;
+    std::uint32_t proc_count = 0;
+    std::uint64_t name_off = 0, name_len = 0;
+    std::uint64_t names_off = 0, names_len = 0;
+    std::uint64_t proc_table_off = 0;
+    std::uint64_t hashes_off = 0, hashes_count = 0;
+    std::uint64_t sketch_off = 0, sketch_count = 0;
+    std::uint64_t ph_off = 0, ph_count = 0;
+    std::uint64_t po_off = 0, po_count = 0;
+    std::uint64_t pp_off = 0, pp_count = 0;
+};
+
+/**
+ * Decode + validate the directory. Memory-safety contract: on success,
+ * every arena [off, off + count * elem) lies within [kDirEnd, size) with
+ * the alignment its element type needs, so arena pointers handed out by
+ * the view path can never read out of bounds.
+ */
+Result<ExecutableIndex>
+read_directory(const std::uint8_t *bytes, std::size_t size, Directory &dir,
+               bool *ok)
+{
+    *ok = false;
+    if (size < kDirEnd) {
+        return truncated("directory");
+    }
+    if (read_u64_le(bytes + kDirTotalSize) != size) {
+        return malformed("total size mismatch");
+    }
+    if (read_u16_le(bytes + kHeaderSize) != 0 ||
+        read_u16_le(bytes + kDirPad) != 0) {
+        return malformed("bad padding");
+    }
+    const std::uint8_t arch_byte = bytes[kDirArch];
+    if (arch_byte > static_cast<std::uint8_t>(isa::Arch::X86)) {
+        return malformed("bad arch");
+    }
+    dir.arch = static_cast<isa::Arch>(arch_byte);
+    const std::uint8_t flags = bytes[kDirFlags];
+    if ((flags & ~kDirFlagReady) != 0) {
+        return malformed("bad header flags");
+    }
+    dir.ready = (flags & kDirFlagReady) != 0;
+    dir.proc_count = read_u32_le(bytes + kDirProcCount);
+    dir.name_off = read_u64_le(bytes + kDirNameOff);
+    dir.name_len = read_u64_le(bytes + kDirNameLen);
+    dir.names_off = read_u64_le(bytes + kDirNamesOff);
+    dir.names_len = read_u64_le(bytes + kDirNamesLen);
+    dir.proc_table_off = read_u64_le(bytes + kDirProcTableOff);
+    dir.hashes_off = read_u64_le(bytes + kDirHashesOff);
+    dir.hashes_count = read_u64_le(bytes + kDirHashesCount);
+    dir.sketch_off = read_u64_le(bytes + kDirSketchOff);
+    dir.sketch_count = read_u64_le(bytes + kDirSketchCount);
+    dir.ph_off = read_u64_le(bytes + kDirPhOff);
+    dir.ph_count = read_u64_le(bytes + kDirPhCount);
+    dir.po_off = read_u64_le(bytes + kDirPoOff);
+    dir.po_count = read_u64_le(bytes + kDirPoCount);
+    dir.pp_off = read_u64_le(bytes + kDirPpOff);
+    dir.pp_count = read_u64_le(bytes + kDirPpCount);
+
+    // Overflow-safe "arena fits": off within the blob, aligned, and
+    // count * elem representable within the remaining bytes.
+    const auto arena_ok = [size](std::uint64_t off, std::uint64_t count,
+                                 std::uint64_t elem, std::uint64_t align) {
+        if (off < kDirEnd || off > size) {
+            return false;
+        }
+        if ((off & (align - 1)) != 0) {
+            return false;
+        }
+        return elem == 0 || count <= (size - off) / elem;
+    };
+    if (!arena_ok(dir.name_off, dir.name_len, 1, 1) ||
+        !arena_ok(dir.names_off, dir.names_len, 1, 1)) {
+        return truncated("name arena");
+    }
+    if (!arena_ok(dir.proc_table_off, dir.proc_count, kProcRecSize, 8)) {
+        return truncated("proc table");
+    }
+    if (!arena_ok(dir.hashes_off, dir.hashes_count, 8, 8)) {
+        return truncated("hash arena");
+    }
+    if (!arena_ok(dir.sketch_off, dir.sketch_count,
+                  8 * strand::kSketchSize, 8)) {
+        return truncated("sketch arena");
+    }
+    if (!arena_ok(dir.ph_off, dir.ph_count, 8, 8) ||
+        !arena_ok(dir.po_off, dir.po_count, 4, 4) ||
+        !arena_ok(dir.pp_off, dir.pp_count, 4, 4)) {
+        return truncated("posting arena");
+    }
+    if (dir.ready) {
+        if (dir.po_count != dir.ph_count + 1) {
+            return malformed("inconsistent posting shape");
+        }
+    } else if (dir.ph_count != 0 || dir.po_count != 0 ||
+               dir.pp_count != 0) {
+        return malformed("posting state without ready flag");
+    }
+    *ok = true;
+    return malformed("unreachable");  // discarded when *ok
+}
+
+/** One decoded proc-table record, validated against the directory. */
+struct ProcRec
+{
+    std::uint64_t entry = 0;
+    std::uint64_t hash_off = 0;
+    std::uint32_t hash_count = 0;
+    std::uint32_t name_off = 0;
+    std::uint32_t name_len = 0;
+    std::uint32_t block_count = 0;
+    std::uint32_t stmt_count = 0;
+    bool summary = false;
+    bool sketch = false;
+    std::uint32_t sketch_idx = 0;
+    std::array<std::uint64_t, 4> bucket_bits{};
+    std::array<std::uint32_t, 5> word_offsets{};
+};
+
+Result<ExecutableIndex>
+read_proc_rec(const std::uint8_t *bytes, const Directory &dir,
+              std::uint32_t i, ProcRec &rec, bool *ok)
+{
+    *ok = false;
+    const std::uint8_t *p =
+        bytes + dir.proc_table_off +
+        static_cast<std::size_t>(i) * kProcRecSize;
+    rec.entry = read_u64_le(p + kProcEntry);
+    rec.hash_off = read_u64_le(p + kProcHashOff);
+    rec.hash_count = read_u32_le(p + kProcHashCount);
+    rec.name_off = read_u32_le(p + kProcNameOff);
+    rec.name_len = read_u32_le(p + kProcNameLen);
+    rec.block_count = read_u32_le(p + kProcBlocks);
+    rec.stmt_count = read_u32_le(p + kProcStmts);
+    const std::uint32_t flags = read_u32_le(p + kProcFlags);
+    if ((flags & ~kProcFlagsKnown) != 0) {
+        return malformed("bad proc flags");
+    }
+    rec.summary = (flags & kProcFlagSummary) != 0;
+    rec.sketch = (flags & kProcFlagSketch) != 0;
+    rec.sketch_idx = read_u32_le(p + kProcSketchIdx);
+    if (read_u32_le(p + kProcPad0) != 0 ||
+        read_u32_le(p + kProcPad1) != 0) {
+        return malformed("bad proc padding");
+    }
+    // Hash span: absolute, 8-aligned, wholly inside the hash arena.
+    if (rec.hash_off < dir.hashes_off ||
+        (rec.hash_off & 7) != 0 ||
+        (rec.hash_off - dir.hashes_off) / 8 + rec.hash_count >
+            dir.hashes_count) {
+        return truncated("proc hash span");
+    }
+    // Name span: relative, wholly inside the names arena.
+    if (rec.name_off > dir.names_len ||
+        rec.name_len > dir.names_len - rec.name_off) {
+        return truncated("proc name span");
+    }
+    if (rec.sketch) {
+        if (rec.sketch_idx >= dir.sketch_count) {
+            return truncated("proc sketch index");
+        }
+    } else if (rec.sketch_idx != 0) {
+        return malformed("sketch index without sketch");
+    }
+    for (unsigned w = 0; w < 4; ++w) {
+        rec.bucket_bits[w] = read_u64_le(p + kProcBucketBits + 8 * w);
+    }
+    std::uint32_t prev = 0;
+    for (unsigned w = 0; w < 5; ++w) {
+        rec.word_offsets[w] = read_u32_le(p + kProcWordOffsets + 4 * w);
+        if (rec.word_offsets[w] < prev) {
+            return malformed("unsorted summary offsets");
+        }
+        prev = rec.word_offsets[w];
+    }
+    if (rec.summary) {
+        if (rec.word_offsets.front() != 0 ||
+            rec.word_offsets.back() != rec.hash_count) {
+            return malformed("inconsistent summary shape");
+        }
+    } else {
+        for (const std::uint32_t o : rec.word_offsets) {
+            if (o != 0) {
+                return malformed("summary offsets without summary");
+            }
+        }
+        for (const std::uint64_t w : rec.bucket_bits) {
+            if (w != 0) {
+                return malformed("summary bits without summary");
+            }
+        }
+    }
+    *ok = true;
+    return malformed("unreachable");  // discarded when *ok
+}
+
+/**
+ * CSR posting safety scan, shared by both load paths: offsets start at
+ * 0, never decrease, end exactly at pp_count, and every procedure index
+ * is in range. These bound every downstream posting walk (e.g. the
+ * per-procedure accumulators in shared_candidates), so they are
+ * mandatory even on the zero-copy path. Strict ascending order of the
+ * posting *hashes* is a semantic property the checksum vouches for; the
+ * copying parser re-checks it (it is touching every byte anyway), the
+ * view path does not.
+ */
+bool
+postings_safe(const std::uint8_t *bytes, const Directory &dir)
+{
+    if (!dir.ready) {
+        return true;
+    }
+    const std::uint8_t *po = bytes + dir.po_off;
+    std::uint32_t prev = 0;
+    for (std::uint64_t i = 0; i < dir.po_count; ++i) {
+        const std::uint32_t o = read_u32_le(po + 4 * i);
+        if (o < prev) {
+            return false;
+        }
+        prev = o;
+    }
+    if (read_u32_le(po) != 0 ||
+        read_u32_le(po + 4 * (dir.po_count - 1)) != dir.pp_count) {
+        return false;
+    }
+    const std::uint8_t *pp = bytes + dir.pp_off;
+    for (std::uint64_t i = 0; i < dir.pp_count; ++i) {
+        if (read_u32_le(pp + 4 * i) >= dir.proc_count) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Rebuild the O(procs) lookup maps (first occurrence wins). */
+void
+rebuild_maps(ExecutableIndex &index)
+{
+    index.entry_map.reserve(index.procs.size());
+    index.name_map.reserve(index.procs.size());
+    for (std::size_t i = 0; i < index.procs.size(); ++i) {
+        index.entry_map.emplace(index.procs[i].entry,
+                                static_cast<int>(i));
+        index.name_map.emplace(index.procs[i].name,
+                               static_cast<int>(i));
+    }
 }
 
 }  // namespace
@@ -83,12 +395,13 @@ fwix_layout_hash()
     // persisted sketches incomparable to fresh ones, so a salt change
     // must bump that tag even though no field width moves.
     static const std::uint64_t hash = fnv1a64(
-        "fwix-v4:hdr(magic4,ver-u16,layout-u64,fnv1a64-payload-u64);"
-        "payload(arch-u8,name-str16,procs-u32:"
-        "(entry-u64,name-str16,blocks-u32,stmts-u32,hashes-u32xu64,"
-        "summary-u8:bits-4xu64,woffs-5xu32,sketch-u8:mh64/v1-64xu64),"
-        "ready-u8,posting-hashes-u32xu64,posting-offsets-u32xu32,"
-        "posting-procs-u32xu32);canon(stream-v2,lr-names)");
+        "fwix-v5:hdr(magic4,ver-u16,layout-u64,ch64lane-payload-u64,"
+        "pad-u16);dir@24(total-u64,arch-u8,flags-u8,pad-u16,procs-u32,"
+        "name-u64x2,names-u64x2,ptab-u64,hashes-u64x2,"
+        "sketch-u64x2:mh64/v1-64xu64,ph-u64x2,po-u64x2,pp-u64x2);"
+        "prec104(entry-u64,hoff-u64,hcnt-u32,noff-u32,nlen-u32,"
+        "blocks-u32,stmts-u32,flags-u32,sidx-u32,pad-u32,bits-4xu64,"
+        "woffs-5xu32,pad-u32);canon(stream-v2,lr-names)");
     return hash;
 }
 
@@ -102,143 +415,205 @@ serialize_index(const ExecutableIndex &index)
     append_u16_le(out, kFwixVersion);
     append_u64_le(out, fwix_layout_hash());
     append_u64_le(out, 0);  // checksum backpatched below
+    append_u16_le(out, 0);  // pad so the directory starts 8-aligned
 
-    append_u8(out, static_cast<std::uint8_t>(index.arch));
-    append_string(out, index.name);
-    append_u32_le(out, static_cast<std::uint32_t>(index.procs.size()));
-    for (const ProcEntry &proc : index.procs) {
-        append_u64_le(out, proc.entry);
-        append_string(out, proc.name);
-        append_u32_le(out,
-                      static_cast<std::uint32_t>(proc.repr.block_count));
-        append_u32_le(out,
-                      static_cast<std::uint32_t>(proc.repr.stmt_count));
-        append_u32_le(out,
-                      static_cast<std::uint32_t>(proc.repr.hashes.size()));
-        for (std::uint64_t h : proc.repr.hashes) {
-            append_u64_le(out, h);
-        }
-        // Block summary (the tiered kernel's reject/span structure).
-        // Stored, not rebuilt at load: the warm path exists to skip
-        // recomputation, and the summary is search state like the
-        // postings below.
-        append_u8(out, proc.repr.summary_built ? 1 : 0);
+    // Zeroed directory; every field is backpatched once the arena
+    // offsets are known.
+    out.resize(kDirEnd, 0);
+    out[kDirArch] = static_cast<std::uint8_t>(index.arch);
+    out[kDirFlags] = index.search_ready ? kDirFlagReady : 0;
+    poke_u32(out, kDirProcCount,
+             static_cast<std::uint32_t>(index.procs.size()));
+
+    // Arena 1: executable name.
+    poke_u64(out, kDirNameOff, out.size());
+    poke_u64(out, kDirNameLen, index.name.size());
+    out.insert(out.end(), index.name.begin(), index.name.end());
+
+    // Arena 2: concatenated procedure names (per-proc u32 spans).
+    pad_to(out, 8);
+    const std::size_t names_off = out.size();
+    std::vector<std::uint32_t> proc_name_offs(index.procs.size());
+    for (std::size_t i = 0; i < index.procs.size(); ++i) {
+        proc_name_offs[i] =
+            static_cast<std::uint32_t>(out.size() - names_off);
+        out.insert(out.end(), index.procs[i].name.begin(),
+                   index.procs[i].name.end());
+    }
+    poke_u64(out, kDirNamesOff, names_off);
+    poke_u64(out, kDirNamesLen, out.size() - names_off);
+
+    // Arena 3: the packed proc table (hash offsets backpatched after
+    // the hash arena is laid out).
+    pad_to(out, 8);
+    const std::size_t proc_table_off = out.size();
+    poke_u64(out, kDirProcTableOff, proc_table_off);
+    out.resize(proc_table_off + index.procs.size() * kProcRecSize, 0);
+
+    // Arena 4: every procedure's hashes, concatenated.
+    const std::size_t hashes_off = out.size();  // 8-aligned: table end
+    std::uint64_t sketch_slots = 0;
+    for (std::size_t i = 0; i < index.procs.size(); ++i) {
+        const ProcEntry &proc = index.procs[i];
+        const std::size_t rec = proc_table_off + i * kProcRecSize;
+        poke_u64(out, rec + kProcEntry, proc.entry);
+        poke_u64(out, rec + kProcHashOff, out.size());
+        poke_u32(out, rec + kProcHashCount,
+                 static_cast<std::uint32_t>(proc.repr.hash_count()));
+        poke_u32(out, rec + kProcNameOff, proc_name_offs[i]);
+        poke_u32(out, rec + kProcNameLen,
+                 static_cast<std::uint32_t>(proc.name.size()));
+        poke_u32(out, rec + kProcBlocks,
+                 static_cast<std::uint32_t>(proc.repr.block_count));
+        poke_u32(out, rec + kProcStmts,
+                 static_cast<std::uint32_t>(proc.repr.stmt_count));
+        std::uint32_t flags = 0;
         if (proc.repr.summary_built) {
-            for (std::uint64_t word : proc.repr.bucket_bits) {
-                append_u64_le(out, word);
+            flags |= kProcFlagSummary;
+            for (unsigned w = 0; w < 4; ++w) {
+                poke_u64(out, rec + kProcBucketBits + 8 * w,
+                         proc.repr.bucket_bits[w]);
             }
-            for (std::uint32_t offset : proc.repr.word_offsets) {
-                append_u32_le(out, offset);
+            for (unsigned w = 0; w < 5; ++w) {
+                poke_u32(out, rec + kProcWordOffsets + 4 * w,
+                         proc.repr.word_offsets[w]);
             }
         }
-        // MinHash sketch (v4): stored so warm loads serve the LSH
-        // retrieval path without re-permuting every hash set. Always
-        // present for finalized indexes (finalize() backstop-builds).
-        append_u8(out, proc.repr.sketch_built ? 1 : 0);
         if (proc.repr.sketch_built) {
-            for (std::uint64_t word : proc.repr.sketch) {
-                append_u64_le(out, word);
-            }
+            flags |= kProcFlagSketch;
+            poke_u32(out, rec + kProcSketchIdx,
+                     static_cast<std::uint32_t>(sketch_slots++));
+        }
+        poke_u32(out, rec + kProcFlags, flags);
+        const std::uint64_t *hashes = proc.repr.hash_data();
+        for (std::size_t h = 0; h < proc.repr.hash_count(); ++h) {
+            append_u64_le(out, hashes[h]);
         }
     }
-    // Finalized search state: the CSR posting lists. The entry/name maps
-    // are not serialized — they are rebuilt in O(procs) at load, which
-    // keeps the blob byte-deterministic (unordered_map iteration order
-    // is not).
-    append_u8(out, index.search_ready ? 1 : 0);
+    poke_u64(out, kDirHashesOff, hashes_off);
+    poke_u64(out, kDirHashesCount, (out.size() - hashes_off) / 8);
+
+    // Arena 5: MinHash sketches, one 64-word block per sketch_built
+    // procedure, in procedure order (= sketch_idx order).
+    const std::size_t sketch_off = out.size();
+    for (const ProcEntry &proc : index.procs) {
+        if (!proc.repr.sketch_built) {
+            continue;
+        }
+        for (std::uint64_t word : proc.repr.sketch) {
+            append_u64_le(out, word);
+        }
+    }
+    poke_u64(out, kDirSketchOff, sketch_off);
+    poke_u64(out, kDirSketchCount, sketch_slots);
+
+    // Arenas 6-8: the CSR posting triple. The entry/name maps are not
+    // serialized — they are rebuilt in O(procs) at load, which keeps
+    // the blob byte-deterministic (unordered_map iteration order is
+    // not).
+    poke_u64(out, kDirPhOff, out.size());
     if (index.search_ready) {
-        append_u32_le(out, static_cast<std::uint32_t>(
-                               index.posting_hashes.size()));
-        for (std::uint64_t h : index.posting_hashes) {
-            append_u64_le(out, h);
+        poke_u64(out, kDirPhCount, index.posting_hash_count());
+        const std::uint64_t *ph = index.posting_hash_data();
+        for (std::size_t i = 0; i < index.posting_hash_count(); ++i) {
+            append_u64_le(out, ph[i]);
         }
-        append_u32_le(out, static_cast<std::uint32_t>(
-                               index.posting_offsets.size()));
-        for (std::uint32_t o : index.posting_offsets) {
-            append_u32_le(out, o);
+        poke_u64(out, kDirPoOff, out.size());
+        poke_u64(out, kDirPoCount, index.posting_hash_count() + 1);
+        const std::uint32_t *po = index.posting_offset_data();
+        for (std::size_t i = 0; i <= index.posting_hash_count(); ++i) {
+            append_u32_le(out, po[i]);
         }
-        append_u32_le(out, static_cast<std::uint32_t>(
-                               index.posting_procs.size()));
-        for (std::uint32_t p : index.posting_procs) {
-            append_u32_le(out, p);
+        poke_u64(out, kDirPpOff, out.size());
+        poke_u64(out, kDirPpCount, index.posting_proc_count());
+        const std::uint32_t *pp = index.posting_proc_data();
+        for (std::size_t i = 0; i < index.posting_proc_count(); ++i) {
+            append_u32_le(out, pp[i]);
         }
+    } else {
+        poke_u64(out, kDirPoOff, out.size());
+        poke_u64(out, kDirPpOff, out.size());
     }
 
+    poke_u64(out, kDirTotalSize, out.size());
     const std::uint64_t checksum = payload_checksum(
         out.data() + kHeaderSize, out.size() - kHeaderSize);
-    for (int i = 0; i < 8; ++i) {
-        out[4 + 2 + 8 + static_cast<std::size_t>(i)] =
-            static_cast<std::uint8_t>(checksum >> (8 * i));
-    }
+    poke_u64(out, 4 + 2 + 8, checksum);
     return out;
 }
 
-Result<ExecutableIndex>
-parse_index(const std::uint8_t *bytes, std::size_t size)
+Result<bool>
+check_container(const std::uint8_t *bytes, std::size_t size)
 {
     if (size < 6 || std::memcmp(bytes, kMagic, 4) != 0) {
-        return malformed("bad magic");
+        return Result<bool>::error(ErrorCode::MalformedContainer,
+                                   "fwix: bad magic");
     }
     const std::uint16_t version = read_u16_le(bytes + 4);
     if (version != kFwixVersion) {
-        return Result<ExecutableIndex>::error(
+        return Result<bool>::error(
             ErrorCode::StaleFormat,
             "fwix: stale format version " + std::to_string(version) +
                 " (want " + std::to_string(kFwixVersion) + ")");
     }
     if (size < kHeaderSize) {
-        return truncated("header");
+        return Result<bool>::error(ErrorCode::TruncatedMember,
+                                   "fwix: truncated header");
     }
     if (read_u64_le(bytes + 6) != fwix_layout_hash()) {
-        return Result<ExecutableIndex>::error(
-            ErrorCode::StaleFormat, "fwix: stale layout hash");
+        return Result<bool>::error(ErrorCode::StaleFormat,
+                                   "fwix: stale layout hash");
     }
     if (read_u64_le(bytes + 14) !=
         payload_checksum(bytes + kHeaderSize, size - kHeaderSize)) {
-        return malformed("payload checksum mismatch");
+        return Result<bool>::error(ErrorCode::MalformedContainer,
+                                   "fwix: payload checksum mismatch");
+    }
+    return true;
+}
+
+Result<ExecutableIndex>
+parse_index(const std::uint8_t *bytes, std::size_t size)
+{
+    auto checked = check_container(bytes, size);
+    if (!checked.ok()) {
+        return Result<ExecutableIndex>::error_from(checked);
+    }
+    Directory dir;
+    bool dir_ok = false;
+    auto dir_err = read_directory(bytes, size, dir, &dir_ok);
+    if (!dir_ok) {
+        return dir_err;
     }
 
-    std::size_t pos = kHeaderSize;
     ExecutableIndex index;
-    const std::uint8_t arch_byte = bytes[pos++];
-    if (arch_byte > static_cast<std::uint8_t>(isa::Arch::X86)) {
-        return malformed("bad arch");
-    }
-    index.arch = static_cast<isa::Arch>(arch_byte);
-    if (!read_string(bytes, size, pos, index.name)) {
-        return truncated("name");
-    }
-    if (pos + 4 > size) {
-        return truncated("count");
-    }
-    const std::uint32_t proc_count = read_u32_le(bytes + pos);
-    pos += 4;
-    for (std::uint32_t i = 0; i < proc_count; ++i) {
+    index.arch = dir.arch;
+    index.name.assign(
+        reinterpret_cast<const char *>(bytes + dir.name_off),
+        dir.name_len);
+    index.procs.reserve(dir.proc_count);
+    for (std::uint32_t i = 0; i < dir.proc_count; ++i) {
+        ProcRec rec;
+        bool rec_ok = false;
+        auto rec_err = read_proc_rec(bytes, dir, i, rec, &rec_ok);
+        if (!rec_ok) {
+            return rec_err;
+        }
         ProcEntry proc;
-        if (pos + 8 > size) {
-            return truncated("proc");
-        }
-        proc.entry = read_u64_le(bytes + pos);
-        pos += 8;
-        if (!read_string(bytes, size, pos, proc.name) ||
-            pos + 12 > size) {
-            return truncated("proc");
-        }
-        proc.repr.block_count = read_u32_le(bytes + pos);
-        proc.repr.stmt_count = read_u32_le(bytes + pos + 4);
-        const std::uint32_t hash_count = read_u32_le(bytes + pos + 8);
-        pos += 12;
-        if (size - pos < 8ull * hash_count) {
-            return truncated("strand hashes");
-        }
-        proc.repr.hashes.reserve(hash_count);
+        proc.entry = rec.entry;
+        proc.name.assign(reinterpret_cast<const char *>(
+                             bytes + dir.names_off + rec.name_off),
+                         rec.name_len);
+        proc.repr.block_count = rec.block_count;
+        proc.repr.stmt_count = rec.stmt_count;
+        proc.repr.hashes.reserve(rec.hash_count);
         bool sorted = true;
-        for (std::uint32_t h = 0; h < hash_count; ++h) {
-            const std::uint64_t value = read_u64_le(bytes + pos);
+        for (std::uint32_t h = 0; h < rec.hash_count; ++h) {
+            const std::uint64_t value =
+                read_u64_le(bytes + rec.hash_off + 8ull * h);
             sorted &= proc.repr.hashes.empty() ||
                       proc.repr.hashes.back() < value;
             proc.repr.add(value);
-            pos += 8;
         }
         if (!sorted) {
             // Only blobs serialized from hand-built, never-finalized
@@ -247,148 +622,54 @@ parse_index(const std::uint8_t *bytes, std::size_t size)
             // invariant for them.
             proc.repr.finalize();
         }
-        if (pos + 1 > size) {
-            return truncated("summary flag");
-        }
-        const std::uint8_t summary = bytes[pos++];
-        if (summary > 1) {
-            return malformed("bad summary flag");
-        }
-        if (summary == 1) {
-            if (size - pos < 4 * 8 + 5 * 4) {
-                return truncated("summary");
-            }
-            for (std::uint64_t &word : proc.repr.bucket_bits) {
-                word = read_u64_le(bytes + pos);
-                pos += 8;
-            }
-            std::uint32_t prev = 0;
-            for (std::uint32_t &offset : proc.repr.word_offsets) {
-                offset = read_u32_le(bytes + pos);
-                pos += 4;
-                if (offset < prev) {
-                    return malformed("unsorted summary offsets");
-                }
-                prev = offset;
-            }
-            if (proc.repr.word_offsets.front() != 0 ||
-                proc.repr.word_offsets.back() !=
-                    proc.repr.hashes.size()) {
-                return malformed("inconsistent summary shape");
-            }
+        if (rec.summary) {
+            proc.repr.bucket_bits = rec.bucket_bits;
+            proc.repr.word_offsets = rec.word_offsets;
             proc.repr.summary_built = true;
         }
-        if (pos + 1 > size) {
-            return truncated("sketch flag");
-        }
-        const std::uint8_t sketch = bytes[pos++];
-        if (sketch > 1) {
-            return malformed("bad sketch flag");
-        }
-        if (sketch == 1) {
-            if (size - pos < 8ull * strand::kSketchSize) {
-                return truncated("sketch");
-            }
-            for (std::uint64_t &word : proc.repr.sketch) {
-                word = read_u64_le(bytes + pos);
-                pos += 8;
+        if (rec.sketch) {
+            const std::uint8_t *sk =
+                bytes + dir.sketch_off +
+                8ull * strand::kSketchSize * rec.sketch_idx;
+            for (unsigned w = 0; w < strand::kSketchSize; ++w) {
+                proc.repr.sketch[w] = read_u64_le(sk + 8 * w);
             }
             proc.repr.sketch_built = true;
         }
         index.procs.push_back(std::move(proc));
     }
 
-    if (pos + 1 > size) {
-        return truncated("search state");
-    }
-    const std::uint8_t ready = bytes[pos++];
-    if (ready > 1) {
-        return malformed("bad search-ready flag");
-    }
-    if (ready == 0) {
-        if (pos != size) {
-            return malformed("trailing bytes");
-        }
+    if (!dir.ready) {
         index.finalize();
         return index;
     }
-
-    auto read_u32_count = [&](std::uint32_t &out) {
-        if (pos + 4 > size) {
-            return false;
-        }
-        out = read_u32_le(bytes + pos);
-        pos += 4;
-        return true;
-    };
-    std::uint32_t hash_count = 0, offset_count = 0, proc_count32 = 0;
-    if (!read_u32_count(hash_count) ||
-        size - pos < 8ull * hash_count) {
-        return truncated("posting hashes");
-    }
-    index.posting_hashes.reserve(hash_count);
-    for (std::uint32_t i = 0; i < hash_count; ++i) {
-        index.posting_hashes.push_back(read_u64_le(bytes + pos));
-        pos += 8;
-    }
-    if (!read_u32_count(offset_count) ||
-        size - pos < 4ull * offset_count) {
-        return truncated("posting offsets");
-    }
-    index.posting_offsets.reserve(offset_count);
-    for (std::uint32_t i = 0; i < offset_count; ++i) {
-        index.posting_offsets.push_back(read_u32_le(bytes + pos));
-        pos += 4;
-    }
-    if (!read_u32_count(proc_count32) ||
-        size - pos < 4ull * proc_count32) {
-        return truncated("posting procs");
-    }
-    index.posting_procs.reserve(proc_count32);
-    for (std::uint32_t i = 0; i < proc_count32; ++i) {
-        index.posting_procs.push_back(read_u32_le(bytes + pos));
-        pos += 4;
-    }
-    if (pos != size) {
-        return malformed("trailing bytes");
-    }
-
-    // Structural validation of the CSR triple: a checksum-clean blob can
-    // still only come from serialize_index, but an inconsistent inverted
-    // index must never be handed to the search fast paths.
-    if (index.posting_offsets.size() !=
-            index.posting_hashes.size() + 1 ||
-        index.posting_offsets.front() != 0 ||
-        index.posting_offsets.back() != index.posting_procs.size()) {
+    if (!postings_safe(bytes, dir)) {
         return malformed("inconsistent posting shape");
     }
-    for (std::size_t i = 1; i < index.posting_offsets.size(); ++i) {
-        if (index.posting_offsets[i] < index.posting_offsets[i - 1]) {
-            return malformed("unsorted posting offsets");
-        }
+    index.posting_hashes.reserve(dir.ph_count);
+    for (std::uint64_t i = 0; i < dir.ph_count; ++i) {
+        index.posting_hashes.push_back(
+            read_u64_le(bytes + dir.ph_off + 8 * i));
     }
+    // Semantic re-check the view path skips: the posting hash union is
+    // strictly ascending. The copying parser touches every byte anyway,
+    // so it keeps the v2-era strictness.
     for (std::size_t i = 1; i < index.posting_hashes.size(); ++i) {
         if (index.posting_hashes[i] <= index.posting_hashes[i - 1]) {
             return malformed("unsorted posting hashes");
         }
     }
-    for (const std::uint32_t p : index.posting_procs) {
-        if (p >= index.procs.size()) {
-            return malformed("posting proc out of range");
-        }
+    index.posting_offsets.reserve(dir.po_count);
+    for (std::uint64_t i = 0; i < dir.po_count; ++i) {
+        index.posting_offsets.push_back(
+            read_u32_le(bytes + dir.po_off + 4 * i));
     }
-
-    // Rebuild the lookup maps (first occurrence wins, exactly as
-    // finalize() does) without re-sorting the incidences — this is the
-    // cheap O(procs) tail of finalize(), not the expensive CSR build.
-    index.entry_map.reserve(index.procs.size());
-    index.name_map.reserve(index.procs.size());
-    for (std::size_t i = 0; i < index.procs.size(); ++i) {
-        index.entry_map.emplace(index.procs[i].entry,
-                                static_cast<int>(i));
-        index.name_map.emplace(index.procs[i].name,
-                               static_cast<int>(i));
+    index.posting_procs.reserve(dir.pp_count);
+    for (std::uint64_t i = 0; i < dir.pp_count; ++i) {
+        index.posting_procs.push_back(
+            read_u32_le(bytes + dir.pp_off + 4 * i));
     }
+    rebuild_maps(index);
     index.search_ready = true;
     return index;
 }
@@ -397,6 +678,98 @@ Result<ExecutableIndex>
 parse_index(const ByteBuffer &bytes)
 {
     return parse_index(bytes.data(), bytes.size());
+}
+
+bool
+open_view_supported()
+{
+#if defined(__BYTE_ORDER__) && defined(__ORDER_LITTLE_ENDIAN__)
+    return __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__;
+#else
+    return false;
+#endif
+}
+
+Result<ExecutableIndex>
+open_index_view(const std::uint8_t *bytes, std::size_t size,
+                std::shared_ptr<const void> backing, bool checked)
+{
+    if (!open_view_supported()) {
+        return malformed("view unsupported on this host");
+    }
+    if (!checked) {
+        auto guard = check_container(bytes, size);
+        if (!guard.ok()) {
+            return Result<ExecutableIndex>::error_from(guard);
+        }
+    }
+    Directory dir;
+    bool dir_ok = false;
+    auto dir_err = read_directory(bytes, size, dir, &dir_ok);
+    if (!dir_ok) {
+        return dir_err;
+    }
+    if (!dir.ready) {
+        // A non-finalized blob needs finalize(), which builds vectors;
+        // callers fall back to the copying parser.
+        return malformed("view requires a search-ready blob");
+    }
+    if (!postings_safe(bytes, dir)) {
+        return malformed("inconsistent posting shape");
+    }
+
+    ExecutableIndex index;
+    index.arch = dir.arch;
+    index.name.assign(
+        reinterpret_cast<const char *>(bytes + dir.name_off),
+        dir.name_len);
+    index.procs.reserve(dir.proc_count);
+    for (std::uint32_t i = 0; i < dir.proc_count; ++i) {
+        ProcRec rec;
+        bool rec_ok = false;
+        auto rec_err = read_proc_rec(bytes, dir, i, rec, &rec_ok);
+        if (!rec_ok) {
+            return rec_err;
+        }
+        ProcEntry proc;
+        proc.entry = rec.entry;
+        proc.name.assign(reinterpret_cast<const char *>(
+                             bytes + dir.names_off + rec.name_off),
+                         rec.name_len);
+        proc.repr.hash_view = reinterpret_cast<const std::uint64_t *>(
+            bytes + rec.hash_off);
+        proc.repr.hash_view_count = rec.hash_count;
+        proc.repr.block_count = rec.block_count;
+        proc.repr.stmt_count = rec.stmt_count;
+        if (rec.summary) {
+            proc.repr.bucket_bits = rec.bucket_bits;
+            proc.repr.word_offsets = rec.word_offsets;
+            proc.repr.summary_built = true;
+        }
+        if (rec.sketch) {
+            const std::uint8_t *sk =
+                bytes + dir.sketch_off +
+                8ull * strand::kSketchSize * rec.sketch_idx;
+            std::memcpy(proc.repr.sketch.data(), sk,
+                        8 * strand::kSketchSize);
+            proc.repr.sketch_built = true;
+        }
+        index.procs.push_back(std::move(proc));
+    }
+    index.posting_hashes_view =
+        reinterpret_cast<const std::uint64_t *>(bytes + dir.ph_off);
+    index.posting_offsets_view =
+        reinterpret_cast<const std::uint32_t *>(bytes + dir.po_off);
+    index.posting_procs_view =
+        reinterpret_cast<const std::uint32_t *>(bytes + dir.pp_off);
+    index.posting_count_view = static_cast<std::uint32_t>(dir.ph_count);
+    index.posting_procs_count_view =
+        static_cast<std::uint32_t>(dir.pp_count);
+    rebuild_maps(index);
+    index.search_ready = true;
+    index.backing = std::move(backing);
+    index.mapped_bytes = size;
+    return index;
 }
 
 }  // namespace firmup::sim

@@ -9,24 +9,33 @@
  * compact binary format (magic "FWIX"), so a corpus can be lifted and
  * canonicalized once and searched many times.
  *
- * Format v2 additionally carries the finalized search-acceleration
- * state — the CSR posting lists built by ExecutableIndex::finalize() —
- * so a loaded index is `search_ready` without re-running finalize(),
- * which is what makes warm corpus scans (sim::IndexCacheStore) skip the
- * entire lift+canon+finalize phase. Format v3 stores each procedure's
- * block summary (strand::ProcedureStrands::bucket_bits/word_offsets)
- * alongside its hashes: without it, warm-loaded indexes silently lost
- * the tiered intersection kernel's summary reject and fell back to the
- * merge path — the summary is as much search state as the postings
- * are. Format v4 adds each procedure's MinHash sketch
- * (strand::ProcedureStrands::sketch) right after its summary, so warm
- * scans serve the LSH retrieval prefilter without recomputing sketches;
- * the LSH banding table itself is derived data and is rebuilt from the
+ * Format history: v2 added the finalized search-acceleration state (the
+ * CSR posting lists built by ExecutableIndex::finalize()); v3 added each
+ * procedure's block summary; v4 added each procedure's MinHash sketch.
+ * Format v5 keeps exactly that information but re-arranges it as a
+ * **flat relocatable layout**: a fixed directory of absolute offsets
+ * pointing at typed arenas (exe/proc names, a packed procedure table,
+ * one hash arena, one sketch arena, the three CSR posting arrays), with
+ * every u64 arena 8-byte aligned. Nothing is length-prefixed inline any
+ * more — the blob can be consumed two ways:
+ *
+ *  - open_index_view(): hand an ExecutableIndex *views* into the blob
+ *    (procedure hash sets and posting arrays point straight at the
+ *    mapped bytes; only the O(procs) fixed-size state — entries, names,
+ *    summaries, sketches — is materialized). This is the mmap warm
+ *    path: opening an index costs a checksum pass plus O(procs), not a
+ *    full re-parse into freshly allocated vectors.
+ *  - parse_index(): the classic copying parser (the --no-mmap ablation
+ *    baseline and the portability fallback for hosts where the direct
+ *    view is unavailable — see open_view_supported()).
+ *
+ * The LSH banding table is derived data and is rebuilt from the
  * sketches per SearchOptions (its shape is a query-time knob, not index
  * state). The header guards against stale or damaged blobs three ways:
  *
- *  - a format **version** (v1 blobs are rejected with a distinct
- *    ErrorCode::StaleFormat "stale format" error, never misparsed),
+ *  - a format **version** (older blobs are rejected with a distinct
+ *    ErrorCode::StaleFormat "stale format" error, never misparsed —
+ *    a v4 store self-invalidates into cache misses),
  *  - a **layout hash** — a constant digest of the byte-layout
  *    descriptor, bumped whenever any field changes width or meaning, so
  *    a same-version blob written by an incompatible build is also
@@ -41,6 +50,8 @@
  */
 #pragma once
 
+#include <memory>
+
 #include "sim/similarity.h"
 #include "support/bytes.h"
 #include "support/error.h"
@@ -48,27 +59,65 @@
 namespace firmup::sim {
 
 /** Current FWIX format version (serialize_index always writes this). */
-inline constexpr std::uint16_t kFwixVersion = 4;
+inline constexpr std::uint16_t kFwixVersion = 5;
 
 /**
- * Digest of the v4 byte-layout descriptor. Serialized into every blob
+ * Digest of the v5 byte-layout descriptor. Serialized into every blob
  * and compared on parse; a mismatch means the blob was written by an
  * incompatible layout and is rejected as ErrorCode::StaleFormat.
  */
 std::uint64_t fwix_layout_hash();
 
-/** Serialize @p index into the FWIX v4 binary format. */
+/** Serialize @p index into the FWIX v5 binary format. */
 ByteBuffer serialize_index(const ExecutableIndex &index);
 
 /**
- * Parse an FWIX blob back into an index. A blob serialized from a
- * finalized index parses straight to `search_ready` (no finalize()
- * re-run); one serialized from a hand-built index is finalized on load.
+ * Container-level guards alone: magic, version, layout hash and the
+ * full payload checksum. Both consumers run this before touching the
+ * payload; it is split out so the load path can attribute checksum time
+ * separately from parse/open time (IndexCacheStore::LoadStats).
+ */
+Result<bool> check_container(const std::uint8_t *bytes, std::size_t size);
+
+/**
+ * Parse an FWIX v5 blob into an owning index (every arena copied into
+ * vectors). A blob serialized from a finalized index parses straight to
+ * `search_ready` (no finalize() re-run); one serialized from a
+ * hand-built index is finalized on load. Runs check_container() first.
  */
 Result<ExecutableIndex> parse_index(const std::uint8_t *bytes,
                                     std::size_t size);
 
 /** Convenience overload. */
 Result<ExecutableIndex> parse_index(const ByteBuffer &bytes);
+
+/**
+ * True when this host can serve FWIX v5 views directly over mapped
+ * bytes (little-endian byte order — the arenas are reinterpreted as
+ * u64/u32 arrays in place). On other hosts open_index_view() fails and
+ * callers fall back to parse_index().
+ */
+bool open_view_supported();
+
+/**
+ * Open a zero-copy *view* of an FWIX v5 blob: the returned index's
+ * procedure hash sets and CSR posting arrays point into @p bytes, and
+ * @p backing is retained on the index to pin those bytes alive for as
+ * long as any copy of the index (or of its procedures) exists.
+ *
+ * Validation contract: all container guards (check_container, run
+ * here unless the caller already did — see @p checked) plus every
+ * memory-safety invariant — arena bounds and alignment, posting offset
+ * monotonicity and endpoints, posting procedure indices in range,
+ * summary shape. Semantic invariants vouched for by the checksum (hash
+ * sortedness inside an arena) are not re-scanned; that O(payload) work
+ * is exactly what the view path exists to skip.
+ *
+ * Only `search_ready` blobs are viewable (a non-finalized blob needs
+ * finalize(), which mutates — callers fall back to parse_index()).
+ */
+Result<ExecutableIndex> open_index_view(
+    const std::uint8_t *bytes, std::size_t size,
+    std::shared_ptr<const void> backing, bool checked = false);
 
 }  // namespace firmup::sim

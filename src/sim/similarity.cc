@@ -89,23 +89,26 @@ gallop_lower_bound(const std::uint64_t *first, const std::uint64_t *last,
  */
 template <typename OnShared>
 void
-for_each_shared(const std::vector<std::uint64_t> &a,
-                const std::vector<std::uint64_t> &b, OnShared &&on)
+for_each_shared(const std::uint64_t *a, std::size_t an,
+                const std::uint64_t *b, std::size_t bn, OnShared &&on)
 {
-    const std::vector<std::uint64_t> *small = &a;
-    const std::vector<std::uint64_t> *large = &b;
-    if (small->size() > large->size()) {
-        std::swap(small, large);
+    const std::uint64_t *sp = a;
+    std::size_t sn = an;
+    const std::uint64_t *lp = b;
+    std::size_t ln = bn;
+    if (sn > ln) {
+        std::swap(sp, lp);
+        std::swap(sn, ln);
     }
-    if (small->empty()) {
+    if (sn == 0) {
         return;
     }
-    const std::uint64_t *s = small->data();
-    const std::uint64_t *se = s + small->size();
-    const std::uint64_t *l = large->data();
-    const std::uint64_t *le = l + large->size();
+    const std::uint64_t *s = sp;
+    const std::uint64_t *se = s + sn;
+    const std::uint64_t *l = lp;
+    const std::uint64_t *le = l + ln;
     constexpr std::size_t kGallopRatio = 16;
-    if (large->size() / small->size() >= kGallopRatio) {
+    if (ln / sn >= kGallopRatio) {
         for (; s != se && l != le; ++s) {
             l = gallop_lower_bound(l, le, *s);
             if (l != le && *l == *s) {
@@ -434,18 +437,27 @@ ExecutableIndex::finalize()
         // First occurrence wins, matching the linear-scan semantics.
         entry_map.emplace(procs[i].entry, static_cast<int>(i));
         name_map.emplace(procs[i].name, static_cast<int>(i));
-        total_hashes += procs[i].repr.hashes.size();
+        total_hashes += procs[i].repr.hash_count();
     }
     // CSR inverted index: one (hash, proc) incidence per strand, sorted
     // by hash then procedure so every posting list is ascending.
     std::vector<std::pair<std::uint64_t, std::uint32_t>> incidences;
     incidences.reserve(total_hashes);
     for (std::size_t i = 0; i < procs.size(); ++i) {
-        for (std::uint64_t h : procs[i].repr.hashes) {
-            incidences.emplace_back(h, static_cast<std::uint32_t>(i));
+        const std::uint64_t *h = procs[i].repr.hash_data();
+        const std::uint64_t *he = h + procs[i].repr.hash_count();
+        for (; h != he; ++h) {
+            incidences.emplace_back(*h, static_cast<std::uint32_t>(i));
         }
     }
     std::sort(incidences.begin(), incidences.end());
+    // finalize() rebuilds owning posting vectors; if this index started
+    // as a blob view, the rebuilt vectors supersede the mapped arrays.
+    posting_hashes_view = nullptr;
+    posting_offsets_view = nullptr;
+    posting_procs_view = nullptr;
+    posting_count_view = 0;
+    posting_procs_count_view = 0;
     posting_hashes.clear();
     posting_offsets.clear();
     posting_procs.clear();
@@ -496,7 +508,7 @@ ExecutableIndex::build_lsh(unsigned bands, unsigned rows)
         segment.clear();
         for (std::size_t i = 0; i < procs.size(); ++i) {
             const strand::ProcedureStrands &repr = procs[i].repr;
-            if (!repr.sketch_built || repr.hashes.empty()) {
+            if (!repr.sketch_built || repr.hash_empty()) {
                 continue;
             }
             segment.emplace_back(strand::band_key(repr.sketch, b, rows),
@@ -541,6 +553,36 @@ ExecutableIndex::find_by_name(const std::string &proc_name) const
         }
     }
     return -1;
+}
+
+std::size_t
+ExecutableIndex::memory_bytes() const
+{
+    // Approximate accounting for the resident-cache byte budget: the
+    // big arenas plus the per-procedure fixed state. Map/table overhead
+    // is deliberately ignored — the budget is a ballast figure, not an
+    // allocator audit.
+    std::size_t bytes = sizeof(*this);
+    bytes += name.size();
+    for (const ProcEntry &proc : procs) {
+        bytes += sizeof(ProcEntry);
+        bytes += proc.name.size();
+        bytes += proc.repr.hashes.size() * sizeof(std::uint64_t);
+    }
+    // A view-mode index charges the whole mapped blob; its owning
+    // vectors are empty, so the two terms never double-count (and a
+    // mixed state — a view later finalize()d — charges both, which is
+    // exactly what it holds).
+    bytes += mapped_bytes;
+    bytes += posting_hashes.size() * sizeof(std::uint64_t);
+    bytes += posting_offsets.size() * sizeof(std::uint32_t);
+    bytes += posting_procs.size() * sizeof(std::uint32_t);
+    bytes += lsh_keys.size() * sizeof(std::uint64_t);
+    bytes += lsh_procs.size() * sizeof(std::uint32_t);
+    bytes += lsh_offsets.size() * sizeof(std::uint32_t);
+    // entry_map / name_map: one entry per procedure each, roughly.
+    bytes += procs.size() * 2 * sizeof(std::uint64_t) * 2;
+    return bytes;
 }
 
 ExecutableIndex
@@ -596,17 +638,17 @@ int
 sim_score(const strand::ProcedureStrands &q,
           const strand::ProcedureStrands &t)
 {
-    if (q.hashes.empty() || t.hashes.empty()) {
+    if (q.hash_empty() || t.hash_empty()) {
         return 0;
     }
     const SimdTier tier = simd_tier();
     const strand::ProcedureStrands *small = &q;
     const strand::ProcedureStrands *large = &t;
-    if (small->hashes.size() > large->hashes.size()) {
+    if (small->hash_count() > large->hash_count()) {
         std::swap(small, large);
     }
     const bool lopsided =
-        large->hashes.size() / small->hashes.size() >= kGallopRatio;
+        large->hash_count() / small->hash_count() >= kGallopRatio;
     if (q.summary_built && t.summary_built) {
         const std::uint64_t common[4] = {
             q.bucket_bits[0] & t.bucket_bits[0],
@@ -619,10 +661,10 @@ sim_score(const strand::ProcedureStrands &q,
         }
         if (lopsided) {
             return gallop_count(
-                small->hashes.data(),
-                small->hashes.data() + small->hashes.size(),
-                large->hashes.data(),
-                large->hashes.data() + large->hashes.size(), tier);
+                small->hash_data(),
+                small->hash_data() + small->hash_count(),
+                large->hash_data(),
+                large->hash_data() + large->hash_count(), tier);
         }
         // Comparable sizes: merge the matching per-word spans, skipping
         // whole spans whose common occupancy is zero.
@@ -632,24 +674,24 @@ sim_score(const strand::ProcedureStrands &q,
                 continue;
             }
             shared += merge_count(
-                q.hashes.data() + q.word_offsets[w],
-                q.hashes.data() + q.word_offsets[w + 1],
-                t.hashes.data() + t.word_offsets[w],
-                t.hashes.data() + t.word_offsets[w + 1], tier);
+                q.hash_data() + q.word_offsets[w],
+                q.hash_data() + q.word_offsets[w + 1],
+                t.hash_data() + t.word_offsets[w],
+                t.hash_data() + t.word_offsets[w + 1], tier);
         }
         return shared;
     }
-    // Hand-assembled sets without summaries: same kernels, full vectors.
+    // Hand-assembled sets without summaries: same kernels, full spans.
     if (lopsided) {
-        return gallop_count(small->hashes.data(),
-                            small->hashes.data() + small->hashes.size(),
-                            large->hashes.data(),
-                            large->hashes.data() + large->hashes.size(),
+        return gallop_count(small->hash_data(),
+                            small->hash_data() + small->hash_count(),
+                            large->hash_data(),
+                            large->hash_data() + large->hash_count(),
                             tier);
     }
-    return merge_count(q.hashes.data(),
-                       q.hashes.data() + q.hashes.size(),
-                       t.hashes.data(), t.hashes.data() + t.hashes.size(),
+    return merge_count(q.hash_data(),
+                       q.hash_data() + q.hash_count(),
+                       t.hash_data(), t.hash_data() + t.hash_count(),
                        tier);
 }
 
@@ -658,8 +700,8 @@ sim_score_merge(const strand::ProcedureStrands &q,
                 const strand::ProcedureStrands &t)
 {
     int shared = 0;
-    for_each_shared(q.hashes, t.hashes,
-                    [&shared](std::uint64_t) { ++shared; });
+    for_each_shared(q.hash_data(), q.hash_count(), t.hash_data(),
+                    t.hash_count(), [&shared](std::uint64_t) { ++shared; });
     return shared;
 }
 
@@ -832,10 +874,11 @@ run_probe_filter(const std::uint64_t *bm, const std::uint64_t *p,
 void
 QueryProbe::reset(const strand::ProcedureStrands &q)
 {
-    query_size_ = q.hashes.size();
+    const std::uint64_t *qh = q.hash_data();
+    const std::size_t nq = q.hash_count();
+    query_size_ = nq;
     fallback_.clear();
     bitmap_.assign(1024, 0);
-    const std::size_t nq = q.hashes.size();
     std::uint32_t nbuckets = 16;
     while (nbuckets * 4 < nq && nbuckets < kMaxBuckets) {
         nbuckets <<= 1;
@@ -845,7 +888,8 @@ QueryProbe::reset(const strand::ProcedureStrands &q)
         slots_.assign(static_cast<std::size_t>(nbuckets) * 8, 0);
         valid_.assign(nbuckets, 0);
         bool overflow = false;
-        for (std::uint64_t h : q.hashes) {
+        for (std::size_t i = 0; i < nq; ++i) {
+            const std::uint64_t h = qh[i];
             const std::uint32_t b =
                 static_cast<std::uint32_t>(h >> 16) & bucket_mask_;
             const unsigned c = static_cast<unsigned>(
@@ -863,13 +907,14 @@ QueryProbe::reset(const strand::ProcedureStrands &q)
         if (nbuckets >= kMaxBuckets) {
             // > 8 query hashes sharing bits 16..30: adversarial input.
             // Keep a sorted copy and let score() take the merge path.
-            fallback_ = q.hashes;
+            fallback_.assign(qh, qh + nq);
             break;
         }
         nbuckets <<= 1;
     }
-    for (std::uint64_t h : q.hashes) {
-        const std::uint32_t idx = static_cast<std::uint32_t>(h & 0xffff);
+    for (std::size_t i = 0; i < nq; ++i) {
+        const std::uint32_t idx =
+            static_cast<std::uint32_t>(qh[i] & 0xffff);
         bitmap_[idx >> 6] |= 1ull << (idx & 63);
     }
 }
@@ -923,7 +968,7 @@ QueryProbe::score(const std::uint64_t *t, std::size_t n) const
 int
 QueryProbe::score(const strand::ProcedureStrands &t) const
 {
-    return score(t.hashes.data(), t.hashes.size());
+    return score(t.hash_data(), t.hash_count());
 }
 
 std::vector<Candidate>
@@ -932,7 +977,7 @@ shared_candidates(const ExecutableIndex &T,
                   ScoringStats *stats)
 {
     std::vector<Candidate> out;
-    if (T.procs.empty() || q.hashes.empty()) {
+    if (T.procs.empty() || q.hash_empty()) {
         return out;
     }
     ScoringStats local;
@@ -944,7 +989,7 @@ shared_candidates(const ExecutableIndex &T,
             const int s = probe.score(T.procs[i].repr);
             ++local.pairs_scored;
             local.elem_ops +=
-                q.hashes.size() + T.procs[i].repr.hashes.size();
+                q.hash_count() + T.procs[i].repr.hash_count();
             if (s > 0) {
                 out.push_back({static_cast<int>(i), s});
             }
@@ -963,10 +1008,15 @@ shared_candidates(const ExecutableIndex &T,
     // only procedures sharing at least one strand are ever touched.
     std::vector<int> counts(T.procs.size(), 0);
     std::vector<std::uint32_t> touched;
-    const std::uint64_t *base = T.posting_hashes.data();
+    const std::uint64_t *base = T.posting_hash_data();
+    const std::uint32_t *offsets = T.posting_offset_data();
+    const std::uint32_t *plist = T.posting_proc_data();
     const std::uint64_t *ph = base;
-    const std::uint64_t *pe = base + T.posting_hashes.size();
-    for (std::uint64_t h : q.hashes) {
+    const std::uint64_t *pe = base + T.posting_hash_count();
+    const std::uint64_t *qh = q.hash_data();
+    const std::uint64_t *qe = qh + q.hash_count();
+    for (; qh != qe; ++qh) {
+        const std::uint64_t h = *qh;
         ++local.elem_ops;  // one probe per query hash
         ph = gallop_lower_bound(ph, pe, h);
         if (ph == pe) {
@@ -976,10 +1026,10 @@ shared_candidates(const ExecutableIndex &T,
             continue;
         }
         const std::size_t row = static_cast<std::size_t>(ph - base);
-        const std::uint32_t lo = T.posting_offsets[row];
-        const std::uint32_t hi = T.posting_offsets[row + 1];
+        const std::uint32_t lo = offsets[row];
+        const std::uint32_t hi = offsets[row + 1];
         for (std::uint32_t j = lo; j < hi; ++j) {
-            const std::uint32_t proc = T.posting_procs[j];
+            const std::uint32_t proc = plist[j];
             ++local.elem_ops;  // one accumulation per incidence
             if (counts[proc]++ == 0) {
                 touched.push_back(proc);
@@ -1011,7 +1061,7 @@ lsh_candidates(const ExecutableIndex &T,
         return shared_candidates(T, q, stats);
     }
     std::vector<Candidate> out;
-    if (T.procs.empty() || q.hashes.empty()) {
+    if (T.procs.empty() || q.hash_empty()) {
         return out;
     }
     // Band probes: binary-search each band's sorted segment for the
@@ -1042,21 +1092,24 @@ lsh_candidates(const ExecutableIndex &T,
     if (T.search_ready) {
         constexpr std::size_t kRareProbes = 8;
         std::vector<std::pair<std::uint32_t, std::uint32_t>> lists;
-        lists.reserve(q.hashes.size());
-        const std::uint64_t *base = T.posting_hashes.data();
+        lists.reserve(q.hash_count());
+        const std::uint64_t *base = T.posting_hash_data();
+        const std::uint32_t *offsets = T.posting_offset_data();
+        const std::uint32_t *plist = T.posting_proc_data();
         const std::uint64_t *ph = base;
-        const std::uint64_t *pe = base + T.posting_hashes.size();
-        for (std::uint64_t h : q.hashes) {
-            ph = gallop_lower_bound(ph, pe, h);
+        const std::uint64_t *pe = base + T.posting_hash_count();
+        const std::uint64_t *qh = q.hash_data();
+        const std::uint64_t *qe = qh + q.hash_count();
+        for (; qh != qe; ++qh) {
+            ph = gallop_lower_bound(ph, pe, *qh);
             if (ph == pe) {
                 break;
             }
-            if (*ph != h) {
+            if (*ph != *qh) {
                 continue;
             }
             const auto row = static_cast<std::uint32_t>(ph - base);
-            const std::uint32_t len =
-                T.posting_offsets[row + 1] - T.posting_offsets[row];
+            const std::uint32_t len = offsets[row + 1] - offsets[row];
             exact_work += len;
             lists.emplace_back(len, row);
         }
@@ -1068,9 +1121,9 @@ lsh_candidates(const ExecutableIndex &T,
             lists.resize(kRareProbes);
         }
         for (const auto &[len, row] : lists) {
-            for (std::uint32_t i = T.posting_offsets[row];
-                 i < T.posting_offsets[row + 1]; ++i) {
-                cand.push_back(T.posting_procs[i]);
+            for (std::uint32_t i = offsets[row]; i < offsets[row + 1];
+                 ++i) {
+                cand.push_back(plist[i]);
             }
         }
     }
@@ -1084,7 +1137,7 @@ lsh_candidates(const ExecutableIndex &T,
         const strand::ProcedureStrands &t = T.procs[proc].repr;
         const int s = sim_score(q, t);
         ++local.pairs_scored;
-        local.elem_ops += q.hashes.size() + t.hashes.size();
+        local.elem_ops += q.hash_count() + t.hash_count();
         if (s > 0) {
             out.push_back({static_cast<int>(proc), s});
         }
@@ -1138,8 +1191,10 @@ train_global_context(const std::vector<const ExecutableIndex *> &sample)
     for (const ExecutableIndex *index : sample) {
         for (const ProcEntry &proc : index->procs) {
             ++total_procs;
-            for (std::uint64_t h : proc.repr.hashes) {
-                ++counts[h];
+            const std::uint64_t *h = proc.repr.hash_data();
+            const std::uint64_t *he = h + proc.repr.hash_count();
+            for (; h != he; ++h) {
+                ++counts[*h];
             }
         }
     }
@@ -1164,9 +1219,9 @@ weighted_sim(const strand::ProcedureStrands &q,
              const GlobalContext &context)
 {
     double score = 0.0;
-    for_each_shared(q.hashes, t.hashes, [&](std::uint64_t h) {
-        score += context.weight_of(h);
-    });
+    for_each_shared(q.hash_data(), q.hash_count(), t.hash_data(),
+                    t.hash_count(),
+                    [&](std::uint64_t h) { score += context.weight_of(h); });
     return score;
 }
 

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -101,11 +102,36 @@ struct ExecutableIndex
      * posting_offsets[i+1]), in ascending procedure order. Hand-built
      * indexes that never call finalize() still work — every consumer
      * falls back to a dense scan — but corpus-scale search wants this.
+     *
+     * Owning mode only: a view-mode index (FWIX v5 mmap load) leaves
+     * these empty and points the *_view members into the mapped blob.
+     * Consumers go through the posting_*_data()/count() accessors.
      */
     std::vector<std::uint64_t> posting_hashes;
     std::vector<std::uint32_t> posting_offsets;
     std::vector<std::uint32_t> posting_procs;
     bool search_ready = false;  ///< postings + lookup maps are built
+
+    /**
+     * Non-owning CSR views over an mmap'ed FWIX v5 blob, pinned alive
+     * by `backing`. posting_offsets_view has posting_count_view + 1
+     * entries when set.
+     */
+    const std::uint64_t *posting_hashes_view = nullptr;
+    const std::uint32_t *posting_offsets_view = nullptr;
+    const std::uint32_t *posting_procs_view = nullptr;
+    std::uint32_t posting_count_view = 0;       ///< distinct hashes
+    std::uint32_t posting_procs_count_view = 0; ///< total incidences
+
+    /**
+     * Keepalive for view mode: holds the MappedFile (or byte buffer)
+     * every *_view pointer and every procs[i].repr.hash_view points
+     * into. Copying the index shares the mapping; the pages outlive
+     * every copy, so resident-cache eviction can never invalidate an
+     * in-use view. Null for owning-mode indexes.
+     */
+    std::shared_ptr<const void> backing;
+    std::size_t mapped_bytes = 0;  ///< blob size behind `backing`
 
     /** Hashed lookup maps (satellite of the posting build). */
     std::unordered_map<std::uint64_t, int> entry_map;
@@ -152,6 +178,57 @@ struct ExecutableIndex
     int find_by_entry(std::uint64_t addr) const;
     /** Index of the first procedure named @p name, or -1. */
     int find_by_name(const std::string &name) const;
+
+    /** True when this index borrows its arenas from a mapped blob. */
+    bool view_mode() const { return posting_hashes_view != nullptr; }
+
+    /** Sorted union of strand hashes (owning or view storage). */
+    const std::uint64_t *
+    posting_hash_data() const
+    {
+        return posting_hashes_view != nullptr ? posting_hashes_view
+                                              : posting_hashes.data();
+    }
+
+    std::size_t
+    posting_hash_count() const
+    {
+        return posting_hashes_view != nullptr
+                   ? std::size_t{posting_count_view}
+                   : posting_hashes.size();
+    }
+
+    /** CSR row offsets; posting_hash_count() + 1 entries when built. */
+    const std::uint32_t *
+    posting_offset_data() const
+    {
+        return posting_offsets_view != nullptr ? posting_offsets_view
+                                               : posting_offsets.data();
+    }
+
+    /** CSR column (procedure) indices. */
+    const std::uint32_t *
+    posting_proc_data() const
+    {
+        return posting_procs_view != nullptr ? posting_procs_view
+                                             : posting_procs.data();
+    }
+
+    std::size_t
+    posting_proc_count() const
+    {
+        return posting_procs_view != nullptr
+                   ? std::size_t{posting_procs_count_view}
+                   : posting_procs.size();
+    }
+
+    /**
+     * Approximate bytes this index keeps resident — the accounting
+     * unit of the ResidentIndexCache byte budget. View mode charges
+     * the mapped blob plus the materialized per-procedure entries;
+     * owning mode sums the vectors.
+     */
+    std::size_t memory_bytes() const;
 };
 
 /**

@@ -922,7 +922,8 @@ ProcedureStrands::build_summary()
 bool
 ProcedureStrands::contains(std::uint64_t h) const
 {
-    return std::binary_search(hashes.begin(), hashes.end(), h);
+    const std::uint64_t *data = hash_data();
+    return std::binary_search(data, data + hash_count(), h);
 }
 
 ProcedureStrands

@@ -110,8 +110,24 @@ std::uint64_t strand_hash(const Strand &strand,
  */
 struct ProcedureStrands
 {
-    /** Sorted, unique strand hashes (flat set; see finalize()). */
+    /**
+     * Sorted, unique strand hashes (flat set; see finalize()). Owning
+     * mode only: a view-mode set (FWIX v5 mmap load) leaves this empty
+     * and points `hash_view` into the mapped blob instead. All readers
+     * must go through hash_data()/hash_count(), which dispatch to
+     * whichever storage is live; mutation (add/finalize) is an
+     * owning-mode operation.
+     */
     std::vector<std::uint64_t> hashes;
+
+    /**
+     * Non-owning view of the hash set (sorted, unique), borrowed from
+     * an mmap'ed FWIX v5 arena. Lifetime is pinned by the owning
+     * ExecutableIndex's `backing` handle, never by this struct.
+     */
+    const std::uint64_t *hash_view = nullptr;
+    std::uint32_t hash_view_count = 0;
+
     std::size_t block_count = 0;
     std::size_t stmt_count = 0;
 
@@ -165,7 +181,24 @@ struct ProcedureStrands
     /** Membership by binary search (requires the flat-set invariant). */
     bool contains(std::uint64_t h) const;
 
-    std::size_t size() const { return hashes.size(); }
+    /** First element of the live hash storage (owning or view). */
+    const std::uint64_t *
+    hash_data() const
+    {
+        return hash_view != nullptr ? hash_view : hashes.data();
+    }
+
+    /** Element count of the live hash storage (owning or view). */
+    std::size_t
+    hash_count() const
+    {
+        return hash_view != nullptr ? std::size_t{hash_view_count}
+                                    : hashes.size();
+    }
+
+    bool hash_empty() const { return hash_count() == 0; }
+
+    std::size_t size() const { return hash_count(); }
 };
 
 /** Flat strand set from arbitrary, possibly duplicated hashes. */

@@ -60,7 +60,7 @@ sketch_similarity(const MinHashSketch &a, const MinHashSketch &b)
 void
 ProcedureStrands::build_sketch()
 {
-    sketch = minhash_sketch(hashes.data(), hashes.size());
+    sketch = minhash_sketch(hash_data(), hash_count());
     sketch_built = true;
 }
 

@@ -18,6 +18,22 @@ fsync_path(const std::string &path)
 }
 
 bool
+fsync_dir(const std::string &dir)
+{
+#ifdef O_DIRECTORY
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+#else
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+#endif
+    if (fd < 0) {
+        return false;
+    }
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+bool
 fsync_stream(std::FILE *stream)
 {
     if (stream == nullptr || std::fflush(stream) != 0) {

@@ -23,6 +23,14 @@ namespace firmup {
  */
 bool fsync_path(const std::string &path);
 
+/**
+ * Flush @p dir's directory entries to stable storage. The rename that
+ * publishes an atomic write is itself just a dirent update: without
+ * syncing the parent directory a crash after the rename can forget the
+ * published *name* even though the file contents are durable.
+ */
+bool fsync_dir(const std::string &dir);
+
 /** fsync an already-open stdio stream (fflush + fsync of its fd). */
 bool fsync_stream(std::FILE *stream);
 

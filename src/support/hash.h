@@ -44,6 +44,19 @@ fnv1a64_update(std::uint64_t state, char byte)
 /** FNV-1a 64-bit hash of a byte string. Deterministic and seedless. */
 std::uint64_t fnv1a64(std::string_view bytes);
 
+/**
+ * Fast 64-bit digest for large buffers (content keys): four
+ * independent FNV-style lanes consuming 8 bytes per step, folded
+ * through the splitmix64 mixer. Byte-serial fnv1a64 caps near one
+ * byte per cycle, which made content keying the bottleneck of
+ * fully-resident warm scans; the lanes trade fnv1a64's chunkable
+ * streaming form for instruction-level parallelism. Deterministic
+ * across runs on a given host; lane words are read in native byte
+ * order, so digests are only stable across hosts of one endianness —
+ * fine for content keys, which name entries in host-local caches.
+ */
+std::uint64_t content_hash64(std::string_view bytes);
+
 /** Strong 64-bit finalizer (splitmix64 mixer) for integer keys. */
 std::uint64_t mix64(std::uint64_t x);
 

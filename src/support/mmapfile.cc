@@ -1,0 +1,79 @@
+#include "support/mmapfile.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace firmup {
+
+MappedFile::~MappedFile()
+{
+    if (data_ != nullptr) {
+        ::munmap(const_cast<std::uint8_t *>(data_), size_);
+    }
+}
+
+MappedFile::MappedFile(MappedFile &&other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0))
+{
+}
+
+MappedFile &
+MappedFile::operator=(MappedFile &&other) noexcept
+{
+    if (this != &other) {
+        if (data_ != nullptr) {
+            ::munmap(const_cast<std::uint8_t *>(data_), size_);
+        }
+        data_ = std::exchange(other.data_, nullptr);
+        size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+}
+
+Result<MappedFile>
+MappedFile::map(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        return Result<MappedFile>::error(
+            ErrorCode::IoError,
+            "cannot open " + path + ": " + std::strerror(errno));
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return Result<MappedFile>::error(
+            ErrorCode::IoError,
+            "cannot stat " + path + ": " + std::strerror(err));
+    }
+    MappedFile out;
+    out.size_ = static_cast<std::size_t>(st.st_size);
+    if (out.size_ == 0) {
+        // mmap(len=0) is EINVAL; an empty file is a valid (empty) view.
+        ::close(fd);
+        return out;
+    }
+    void *addr =
+        ::mmap(nullptr, out.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    // The mapping holds its own reference to the file; the fd is not
+    // needed past this point either way.
+    const int err = errno;
+    ::close(fd);
+    if (addr == MAP_FAILED) {
+        return Result<MappedFile>::error(
+            ErrorCode::IoError,
+            "cannot map " + path + ": " + std::strerror(err));
+    }
+    out.data_ = static_cast<const std::uint8_t *>(addr);
+    return out;
+}
+
+}  // namespace firmup

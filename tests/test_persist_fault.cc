@@ -1,18 +1,20 @@
 /**
  * @file
- * Hostile-input coverage for the FWIX v4 index container.
+ * Hostile-input coverage for the FWIX v5 index container.
  *
  * The persistent index cache (sim::IndexCacheStore) feeds whatever bytes
- * it finds on disk into parse_index, so a corrupt, truncated or stale
- * cache entry must always come back as a clean Result error — never a
- * crash, and never a silently wrong index. The harness runs a real
- * serialized index through the support/faultinject mutators across many
- * seeds and asserts exactly that: a mutant either equals the original
- * byte-for-byte (and parses to the same index) or fails to parse.
- * The v4 sketch block gets its own targeted sweep: checksum-repaired
- * mutants that reach the sketch field guards, truncations inside the
- * word block, and the no-wrong-candidates property for sketches that
- * survive every integrity check.
+ * it finds on disk into parse_index — and, on the mmap warm path, into
+ * open_index_view — so a corrupt, truncated or stale cache entry must
+ * always come back as a clean Result error — never a crash, and never a
+ * silently wrong index. The harness runs a real serialized index through
+ * the support/faultinject mutators across many seeds and asserts exactly
+ * that for BOTH consumers: a mutant either equals the original
+ * byte-for-byte (and parses to the same index) or fails to load.
+ * The v5 flat layout gets its own targeted sweeps: checksum-repaired
+ * mutants that reach the directory and proc-record field guards
+ * (arena bounds, flag strictness, sketch indices), and the
+ * no-wrong-candidates property for garbage sketch words that survive
+ * every integrity check.
  */
 #include <gtest/gtest.h>
 
@@ -87,20 +89,28 @@ TEST(PersistFault, EveryMutantFailsCleanlyOrIsTheOriginal)
             const ByteBuffer mutant =
                 fault::apply_mutation(bytes, kind, rng, options);
             auto parsed = parse_index(mutant);
+            auto viewed = open_index_view(mutant.data(), mutant.size(),
+                                          nullptr);
             if (mutant == bytes) {
                 // Mutation was a no-op (e.g. truncate at full length,
                 // a bit flipped twice): the blob is intact and must
-                // still round-trip.
+                // still round-trip — through both consumers.
                 ASSERT_TRUE(parsed.ok()) << parsed.error_message();
                 expect_same_index(parsed.value(), real_index());
+                if (open_view_supported()) {
+                    ASSERT_TRUE(viewed.ok()) << viewed.error_message();
+                }
                 continue;
             }
-            // Any byte-level damage must be detected: the v2 payload
+            // Any byte-level damage must be detected: the payload
             // checksum leaves no window for a silently wrong index.
             EXPECT_FALSE(parsed.ok())
                 << fault::mutation_name(kind) << " seed " << seed
                 << " parsed despite " << mutant.size() << " bytes vs "
                 << bytes.size();
+            EXPECT_FALSE(viewed.ok())
+                << fault::mutation_name(kind) << " seed " << seed
+                << " opened as a view despite byte damage";
             if (!parsed.ok()) {
                 ++rejected;
                 EXPECT_FALSE(parsed.error_message().empty());
@@ -169,7 +179,7 @@ rechecksum(ByteBuffer &bytes)
 {
     constexpr std::size_t kHeaderSize = 22;
     ASSERT_GE(bytes.size(), kHeaderSize);
-    const std::uint64_t checksum = fnv1a64(std::string_view(
+    const std::uint64_t checksum = content_hash64(std::string_view(
         reinterpret_cast<const char *>(bytes.data()) + kHeaderSize,
         bytes.size() - kHeaderSize));
     for (int i = 0; i < 8; ++i) {
@@ -178,54 +188,109 @@ rechecksum(ByteBuffer &bytes)
     }
 }
 
-/**
- * Byte offset of the first procedure's sketch-flag byte, found by
- * diffing a serialization against one with that sketch stripped — the
- * first differing byte is the flag itself (1 vs 0). Self-locating, so
- * the tests below survive layout tweaks elsewhere in the record.
- */
-std::size_t
-first_sketch_flag_offset()
+// ---- v5 flat-layout navigation -----------------------------------------
+//
+// The v5 directory is a fixed table of absolute offsets at byte 24
+// (sim/persist.cc documents the field order). These helpers read just
+// enough of it for the targeted mutants below to find their field.
+
+std::uint64_t
+blob_u64(const ByteBuffer &bytes, std::size_t at)
 {
-    const ByteBuffer with = serialize_index(real_index());
-    ExecutableIndex stripped = real_index();
-    stripped.procs.front().repr.sketch_built = false;
-    const ByteBuffer without = serialize_index(stripped);
-    // Skip the checksum field [14, 22): stripping the sketch changes it.
-    for (std::size_t i = 22; i < std::min(with.size(), without.size());
-         ++i) {
-        if (with[i] != without[i]) {
-            return i;
-        }
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+        v = (v << 8) | bytes[at + static_cast<std::size_t>(i)];
     }
-    ADD_FAILURE() << "sketch block not found in serialization";
-    return 0;
+    return v;
 }
 
-TEST(PersistFault, BadSketchFlagIsMalformedEvenWithValidChecksum)
+/** Absolute offset of the packed proc table (directory slot 48). */
+std::size_t
+proc_table_offset(const ByteBuffer &bytes)
 {
-    // An out-of-range sketch flag with a freshly backpatched checksum
-    // exercises the v4 field guard itself, not the integrity hash.
+    return static_cast<std::size_t>(blob_u64(bytes, 24 + 48));
+}
+
+/** Absolute offset / count of the MinHash sketch arena (slots 72/80). */
+std::size_t
+sketch_arena_offset(const ByteBuffer &bytes)
+{
+    return static_cast<std::size_t>(blob_u64(bytes, 24 + 72));
+}
+
+std::size_t
+sketch_arena_count(const ByteBuffer &bytes)
+{
+    return static_cast<std::size_t>(blob_u64(bytes, 24 + 80));
+}
+
+/** Byte offset of proc @p i's u32 flags field (record offset 36). */
+std::size_t
+proc_flags_offset(const ByteBuffer &bytes, std::size_t i)
+{
+    constexpr std::size_t kProcRecSize = 104;
+    return proc_table_offset(bytes) + i * kProcRecSize + 36;
+}
+
+TEST(PersistFault, UnknownProcFlagIsMalformedEvenWithValidChecksum)
+{
+    // An unknown proc-record flag bit with a freshly backpatched
+    // checksum exercises the v5 field guard itself, not the integrity
+    // hash — and must be rejected by both consumers (forward-compat:
+    // a future flag this build does not understand means the record
+    // cannot be trusted).
     ByteBuffer bytes = serialize_index(real_index());
-    const std::size_t flag = first_sketch_flag_offset();
-    ASSERT_EQ(bytes[flag], 1);
-    bytes[flag] = 2;
+    const std::size_t flags = proc_flags_offset(bytes, 0);
+    ASSERT_EQ(bytes[flags] & ~0x3u, 0u);
+    bytes[flags] |= 4;  // bit2: unknown to this build
     rechecksum(bytes);
     auto parsed = parse_index(bytes);
     ASSERT_FALSE(parsed.ok());
     EXPECT_EQ(parsed.error_code(), ErrorCode::MalformedContainer);
-    EXPECT_NE(parsed.error_message().find("sketch"), std::string::npos);
+    EXPECT_NE(parsed.error_message().find("flags"), std::string::npos);
+    auto viewed = open_index_view(bytes.data(), bytes.size(), nullptr);
+    EXPECT_FALSE(viewed.ok());
 }
 
-TEST(PersistFault, TruncatedSketchBlockFailsCleanly)
+TEST(PersistFault, OutOfRangeSketchIndexFailsCleanly)
 {
-    // Cut the blob at several points inside the first sketch's 64xu64
-    // word block (checksum re-stamped so only the truncation can trip
-    // the parser): every cut must come back as a clean error.
+    // Point a sketch-built procedure's sketch_idx past the sketch
+    // arena (checksum re-stamped so only the index guard can trip):
+    // a silent acceptance would read out of bounds on the view path.
+    ByteBuffer bytes = serialize_index(real_index());
+    const std::size_t nsketch = sketch_arena_count(bytes);
+    ASSERT_GT(nsketch, 0u);
+    bool mutated = false;
+    for (std::size_t i = 0; i < real_index().procs.size(); ++i) {
+        const std::size_t flags = proc_flags_offset(bytes, i);
+        if ((bytes[flags] & 2) == 0) {
+            continue;  // no sketch: idx must stay 0
+        }
+        const std::size_t idx = flags + 4;  // sketch_idx field
+        bytes[idx] = static_cast<std::uint8_t>(nsketch & 0xff);
+        bytes[idx + 1] = static_cast<std::uint8_t>(nsketch >> 8);
+        mutated = true;
+        break;
+    }
+    ASSERT_TRUE(mutated);
+    rechecksum(bytes);
+    auto parsed = parse_index(bytes);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.error_message().find("sketch"), std::string::npos);
+    auto viewed = open_index_view(bytes.data(), bytes.size(), nullptr);
+    EXPECT_FALSE(viewed.ok());
+}
+
+TEST(PersistFault, TruncatedSketchArenaFailsCleanly)
+{
+    // Cut the blob at several points inside the sketch arena (checksum
+    // re-stamped so only the bounds guards can trip the parser): every
+    // cut must come back as a clean error from both consumers.
     const ByteBuffer bytes = serialize_index(real_index());
-    const std::size_t flag = first_sketch_flag_offset();
-    const std::size_t cuts[] = {flag + 1, flag + 1 + 8, flag + 1 + 256,
-                                flag + 8 * strand::kSketchSize};
+    const std::size_t arena = sketch_arena_offset(bytes);
+    ASSERT_GT(sketch_arena_count(bytes), 0u);
+    const std::size_t cuts[] = {arena + 1, arena + 8, arena + 256,
+                                arena + 8 * strand::kSketchSize};
     for (const std::size_t cut : cuts) {
         ASSERT_LT(cut, bytes.size());
         ByteBuffer mutant(bytes.begin(),
@@ -234,6 +299,87 @@ TEST(PersistFault, TruncatedSketchBlockFailsCleanly)
         auto parsed = parse_index(mutant);
         EXPECT_FALSE(parsed.ok()) << "cut " << cut;
         EXPECT_FALSE(parsed.error_message().empty());
+        EXPECT_FALSE(
+            open_index_view(mutant.data(), mutant.size(), nullptr).ok())
+            << "cut " << cut;
+    }
+}
+
+TEST(PersistFault, CorruptDirectoryOffsetsFailCleanly)
+{
+    // Re-stamped mutants that aim each directory arena offset out of
+    // bounds (or off alignment) exercise the v5 arena guards directly.
+    // Slots cover: exe name, names, proc table, hashes, sketches and
+    // the three posting arrays.
+    const ByteBuffer bytes = serialize_index(real_index());
+    const std::size_t slots[] = {16, 32, 48, 56, 72, 88, 104, 120};
+    for (const std::size_t slot : slots) {
+        std::vector<std::uint64_t> evils = {
+            static_cast<std::uint64_t>(bytes.size()) + 8,
+            ~std::uint64_t{0}};
+        if (slot >= 48) {
+            // Typed arenas are 4- or 8-aligned; +1 must be rejected.
+            // (The two name arenas are byte-aligned: +1 merely shifts
+            // the string, which the checksum re-stamp blesses.)
+            evils.push_back(blob_u64(bytes, 24 + slot) + 1);
+        }
+        for (const std::uint64_t evil : evils) {
+            ByteBuffer mutant = bytes;
+            for (int i = 0; i < 8; ++i) {
+                mutant[24 + slot + static_cast<std::size_t>(i)] =
+                    static_cast<std::uint8_t>(evil >> (8 * i));
+            }
+            rechecksum(mutant);
+            if (mutant == bytes) {
+                continue;
+            }
+            auto parsed = parse_index(mutant);
+            EXPECT_FALSE(parsed.ok()) << "slot " << slot << " " << evil;
+            auto viewed =
+                open_index_view(mutant.data(), mutant.size(), nullptr);
+            EXPECT_FALSE(viewed.ok()) << "slot " << slot << " " << evil;
+        }
+    }
+}
+
+TEST(PersistFault, ViewOpenMatchesCopyingParse)
+{
+    // The zero-copy consumer must agree with the copying parser on a
+    // pristine blob: same procedures, same hashes, same candidates.
+    if (!open_view_supported()) {
+        GTEST_SKIP() << "big-endian host: view path disabled";
+    }
+    const ByteBuffer bytes = serialize_index(real_index());
+    auto parsed = parse_index(bytes);
+    ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+    auto viewed = open_index_view(bytes.data(), bytes.size(), nullptr);
+    ASSERT_TRUE(viewed.ok()) << viewed.error_message();
+    const ExecutableIndex &a = parsed.value();
+    ExecutableIndex &b = viewed.value();
+    EXPECT_TRUE(b.view_mode() || b.procs.empty());
+    EXPECT_TRUE(b.search_ready);
+    ASSERT_EQ(a.procs.size(), b.procs.size());
+    for (std::size_t i = 0; i < a.procs.size(); ++i) {
+        ASSERT_EQ(a.procs[i].repr.hash_count(),
+                  b.procs[i].repr.hash_count());
+        const std::uint64_t *ah = a.procs[i].repr.hash_data();
+        const std::uint64_t *bh = b.procs[i].repr.hash_data();
+        for (std::size_t h = 0; h < a.procs[i].repr.hash_count(); ++h) {
+            ASSERT_EQ(ah[h], bh[h]) << "proc " << i << " hash " << h;
+        }
+        EXPECT_EQ(a.procs[i].repr.sketch, b.procs[i].repr.sketch);
+        EXPECT_EQ(a.procs[i].repr.bucket_bits,
+                  b.procs[i].repr.bucket_bits);
+    }
+    b.build_lsh(16, 4);
+    for (const ProcEntry &query : real_index().procs) {
+        const auto exact_a = shared_candidates(a, query.repr);
+        const auto exact_b = shared_candidates(b, query.repr);
+        ASSERT_EQ(exact_a.size(), exact_b.size());
+        for (std::size_t c = 0; c < exact_a.size(); ++c) {
+            EXPECT_EQ(exact_a[c].index, exact_b[c].index);
+            EXPECT_EQ(exact_a[c].sim, exact_b[c].sim);
+        }
     }
 }
 
@@ -245,10 +391,13 @@ TEST(PersistFault, RewrittenSketchWordsNeverYieldWrongCandidates)
     // path is the oracle, even a garbage sketch can only lose recall,
     // never invent a candidate or a wrong Sim.
     ByteBuffer bytes = serialize_index(real_index());
-    const std::size_t flag = first_sketch_flag_offset();
+    const std::size_t arena = sketch_arena_offset(bytes);
+    const std::size_t arena_bytes =
+        sketch_arena_count(bytes) * 8 * strand::kSketchSize;
+    ASSERT_GT(arena_bytes, 0u);
     Rng rng(0x5ce7c4);
-    for (std::size_t i = 0; i < 8 * strand::kSketchSize; ++i) {
-        bytes[flag + 1 + i] = static_cast<std::uint8_t>(rng.index(256));
+    for (std::size_t i = 0; i < arena_bytes; ++i) {
+        bytes[arena + i] = static_cast<std::uint8_t>(rng.index(256));
     }
     rechecksum(bytes);
     auto parsed = parse_index(bytes);

@@ -34,6 +34,41 @@ TEST(Hash, CombineOrderMatters)
     EXPECT_NE(hash_combine(a, b), hash_combine(b, a));
 }
 
+TEST(Hash, ContentHash64SeparatesBoundariesAndBitFlips)
+{
+    // Every lane-structure boundary length hashes distinctly, for both
+    // the zero string and a counting pattern — a lane or tail bug
+    // typically collides neighbouring lengths.
+    std::set<std::uint64_t> seen;
+    std::size_t inputs = 0;
+    for (const std::size_t len :
+         {0u, 1u, 7u, 8u, 9u, 15u, 16u, 31u, 32u, 33u, 40u, 64u, 65u}) {
+        const std::string zeros(len, '\0');
+        std::string counting(len, '\0');
+        for (std::size_t i = 0; i < len; ++i) {
+            counting[i] = static_cast<char>(i + 1);
+        }
+        seen.insert(content_hash64(zeros));
+        inputs += 1;
+        if (len > 0) {
+            seen.insert(content_hash64(counting));
+            inputs += 1;
+        }
+    }
+    EXPECT_EQ(seen.size(), inputs);
+
+    // Determinism, and single-byte sensitivity at every position of a
+    // buffer spanning full blocks plus a ragged tail.
+    std::string base(75, 'x');
+    const std::uint64_t reference = content_hash64(base);
+    EXPECT_EQ(content_hash64(base), reference);
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        std::string flipped = base;
+        flipped[i] = 'y';
+        EXPECT_NE(content_hash64(flipped), reference) << "byte " << i;
+    }
+}
+
 TEST(Hash, Mix64IsInjectiveOnSmallRange)
 {
     std::set<std::uint64_t> seen;

@@ -38,10 +38,15 @@
  * snapshot is written to FILE at exit.
  *
  * search, trace and index accept `--index-cache DIR`: finalized indexes
- * are persisted to (and warm-loaded from) a content-addressed FWIX v2
+ * are persisted to (and warm-loaded from) a content-addressed FWIX v5
  * store in DIR, so a second scan of the same corpus skips
  * lift+canon+finalize entirely. Corrupt or stale entries silently
- * degrade to misses.
+ * degrade to misses. Store entries are served zero-copy through an
+ * mmap-backed index view unless `--no-mmap` asks for the copying
+ * parser; `--resident-cache-mb N` additionally keeps deserialized
+ * indexes resident in-process under an LRU byte budget, and
+ * `--passes N` reruns the hunt with fresh drivers in one process so
+ * later passes hit that resident tier (no store I/O, no re-parse).
  *
  * search and trace are interruptible and resumable: `--journal FILE`
  * durably records each target's outcome as it completes, SIGINT/SIGTERM
@@ -119,6 +124,16 @@ usage()
         "content-addressed index store, so repeat scans of the same\n"
         "executables skip lifting entirely (warm start)\n"
         "search/trace also take:\n"
+        "  --resident-cache-mb N  keep deserialized indexes resident\n"
+        "                         in-process under an N MiB LRU budget\n"
+        "                         (0 = ablation: cache wired, holds\n"
+        "                         nothing; findings identical)\n"
+        "  --no-mmap              disable the zero-copy FWIX v5 mmap\n"
+        "                         view; store loads use the copying\n"
+        "                         parser (ablation baseline)\n"
+        "  --passes N             run the hunt N times with fresh\n"
+        "                         drivers in one process (the resident\n"
+        "                         cache persists across passes)\n"
         "  --retrieval exact|lsh  candidate retrieval: exact posting\n"
         "                         intersection (default) or the MinHash\n"
         "                         LSH prefilter (sublinear, recall<1)\n"
@@ -394,7 +409,7 @@ cmd_index(const std::vector<std::string> &args)
         std::size_t blocks = 0, strands = 0;
         for (const sim::ProcEntry &proc : index->procs) {
             blocks += proc.repr.block_count;
-            strands += proc.repr.hashes.size();
+            strands += proc.repr.hash_count();
         }
         table.add_row({exe.name, isa::arch_name(index->arch),
                        std::to_string(index->procs.size()),
@@ -473,6 +488,8 @@ cmd_search(const std::vector<std::string> &args, bool full_trace)
     eval::SearchOptions options;
     bool fail_on_quarantine = false;
     int quarantine_limit = 0;
+    int resident_mb = -1;  ///< -1 = no resident cache requested
+    int passes = 1;
     static const std::string kQuarantinePrefix = "--fail-on-quarantine=";
     for (std::size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--trace-out" && i + 1 < args.size()) {
@@ -483,6 +500,17 @@ cmd_search(const std::vector<std::string> &args, bool full_trace)
             cve_list = args[++i];
         } else if (args[i] == "--index-cache" && i + 1 < args.size()) {
             options.index_cache_dir = args[++i];
+        } else if (args[i] == "--resident-cache-mb" &&
+                   i + 1 < args.size()) {
+            if (!parse_int(args[++i], resident_mb) || resident_mb < 0) {
+                return usage();
+            }
+        } else if (args[i] == "--no-mmap") {
+            options.mmap_index = false;
+        } else if (args[i] == "--passes" && i + 1 < args.size()) {
+            if (!parse_int(args[++i], passes) || passes < 1) {
+                return usage();
+            }
         } else if (args[i] == "--journal" && i + 1 < args.size()) {
             options.journal_path = args[++i];
         } else if (args[i] == "--resume") {
@@ -616,11 +644,24 @@ cmd_search(const std::vector<std::string> &args, bool full_trace)
     install_cancel_signal_handlers();
     options.cancel = &cancel;
 
-    eval::Driver driver(options);
+    // One process-level resident index cache shared by every pass's
+    // driver — the in-process warm tier --passes exists to exercise:
+    // pass 2 serves every target index from memory (resident hits, zero
+    // store loads, zero re-parses). Budget 0 is a valid ablation: every
+    // put is a no-op and findings must not change.
+    sim::ResidentIndexCache resident_cache(0);
+    if (resident_mb >= 0) {
+        resident_cache.set_budget_bytes(
+            static_cast<std::size_t>(resident_mb) * 1024 * 1024);
+        options.resident_cache = &resident_cache;
+    }
 
     // Unpack everything first; the blobs must stay alive across the
     // parallel fan-out, so they live in one stable vector. image_index
-    // addresses this vector (and therefore blob_paths).
+    // addresses this vector (and therefore blob_paths). Unpack health
+    // is recorded once and folded into each pass's driver, so a
+    // single-pass run reports exactly what it always did.
+    eval::ScanHealth unpack_health;
     std::vector<firmware::UnpackResult> blobs;
     std::vector<std::string> blob_paths;
     std::vector<eval::CorpusTarget> targets;
@@ -629,10 +670,10 @@ cmd_search(const std::vector<std::string> &args, bool full_trace)
         if (!unpacked.ok()) {
             std::fprintf(stderr, "firmup: %s: %s\n", path.c_str(),
                          unpacked.error_message().c_str());
-            driver.health().note_unpack_failure(unpacked.error_code());
+            unpack_health.note_unpack_failure(unpacked.error_code());
             continue;
         }
-        driver.health().note_unpack(unpacked.value());
+        unpack_health.note_unpack(unpacked.value());
         blobs.push_back(std::move(unpacked).take());
         blob_paths.push_back(path);
     }
@@ -646,11 +687,26 @@ cmd_search(const std::vector<std::string> &args, bool full_trace)
     // (query, target) fan-out — in one batched pass; findings print per
     // CVE in target order afterwards. A single-CVE hunt keeps the
     // classic one-line format; a --cve-list hunt tags each line with
-    // the CVE it belongs to.
+    // the CVE it belongs to. --passes N repeats the hunt with a fresh
+    // driver each time (same process, shared resident cache); findings
+    // and the report come from the final pass.
     int findings = 0;
-    const std::vector<std::vector<eval::CorpusOutcome>> grid =
-        driver.search_corpus_batch(cves, targets);
-    if (driver.health().resume_rejected) {
+    std::vector<std::vector<eval::CorpusOutcome>> grid;
+    eval::ScanHealth health;
+    for (int pass = 1; pass <= passes; ++pass) {
+        eval::Driver driver(options);
+        driver.health().merge(unpack_health);
+        grid = driver.search_corpus_batch(cves, targets);
+        health = driver.health();
+        if (passes > 1) {
+            std::printf("pass %d/%d: %s\n", pass, passes,
+                        health.summary().c_str());
+        }
+        if (health.resume_rejected || health.cancelled) {
+            break;
+        }
+    }
+    if (health.resume_rejected) {
         // The journal on disk belongs to a different scan configuration
         // (e.g. it was written under another --retrieval mode): the
         // driver refused to scan rather than silently mix findings.
@@ -659,7 +715,7 @@ cmd_search(const std::vector<std::string> &args, bool full_trace)
                      "firmup: rerun with the original options, or "
                      "delete the journal to start over\n",
                      options.journal_path.c_str(),
-                     driver.health().resume_reject_reason.c_str());
+                     health.resume_reject_reason.c_str());
         return 5;
     }
     for (std::size_t q = 0; q < cves.size(); ++q) {
@@ -690,7 +746,7 @@ cmd_search(const std::vector<std::string> &args, bool full_trace)
             }
         }
     }
-    const bool cancelled = driver.health().cancelled;
+    const bool cancelled = health.cancelled;
     std::printf("\n%d finding(s)%s\n", findings,
                 cancelled ? " (scan cancelled — partial result)" : "");
     if (cancelled) {
@@ -714,12 +770,12 @@ cmd_search(const std::vector<std::string> &args, bool full_trace)
         // With metrics on, always print the full health + work report.
         std::printf("%s",
                     eval::render_health(
-                        driver.health(),
+                        health,
                         trace::MetricsRegistry::global().snapshot())
                         .c_str());
-    } else if (driver.health().quarantined > 0 ||
-               driver.health().games_unresolved > 0 || cancelled) {
-        std::printf("%s", eval::render_health(driver.health()).c_str());
+    } else if (health.quarantined > 0 ||
+               health.games_unresolved > 0 || cancelled) {
+        std::printf("%s", eval::render_health(health).c_str());
     }
     if (!dump_trace_artifacts(trace_out, stats_out)) {
         return 1;
@@ -728,12 +784,12 @@ cmd_search(const std::vector<std::string> &args, bool full_trace)
         return 130;  // the conventional 128+SIGINT status
     }
     if (fail_on_quarantine &&
-        driver.health().quarantined >
+        health.quarantined >
             static_cast<std::size_t>(quarantine_limit)) {
         std::fprintf(stderr,
                      "firmup: %zu executable(s) quarantined "
                      "(limit %d) — failing as requested\n",
-                     driver.health().quarantined, quarantine_limit);
+                     health.quarantined, quarantine_limit);
         return 4;
     }
     return findings > 0 ? 0 : 3;
@@ -790,13 +846,14 @@ sweep_intersection_kernel(
     spans.reserve(reprs.size());
     std::size_t total_hashes = 0;
     for (const strand::ProcedureStrands *r : reprs) {
-        total_hashes += r->hashes.size();
+        total_hashes += r->hash_count();
     }
     std::vector<std::uint64_t> arena;
     arena.reserve(total_hashes);
     for (const strand::ProcedureStrands *r : reprs) {
-        spans.emplace_back(arena.size(), r->hashes.size());
-        arena.insert(arena.end(), r->hashes.begin(), r->hashes.end());
+        spans.emplace_back(arena.size(), r->hash_count());
+        arena.insert(arena.end(), r->hash_data(),
+                     r->hash_data() + r->hash_count());
     }
     // Group pairs by query procedure (stable, so target order within a
     // group stays the draw order).
@@ -856,9 +913,11 @@ sweep_intersection_kernel(
  * vs dense GetBestMatch, per-game scoring-op reduction on the Table 2
  * workload, warm-path serial vs parallel search_corpus, the batched
  * multi-CVE hunt vs N serial single-CVE scans (`multi_hunt`), cold vs
- * warm preindex through the persistent index cache, and the cold
- * indexing path (canonical-string hashing vs streaming + canon memo) —
- * so the perf trajectory is tracked from run to run.
+ * warm preindex through the persistent index cache, the cold
+ * indexing path (canonical-string hashing vs streaming + canon memo),
+ * and the resident in-process index LRU vs per-scan store loads
+ * (`resident_cache`) — so the perf trajectory is tracked from run to
+ * run.
  *
  * `--only ENTRY` (repeatable) restricts the run to the named entries;
  * emission order in the JSON is fixed regardless of flag order.
@@ -869,7 +928,8 @@ cmd_bench_json(const std::vector<std::string> &args)
     static const std::set<std::string> kEntryNames = {
         "intersect_kernel", "best_match",   "game_workload",
         "trace_overhead",   "search_corpus", "multi_hunt",
-        "index_cache",      "cold_index",    "lsh_retrieval"};
+        "index_cache",      "cold_index",    "lsh_retrieval",
+        "resident_cache"};
     std::string out_path = "BENCH_micro.json";
     firmware::CorpusOptions copt;
     std::set<std::string> only;
@@ -1141,6 +1201,11 @@ cmd_bench_json(const std::vector<std::string> &args)
                 .string();
         eval::SearchOptions warm_options;
         warm_options.index_cache_dir = corpus_cache_dir;
+        // Pin the retrieval mode: stage_seconds below is a tracked
+        // trend line, and letting it float with the default would make
+        // a retrieval-knob change read as a stage regression. The mode
+        // is recorded in the entry so the pin is visible in the JSON.
+        warm_options.retrieval = sim::RetrievalMode::Exact;
         {
             eval::Driver store_warmer(warm_options);
             store_warmer.preindex(corpus, hw);  // untimed store fill
@@ -1181,12 +1246,17 @@ cmd_bench_json(const std::vector<std::string> &args)
                                    : 0.0,
             identical ? "true" : "false"));
         entries.push_back(strprintf(
-            "  \"stage_seconds\": {\"index\": %.6f, \"index_cpu\": %.6f, "
-            "\"cache_load\": %.6f, \"games\": %.6f, \"games_cpu\": %.6f, "
+            "  \"stage_seconds\": {\"retrieval\": \"exact\", "
+            "\"index\": %.6f, \"index_cpu\": %.6f, "
+            "\"cache_load\": %.6f, \"cache_open\": %.6f, "
+            "\"cache_checksum\": %.6f, \"cache_parse\": %.6f, "
+            "\"mmap_loads\": %zu, \"games\": %.6f, \"games_cpu\": %.6f, "
             "\"confirm\": %.6f, \"confirm_cpu\": %.6f, "
             "\"match_wall\": %.6f}",
             stages.index_seconds, stages.index_cpu_seconds,
-            stages.cache_load_seconds, stages.game_seconds,
+            stages.cache_load_seconds, stages.cache_open_seconds,
+            stages.cache_checksum_seconds, stages.cache_parse_seconds,
+            stages.cache_mmap_loads, stages.game_seconds,
             stages.game_cpu_seconds, stages.confirm_seconds,
             stages.confirm_cpu_seconds, stages.match_wall_seconds));
     }
@@ -1591,6 +1661,129 @@ cmd_bench_json(const std::vector<std::string> &args)
             scale_json("scale1", s1).c_str(),
             scale_json("scale10", s10).c_str(),
             lsh_pass ? "true" : "false"));
+    }
+
+    if (enabled("resident_cache")) {
+        // --- resident in-process LRU vs per-scan store loads ---
+        // Every timed scan below runs warm off one pre-filled FWIX
+        // store; what varies is the in-process tier. The baseline is a
+        // fresh driver per rep (every target index loaded from the
+        // store: mmap open + checksum + view materialization); the hot
+        // side shares one budget-unbounded ResidentIndexCache populated
+        // by an untimed pass, so its drivers serve every index from
+        // memory — zero store I/O, zero re-parses (asserted below).
+        // Speedup compares the lift+index stage wall clock, which is
+        // exactly the phase the resident tier short-circuits. Findings
+        // must be bit-identical across baseline, hot, --no-mmap and a
+        // budget-0 resident cache (the exit-enforced flag); the pass
+        // flag additionally requires the >=3x stage win the CI gate
+        // asserts.
+        const std::string resident_cache_dir =
+            (std::filesystem::temp_directory_path() /
+             strprintf("firmup-bench-resident-%llu",
+                       static_cast<unsigned long long>(
+                           std::chrono::steady_clock::now()
+                               .time_since_epoch()
+                               .count())))
+                .string();
+        eval::SearchOptions ropt;
+        ropt.index_cache_dir = resident_cache_dir;
+        ropt.retrieval = sim::RetrievalMode::Exact;
+        {
+            eval::Driver store_warmer(ropt);
+            store_warmer.preindex(corpus, hw);  // untimed store fill
+        }
+        constexpr int kResidentReps = 3;
+        // Warm-store baseline: best-of-3 fresh drivers.
+        double warm_stage = 0.0;
+        eval::ScanHealth warm_health;
+        std::vector<eval::CorpusOutcome> warm_rows;
+        for (int rep = 0; rep < kResidentReps; ++rep) {
+            eval::Driver warm_driver(ropt);
+            auto rows = warm_driver.search_corpus(cve0, targets, hw);
+            if (rep == 0 ||
+                warm_driver.health().index_seconds < warm_stage) {
+                warm_stage = warm_driver.health().index_seconds;
+                warm_health = warm_driver.health();
+            }
+            if (rep == 0) {
+                warm_rows = std::move(rows);
+            }
+        }
+        // Resident tier: one shared cache, untimed fill pass, then
+        // best-of-3 fresh drivers that must run entirely hot.
+        sim::ResidentIndexCache resident(std::size_t{1} << 30);
+        eval::SearchOptions hot_opt = ropt;
+        hot_opt.resident_cache = &resident;
+        {
+            eval::Driver fill_driver(hot_opt);
+            fill_driver.search_corpus(cve0, targets, hw);
+        }
+        double hot_stage = 0.0;
+        eval::ScanHealth hot_health;
+        std::vector<eval::CorpusOutcome> hot_rows;
+        for (int rep = 0; rep < kResidentReps; ++rep) {
+            eval::Driver hot_driver(hot_opt);
+            auto rows = hot_driver.search_corpus(cve0, targets, hw);
+            if (rep == 0 ||
+                hot_driver.health().index_seconds < hot_stage) {
+                hot_stage = hot_driver.health().index_seconds;
+                hot_health = hot_driver.health();
+            }
+            if (rep == 0) {
+                hot_rows = std::move(rows);
+            }
+        }
+        // Ablations, one rep each: the copying parser and a budget-0
+        // resident cache must change nothing but the timings.
+        eval::SearchOptions nomap_opt = ropt;
+        nomap_opt.mmap_index = false;
+        eval::Driver nomap_driver(nomap_opt);
+        const auto nomap_rows =
+            nomap_driver.search_corpus(cve0, targets, hw);
+        sim::ResidentIndexCache empty_resident(0);
+        eval::SearchOptions zero_opt = ropt;
+        zero_opt.resident_cache = &empty_resident;
+        eval::Driver zero_driver(zero_opt);
+        const auto zero_rows =
+            zero_driver.search_corpus(cve0, targets, hw);
+        const bool resident_identical =
+            outcomes_identical(warm_rows, hot_rows) &&
+            outcomes_identical(warm_rows, nomap_rows) &&
+            outcomes_identical(warm_rows, zero_rows);
+        // Hot scans must never fall back to the store: a single store
+        // load (or re-parse) on the resident path is a correctness bug
+        // in the tier order, not a timing wobble.
+        const bool no_store_io = hot_health.cache_hits == 0 &&
+                                 hot_health.cache_misses == 0 &&
+                                 hot_health.resident_misses == 0;
+        const double resident_speedup =
+            hot_stage > 0.0 ? warm_stage / hot_stage : 0.0;
+        const bool resident_pass =
+            resident_identical && no_store_io && resident_speedup >= 3.0;
+        all_identical = all_identical && resident_identical;
+        std::error_code resident_cleanup_ec;
+        std::filesystem::remove_all(resident_cache_dir,
+                                    resident_cleanup_ec);
+        entries.push_back(strprintf(
+            "  \"resident_cache\": {\"targets\": %zu, \"reps\": %d, "
+            "\"retrieval\": \"exact\", "
+            "\"warm_stage_seconds\": %.6f, \"hot_stage_seconds\": %.6f, "
+            "\"speedup\": %.2f, \"warm_cache_hits\": %zu, "
+            "\"warm_mmap_loads\": %zu, \"warm_open_seconds\": %.6f, "
+            "\"warm_checksum_seconds\": %.6f, "
+            "\"warm_parse_seconds\": %.6f, \"resident_hits\": %zu, "
+            "\"resident_misses\": %zu, \"resident_evictions\": %zu, "
+            "\"no_store_io\": %s, \"identical\": %s, \"pass\": %s}",
+            targets.size(), kResidentReps, warm_stage, hot_stage,
+            resident_speedup, warm_health.cache_hits,
+            warm_health.cache_mmap_loads, warm_health.cache_open_seconds,
+            warm_health.cache_checksum_seconds,
+            warm_health.cache_parse_seconds, hot_health.resident_hits,
+            hot_health.resident_misses, hot_health.resident_evictions,
+            no_store_io ? "true" : "false",
+            resident_identical ? "true" : "false",
+            resident_pass ? "true" : "false"));
     }
 
     const std::string json = "{\n" + join(entries, ",\n") + "\n}\n";
