@@ -947,22 +947,23 @@ Driver::build_hunt_queries(const firmware::CveRecord &cve,
 }
 
 std::uint64_t
-Driver::scan_fingerprint(const std::string &label, bool confirm) const
+scan_fingerprint(const SearchOptions &options, const std::string &label,
+                 bool confirm)
 {
     std::uint64_t fp = fnv1a64("fwsj-scan:" + label);
     fp = hash_combine(fp, confirm ? 1 : 2);
     fp = hash_combine(
-        fp, static_cast<std::uint64_t>(options_.min_confirm_sim));
-    fp = hash_combine(fp, knob_bits(options_.min_confirm_ratio));
-    fp = hash_combine(fp, knob_bits(options_.min_margin_ratio));
-    fp = hash_combine(fp, knob_bits(options_.margin_factor));
-    fp = hash_combine(fp, options_.use_game ? 1 : 2);
+        fp, static_cast<std::uint64_t>(options.min_confirm_sim));
+    fp = hash_combine(fp, knob_bits(options.min_confirm_ratio));
+    fp = hash_combine(fp, knob_bits(options.min_margin_ratio));
+    fp = hash_combine(fp, knob_bits(options.margin_factor));
+    fp = hash_combine(fp, options.use_game ? 1 : 2);
     fp = hash_combine(
-        fp, static_cast<std::uint64_t>(options_.game.max_steps));
+        fp, static_cast<std::uint64_t>(options.game.max_steps));
     fp = hash_combine(
-        fp, static_cast<std::uint64_t>(options_.game.max_matches));
+        fp, static_cast<std::uint64_t>(options.game.max_matches));
     fp = hash_combine(
-        fp, static_cast<std::uint64_t>(options_.game.min_sim));
+        fp, static_cast<std::uint64_t>(options.game.min_sim));
     // Wall-clock knobs (game.max_seconds, the watchdog, the retry
     // policy) are deliberately excluded: they bound how long a scan may
     // take, not which answer a target deterministically produces.
@@ -971,12 +972,12 @@ Driver::scan_fingerprint(const std::string &label, bool confirm) const
     // which answers a scan produces — it must split the fingerprint.
     // Folded only in Lsh mode so every exact-mode journal written
     // before the knob existed still resumes.
-    if (options_.retrieval == sim::RetrievalMode::Lsh) {
+    if (options.retrieval == sim::RetrievalMode::Lsh) {
         fp = hash_combine(fp, fnv1a64("retrieval:lsh"));
         fp = hash_combine(fp,
-                          static_cast<std::uint64_t>(options_.lsh_bands));
+                          static_cast<std::uint64_t>(options.lsh_bands));
         fp = hash_combine(fp,
-                          static_cast<std::uint64_t>(options_.lsh_rows));
+                          static_cast<std::uint64_t>(options.lsh_rows));
     }
     return fp != 0 ? fp : 1;  // 0 means "skip the check" in parse()
 }
@@ -988,7 +989,7 @@ Driver::open_journal(const std::string &label, bool confirm)
         return;
     }
     journal_opened_ = true;
-    const std::uint64_t fp = scan_fingerprint(label, confirm);
+    const std::uint64_t fp = scan_fingerprint(options_, label, confirm);
     if (options_.resume) {
         JournalLoad load;
         auto opened =
@@ -1047,13 +1048,6 @@ Driver::journal_append(const JournalEntry &entry)
     }
 }
 
-namespace {
-
-/**
- * Scan label of one CVE query: (package, procedure, version) pins the
- * query identity without building it, so the journal can be opened (and
- * the pending set carved out) before any lifting happens.
- */
 std::string
 cve_scan_label(const firmware::CveRecord &cve)
 {
@@ -1061,6 +1055,21 @@ cve_scan_label(const firmware::CveRecord &cve)
                      cve.package.c_str(), cve.procedure.c_str(),
                      latest_vulnerable_version(cve).c_str());
 }
+
+std::string
+batch_scan_label(const std::vector<firmware::CveRecord> &cves)
+{
+    if (cves.size() == 1) {
+        return cve_scan_label(cves.front());
+    }
+    std::string label = "batch";
+    for (const firmware::CveRecord &cve : cves) {
+        label += ":" + cve_scan_label(cve);
+    }
+    return label;
+}
+
+namespace {
 
 /** Scan label of a prebuilt per-ISA query set. */
 std::string
@@ -1118,23 +1127,12 @@ Driver::search_corpus_batch(const std::vector<firmware::CveRecord> &cves,
 {
     // The journal identity must exist before any work happens so the
     // pending sets can be carved out before anything lifts the corpus.
-    // A batch of one keeps exactly the single-CVE label, so a lone hunt
-    // journals identically whichever overload started it.
     std::vector<std::string> labels;
     labels.reserve(cves.size());
     for (const firmware::CveRecord &cve : cves) {
         labels.push_back(cve_scan_label(cve));
     }
-    std::string scan_label;
-    if (labels.size() == 1) {
-        scan_label = labels.front();
-    } else {
-        scan_label = "batch";
-        for (const std::string &label : labels) {
-            scan_label += ":" + label;
-        }
-    }
-    open_journal(scan_label, confirm);
+    open_journal(batch_scan_label(cves), confirm);
     if (health_.resume_rejected) {
         // Refused resume (journal fingerprint mismatch): skip even the
         // query builds — run_batch would return the empty grid anyway,

@@ -215,6 +215,35 @@ std::uint64_t content_key(const loader::Executable &exe);
  */
 unsigned resolve_worker_threads(unsigned threads);
 
+/**
+ * Journal scan label of one CVE hunt: (cve id, package, procedure,
+ * latest vulnerable version) pins the query identity without building
+ * it, so a journal can be opened before any lifting happens.
+ */
+std::string cve_scan_label(const firmware::CveRecord &cve);
+
+/**
+ * Journal scan label of a batched hunt — a batch of one keeps exactly
+ * the single-CVE label, so a lone hunt journals identically whichever
+ * overload started it. This is the label search_corpus_batch binds its
+ * journal to.
+ */
+std::string batch_scan_label(const std::vector<firmware::CveRecord> &cves);
+
+/**
+ * Journal identity: binds a journal to one scan label (CVE id or the
+ * joined query identities), the confirm/match mode, and every
+ * deterministic matching knob of @p options — so a journal can only be
+ * resumed into a scan that would have produced the same per-key
+ * outcomes. Wall-clock knobs (watchdog, retries) are deliberately
+ * excluded. Exposed at namespace scope so the shard-scan coordinator
+ * (eval/shard.h) can seed per-shard journals and the persistent
+ * scan-state manifest with exactly the fingerprint the workers'
+ * drivers will demand on resume.
+ */
+std::uint64_t scan_fingerprint(const SearchOptions &options,
+                               const std::string &label, bool confirm);
+
 /** Drives lifting, indexing and matching with an index cache. */
 class Driver
 {
@@ -425,16 +454,6 @@ class Driver
 
     /** Count @p key as a seen + healthy executable, once. */
     void note_healthy(std::uint64_t key);
-
-    /**
-     * Journal identity: binds a journal to one scan label (CVE id or
-     * the joined query identities), the confirm/match mode, and every
-     * deterministic matching knob — so a journal can only be resumed
-     * into a scan that would have produced the same per-key outcomes.
-     * Wall-clock knobs (watchdog, retries) are deliberately excluded.
-     */
-    std::uint64_t scan_fingerprint(const std::string &label,
-                                   bool confirm) const;
 
     /**
      * Per-query record fingerprint: hashes one query's identity label

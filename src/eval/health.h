@@ -213,4 +213,25 @@ struct ScanHealth
     std::string summary() const;
 };
 
+/**
+ * Per-shard slice of a fleet scan (eval/shard.h): the coordinator
+ * keeps one per worker shard — discrete counters distilled from that
+ * shard's frames plus supervision events only the coordinator can see
+ * (respawns, wall clock). The fleet-wide ScanHealth is the shard
+ * healths merged in shard order; these slices are what
+ * render_shard_breakdown (eval/report.h) prints under it so a stalled
+ * or churning shard is visible instead of averaged away.
+ */
+struct ShardSlice
+{
+    std::size_t shard = 0;
+    std::size_t blobs = 0;     ///< manifest entries assigned here
+    std::size_t findings = 0;
+    std::size_t searched = 0;  ///< (query, target) records newly journaled
+    std::size_t replayed = 0;  ///< pairs served from the seeded journal
+    std::size_t frames = 0;    ///< protocol frames received
+    std::size_t respawns = 0;  ///< reassignments after death/stall
+    double seconds = 0.0;      ///< shard wall clock (spawn to done)
+};
+
 }  // namespace firmup::eval

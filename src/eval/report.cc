@@ -204,4 +204,25 @@ render_health(const ScanHealth &health, const trace::Snapshot &metrics)
     return out;
 }
 
+std::string
+render_shard_breakdown(const std::vector<ShardSlice> &shards)
+{
+    if (shards.empty()) {
+        return "";
+    }
+    Table table({"shard", "blobs", "searched", "replayed", "findings",
+                 "frames", "respawns", "wall s"});
+    for (const ShardSlice &slice : shards) {
+        table.add_row({std::to_string(slice.shard),
+                       std::to_string(slice.blobs),
+                       std::to_string(slice.searched),
+                       std::to_string(slice.replayed),
+                       std::to_string(slice.findings),
+                       std::to_string(slice.frames),
+                       std::to_string(slice.respawns),
+                       strprintf("%.3f", slice.seconds)});
+    }
+    return table.render();
+}
+
 }  // namespace firmup::eval

@@ -52,4 +52,14 @@ std::string render_health(const ScanHealth &health);
 std::string render_health(const ScanHealth &health,
                           const trace::Snapshot &metrics);
 
+/**
+ * Per-shard breakdown table for a fleet scan (`firmup shard-scan`):
+ * one row per worker shard — blobs assigned, pairs searched vs replayed
+ * from the seeded journal, findings, protocol frames, respawns and the
+ * shard wall clock. Printed under the merged render_health block so a
+ * stalled or churning shard is visible instead of averaged away.
+ * Empty input renders nothing.
+ */
+std::string render_shard_breakdown(const std::vector<ShardSlice> &shards);
+
 }  // namespace firmup::eval

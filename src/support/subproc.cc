@@ -1,0 +1,209 @@
+#include "support/subproc.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "support/str.h"
+
+namespace firmup {
+
+Result<ChildProcess>
+spawn_child(const std::string &binary,
+            const std::vector<std::string> &args)
+{
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) != 0) {
+        return Result<ChildProcess>::error(
+            ErrorCode::IoError,
+            std::string("pipe: ") + std::strerror(errno));
+    }
+    // Parent side: non-blocking (the coordinator polls many workers)
+    // and close-on-exec (later siblings must not inherit it, or EOF on
+    // a dead worker would be masked by the copy they hold).
+    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return Result<ChildProcess>::error(
+            ErrorCode::IoError,
+            std::string("fork: ") + std::strerror(errno));
+    }
+    if (pid == 0) {
+        // Child: stdout becomes the frame pipe; stderr passes through.
+        ::close(fds[0]);
+        if (::dup2(fds[1], STDOUT_FILENO) < 0) {
+            ::_exit(127);
+        }
+        ::close(fds[1]);
+        std::vector<char *> argv;
+        argv.reserve(args.size() + 2);
+        argv.push_back(const_cast<char *>(binary.c_str()));
+        for (const std::string &arg : args) {
+            argv.push_back(const_cast<char *>(arg.c_str()));
+        }
+        argv.push_back(nullptr);
+        ::execv(binary.c_str(), argv.data());
+        // exec failed: report on the surviving stderr and die without
+        // running any parent-owned atexit handlers.
+        const std::string message =
+            "execv " + binary + ": " + std::strerror(errno) + "\n";
+        (void)!::write(STDERR_FILENO, message.data(), message.size());
+        ::_exit(127);
+    }
+    ::close(fds[1]);
+    ChildProcess child;
+    child.pid = pid;
+    child.out_fd = fds[0];
+    return child;
+}
+
+int
+wait_child(pid_t pid)
+{
+    if (pid <= 0) {
+        return -1;
+    }
+    int status = 0;
+    pid_t reaped;
+    do {
+        reaped = ::waitpid(pid, &status, 0);
+    } while (reaped < 0 && errno == EINTR);
+    return reaped == pid ? status : -1;
+}
+
+void
+kill_child(pid_t pid)
+{
+    if (pid > 0) {
+        ::kill(pid, SIGKILL);
+    }
+}
+
+bool
+exited_cleanly(int status)
+{
+    return status >= 0 && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+std::string
+describe_status(int status)
+{
+    if (status < 0) {
+        return "wait-error";
+    }
+    if (WIFEXITED(status)) {
+        return strprintf("exit %d", WEXITSTATUS(status));
+    }
+    if (WIFSIGNALED(status)) {
+        return strprintf("signal %d", WTERMSIG(status));
+    }
+    return strprintf("status %d", status);
+}
+
+void
+close_fd(int fd)
+{
+    if (fd >= 0) {
+        int rc;
+        do {
+            rc = ::close(fd);
+        } while (rc < 0 && errno == EINTR);
+    }
+}
+
+bool
+write_frame(int fd, std::string_view payload)
+{
+    const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+    char header[4];
+    header[0] = static_cast<char>(size & 0xff);
+    header[1] = static_cast<char>((size >> 8) & 0xff);
+    header[2] = static_cast<char>((size >> 16) & 0xff);
+    header[3] = static_cast<char>((size >> 24) & 0xff);
+    // One contiguous buffer per frame: the pipe write is atomic up to
+    // PIPE_BUF, and beyond that the loop below keeps the stream whole
+    // as long as writers are serialized.
+    std::string frame;
+    frame.reserve(sizeof(header) + payload.size());
+    frame.append(header, sizeof(header));
+    frame.append(payload);
+    std::size_t written = 0;
+    while (written < frame.size()) {
+        const ssize_t n =
+            ::write(fd, frame.data() + written, frame.size() - written);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return false;
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+int
+FrameReader::feed(int fd)
+{
+    char chunk[65536];
+    bool any = false;
+    for (;;) {
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n > 0) {
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+            any = true;
+            continue;
+        }
+        if (n == 0) {
+            return -1;  // EOF
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            return any ? 1 : 0;
+        }
+        return -1;
+    }
+}
+
+bool
+FrameReader::next(std::string *payload)
+{
+    if (corrupt_ || buffer_.size() - pos_ < 4) {
+        return false;
+    }
+    const unsigned char *p =
+        reinterpret_cast<const unsigned char *>(buffer_.data() + pos_);
+    const std::uint32_t size =
+        static_cast<std::uint32_t>(p[0]) |
+        (static_cast<std::uint32_t>(p[1]) << 8) |
+        (static_cast<std::uint32_t>(p[2]) << 16) |
+        (static_cast<std::uint32_t>(p[3]) << 24);
+    if (size > kMaxFrameBytes) {
+        corrupt_ = true;
+        return false;
+    }
+    if (buffer_.size() - pos_ < 4 + static_cast<std::size_t>(size)) {
+        return false;
+    }
+    payload->assign(buffer_, pos_ + 4, size);
+    pos_ += 4 + static_cast<std::size_t>(size);
+    // Compact once the consumed prefix dominates, so a long stream does
+    // not grow the buffer without bound.
+    if (pos_ > (1u << 20) && pos_ > buffer_.size() / 2) {
+        buffer_.erase(0, pos_);
+        pos_ = 0;
+    }
+    return true;
+}
+
+}  // namespace firmup

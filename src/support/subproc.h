@@ -1,0 +1,103 @@
+#pragma once
+/**
+ * POSIX child-process plumbing for the shard-scan coordinator
+ * (eval/shard.h): fork/exec of a worker binary with its stdout captured
+ * on a non-blocking pipe, u32-LE length-prefixed frame I/O over that
+ * pipe, and incremental frame reassembly on the reading side.
+ *
+ * The frame layer is deliberately dumb — a length and opaque payload
+ * bytes. What the payloads mean (the NDJSON shard protocol) lives with
+ * the coordinator; this file only guarantees that a frame written
+ * atomically on one end pops out whole, or not at all, on the other.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "support/error.h"
+
+namespace firmup {
+
+/** A spawned child with its stdout captured on a pipe. */
+struct ChildProcess
+{
+    pid_t pid = -1;
+    int out_fd = -1;  ///< read end of the child's stdout (non-blocking)
+};
+
+/**
+ * fork/exec @p binary with @p args (argv[0] is set to @p binary). The
+ * child's stdout feeds the returned pipe; stderr passes through to the
+ * parent's so worker diagnostics stay visible. The read end is
+ * non-blocking and close-on-exec. The caller owns both halves: reap the
+ * pid with wait_child() and close the fd with close_fd().
+ */
+Result<ChildProcess> spawn_child(const std::string &binary,
+                                 const std::vector<std::string> &args);
+
+/** Blocking waitpid; returns the raw wait status (-1 on error). */
+int wait_child(pid_t pid);
+
+/** SIGKILL @p pid (no-op for pid <= 0). */
+void kill_child(pid_t pid);
+
+/** True when the raw wait @p status is a clean exit with code 0. */
+bool exited_cleanly(int status);
+
+/** Human-readable "exit N" / "signal N" for a raw wait status. */
+std::string describe_status(int status);
+
+/** close() tolerant of -1 and EINTR. */
+void close_fd(int fd);
+
+/**
+ * Write one length-prefixed frame (u32 LE payload size, then the
+ * payload bytes) to @p fd, looping over partial writes and EINTR.
+ * Serializing concurrent writers is the caller's job — interleaved
+ * frames on one stream are unrecoverable garbage.
+ */
+bool write_frame(int fd, std::string_view payload);
+
+/**
+ * Incremental reassembly of length-prefixed frames from a non-blocking
+ * fd: feed() slurps whatever is readable, next() pops complete frames.
+ * Partial frames stay buffered across feeds, so a frame split by pipe
+ * backpressure is reassembled transparently.
+ */
+class FrameReader
+{
+  public:
+    /** Frames larger than this are protocol corruption, not data. */
+    static constexpr std::size_t kMaxFrameBytes = 16u << 20;
+
+    /**
+     * Read the currently-available bytes from @p fd. Returns +1 when
+     * bytes arrived, 0 when the read would block, -1 on EOF or error.
+     */
+    int feed(int fd);
+
+    /**
+     * Pop the next complete frame into @p payload. Returns false when
+     * no complete frame is buffered (or the stream is corrupt — see
+     * corrupt()).
+     */
+    bool next(std::string *payload);
+
+    /** Set once a frame header exceeds kMaxFrameBytes. */
+    bool corrupt() const { return corrupt_; }
+
+    /** Bytes buffered but not yet consumed as frames (diagnostics). */
+    std::size_t pending_bytes() const { return buffer_.size() - pos_; }
+
+  private:
+    std::string buffer_;
+    std::size_t pos_ = 0;
+    bool corrupt_ = false;
+};
+
+}  // namespace firmup

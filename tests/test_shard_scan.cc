@@ -1,0 +1,488 @@
+/**
+ * @file
+ * Sharded fleet scans (eval/shard.h): determinism, crash tolerance and
+ * incremental-rescan properties of the coordinator/worker scale-out.
+ *
+ * The bar mirrors the thread-count determinism the batch hunt already
+ * meets, one level up: the merged fleet findings must be bit-identical
+ * at any (worker count, threads-per-worker) combination, survive a
+ * worker killed or stalled mid-scan via journal-backed reassignment,
+ * and a rescan of an unchanged corpus against the persisted state
+ * manifest must re-search nothing at all. The worker binary is the real
+ * `firmup` CLI (FIRMUP_TOOL_PATH), so these tests exercise the actual
+ * fork/exec + frame-protocol path, not a mock.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "eval/journal.h"
+#include "eval/shard.h"
+#include "firmware/catalog.h"
+#include "firmware/corpus.h"
+#include "firmware/image.h"
+#include "support/rng.h"
+
+namespace firmup::eval {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A small corpus packed to real blobs, shared by every fleet test. */
+struct PackedCorpus
+{
+    std::string blob_dir;
+    std::string store_dir;  ///< shared FWIX store (kept warm across runs)
+    std::vector<std::string> paths;
+    std::string cve_id;
+};
+
+const PackedCorpus &
+packed_corpus()
+{
+    static const PackedCorpus *corpus = [] {
+        auto *out = new PackedCorpus;
+        // gtest_discover_tests runs every TEST as its own ctest entry
+        // (own process), possibly in parallel — the fixture dir must be
+        // per-process or concurrent tests clobber each other's store.
+        const fs::path base =
+            fs::path(testing::TempDir()) /
+            ("firmup-shard-tests-" + std::to_string(::getpid()));
+        fs::remove_all(base);
+        fs::create_directories(base / "blobs");
+        fs::create_directories(base / "store");
+        out->blob_dir = (base / "blobs").string();
+        out->store_dir = (base / "store").string();
+        firmware::CorpusOptions copt;
+        copt.num_devices = 6;
+        const firmware::Corpus c = firmware::build_corpus(copt);
+        Rng rng(copt.seed ^ 0xb10b);
+        for (const firmware::FirmwareImage &image : c.images) {
+            const fs::path path =
+                fs::path(out->blob_dir) /
+                (image.vendor + "-" + image.device + "-" +
+                 image.version + ".fw");
+            const ByteBuffer bytes = firmware::pack_firmware(image, rng);
+            std::ofstream file(path, std::ios::binary);
+            file.write(reinterpret_cast<const char *>(bytes.data()),
+                       static_cast<std::streamsize>(bytes.size()));
+            EXPECT_TRUE(file.good()) << path;
+            out->paths.push_back(path.string());
+        }
+        out->cve_id = firmware::cve_database().front().cve_id;
+        return out;
+    }();
+    return *corpus;
+}
+
+FleetReport
+fleet(std::size_t workers, unsigned threads,
+      const std::string &state_dir = "",
+      std::size_t kill_after = 0, bool stall = false,
+      double heartbeat = 30.0)
+{
+    const PackedCorpus &corpus = packed_corpus();
+    ShardScanOptions options;
+    options.cve_ids = {corpus.cve_id};
+    options.blob_paths = corpus.paths;
+    options.workers = workers;
+    options.worker_threads = threads;
+    options.index_cache_dir = corpus.store_dir;
+    options.state_dir = state_dir;
+    options.quiet = true;
+    options.kill_first_worker_after = kill_after;
+    options.stall_first_worker = stall;
+    options.heartbeat_seconds = heartbeat;
+    return run_shard_scan(FIRMUP_TOOL_PATH, options);
+}
+
+void
+expect_findings_equal(const FleetReport &want, const FleetReport &got,
+                      const std::string &context)
+{
+    ASSERT_TRUE(want.ok) << context << ": " << want.error;
+    ASSERT_TRUE(got.ok) << context << ": " << got.error;
+    ASSERT_EQ(got.findings.size(), want.findings.size()) << context;
+    for (std::size_t i = 0; i < want.findings.size(); ++i) {
+        const FleetFinding &a = want.findings[i];
+        const FleetFinding &b = got.findings[i];
+        EXPECT_EQ(b.cve, a.cve) << context << " finding " << i;
+        EXPECT_EQ(b.blob, a.blob) << context << " finding " << i;
+        EXPECT_EQ(b.ord, a.ord) << context << " finding " << i;
+        EXPECT_EQ(b.exe_name, a.exe_name) << context << " finding " << i;
+        EXPECT_EQ(b.matched_entry, a.matched_entry)
+            << context << " finding " << i;
+        EXPECT_EQ(b.sim, a.sim) << context << " finding " << i;
+        EXPECT_EQ(b.steps, a.steps) << context << " finding " << i;
+    }
+}
+
+std::vector<std::uint8_t>
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+TEST(ShardFunction, DeterministicAndInRange)
+{
+    for (std::size_t count : {std::size_t{1}, std::size_t{2},
+                              std::size_t{3}, std::size_t{7}}) {
+        for (int i = 0; i < 100; ++i) {
+            const std::string path =
+                "corpus/blob-" + std::to_string(i) + ".fw";
+            const std::size_t shard = shard_of_path(path, count);
+            EXPECT_LT(shard, count);
+            EXPECT_EQ(shard_of_path(path, count), shard)
+                << "unstable for " << path;
+        }
+    }
+    // Count 0 degrades to a single shard instead of dividing by zero.
+    EXPECT_EQ(shard_of_path("anything", 0), 0u);
+    // The hash actually spreads: 100 synthetic paths at 4 shards must
+    // not all collapse onto one (the function is fixed, so this either
+    // always passes or the hash is broken).
+    std::set<std::size_t> used;
+    for (int i = 0; i < 100; ++i) {
+        used.insert(
+            shard_of_path("corpus/blob-" + std::to_string(i) + ".fw", 4));
+    }
+    EXPECT_GE(used.size(), 2u);
+}
+
+TEST(ShardFrames, CodecRoundTripsHostileStrings)
+{
+    const FrameFields fields = {
+        {"type", "finding"},
+        {"quote", "say \"hi\""},
+        {"backslash", "a\\b"},
+        {"newline", "line1\nline2\ttabbed\rcr"},
+        {"control", std::string("\x01\x02\x1f", 3)},
+        {"empty", ""},
+        {"utf8", "caf\xc3\xa9"},
+    };
+    FrameFields decoded;
+    ASSERT_TRUE(decode_frame(encode_frame(fields), &decoded));
+    EXPECT_EQ(decoded, fields);
+
+    FrameFields empty_decoded;
+    ASSERT_TRUE(decode_frame(encode_frame({}), &empty_decoded));
+    EXPECT_TRUE(empty_decoded.empty());
+
+    for (const std::string &bad :
+         {std::string(""), std::string("{"), std::string("{\"a\":1}"),
+          std::string("{\"a\":\"b\""), std::string("[\"a\"]"),
+          std::string("{\"a\" \"b\"}")}) {
+        FrameFields out;
+        EXPECT_FALSE(decode_frame(bad, &out)) << bad;
+    }
+}
+
+TEST(ShardFrames, HealthFieldsRoundTrip)
+{
+    ScanHealth health;
+    health.images_seen = 3;
+    health.images_rejected = 1;
+    health.members_damaged = 2;
+    health.executables_seen = 40;
+    health.lifted_ok = 38;
+    health.quarantined = 2;
+    health.games_played = 17;
+    health.games_unresolved = 4;
+    health.cancelled = true;
+    health.targets_cancelled = 5;
+    health.resumed_targets = 6;
+    health.retries = 7;
+    health.watchdog_expired = 8;
+    health.journal_truncated_bytes = 9;
+    health.cache_hits = 10;
+    health.cache_misses = 11;
+    health.cache_write_bytes = 12;
+    health.cache_load_seconds = 1.25;
+    health.cache_open_seconds = 0.5;
+    health.cache_checksum_seconds = 0.125;
+    health.cache_parse_seconds = 0.0625;
+    health.cache_mmap_loads = 13;
+    health.resident_hits = 14;
+    health.resident_misses = 15;
+    health.resident_evictions = 16;
+    health.query_cache_hits = 17;
+    health.query_cache_misses = 18;
+    health.canon_memo_hits = 19;
+    health.canon_memo_misses = 20;
+    health.retrieval_probes_exact = 21;
+    health.retrieval_candidates_exact = 22;
+    health.retrieval_probes_lsh = 23;
+    health.retrieval_candidates_lsh = 24;
+    health.retrieval_lsh_exact_work = 25;
+    health.sketch_seconds = 0.75;
+    health.resume_rejected = true;
+    health.resume_reject_reason = "fingerprint \"mismatch\"\n";
+    health.index_seconds = 2.5;
+    health.index_cpu_seconds = 2.0;
+    health.game_seconds = 1.5;
+    health.game_cpu_seconds = 1.0;
+    health.confirm_seconds = 0.25;
+    health.confirm_cpu_seconds = 0.125;
+    health.match_wall_seconds = 3.5;
+    for (std::size_t c = 0; c < kErrorCodeCount; ++c) {
+        health.errors[c] = c + 1;
+    }
+
+    FrameFields fields;
+    health_to_fields(health, fields);
+    ScanHealth back;
+    health_from_fields(fields, back);
+
+    EXPECT_EQ(back.images_seen, health.images_seen);
+    EXPECT_EQ(back.images_rejected, health.images_rejected);
+    EXPECT_EQ(back.members_damaged, health.members_damaged);
+    EXPECT_EQ(back.executables_seen, health.executables_seen);
+    EXPECT_EQ(back.lifted_ok, health.lifted_ok);
+    EXPECT_EQ(back.quarantined, health.quarantined);
+    EXPECT_EQ(back.games_played, health.games_played);
+    EXPECT_EQ(back.games_unresolved, health.games_unresolved);
+    EXPECT_EQ(back.cancelled, health.cancelled);
+    EXPECT_EQ(back.targets_cancelled, health.targets_cancelled);
+    EXPECT_EQ(back.resumed_targets, health.resumed_targets);
+    EXPECT_EQ(back.retries, health.retries);
+    EXPECT_EQ(back.watchdog_expired, health.watchdog_expired);
+    EXPECT_EQ(back.journal_truncated_bytes,
+              health.journal_truncated_bytes);
+    EXPECT_EQ(back.cache_hits, health.cache_hits);
+    EXPECT_EQ(back.cache_misses, health.cache_misses);
+    EXPECT_EQ(back.cache_write_bytes, health.cache_write_bytes);
+    EXPECT_EQ(back.cache_load_seconds, health.cache_load_seconds);
+    EXPECT_EQ(back.cache_open_seconds, health.cache_open_seconds);
+    EXPECT_EQ(back.cache_checksum_seconds,
+              health.cache_checksum_seconds);
+    EXPECT_EQ(back.cache_parse_seconds, health.cache_parse_seconds);
+    EXPECT_EQ(back.cache_mmap_loads, health.cache_mmap_loads);
+    EXPECT_EQ(back.resident_hits, health.resident_hits);
+    EXPECT_EQ(back.resident_misses, health.resident_misses);
+    EXPECT_EQ(back.resident_evictions, health.resident_evictions);
+    EXPECT_EQ(back.query_cache_hits, health.query_cache_hits);
+    EXPECT_EQ(back.query_cache_misses, health.query_cache_misses);
+    EXPECT_EQ(back.canon_memo_hits, health.canon_memo_hits);
+    EXPECT_EQ(back.canon_memo_misses, health.canon_memo_misses);
+    EXPECT_EQ(back.retrieval_probes_exact,
+              health.retrieval_probes_exact);
+    EXPECT_EQ(back.retrieval_candidates_exact,
+              health.retrieval_candidates_exact);
+    EXPECT_EQ(back.retrieval_probes_lsh, health.retrieval_probes_lsh);
+    EXPECT_EQ(back.retrieval_candidates_lsh,
+              health.retrieval_candidates_lsh);
+    EXPECT_EQ(back.retrieval_lsh_exact_work,
+              health.retrieval_lsh_exact_work);
+    EXPECT_EQ(back.sketch_seconds, health.sketch_seconds);
+    EXPECT_EQ(back.resume_rejected, health.resume_rejected);
+    EXPECT_EQ(back.resume_reject_reason, health.resume_reject_reason);
+    EXPECT_EQ(back.index_seconds, health.index_seconds);
+    EXPECT_EQ(back.index_cpu_seconds, health.index_cpu_seconds);
+    EXPECT_EQ(back.game_seconds, health.game_seconds);
+    EXPECT_EQ(back.game_cpu_seconds, health.game_cpu_seconds);
+    EXPECT_EQ(back.confirm_seconds, health.confirm_seconds);
+    EXPECT_EQ(back.confirm_cpu_seconds, health.confirm_cpu_seconds);
+    EXPECT_EQ(back.match_wall_seconds, health.match_wall_seconds);
+    EXPECT_EQ(back.errors, health.errors);
+}
+
+TEST(ShardScan, FindingsInvariantAcrossWorkerAndThreadCounts)
+{
+    const FleetReport baseline = fleet(1, 1);
+    ASSERT_TRUE(baseline.ok) << baseline.error;
+    ASSERT_FALSE(baseline.findings.empty());
+    for (std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                std::size_t{3}}) {
+        for (unsigned threads : {1u, 2u, 8u}) {
+            if (workers == 1 && threads == 1) {
+                continue;  // that is the baseline itself
+            }
+            const FleetReport got = fleet(workers, threads);
+            const std::string context =
+                std::to_string(workers) + " workers x " +
+                std::to_string(threads) + " threads";
+            expect_findings_equal(baseline, got, context);
+            // (query, target) pairs partition exactly across shards,
+            // so the merged game count is invariant too. (Per-worker
+            // dedup counters like executables_seen are NOT — duplicate
+            // content spanning shards is counted once per worker.)
+            EXPECT_EQ(got.health.games_played,
+                      baseline.health.games_played)
+                << context;
+            // One spawn per non-empty shard, no churn.
+            EXPECT_EQ(got.workers_spawned, got.shards.size()) << context;
+            EXPECT_EQ(got.reassignments, 0u) << context;
+        }
+    }
+}
+
+TEST(ShardScan, KilledWorkerIsReassignedAndMergesIdentically)
+{
+    const FleetReport baseline = fleet(1, 1);
+    ASSERT_TRUE(baseline.ok) << baseline.error;
+    const FleetReport killed =
+        fleet(2, 1, "", /*kill_after=*/3, /*stall=*/false);
+    ASSERT_TRUE(killed.ok) << killed.error;
+    EXPECT_GE(killed.reassignments, 1u);
+    EXPECT_GE(killed.workers_spawned, 3u);
+    // The respawn resumed the dead worker's journal: at least the pairs
+    // it appended before dying replay instead of re-running.
+    EXPECT_GE(killed.incremental_skips, 1u);
+    expect_findings_equal(baseline, killed, "killed worker");
+}
+
+TEST(ShardScan, StalledWorkerTripsHeartbeatAndIsReassigned)
+{
+    const FleetReport baseline = fleet(1, 1);
+    ASSERT_TRUE(baseline.ok) << baseline.error;
+    const FleetReport stalled =
+        fleet(2, 1, "", /*kill_after=*/3, /*stall=*/true,
+              /*heartbeat=*/1.5);
+    ASSERT_TRUE(stalled.ok) << stalled.error;
+    EXPECT_GE(stalled.reassignments, 1u);
+    expect_findings_equal(baseline, stalled, "stalled worker");
+}
+
+TEST(ShardScan, UnchangedCorpusRescansIncrementally)
+{
+    const fs::path state_dir =
+        fs::path(testing::TempDir()) / "firmup-shard-state";
+    fs::remove_all(state_dir);
+    const FleetReport first = fleet(3, 1, state_dir.string());
+    ASSERT_TRUE(first.ok) << first.error;
+    EXPECT_FALSE(first.state_reused);
+    EXPECT_GT(first.targets_searched, 0u);
+    ASSERT_TRUE(fs::exists(state_dir / "state.fwsj"));
+
+    const FleetReport second = fleet(3, 1, state_dir.string());
+    ASSERT_TRUE(second.ok) << second.error;
+    EXPECT_TRUE(second.state_reused);
+    // Pure replay: nothing searched, nothing lifted or canonicalized,
+    // no index-store traffic — the acceptance bar for incremental.
+    EXPECT_EQ(second.targets_searched, 0u);
+    EXPECT_GT(second.incremental_skips, 0u);
+    EXPECT_EQ(second.health.canon_memo_misses, 0u);
+    EXPECT_EQ(second.health.cache_hits, 0u);
+    EXPECT_EQ(second.health.cache_misses, 0u);
+    expect_findings_equal(first, second, "incremental rescan");
+
+    // A different worker count reuses the same state just as well: the
+    // manifest is the key-sorted union, not a per-worker layout.
+    const FleetReport other = fleet(2, 1, state_dir.string());
+    ASSERT_TRUE(other.ok) << other.error;
+    EXPECT_TRUE(other.state_reused);
+    EXPECT_EQ(other.targets_searched, 0u);
+    expect_findings_equal(first, other, "rescan at other worker count");
+    fs::remove_all(state_dir);
+}
+
+/** Run the real CLI via the shell, stdout to @p out_path. */
+int
+run_cli(const std::string &args, const std::string &out_path)
+{
+    const std::string command = std::string(FIRMUP_TOOL_PATH) + " " +
+                                args + " > " + out_path + " 2>/dev/null";
+    const int status = std::system(command.c_str());
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::vector<std::string>
+vulnerable_lines(const std::string &out_path)
+{
+    std::vector<std::string> lines;
+    std::ifstream in(out_path);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find("VULNERABLE") != std::string::npos) {
+            lines.push_back(line);
+        }
+    }
+    return lines;
+}
+
+TEST(ShardScanCli, PassesGetPerPassJournals)
+{
+    const PackedCorpus &corpus = packed_corpus();
+    const fs::path base =
+        fs::path(testing::TempDir()) / "firmup-pass-journal";
+    fs::remove_all(base);
+    fs::create_directories(base);
+    const std::string journal = (base / "scan.fwsj").string();
+    std::string args = "search " + corpus.cve_id + " --passes 2 " +
+                       "--journal " + journal + " --index-cache " +
+                       corpus.store_dir;
+    for (const std::string &path : corpus.paths) {
+        args += " " + path;
+    }
+    const int exit_code =
+        run_cli(args, (base / "out.txt").string());
+    EXPECT_TRUE(exit_code == 0 || exit_code == 3) << exit_code;
+    // Pass 1 journals to FILE; pass 2 to FILE.pass2 — same scan, so
+    // both parse under the same fingerprint with the same record count.
+    ASSERT_TRUE(fs::exists(journal));
+    ASSERT_TRUE(fs::exists(journal + ".pass2"));
+    const auto bytes1 = slurp(journal);
+    const auto bytes2 = slurp(journal + ".pass2");
+    auto load1 = ScanJournal::parse(bytes1.data(), bytes1.size(), 0);
+    auto load2 = ScanJournal::parse(bytes2.data(), bytes2.size(), 0);
+    ASSERT_TRUE(load1.ok()) << load1.error_message();
+    ASSERT_TRUE(load2.ok()) << load2.error_message();
+    EXPECT_EQ(load1.value().fingerprint, load2.value().fingerprint);
+    EXPECT_GT(load1.value().entries.size(), 0u);
+    EXPECT_EQ(load2.value().entries.size(), load1.value().entries.size());
+    fs::remove_all(base);
+}
+
+TEST(ShardScanCli, SearchShardSlicesUnionToFullScan)
+{
+    const PackedCorpus &corpus = packed_corpus();
+    const fs::path base =
+        fs::path(testing::TempDir()) / "firmup-shard-cli";
+    fs::remove_all(base);
+    fs::create_directories(base);
+    std::string blobs;
+    for (const std::string &path : corpus.paths) {
+        blobs += " " + path;
+    }
+    const std::string common = "search " + corpus.cve_id +
+                               " --index-cache " + corpus.store_dir;
+    const std::string full_out = (base / "full.txt").string();
+    const int full_exit = run_cli(common + blobs, full_out);
+    EXPECT_TRUE(full_exit == 0 || full_exit == 3) << full_exit;
+    std::vector<std::string> full = vulnerable_lines(full_out);
+    ASSERT_FALSE(full.empty());
+
+    std::vector<std::string> merged;
+    for (int shard = 0; shard < 3; ++shard) {
+        const std::string out =
+            (base / ("shard" + std::to_string(shard) + ".txt")).string();
+        const int exit_code = run_cli(
+            common + " --shard-index " + std::to_string(shard) +
+                " --shard-count 3" + blobs,
+            out);
+        EXPECT_TRUE(exit_code == 0 || exit_code == 3) << exit_code;
+        const std::vector<std::string> lines = vulnerable_lines(out);
+        merged.insert(merged.end(), lines.begin(), lines.end());
+    }
+    // The three shard slices are disjoint and exhaustive: their merged
+    // findings are a permutation of the full scan's.
+    std::sort(full.begin(), full.end());
+    std::sort(merged.begin(), merged.end());
+    EXPECT_EQ(merged, full);
+    fs::remove_all(base);
+}
+
+}  // namespace
+}  // namespace firmup::eval
